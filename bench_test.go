@@ -1,0 +1,296 @@
+// Package repro_test benches every evaluation artifact of the UChecker
+// paper plus the design-choice ablations DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks:
+//
+//	BenchmarkTableIII/<app>        one full pipeline run per Table III row
+//	BenchmarkComparison            Section IV-C, all three tools, 44 apps
+//	BenchmarkPhase*                per-phase costs on corpus applications
+//	BenchmarkSolver*               the SMT layer on the paper's constraints
+//	BenchmarkAblation*             locality on/off, loop-unroll depth,
+//	                               solver candidate budget
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/corpus"
+	"repro/internal/evalharness"
+	"repro/internal/interp"
+	"repro/internal/locality"
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+	"repro/internal/smt"
+	"repro/internal/uchecker"
+)
+
+// benchOpts caps the Cimy blow-up so its abort (the measured artifact)
+// stays affordable inside a benchmark loop; every verdict is unchanged.
+func benchOpts() uchecker.Options {
+	return uchecker.Options{Interp: interp.Options{MaxPaths: 20000}}
+}
+
+// BenchmarkTableIII runs the full pipeline once per iteration for every
+// named Table III application (18 sub-benchmarks).
+func BenchmarkTableIII(b *testing.B) {
+	apps := append(corpus.KnownVulnerableApps(), corpus.NewVulnApps()...)
+	if a, ok := corpus.ByName("Event Registration Pro Calendar 1.0.2"); ok {
+		apps = append(apps, a)
+	}
+	if a, ok := corpus.ByName("Tumult Hype Animations 1.7.1"); ok {
+		apps = append(apps, a)
+	}
+	for _, app := range apps {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			opts := benchOpts()
+			for i := 0; i < b.N; i++ {
+				row := evalharness.RunApp(app, opts)
+				if row.Detected() != app.Paper.Detected {
+					b.Fatalf("verdict drift: got %v want %v", row.Detected(), app.Paper.Detected)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComparison regenerates the Section IV-C three-tool comparison
+// over the full 44-app corpus per iteration.
+func BenchmarkComparison(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		results := evalharness.Comparison(opts)
+		if len(results) != 3 {
+			b.Fatal("missing tools")
+		}
+	}
+}
+
+// --- per-phase benchmarks ---
+
+// BenchmarkPhaseParse measures the parser on the largest corpus member
+// (Joomla-Bible-study, ~95k LoC).
+func BenchmarkPhaseParse(b *testing.B) {
+	app, _ := corpus.ByName("Joomla-Bible-study 9.1.1")
+	var total int
+	for _, src := range app.Sources {
+		total += len(src)
+	}
+	b.SetBytes(int64(total))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, src := range app.Sources {
+			f, _ := phpparser.Parse(name, src)
+			if f == nil {
+				b.Fatal("nil file")
+			}
+		}
+	}
+}
+
+// BenchmarkPhaseCallgraphLocality measures graph construction plus root
+// selection on the same large app.
+func BenchmarkPhaseCallgraphLocality(b *testing.B) {
+	app, _ := corpus.ByName("Joomla-Bible-study 9.1.1")
+	var files []*phpast.File
+	for name, src := range app.Sources {
+		f, _ := phpparser.Parse(name, src)
+		files = append(files, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := callgraph.Build(files)
+		res := locality.Analyze(g, files, app.Sources)
+		if len(res.Roots) == 0 {
+			b.Fatal("no roots")
+		}
+	}
+}
+
+// BenchmarkPhaseSymbolicExecution measures the interpreter on the most
+// path-heavy completing app (Avatar Uploader, 9216 paths).
+func BenchmarkPhaseSymbolicExecution(b *testing.B) {
+	app, _ := corpus.ByName("Avatar Uploader 6.x-1.2")
+	var files []*phpast.File
+	for name, src := range app.Sources {
+		f, _ := phpparser.Parse(name, src)
+		files = append(files, f)
+	}
+	g := callgraph.Build(files)
+	res := locality.Analyze(g, files, app.Sources)
+	if len(res.Roots) == 0 {
+		b.Fatal("no roots")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := interp.New(files, interp.Options{})
+		out := in.RunRoot(res.Roots[0].Node)
+		if out.Paths != 9216 {
+			b.Fatalf("paths = %d", out.Paths)
+		}
+	}
+}
+
+// --- solver benchmarks ---
+
+// BenchmarkSolverListing4 solves the paper's satisfiable Constraint-2 ∧
+// Constraint-3 for Listing 4.
+func BenchmarkSolverListing4(b *testing.B) {
+	sPath := smt.Var("s_path", smt.SortString)
+	sName := smt.Var("s_name", smt.SortString)
+	sExt := smt.Var("s_ext", smt.SortString)
+	f := smt.And(
+		smt.SuffixOf(smt.Str(".php"), smt.Concat(sPath, smt.Str("/"), sName, sExt)),
+		smt.Gt(smt.Len(smt.Concat(sName, sExt)), smt.Int(5)),
+	)
+	solver := smt.NewSolver(smt.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, _, _, err := solver.Check(f)
+		if err != nil || st != smt.Sat {
+			b.Fatalf("status=%v err=%v", st, err)
+		}
+	}
+}
+
+// BenchmarkSolverWhitelistUnsat solves the benign whitelist refutation
+// (in_array expansion vs .php suffix).
+func BenchmarkSolverWhitelistUnsat(b *testing.B) {
+	ext := smt.Var("s_ext", smt.SortString)
+	dst := smt.Concat(smt.Var("s_name", smt.SortString), smt.Str("."), ext)
+	f := smt.And(
+		smt.Or(smt.Eq(ext, smt.Str("jpg")), smt.Eq(ext, smt.Str("png")), smt.Eq(ext, smt.Str("gif"))),
+		smt.SuffixOf(smt.Str(".php"), dst),
+	)
+	solver := smt.NewSolver(smt.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, _, _, err := solver.Check(f)
+		if err != nil || st != smt.Unsat {
+			b.Fatalf("status=%v err=%v", st, err)
+		}
+	}
+}
+
+// BenchmarkSolverSimplify measures the rewriting layer alone.
+func BenchmarkSolverSimplify(b *testing.B) {
+	x := smt.Var("x", smt.SortString)
+	f := smt.And(
+		smt.SuffixOf(smt.Str("a.php"), smt.Concat(x, smt.Str("php"))),
+		smt.Gt(smt.Len(smt.Concat(smt.Str("dir/"), x)), smt.Int(3)),
+		smt.Not(smt.Not(smt.Eq(x, smt.Str("q")))),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if smt.Simplify(f) == nil {
+			b.Fatal("nil")
+		}
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAblationLocality contrasts the pipeline with and without the
+// vulnerability-oriented locality analysis on a mid-size app (Foxypress,
+// ~16k LoC). The "Off" variant symbolically executes every file and
+// function — the workload the paper's Section III-A exists to avoid.
+func BenchmarkAblationLocality(b *testing.B) {
+	app, _ := corpus.ByName("Foxypress 0.4.1.1-0.4.2.1")
+	b.Run("On", func(b *testing.B) {
+		opts := benchOpts()
+		for i := 0; i < b.N; i++ {
+			rep := uchecker.New(opts).CheckSources(app.Name, app.Sources)
+			if !rep.Vulnerable {
+				b.Fatal("verdict drift")
+			}
+		}
+	})
+	b.Run("Off", func(b *testing.B) {
+		opts := benchOpts()
+		opts.DisableLocality = true
+		for i := 0; i < b.N; i++ {
+			rep := uchecker.New(opts).CheckSources(app.Name, app.Sources)
+			if !rep.Vulnerable {
+				b.Fatal("verdict drift")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLoopUnroll varies the loop unroll bound on a
+// loop-bearing app.
+func BenchmarkAblationLoopUnroll(b *testing.B) {
+	src := map[string]string{
+		"loop.php": `<?php
+$i = 0;
+while ($i < $n) {
+	$i = $i + 1;
+	$chk = strpos($_FILES['f']['name'], '.');
+}
+move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
+`,
+	}
+	for _, unroll := range []int{1, 2, 4, 8} {
+		unroll := unroll
+		b.Run(itoa(unroll), func(b *testing.B) {
+			opts := uchecker.Options{Interp: interp.Options{LoopUnroll: unroll}}
+			for i := 0; i < b.N; i++ {
+				rep := uchecker.New(opts).CheckSources("loop", src)
+				if !rep.Vulnerable {
+					b.Fatal("verdict drift")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSolverCandidates varies the bounded-search candidate
+// budget on the Listing 4 constraint.
+func BenchmarkAblationSolverCandidates(b *testing.B) {
+	sPath := smt.Var("s_path", smt.SortString)
+	sName := smt.Var("s_name", smt.SortString)
+	sExt := smt.Var("s_ext", smt.SortString)
+	f := smt.And(
+		smt.SuffixOf(smt.Str(".php"), smt.Concat(sPath, smt.Str("/"), sName, sExt)),
+		smt.Gt(smt.Len(smt.Concat(sName, sExt)), smt.Int(5)),
+	)
+	for _, cand := range []int{16, 48, 96, 192} {
+		cand := cand
+		b.Run(itoa(cand), func(b *testing.B) {
+			solver := smt.NewSolver(smt.Options{MaxStrCandidates: cand})
+			for i := 0; i < b.N; i++ {
+				st, _, _, err := solver.Check(f)
+				if err != nil || st != smt.Sat {
+					b.Fatalf("status=%v err=%v", st, err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var bs []byte
+	for n > 0 {
+		bs = append([]byte{byte('0' + n%10)}, bs...)
+		n /= 10
+	}
+	return string(bs)
+}
+
+// BenchmarkScreening measures the Section IV-B screening workflow: one
+// iteration scans 100 generated plugins (5 seeded vulnerabilities).
+func BenchmarkScreening(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res := evalharness.Screening(opts, 1, 100, 20)
+		if res.Found != res.Planted {
+			b.Fatalf("recall drift: %d/%d", res.Found, res.Planted)
+		}
+	}
+}

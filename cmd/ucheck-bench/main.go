@@ -1,0 +1,83 @@
+// Command ucheck-bench regenerates the UChecker paper's evaluation
+// artifacts over the synthetic corpus:
+//
+//	ucheck-bench -table       # Table III (default)
+//	ucheck-bench -compare     # Section IV-C tool comparison
+//	ucheck-bench -all         # both
+//	ucheck-bench -screen 500  # Section IV-B screening sweep over 500 plugins
+//	ucheck-bench -paper       # also print the paper's numbers side by side
+//
+// The -max-paths flag lowers the symbolic-execution budget (useful on
+// small machines: 20000 still reproduces every verdict including the Cimy
+// false negative, at a fraction of the memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/evalharness"
+	"repro/internal/interp"
+	"repro/internal/uchecker"
+)
+
+func main() {
+	var (
+		table    = flag.Bool("table", false, "regenerate Table III")
+		compare  = flag.Bool("compare", false, "regenerate the Section IV-C comparison")
+		all      = flag.Bool("all", false, "regenerate everything")
+		screen   = flag.Int("screen", 0, "run a Section IV-B screening sweep over N generated plugins")
+		plant    = flag.Int("plant", 20, "seed one vulnerable plugin every N positions in the sweep")
+		seed     = flag.Int64("seed", 1, "screening generator seed")
+		paper    = flag.Bool("paper", false, "print paper numbers next to measured ones")
+		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
+	)
+	flag.Parse()
+	if !*table && !*compare && !*all && *screen == 0 {
+		*table = true
+	}
+
+	opts := uchecker.Options{Interp: interp.Options{MaxPaths: *maxPaths}}
+
+	if *table || *all {
+		rows := evalharness.TableIII(opts)
+		fmt.Print(evalharness.RenderTableIII(rows))
+		if *paper {
+			fmt.Println()
+			printPaperComparison(rows)
+		}
+		fmt.Println()
+	}
+	if *screen > 0 {
+		res := evalharness.Screening(opts, *seed, *screen, *plant)
+		fmt.Print(evalharness.RenderScreening(res))
+		fmt.Println()
+	}
+	if *compare || *all {
+		results := evalharness.Comparison(opts)
+		fmt.Print(evalharness.RenderComparison(results))
+		if *paper {
+			fmt.Println("\nPaper (Section IV-C): UChecker 15/16, 2/28 FP; RIPS 15/16, 27/28 FP; WAP 4/16, 1/28 FP")
+		}
+	}
+	os.Exit(0)
+}
+
+func printPaperComparison(rows []evalharness.Row) {
+	fmt.Println("Paper vs measured:")
+	fmt.Printf("%-55s %16s %16s %14s %8s\n", "System", "%Analyzed (p/m)", "Paths (p/m)", "Objects (p/m)", "Verdict")
+	for _, r := range rows {
+		p := r.App.Paper
+		if p == nil {
+			continue
+		}
+		match := "match"
+		if p.Detected != r.Detected() {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%-55s %7.2f/%7.2f %8d/%7d %7d/%7d %8s\n",
+			r.App.Name, p.PctAnalyzed, r.Report.PercentAnalyzed,
+			p.Paths, r.Report.Paths, p.Objects, r.Report.Objects, match)
+	}
+}

@@ -1,0 +1,218 @@
+// Command uchecker scans PHP applications for unrestricted file upload
+// vulnerabilities, implementing the UChecker pipeline end to end.
+//
+// Usage:
+//
+//	uchecker [flags] <dir|file.php> [more paths...]
+//	uchecker [flags] -corpus "<app name>"     # scan a built-in corpus app
+//	uchecker -list-corpus                     # list corpus app names
+//
+// Flags:
+//
+//	-json           emit the report as JSON
+//	-sarif          emit the report as SARIF 2.1.0 (GitHub code scanning)
+//	-smt            print each finding's SMT-LIB2 script
+//	-ext LIST       comma-separated executable extensions (default ".php,.php5")
+//	-admin-gating   model add_action('admin_menu', ...) gating (Section VI)
+//	-max-paths N    symbolic execution path budget
+//	-v              verbose: also print per-phase measurements
+//
+// Exit status: 0 not vulnerable, 1 vulnerable, 2 usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+		sarifOut    = flag.Bool("sarif", false, "emit the report as SARIF 2.1.0")
+		smtOut      = flag.Bool("smt", false, "print each finding's SMT-LIB2 script")
+		exts        = flag.String("ext", ".php,.php5", "comma-separated executable extensions")
+		adminGating = flag.Bool("admin-gating", false, "model admin_menu gating (Section VI extension)")
+		maxPaths    = flag.Int("max-paths", 0, "symbolic execution path budget (0 = default)")
+		corpusApp   = flag.String("corpus", "", "scan the named built-in corpus application")
+		listCorpus  = flag.Bool("list-corpus", false, "list built-in corpus application names")
+		verbose     = flag.Bool("v", false, "verbose measurements")
+	)
+	flag.Parse()
+
+	if *listCorpus {
+		for _, app := range corpus.All() {
+			fmt.Printf("%-60s %s\n", app.Name, app.Category)
+		}
+		return 0
+	}
+
+	opts := core.Options{
+		Extensions:       splitExts(*exts),
+		ModelAdminGating: *adminGating,
+		KeepSMT:          *smtOut,
+		Interp:           interp.Options{MaxPaths: *maxPaths},
+	}
+
+	var name string
+	var sources map[string]string
+	switch {
+	case *corpusApp != "":
+		app, ok := corpus.ByName(*corpusApp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "uchecker: unknown corpus app %q (try -list-corpus)\n", *corpusApp)
+			return 2
+		}
+		name, sources = app.Name, app.Sources
+	case flag.NArg() > 0:
+		var err error
+		name, sources, err = loadPaths(flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+			return 2
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: uchecker [flags] <dir|file.php>... (see -h)")
+		return 2
+	}
+
+	rep := core.New(opts).CheckSources(name, sources)
+
+	if *sarifOut {
+		data, err := report.ToSARIF(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+			return 2
+		}
+	} else {
+		printReport(os.Stdout, rep, *verbose, *smtOut)
+	}
+	if rep.Vulnerable {
+		return 1
+	}
+	return 0
+}
+
+func splitExts(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !strings.HasPrefix(e, ".") {
+			e = "." + e
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// loadPaths reads .php files from the given files/directories.
+func loadPaths(paths []string) (string, map[string]string, error) {
+	sources := map[string]string{}
+	name := strings.TrimSuffix(filepath.Base(paths[0]), ".php")
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return "", nil, err
+		}
+		if !info.IsDir() {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return "", nil, err
+			}
+			sources[p] = string(data)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".php") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			sources[path] = string(data)
+			return nil
+		})
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	if len(sources) == 0 {
+		return "", nil, fmt.Errorf("no .php files under %v", paths)
+	}
+	return name, sources, nil
+}
+
+func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
+	verdict := "NOT VULNERABLE"
+	if rep.Vulnerable {
+		verdict = "VULNERABLE"
+	}
+	if rep.BudgetExceeded {
+		verdict += " (analysis incomplete: budget exceeded)"
+	}
+	fmt.Fprintf(w, "%s: %s\n", rep.Name, verdict)
+	fmt.Fprintf(w, "  %d LoC, %.2f%% symbolically executed, %d paths, %d objects, %d sink candidates\n",
+		rep.TotalLoC, rep.PercentAnalyzed, rep.Paths, rep.Objects, rep.SinkCount)
+	if verbose {
+		fmt.Fprintf(w, "  roots: %s\n", strings.Join(rep.Roots, ", "))
+		fmt.Fprintf(w, "  %.1f MB, %.3f s, %d parse errors\n", rep.MemoryMB, rep.Seconds, rep.ParseErrors)
+	}
+	for _, f := range rep.Findings {
+		gate := ""
+		if f.AdminGated {
+			gate = " [admin-gated]"
+		}
+		fmt.Fprintf(w, "\n  finding: %s at %s:%d%s\n", f.Sink, f.File, f.Line, gate)
+		fmt.Fprintf(w, "    relevant lines: %v\n", f.Lines)
+		if f.ExploitPath != "" {
+			fmt.Fprintf(w, "    exploit lands at: %q\n", f.ExploitPath)
+		}
+		fmt.Fprintf(w, "    se_dst   = %s\n", f.SeDst)
+		if f.SeReach != "nil" && f.SeReach != "" {
+			fmt.Fprintf(w, "    se_reach = %s\n", f.SeReach)
+		}
+		fmt.Fprintf(w, "    witness:\n")
+		for k, v := range f.Witness {
+			fmt.Fprintf(w, "      %s = %s\n", k, v)
+		}
+		if smtOut && f.SMTLIB != "" {
+			fmt.Fprintf(w, "    SMT-LIB2:\n%s\n", indentLines(f.SMTLIB, "      "))
+		}
+	}
+}
+
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSplitExts(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{".php,.php5", []string{".php", ".php5"}},
+		{"php, phtml", []string{".php", ".phtml"}},
+		{"", nil},
+		{" .asa ,, swf ", []string{".asa", ".swf"}},
+	}
+	for _, tt := range tests {
+		if got := splitExts(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("splitExts(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLoadPaths(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "inc")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		filepath.Join(dir, "main.php"):  "<?php echo 1;",
+		filepath.Join(sub, "lib.php"):   "<?php echo 2;",
+		filepath.Join(dir, "README.md"): "not php",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, sources, err := loadPaths([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 {
+		t.Errorf("sources = %d files, want 2 (README excluded)", len(sources))
+	}
+
+	// Single file.
+	_, one, err := loadPaths([]string{filepath.Join(dir, "main.php")})
+	if err != nil || len(one) != 1 {
+		t.Errorf("single file: %v, %d", err, len(one))
+	}
+
+	// Missing path.
+	if _, _, err := loadPaths([]string{filepath.Join(dir, "nope")}); err == nil {
+		t.Error("missing path should error")
+	}
+
+	// Directory without PHP.
+	empty := t.TempDir()
+	if _, _, err := loadPaths([]string{empty}); err == nil {
+		t.Error("no-php dir should error")
+	}
+}
+
+func TestPrintReport(t *testing.T) {
+	rep := core.New(core.Options{KeepSMT: true}).CheckSources("demo", map[string]string{
+		"demo.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	})
+	var sb strings.Builder
+	printReport(&sb, rep, true, true)
+	out := sb.String()
+	for _, want := range []string{
+		"VULNERABLE",
+		"move_uploaded_file at demo.php:2",
+		"exploit lands at",
+		"se_dst",
+		"witness:",
+		"SMT-LIB2:",
+		"str.suffixof",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintReportBenign(t *testing.T) {
+	rep := core.New(core.Options{}).CheckSources("safe", map[string]string{
+		"safe.php": `<?php echo "hello";`,
+	})
+	var sb strings.Builder
+	printReport(&sb, rep, false, false)
+	if !strings.Contains(sb.String(), "NOT VULNERABLE") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestIndentLines(t *testing.T) {
+	if got := indentLines("a\nb\n", "  "); got != "  a\n  b" {
+		t.Errorf("indentLines = %q", got)
+	}
+}

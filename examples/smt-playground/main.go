@@ -1,0 +1,55 @@
+// smt-playground drives the SMT layer directly: it builds the paper's
+// Constraint-2 and Constraint-3 for Listing 4 by hand (Section III-C/D),
+// prints the SMT-LIB2 script (which real Z3 also accepts), solves the
+// conjunction, and shows the witness — then flips the example to a
+// sanitized variant and shows the refutation.
+//
+// Run with:
+//
+//	go run ./examples/smt-playground
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/smt"
+)
+
+func main() {
+	sPath := smt.Var("s_path", smt.SortString)
+	sName := smt.Var("s_name", smt.SortString)
+	sExt := smt.Var("s_ext", smt.SortString)
+
+	// se_dst = s_path . "/" . s_name . s_ext  (paper Section III-C)
+	dst := smt.Concat(sPath, smt.Str("/"), sName, sExt)
+
+	// Constraint-2: (str.suffixof ".php" trl(se_dst))
+	c2 := smt.SuffixOf(smt.Str(".php"), dst)
+	// Constraint-3: (> (str.len (str.++ s_name s_ext)) 5)
+	c3 := smt.Gt(smt.Len(smt.Concat(sName, sExt)), smt.Int(5))
+
+	formula := smt.And(c2, c3)
+	fmt.Println("== Listing 4 constraints ==")
+	fmt.Println(smt.ToSMTLIB2(formula))
+
+	solver := smt.NewSolver(smt.Options{})
+	status, model, stats, err := solver.Check(formula)
+	fmt.Printf("status: %v (cubes=%d, assignments tried=%d, err=%v)\n",
+		status, stats.Cubes, stats.Assignments, err)
+	if status == smt.Sat {
+		fmt.Println("witness:")
+		for name, v := range model {
+			fmt.Printf("  %s = %s\n", name, v)
+		}
+		full := model["s_path"].S + "/" + model["s_name"].S + model["s_ext"].S
+		fmt.Printf("uploaded path would be: %q\n", full)
+	}
+
+	// A sanitized variant: the server forces a constant ".png" suffix.
+	fmt.Println("\n== sanitized variant ==")
+	safeDst := smt.Concat(sPath, smt.Str("/"), sName, smt.Str(".png"))
+	safe := smt.And(smt.SuffixOf(smt.Str(".php"), safeDst), c3)
+	status2, _, _, _ := solver.Check(safe)
+	fmt.Printf("status: %v (the simplifier refutes the \".php\"-vs-\".png\" suffix conflict)\n", status2)
+	fmt.Printf("simplified form: %s\n", smt.Simplify(safe))
+}

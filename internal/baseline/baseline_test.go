@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestRIPSFlagsTaintedSink(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("direct tainted sink must be flagged")
+	}
+	if len(rep.Hits) != 1 || rep.Hits[0].Line != 2 {
+		t.Errorf("hits = %+v", rep.Hits)
+	}
+}
+
+func TestRIPSFlagsGuardedSink(t *testing.T) {
+	// The defining weakness: extension guards do not matter to taint-only
+	// analysis (the paper's 27/28 FP rate).
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if (in_array($ext, array('jpg', 'png'))) {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/img." . $ext);
+}
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("RIPS-style must flag the guarded (benign) upload")
+	}
+}
+
+func TestRIPSTracksThroughFunctions(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+function save($f) {
+	move_uploaded_file($f['tmp_name'], "/u/" . $f['name']);
+}
+save($_FILES['doc']);
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("parameter taint must propagate")
+	}
+}
+
+func TestRIPSTracksThroughReturn(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+function pick() {
+	return $_FILES['doc']['tmp_name'];
+}
+$x = pick();
+move_uploaded_file($x, "/u/a");
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("return-value taint must propagate")
+	}
+}
+
+func TestRIPSMissesMethodFlow(t *testing.T) {
+	// The WooCommerce Custom Profile Picture structure: taint enters via a
+	// method call, which the RIPS-style engine does not track.
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+class U {
+	public function save($f) {
+		move_uploaded_file($f['tmp_name'], "/u/" . $f['name']);
+	}
+}
+$u = new U();
+$u->save($_FILES['pic']);
+`,
+	})
+	if rep.Flagged {
+		t.Fatal("RIPS-style must miss the method-mediated flow")
+	}
+}
+
+func TestRIPSIgnoresUntaintedSink(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+$n = $_FILES['f']['name'];
+move_uploaded_file("/etc/motd", "/u/motd.txt");
+`,
+	})
+	if rep.Flagged {
+		t.Fatal("constant sink args must not be flagged")
+	}
+}
+
+func TestRIPSNoSinkNoFlag(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+$ok = wp_handle_upload($_FILES['f'], array('test_form' => false));
+`,
+	})
+	if rep.Flagged {
+		t.Fatal("platform-API upload has no raw sink to flag")
+	}
+}
+
+func TestWAPDetectsNakedUpload(t *testing.T) {
+	rep := WAPLike("t", map[string]string{
+		"a.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("symptom-free tainted sink must be flagged")
+	}
+}
+
+func TestWAPSuppressedBySymptom(t *testing.T) {
+	// An ineffective strpos "check" in scope is enough for the classifier
+	// to suppress — the mechanism behind the paper's 4/16 detection rate.
+	rep := WAPLike("t", map[string]string{
+		"a.php": `<?php
+$chk = strpos($_FILES['f']['name'], '.');
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	})
+	if rep.Flagged {
+		t.Fatal("symptom in scope must suppress the WAP verdict")
+	}
+	if len(rep.Hits) != 1 || !rep.Hits[0].Suppressed {
+		t.Errorf("hits = %+v, want one suppressed hit", rep.Hits)
+	}
+}
+
+func TestWAPTracksMethods(t *testing.T) {
+	rep := WAPLike("t", map[string]string{
+		"a.php": `<?php
+class U {
+	public function save($f) {
+		move_uploaded_file($f['tmp_name'], "/u/" . $f['name']);
+	}
+}
+$u = new U();
+$u->save($_FILES['pic']);
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("WAP-style must track method flows (it detects WooCommerce CPP)")
+	}
+}
+
+func TestWAPHelperValidationIsFP(t *testing.T) {
+	// Validation in a helper leaves the sink scope symptom-free: WAP's one
+	// false positive.
+	rep := WAPLike("t", map[string]string{
+		"a.php": `<?php
+function allowed($name) {
+	$e = pathinfo($name, PATHINFO_EXTENSION);
+	return in_array($e, array('jpg'));
+}
+function handle() {
+	$ext = allowed($_FILES['f']['name']);
+	if ($ext) {
+		move_uploaded_file($_FILES['f']['tmp_name'], "/u/x.jpg");
+	}
+}
+handle();
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("helper-validated upload must be WAP's false positive")
+	}
+}
+
+func TestScannersHandleParseErrors(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"broken.php": `<?php $a = ; move_uploaded_file($_FILES['f']['tmp_name'], $x);`,
+	})
+	// Must not panic; the sink should still be seen.
+	if !rep.Flagged {
+		t.Error("recovered parse should still reach the sink")
+	}
+}
+
+func TestForeachTaint(t *testing.T) {
+	rep := RIPSLike("t", map[string]string{
+		"a.php": `<?php
+foreach ($_FILES as $f) {
+	move_uploaded_file($f['tmp_name'], "/u/" . $f['name']);
+}
+`,
+	})
+	if !rep.Flagged {
+		t.Fatal("foreach over $_FILES must taint the loop variable")
+	}
+}

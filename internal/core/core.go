@@ -1,0 +1,39 @@
+// Package core is the canonical entry point to this repository's UChecker
+// implementation — the paper's primary contribution. It re-exports the
+// pipeline from internal/uchecker under the conventional internal/core
+// location so downstream code has one obvious import:
+//
+//	checker := core.New(core.Options{})
+//	report := checker.CheckSources("my-plugin", sources)
+//	if report.Vulnerable { ... }
+//
+// The full pipeline (Figure 2 of the paper) lives in the sibling packages:
+//
+//	phplex, phpparser   parsing (phase 1)
+//	callgraph, locality vulnerability-oriented locality analysis (phase 2)
+//	heapgraph, interp   AST-based symbolic execution (phase 3)
+//	vulnmodel           vulnerability modeling (phase 4)
+//	translate           Z3-oriented translation (phase 5)
+//	smt                 SMT-based verification (phase 6)
+package core
+
+import (
+	"repro/internal/uchecker"
+)
+
+// Options configures a Checker. See uchecker.Options.
+type Options = uchecker.Options
+
+// Checker runs the six-phase detection pipeline.
+type Checker = uchecker.Checker
+
+// AppReport is a scan result carrying the verdict, findings and Table III
+// measurements.
+type AppReport = uchecker.AppReport
+
+// Finding is one verified vulnerable sink with source lines and an
+// exploit witness.
+type Finding = uchecker.Finding
+
+// New returns a Checker.
+func New(opts Options) *Checker { return uchecker.New(opts) }

@@ -1,0 +1,333 @@
+package corpus
+
+import "fmt"
+
+// This file re-creates the named applications of Table III. Each generator
+// documents the upload-flow pattern the paper attributes to the plugin and
+// the branch factorization that reproduces its path count.
+
+// coreNaked is a sink with no result check: factor x1 on paths.
+// The strpos call is an ineffective "validation symptom" (it checks
+// nothing), which matters to the WAP baseline's suppression heuristic.
+func coreNaked(key, dirExpr string, withSymptom bool) string {
+	s := ""
+	if withSymptom {
+		s += fmt.Sprintf("$chk = strpos($_FILES['%s']['name'], '.');\n", key)
+	}
+	s += fmt.Sprintf(`$target = %s . '/' . $_FILES['%s']['name'];
+move_uploaded_file($_FILES['%s']['tmp_name'], $target);
+`, dirExpr, key, key)
+	return s
+}
+
+// coreIfSink checks the sink's result: factor x2 on paths.
+func coreIfSink(key, dirExpr string, withSymptom bool) string {
+	s := ""
+	if withSymptom {
+		s += fmt.Sprintf("$chk = strpos($_FILES['%s']['name'], '.');\n", key)
+	}
+	s += fmt.Sprintf(`$target = %s . '/' . $_FILES['%s']['name'];
+if (!move_uploaded_file($_FILES['%s']['tmp_name'], $target)) {
+	$err = "upload failed";
+} else {
+	$err = "";
+}
+`, dirExpr, key, key)
+	return s
+}
+
+// plugin wraps an upload-handler body into a main plugin file that calls
+// it from file scope.
+func plugin(slug, fn, body string) map[string]string {
+	src := fmt.Sprintf(`<?php
+/*
+Plugin Name: %s
+*/
+function %s() {
+%s}
+%s();
+`, slug, fn, indent(body), fn)
+	return map[string]string{slug + "/" + slug + ".php": src}
+}
+
+// --- 13 known vulnerable applications ---
+
+// Adblock Blocker 0.0.1 — 484 LoC, 7 paths (7-way mode switch), naked sink.
+func adblockBlocker() App {
+	body := pad("ab", 28) + branchPlan("ab", 7) + coreNaked("adfile", "$up", true)
+	srcs := withFiller("adblock-blocker", plugin("adblock-blocker", "ab_handle_upload", body), 484)
+	return App{
+		Name: "Adblock Blocker 0.0.1", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 484, PctAnalyzed: 13.02, Paths: 7, Objects: 158, ObjPerPath: 23, MemoryMB: 4.9, Seconds: 0.50, Detected: true},
+	}
+}
+
+// WP Marketplace 2.4.1 — 10850 LoC, 2 paths, bare unguarded sink (one of
+// the uploads WAP's symptom heuristic cannot save).
+func wpMarketplace() App {
+	body := pad("wpm", 15) + coreIfSink("product_file", "$updir", false)
+	srcs := withFiller("wp-marketplace", plugin("wp-marketplace", "wpmp_process_upload", body), 10850)
+	return App{
+		Name: "WP Marketplace 2.4.1", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 10850, PctAnalyzed: 0.29, Paths: 2, Objects: 55, ObjPerPath: 28, MemoryMB: 4.7, Seconds: 2.60, Detected: true},
+	}
+}
+
+// Foxypress 0.4.1.1-0.4.2.1 — 15815 LoC, 65 = 5x13 paths.
+func foxypress() App {
+	body := pad("fx", 25) + branchPlan("fx", 5, 13) + coreNaked("affiliate_img", "$updir", true)
+	srcs := withFiller("foxypress", plugin("foxypress", "foxypress_upload_handler", body), 15815)
+	return App{
+		Name: "Foxypress 0.4.1.1-0.4.2.1", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 15815, PctAnalyzed: 0.60, Paths: 65, Objects: 1671, ObjPerPath: 26, MemoryMB: 5.2, Seconds: 2.98, Detected: true},
+	}
+}
+
+// Estatik 2.2.5 — 9913 LoC, 12 = 6x2 paths.
+func estatik() App {
+	body := pad("es", 140) + branchPlan("es", 6) + coreIfSink("property_img", "$updir", true)
+	srcs := withFiller("estatik", plugin("estatik", "estatik_save_property_media", body), 9913)
+	return App{
+		Name: "Estatik 2.2.5", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 9913, PctAnalyzed: 1.78, Paths: 12, Objects: 269, ObjPerPath: 22, MemoryMB: 5.2, Seconds: 1.72, Detected: true},
+	}
+}
+
+// Uploadify 1.0.0 — 80 LoC, 2 paths; the minimal naked uploader.
+func uploadify() App {
+	body := pad("uf", 12) + coreIfSink("Filedata", "$targetPath", false)
+	srcs := withFiller("uploadify", plugin("uploadify", "uploadify_handle", body), 80)
+	return App{
+		Name: "Uploadify 1.0.0", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 80, PctAnalyzed: 35.00, Paths: 2, Objects: 35, ObjPerPath: 18, MemoryMB: 4.7, Seconds: 0.31, Detected: true},
+	}
+}
+
+// MailCWP 1.100 — 2847 LoC, 8 = 2^3 paths.
+func mailCWP() App {
+	body := pad("mc", 2) + branchPlan("mc", 2, 2) + coreIfSink("attachment", "$maildir", true)
+	srcs := withFiller("mailcwp", plugin("mailcwp", "mailcwp_save_attachment", body), 2847)
+	return App{
+		Name: "MailCWP 1.100", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 2847, PctAnalyzed: 0.98, Paths: 8, Objects: 161, ObjPerPath: 20, MemoryMB: 4.7, Seconds: 5.80, Detected: true},
+	}
+}
+
+// WooCommerce Catalog Enquiry 3.0.1 — 3565 LoC, 34 = 17x2 paths.
+func wooCatalogEnquiry() App {
+	body := pad("wce", 47) + branchPlan("wce", 17) + coreIfSink("enquiry_file", "$updir", true)
+	srcs := withFiller("woo-catalog-enquiry", plugin("woo-catalog-enquiry", "wce_enquiry_upload", body), 3565)
+	return App{
+		Name: "WooCommerce Catalog Enquiry 3.0.1", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 3565, PctAnalyzed: 3.25, Paths: 34, Objects: 373, ObjPerPath: 11, MemoryMB: 5.1, Seconds: 0.96, Detected: true},
+	}
+}
+
+// N-Media Website Contact Form with File Uploader 1.3.4 — 1099 LoC,
+// 126 = 7x9x2 paths.
+func nMediaContactForm() App {
+	body := pad("nm", 36) + branchPlan("nm", 7, 9) + coreIfSink("nm_file", "$updir", true)
+	srcs := withFiller("nmedia-contact-form", plugin("nmedia-contact-form", "nm_upload_contact_file", body), 1099)
+	return App{
+		Name: "N-Media Website Contact Form with File Uploader 1.3.4", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 1099, PctAnalyzed: 9.46, Paths: 126, Objects: 1679, ObjPerPath: 13, MemoryMB: 5.2, Seconds: 1.23, Detected: true},
+	}
+}
+
+// Simple Ad Manager 2.5.94 — 4340 LoC, 1476 = 2x9x41x2 paths.
+func simpleAdManager() App {
+	body := pad("sam", 159) + branchPlan("sam", 2, 9, 41) + coreIfSink("ad_banner", "$updir", true)
+	srcs := withFiller("simple-ad-manager", plugin("simple-ad-manager", "sam_save_banner", body), 4340)
+	return App{
+		Name: "Simple Ad Manager 2.5.94", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 4340, PctAnalyzed: 7.70, Paths: 1476, Objects: 13628, ObjPerPath: 9, MemoryMB: 9.3, Seconds: 5.35, Detected: true},
+	}
+}
+
+// wp-Powerplaygallery 3.3 — 2757 LoC, 1224 = 2x2x9x17x2 paths.
+func wpPowerplaygallery() App {
+	body := branchPlan("ppg", 2, 2, 9, 17) + coreIfSink("gallery_img", "$updir", true)
+	srcs := withFiller("wp-powerplaygallery", plugin("wp-powerplaygallery", "ppg_gallery_upload", body), 2757)
+	return App{
+		Name: "wp-Powerplaygallery 3.3", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 2757, PctAnalyzed: 3.77, Paths: 1224, Objects: 16138, ObjPerPath: 13, MemoryMB: 6.6, Seconds: 2.78, Detected: true},
+	}
+}
+
+// Joomla-Bible-study 9.1.1 — 94659 LoC, 16 = 2^3x2 paths. The one huge
+// application; the locality analysis skips 99.75% of it.
+func joomlaBibleStudy() App {
+	body := pad("jbs", 205) + branchPlan("jbs", 2, 2, 2) + coreIfSink("study_media", "$mediadir", true)
+	srcs := withFiller("joomla-bible-study", plugin("joomla-bible-study", "jbs_media_upload", body), 94659)
+	return App{
+		Name: "Joomla-Bible-study 9.1.1", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 94659, PctAnalyzed: 0.25, Paths: 16, Objects: 236, ObjPerPath: 15, MemoryMB: 5.6, Seconds: 13.72, Detected: true},
+	}
+}
+
+// Avatar Uploader 6.x-1.2 (Drupal) — 458 LoC, 9216 = 2^9x9x2 paths: a
+// small module that is almost all branching.
+func avatarUploader() App {
+	body := pad("av", 59) + branchPlan("av", 2, 2, 2, 2, 2, 2, 2, 2, 2, 9) + coreIfSink("avatar", "$avatardir", true)
+	srcs := withFiller("avatar-uploader", plugin("avatar-uploader", "avatar_uploader_save", body), 458)
+	return App{
+		Name: "Avatar Uploader 6.x-1.2", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 458, PctAnalyzed: 32.53, Paths: 9216, Objects: 62600, ObjPerPath: 7, MemoryMB: 62.9, Seconds: 52.74, Detected: true},
+	}
+}
+
+// Cimy User Extra Fields 2.3.8 — 9432 LoC, 248832 = 2^10x3^5 paths: the
+// paper's false negative. The branch product exceeds the path budget and
+// symbolic execution aborts, so the vulnerability goes undetected.
+func cimyUserExtraFields() App {
+	body := pad("cimy", 78) +
+		branchPlan("cimy", 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3) +
+		coreNaked("cimy_field", "$updir", true)
+	srcs := withFiller("cimy-user-extra-fields", plugin("cimy-user-extra-fields", "cimy_register_upload", body), 9432)
+	return App{
+		Name: "Cimy User Extra Fields 2.3.8", Category: KnownVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 9432, PctAnalyzed: 2.07, Paths: 248832, Objects: 2780067, ObjPerPath: 11, Detected: false},
+	}
+}
+
+// --- the two admin-gated false positives (ground truth benign) ---
+
+// Event Registration Pro Calendar 1.0.2 — 16771 LoC, 3 paths. Allows PHP
+// uploads but only from an admin_menu page (Listing 5), so ground truth is
+// benign; the paper's configuration flags it.
+func eventRegistrationPro() App {
+	body := pad("erp", 9) + branchPlan("erp", 3) + coreNaked("csv_import", "$updir", true)
+	src := fmt.Sprintf(`<?php
+/*
+Plugin Name: event-registration-pro-calendar
+*/
+add_action('admin_menu', 'erp_upload_page');
+function erp_upload_page() {
+%s}
+`, indent(body))
+	srcs := withFiller("event-registration-pro",
+		map[string]string{"event-registration-pro/event-registration-pro.php": src}, 16771)
+	return App{
+		Name: "Event Registration Pro Calendar 1.0.2", Category: Benign, Vulnerable: false, AdminGated: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 16771, PctAnalyzed: 0.20, Paths: 3, Objects: 79, ObjPerPath: 26, MemoryMB: 4.8, Seconds: 0.25, Detected: true},
+	}
+}
+
+// Tumult Hype Animations 1.7.1 — 11914 LoC, 4 paths; same admin-only
+// arbitrary-upload pattern.
+func tumultHypeAnimations() App {
+	body := pad("th", 2) + branchPlan("th", 2) + coreIfSink("hype_bundle", "$updir", true)
+	src := fmt.Sprintf(`<?php
+/*
+Plugin Name: tumult-hype-animations
+*/
+add_action('admin_menu', 'hype_admin_upload');
+function hype_admin_upload() {
+%s}
+`, indent(body))
+	srcs := withFiller("tumult-hype-animations",
+		map[string]string{"tumult-hype-animations/tumult-hype-animations.php": src}, 11914)
+	return App{
+		Name: "Tumult Hype Animations 1.7.1", Category: Benign, Vulnerable: false, AdminGated: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 11914, PctAnalyzed: 0.19, Paths: 4, Objects: 66, ObjPerPath: 16, MemoryMB: 5.0, Seconds: 0.236, Detected: true},
+	}
+}
+
+// --- the 3 newly discovered vulnerable plugins (Section IV-B) ---
+
+// File Provider 1.2.3 — 138 LoC, 33 = 3x11 paths (Listing 7 core).
+func fileProvider() App {
+	body := pad("fp", 14) + branchPlan("fp", 3, 11) + `$uploaddir = get_option('fp_upload_dir');
+$nome_final = $_FILES['userFile']['name'];
+$uploadfile = $uploaddir . basename($nome_final);
+move_uploaded_file($_FILES['userFile']['tmp_name'], $uploadfile);
+`
+	srcs := withFiller("file-provider", plugin("file-provider", "upload_file", body), 138)
+	return App{
+		Name: "File Provider 1.2.3", Category: NewVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 138, PctAnalyzed: 52.17, Paths: 33, Objects: 474, ObjPerPath: 14, MemoryMB: 5.2, Seconds: 0.40, Detected: true},
+	}
+}
+
+// WooCommerce Custom Profile Picture 1.0 — 983 LoC, 2 paths (Listing 6
+// core). The upload flow runs through a class method, the structural
+// wrinkle that makes the RIPS-style baseline miss it.
+func wooCustomProfilePicture() App {
+	src := `<?php
+/*
+Plugin Name: woo-custom-profile-picture
+*/
+class WC_Custom_Profile_Picture {
+	public function wc_cus_upload_picture($foto) {
+		$profilepicture = $foto;
+		$size_hint = 0;
+		$meta = "";
+		$retries = 1;
+		$log = "wc-cpp";
+		$log = $log . ":start";
+		$retries = $retries + 1;
+		$size_hint = $size_hint + $retries;
+		$meta = $meta . "u";
+		$log = $log . ":dir";
+		$retries = $retries + 2;
+		$meta = $meta . "p";
+		$size_hint = $size_hint + 1;
+		$wordpress_upload_dir = wp_upload_dir();
+		$new_file_path = $wordpress_upload_dir['path'] . '/' . $profilepicture['name'];
+		if (move_uploaded_file($profilepicture['tmp_name'], $new_file_path)) {
+			return 1;
+		}
+		return 0;
+	}
+}
+$wc_cpp = new WC_Custom_Profile_Picture();
+if ($_FILES['profile_pic']) {
+	$picture_id = $wc_cpp->wc_cus_upload_picture($_FILES['profile_pic']);
+}
+`
+	srcs := withFiller("woo-custom-profile-picture",
+		map[string]string{"woo-custom-profile-picture/woo-custom-profile-picture.php": src}, 983)
+	return App{
+		Name: "WooCommerce Custom Profile Picture 1.0", Category: NewVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 983, PctAnalyzed: 2.65, Paths: 2, Objects: 45, ObjPerPath: 23, MemoryMB: 4.8, Seconds: 0.28, Detected: true},
+	}
+}
+
+// WP Demo Buddy 1.0.2 — 2196 LoC, 2 paths (Listing 8 core): the zip guard
+// holds but a constant ".php" is appended to the stored name.
+func wpDemoBuddy() App {
+	body := pad("wdb", 9) + `global $wpdb;
+$upload_dir = get_option('wp_demo_buddy_upload_dir');
+$ext = pathinfo($_FILES['package']['name'], PATHINFO_EXTENSION);
+if ($ext !== 'zip') return;
+$info = pathinfo($_FILES['package']['name']);
+$newname = time() . rand() . '_' . $info['basename'] . '.php';
+$target = $upload_dir . $newname;
+move_uploaded_file($_FILES['package']['tmp_name'], $target);
+$ret = array($newname, $info['basename']);
+return $ret;
+`
+	srcs := withFiller("wp-demo-buddy", plugin("wp-demo-buddy", "file_Upload", body), 2196)
+	return App{
+		Name: "WP Demo Buddy 1.0.2", Category: NewVulnerable, Vulnerable: true,
+		Sources: srcs,
+		Paper:   &PaperRow{LoC: 2196, PctAnalyzed: 1.32, Paths: 2, Objects: 85, ObjPerPath: 42.5, MemoryMB: 4.83, Seconds: 0.277, Detected: true},
+	}
+}

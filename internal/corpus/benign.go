@@ -1,0 +1,162 @@
+package corpus
+
+import "fmt"
+
+// safeBenignApps generates the 26 vulnerability-free upload-supporting
+// plugins that, together with the two admin-gated apps, form the paper's
+// 28-sample false-positive population.
+//
+// Every app supports file upload (accesses $_FILES and reaches a sink or a
+// platform upload API), matching the paper's note that all 28 benign
+// plugins support uploading. The guard patterns are the safe idioms real
+// plugins use; they also pin down the baseline comparison of Section IV-C:
+//
+//   - 25 of the 26 pass $_FILES-derived data to a sink behind an effective
+//     extension guard — a taint-only scanner (RIPS-style) flags them all;
+//   - one ("secure-media-api") delegates to wp_handle_upload() and never
+//     calls a raw sink, the single benign sample RIPS does not flag
+//     (27/28 FP in the paper);
+//   - one ("gallery-lite-pro") performs its validation in a helper
+//     function, so a symptom-in-sink-scope heuristic (WAP-style) sees an
+//     unvalidated tainted sink and raises the paper's single WAP false
+//     positive (1/28).
+func safeBenignApps() []App {
+	specs := []struct {
+		slug    string
+		pattern int
+		exts    []string
+		loc     int
+	}{
+		{"photo-press-gallery", patWhitelist, []string{"jpg", "jpeg", "png"}, 742},
+		{"doc-vault", patWhitelist, []string{"pdf", "doc", "docx"}, 1630},
+		{"media-share-basic", patWhitelist, []string{"gif", "png"}, 388},
+		{"simple-csv-importer", patForcedExt, []string{"csv"}, 903},
+		{"resume-collector", patWhitelist, []string{"pdf"}, 1217},
+		{"avatar-manager-safe", patConstExt, []string{"png"}, 655},
+		{"podcast-dropbox", patWhitelist, []string{"mp3", "ogg"}, 2104},
+		{"invoice-uploader", patForcedExt, []string{"pdf"}, 511},
+		{"theme-logo-setter", patConstExt, []string{"jpg"}, 472},
+		{"form-attachments-lite", patExplodeEnd, []string{"jpg", "png", "gif"}, 989},
+		{"backup-restore-safe", patForcedExt, []string{"sql"}, 3120},
+		{"gallery-lite-pro", patHelperValidated, []string{"jpg", "png"}, 1485},
+		{"secure-media-api", patPlatformAPI, nil, 866},
+		{"contact-plus-files", patWhitelist, []string{"txt", "pdf"}, 1342},
+		{"product-image-sync", patConstExt, []string{"png"}, 2214},
+		{"banner-rotator-safe", patWhitelist, []string{"jpg", "png", "webp"}, 775},
+		{"ticket-desk-attach", patExplodeEnd, []string{"png", "pdf"}, 1903},
+		{"import-export-users", patForcedExt, []string{"csv"}, 1098},
+		{"audio-clip-embed", patWhitelist, []string{"mp3", "wav"}, 640},
+		{"badge-maker", patConstExt, []string{"png"}, 354},
+		{"slider-factory-safe", patWhitelist, []string{"jpg", "jpeg"}, 1766},
+		{"newsletter-assets", patExplodeEnd, []string{"png", "gif"}, 812},
+		{"event-flyer-upload", patForcedExt, []string{"jpg"}, 933},
+		{"knowledgebase-files", patWhitelist, []string{"pdf", "txt", "md"}, 2451},
+		{"portfolio-showcase", patPinnedName, nil, 587},
+		{"chat-emoji-pack", patConstExt, []string{"gif"}, 429},
+	}
+	out := make([]App, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, benignApp(sp.slug, sp.pattern, sp.exts, sp.loc))
+	}
+	return out
+}
+
+// Benign upload-guard patterns.
+const (
+	patWhitelist = iota
+	patForcedExt
+	patConstExt
+	patExplodeEnd
+	patHelperValidated
+	patPlatformAPI
+	patPinnedName
+)
+
+func benignApp(slug string, pattern int, exts []string, loc int) App {
+	var body string
+	var extra string
+	switch pattern {
+	case patWhitelist:
+		body = fmt.Sprintf(`$ext = pathinfo($_FILES['upload']['name'], PATHINFO_EXTENSION);
+$allowed = array(%s);
+if (in_array($ext, $allowed)) {
+	move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/file.' . $ext);
+}
+`, quoteList(exts))
+	case patForcedExt:
+		body = fmt.Sprintf(`$ext = pathinfo($_FILES['upload']['name'], PATHINFO_EXTENSION);
+if ($ext == %q) {
+	move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/import.' . $ext);
+}
+`, exts[0])
+	case patConstExt:
+		body = fmt.Sprintf(`$hash = md5($_FILES['upload']['name']);
+$chk = strpos($_FILES['upload']['name'], '.');
+move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/' . $hash . '.%s');
+`, exts[0])
+	case patExplodeEnd:
+		body = fmt.Sprintf(`$parts = explode('.', $_FILES['upload']['name']);
+$ext = end($parts);
+if (in_array($ext, array(%s))) {
+	move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/a.' . $ext);
+}
+`, quoteList(exts))
+	case patHelperValidated:
+		// Validation lives in a helper; the sink-bearing function itself
+		// shows no validation symptom (WAP's false positive).
+		body = fmt.Sprintf(`$ext = %s_allowed_ext($_FILES['upload']['name']);
+if ($ext) {
+	move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/g.' . $ext);
+}
+`, sanitizeIdent(slug))
+		extra = fmt.Sprintf(`function %s_allowed_ext($name) {
+	$e = pathinfo($name, PATHINFO_EXTENSION);
+	if (in_array($e, array(%s))) {
+		return $e;
+	}
+	return "";
+}
+`, sanitizeIdent(slug), quoteList(exts))
+	case patPlatformAPI:
+		// No raw sink at all: the platform API does the moving.
+		body = `$chk = is_uploaded_file($_FILES['upload']['tmp_name']);
+$overrides = array('test_form' => false);
+$moved = wp_handle_upload($_FILES['upload'], $overrides);
+`
+	case patPinnedName:
+		body = `$n = $_FILES['upload']['name'];
+if ($n === "portfolio.zip") {
+	$safe = str_replace("zip", "dat", $n);
+	move_uploaded_file($_FILES['upload']['tmp_name'], $updir . '/' . $safe);
+}
+`
+	}
+	fn := sanitizeIdent(slug) + "_handle_upload"
+	src := fmt.Sprintf(`<?php
+/*
+Plugin Name: %s
+*/
+%sfunction %s() {
+	$updir = wp_upload_dir();
+	$updir = $updir['path'];
+%s}
+%s();
+`, slug, extra, fn, indent(body), fn)
+	srcs := withFiller(slug, map[string]string{slug + "/" + slug + ".php": src}, loc)
+	return App{
+		Name:     slug,
+		Category: Benign,
+		Sources:  srcs,
+	}
+}
+
+func quoteList(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += "'" + x + "'"
+	}
+	return out
+}

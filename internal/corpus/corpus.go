@@ -1,0 +1,145 @@
+// Package corpus provides the synthetic evaluation corpus reproducing the
+// application population of the UChecker paper's Table III: 13 known
+// vulnerable applications (11 WordPress plugins, one Joomla extension, one
+// Drupal module), 28 vulnerability-free upload-supporting plugins (two of
+// which are the admin-gated plugins the paper reports as false positives),
+// and the 3 newly discovered vulnerable plugins of Section IV-B.
+//
+// Real plugin source is unavailable offline (the vulnerable versions are
+// delisted), so each named application is re-created synthetically to
+// match the characteristics that drive every number in Table III:
+//
+//   - the vulnerable (or safe) upload flow, patterned on what the paper
+//     describes for that plugin (Listings 4-8 for the ones it shows);
+//   - the total LoC, via deterministic filler modules, so the locality
+//     analysis reduction percentages are comparable;
+//   - the branching structure of the analyzed region, factorized so the
+//     symbolic executor produces approximately the paper's path counts
+//     (e.g. Avatar Uploader's 9216 = 2^10 x 3^2 paths, Cimy User Extra
+//     Fields' 248832 = 2^10 x 3^5 paths that exhaust the budget and
+//     reproduce the paper's false negative).
+//
+// Everything is deterministic: no randomness, no file I/O.
+package corpus
+
+// Category labels the ground-truth group of Table III.
+type Category string
+
+// Categories.
+const (
+	KnownVulnerable Category = "known-vulnerable"
+	Benign          Category = "benign"
+	NewVulnerable   Category = "new-vuln"
+)
+
+// PaperRow carries the measurements Table III reports for a named
+// application, for paper-vs-measured comparisons in EXPERIMENTS.md.
+type PaperRow struct {
+	LoC         int
+	PctAnalyzed float64
+	Paths       int
+	Objects     int
+	ObjPerPath  float64
+	MemoryMB    float64
+	Seconds     float64
+	Detected    bool
+}
+
+// App is one corpus application.
+type App struct {
+	Name     string
+	Category Category
+	// Vulnerable is the ground truth (note the two admin-gated apps are
+	// ground-truth benign although the paper's tool flags them).
+	Vulnerable bool
+	// AdminGated marks the two Section IV-A false-positive plugins.
+	AdminGated bool
+	// Sources maps file name to PHP source.
+	Sources map[string]string
+	// Paper holds Table III's row for named apps (nil for the
+	// parameterized benign fillers, which the paper aggregates).
+	Paper *PaperRow
+}
+
+// TotalLoC counts source lines across the app.
+func (a App) TotalLoC() int {
+	n := 0
+	for _, src := range a.Sources {
+		n += lineCount(src)
+	}
+	return n
+}
+
+func lineCount(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	if len(s) > 0 && s[len(s)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// KnownVulnerableApps returns the 13 known-vulnerable applications, in
+// Table III order.
+func KnownVulnerableApps() []App {
+	return []App{
+		adblockBlocker(),
+		wpMarketplace(),
+		foxypress(),
+		estatik(),
+		uploadify(),
+		mailCWP(),
+		wooCatalogEnquiry(),
+		nMediaContactForm(),
+		simpleAdManager(),
+		wpPowerplaygallery(),
+		joomlaBibleStudy(),
+		avatarUploader(),
+		cimyUserExtraFields(),
+	}
+}
+
+// BenignApps returns the 28 vulnerability-free upload-supporting plugins:
+// the two named admin-gated ones first (the paper's false positives), then
+// 26 parameterized safe-upload plugins.
+func BenignApps() []App {
+	apps := []App{
+		eventRegistrationPro(),
+		tumultHypeAnimations(),
+	}
+	apps = append(apps, safeBenignApps()...)
+	return apps
+}
+
+// NewVulnApps returns the 3 newly discovered vulnerable plugins of
+// Section IV-B.
+func NewVulnApps() []App {
+	return []App{
+		fileProvider(),
+		wooCustomProfilePicture(),
+		wpDemoBuddy(),
+	}
+}
+
+// All returns the full corpus: 13 + 28 + 3 applications.
+func All() []App {
+	var out []App
+	out = append(out, KnownVulnerableApps()...)
+	out = append(out, BenignApps()...)
+	out = append(out, NewVulnApps()...)
+	return out
+}
+
+// ByName returns the app with the given name, or ok=false.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

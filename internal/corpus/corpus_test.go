@@ -1,0 +1,158 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phpparser"
+)
+
+func TestPopulationCounts(t *testing.T) {
+	if got := len(KnownVulnerableApps()); got != 13 {
+		t.Errorf("known vulnerable = %d, want 13", got)
+	}
+	if got := len(BenignApps()); got != 28 {
+		t.Errorf("benign = %d, want 28", got)
+	}
+	if got := len(NewVulnApps()); got != 3 {
+		t.Errorf("new vulns = %d, want 3", got)
+	}
+	if got := len(All()); got != 44 {
+		t.Errorf("total = %d, want 44", got)
+	}
+}
+
+func TestGroundTruthLabels(t *testing.T) {
+	vuln, benign, admin := 0, 0, 0
+	for _, a := range All() {
+		if a.Vulnerable {
+			vuln++
+		} else {
+			benign++
+		}
+		if a.AdminGated {
+			admin++
+			if a.Vulnerable {
+				t.Errorf("%s: admin-gated apps are ground-truth benign", a.Name)
+			}
+		}
+	}
+	if vuln != 16 || benign != 28 || admin != 2 {
+		t.Errorf("vuln=%d benign=%d admin=%d, want 16/28/2", vuln, benign, admin)
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestAllAppsParseCleanly(t *testing.T) {
+	for _, a := range All() {
+		for name, src := range a.Sources {
+			_, errs := phpparser.Parse(name, src)
+			if len(errs) > 0 {
+				t.Errorf("%s/%s: parse errors: %v", a.Name, name, errs[0])
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := All()
+	b := All()
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("order changed at %d", i)
+		}
+		for name, src := range a[i].Sources {
+			if b[i].Sources[name] != src {
+				t.Errorf("%s/%s: non-deterministic source", a[i].Name, name)
+			}
+		}
+	}
+}
+
+func TestLoCMatchesPaper(t *testing.T) {
+	for _, a := range All() {
+		if a.Paper == nil {
+			continue
+		}
+		got := a.TotalLoC()
+		want := a.Paper.LoC
+		// Filler granularity leaves a small gap; within 2%.
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.02*float64(want)+10 {
+			t.Errorf("%s: LoC = %d, paper %d", a.Name, got, want)
+		}
+	}
+}
+
+func TestAllAppsTouchUploadMachinery(t *testing.T) {
+	// Every corpus app "supports file upload": it must read $_FILES.
+	for _, a := range All() {
+		found := false
+		for _, src := range a.Sources {
+			if strings.Contains(src, "$_FILES") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no $_FILES access", a.Name)
+		}
+	}
+}
+
+func TestFillerHasNoUploadCode(t *testing.T) {
+	f := filler("x", 200)
+	if strings.Contains(f, "$_FILES") || strings.Contains(f, "move_uploaded_file") {
+		t.Error("filler must not contain upload machinery")
+	}
+	if lineCount(f) != 200 {
+		t.Errorf("filler lines = %d, want 200", lineCount(f))
+	}
+}
+
+func TestBranchPlanFactors(t *testing.T) {
+	code := branchPlan("t", 2, 3, 7)
+	// 1 if + 2 switches with 2 and 6 cases respectively.
+	if got := strings.Count(code, "if ("); got != 1 {
+		t.Errorf("ifs = %d", got)
+	}
+	if got := strings.Count(code, "switch ("); got != 2 {
+		t.Errorf("switches = %d", got)
+	}
+	if got := strings.Count(code, "case "); got != (3-1)+(7-1) {
+		t.Errorf("cases = %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Uploadify 1.0.0"); !ok {
+		t.Error("ByName failed for existing app")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName should fail for unknown app")
+	}
+}
+
+func TestPaperRowsPresentForNamedApps(t *testing.T) {
+	named := 0
+	for _, a := range All() {
+		if a.Paper != nil {
+			named++
+		}
+	}
+	// 13 known + 2 admin + 3 new = 18 named Table III rows.
+	if named != 18 {
+		t.Errorf("named rows = %d, want 18", named)
+	}
+}

@@ -1,0 +1,144 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// filler emits deterministic PHP filler modules totalling approximately the
+// requested number of source lines. Filler functions never touch $_FILES
+// or upload sinks, so the locality analysis skips all of them — this is
+// what produces the paper's large LoC-reduction percentages.
+//
+// Each emitted function is 6 lines; a 2-line header tops each file.
+func filler(prefix string, lines int) string {
+	var sb strings.Builder
+	sb.WriteString("<?php\n// " + prefix + ": generated support module\n")
+	emitted := 2
+	i := 0
+	for emitted+6 <= lines {
+		fmt.Fprintf(&sb, `function %s_util_%d($a, $b) {
+	$c = $a + %d;
+	$d = $b * 2;
+	$e = $c . "-" . $d;
+	return $e;
+}
+`, prefix, i, i)
+		emitted += 6
+		i++
+	}
+	for emitted < lines {
+		sb.WriteString("// pad\n")
+		emitted++
+	}
+	return sb.String()
+}
+
+// fillerFiles splits `total` filler lines across files of at most 900
+// lines, returning name → source entries to merge into an app.
+func fillerFiles(prefix string, total int) map[string]string {
+	out := map[string]string{}
+	idx := 0
+	for total > 0 {
+		n := total
+		if n > 900 {
+			n = 900
+		}
+		name := fmt.Sprintf("%s/includes/lib-%02d.php", prefix, idx)
+		out[name] = filler(fmt.Sprintf("%s_%02d", sanitizeIdent(prefix), idx), n)
+		total -= n
+		idx++
+	}
+	return out
+}
+
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// branchSwitch emits a PHP switch over a request parameter with `ways`
+// symbolic outcomes, multiplying the symbolic executor's path count by
+// `ways`. The bodies only touch scratch variables.
+func branchSwitch(v string, ways int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "switch ($%s) {\n", v)
+	for i := 0; i < ways-1; i++ {
+		fmt.Fprintf(&sb, "\tcase %d:\n\t\t$mode_%s = %d;\n\t\tbreak;\n", i, v, i)
+	}
+	fmt.Fprintf(&sb, "\tdefault:\n\t\t$mode_%s = -1;\n}\n", v)
+	return sb.String()
+}
+
+// branchIf emits a two-way symbolic branch.
+func branchIf(v string) string {
+	return fmt.Sprintf("if ($%s) {\n\t$flag_%s = 1;\n} else {\n\t$flag_%s = 0;\n}\n", v, v, v)
+}
+
+// branchPlan emits branching code whose path multiplier is exactly the
+// product of the given factors (each factor f becomes an f-way switch;
+// factor 2 becomes an if).
+func branchPlan(tag string, factors ...int) string {
+	var sb strings.Builder
+	for i, f := range factors {
+		v := fmt.Sprintf("%s_b%d", tag, i)
+		if f == 2 {
+			sb.WriteString(branchIf(v))
+		} else {
+			sb.WriteString(branchSwitch(v, f))
+		}
+	}
+	return sb.String()
+}
+
+// pad emits n lines of straight-line executed statements, fattening the
+// analyzed region without adding paths (drives the %-analyzed column).
+func pad(tag string, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "$%s_pad_%d = %d + %d;\n", tag, i, i, i+1)
+	}
+	return sb.String()
+}
+
+// indent prefixes every non-empty line with a tab.
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "\t" + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// mergeSources merges file maps; later maps win on collision.
+func mergeSources(ms ...map[string]string) map[string]string {
+	out := map[string]string{}
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// withFiller adds filler modules so the app's total LoC approaches target.
+func withFiller(prefix string, sources map[string]string, targetLoC int) map[string]string {
+	have := 0
+	for _, src := range sources {
+		have += lineCount(src)
+	}
+	if targetLoC > have {
+		return mergeSources(sources, fillerFiles(prefix, targetLoC-have))
+	}
+	return sources
+}

@@ -1,0 +1,128 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file generates the screening population for reproducing the
+// Section IV-B workflow: the paper crawled 9,160 WordPress plugins in
+// reverse-chronological order and scanned them, surfacing 3 previously
+// unknown vulnerable plugins. RandomPlugins builds an arbitrarily large,
+// deterministic population with a small planted vulnerable fraction, so
+// the screening experiment (throughput, and recall of planted
+// vulnerabilities) can be regenerated at any scale.
+
+// ScreeningApp is one generated plugin with its ground truth.
+type ScreeningApp struct {
+	App
+	// Planted marks plugins generated with a seeded vulnerability.
+	Planted bool
+}
+
+// RandomPlugins deterministically generates n plugins from the seed. Most
+// are benign upload-supporting plugins drawn from the safe-pattern pool;
+// plantEvery selects the vulnerable fraction (every k-th plugin gets a
+// seeded unrestricted upload; 0 plants none).
+func RandomPlugins(seed int64, n, plantEvery int) []ScreeningApp {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]ScreeningApp, 0, n)
+	for i := 0; i < n; i++ {
+		slug := fmt.Sprintf("scan-plugin-%04d", i)
+		planted := plantEvery > 0 && i%plantEvery == plantEvery-1
+		if planted {
+			out = append(out, ScreeningApp{App: plantedVulnApp(slug, r), Planted: true})
+			continue
+		}
+		out = append(out, ScreeningApp{App: randomBenignApp(slug, r)})
+	}
+	return out
+}
+
+var screeningExts = [][]string{
+	{"jpg", "png"},
+	{"pdf"},
+	{"gif", "webp", "jpeg"},
+	{"csv"},
+	{"mp3", "ogg"},
+	{"txt", "md"},
+}
+
+func randomBenignApp(slug string, r *rand.Rand) App {
+	patterns := []int{patWhitelist, patForcedExt, patConstExt, patExplodeEnd}
+	pattern := patterns[r.Intn(len(patterns))]
+	exts := screeningExts[r.Intn(len(screeningExts))]
+	loc := 150 + r.Intn(2500)
+	app := benignApp(slug, pattern, exts, loc)
+	app.Sources = addDecoyModules(slug, app.Sources, r)
+	return app
+}
+
+// plantedVulnApp seeds one of three vulnerable shapes modeled on the
+// Section IV-B discoveries.
+func plantedVulnApp(slug string, r *rand.Rand) App {
+	shape := r.Intn(3)
+	var body string
+	switch shape {
+	case 0: // File Provider shape: raw original name
+		body = `$updir = get_option('scan_upload_dir');
+$nome = $_FILES['userFile']['name'];
+move_uploaded_file($_FILES['userFile']['tmp_name'], $updir . basename($nome));
+`
+	case 1: // WooCommerce CPP shape: wp_upload_dir + original name
+		body = `$d = wp_upload_dir();
+$p = $d['path'] . '/' . $_FILES['pic']['name'];
+if (move_uploaded_file($_FILES['pic']['tmp_name'], $p)) {
+	$ok = 1;
+}
+`
+	default: // WP Demo Buddy shape: guarded but .php appended
+		body = `$ext = pathinfo($_FILES['pkg']['name'], PATHINFO_EXTENSION);
+if ($ext !== 'zip') return;
+$info = pathinfo($_FILES['pkg']['name']);
+$target = get_option('scan_dir') . time() . '_' . $info['basename'] . '.php';
+move_uploaded_file($_FILES['pkg']['tmp_name'], $target);
+`
+	}
+	fn := sanitizeIdent(slug) + "_upload"
+	src := fmt.Sprintf("<?php\n/*\nPlugin Name: %s\n*/\nfunction %s() {\n%s}\n%s();\n",
+		slug, fn, indent(body), fn)
+	sources := addDecoyModules(slug, map[string]string{slug + "/" + slug + ".php": src}, r)
+	return App{
+		Name:       slug,
+		Category:   KnownVulnerable,
+		Vulnerable: true,
+		Sources:    sources,
+	}
+}
+
+// addDecoyModules pads a plugin with a random number of filler modules,
+// mimicking the long tail of plugin sizes the paper's crawl saw.
+func addDecoyModules(slug string, sources map[string]string, r *rand.Rand) map[string]string {
+	extra := r.Intn(3)
+	merged := mergeSources(sources)
+	for i := 0; i < extra; i++ {
+		name := fmt.Sprintf("%s/inc/mod-%d.php", slug, i)
+		merged[name] = filler(fmt.Sprintf("%s_m%d", sanitizeIdent(slug), i), 120+r.Intn(400))
+	}
+	// Some plugins ship templates with mixed HTML.
+	if r.Intn(2) == 0 {
+		merged[slug+"/templates/form.php"] = templateFile(slug)
+	}
+	return merged
+}
+
+func templateFile(slug string) string {
+	var sb strings.Builder
+	sb.WriteString("<div class=\"wrap\">\n<h2>")
+	sb.WriteString(slug)
+	sb.WriteString("</h2>\n<?php if ($notice): ?>\n<p class=\"notice\"><?= $notice ?></p>\n<?php endif; ?>\n")
+	sb.WriteString(`<form method="post" enctype="multipart/form-data">
+<input type="file" name="upload" />
+<input type="submit" value="Upload" />
+</form>
+</div>
+`)
+	return sb.String()
+}

@@ -1,0 +1,224 @@
+package heapgraph
+
+import (
+	"sort"
+
+	"repro/internal/sexpr"
+)
+
+// frame is one variable scope. The bottom frame is the file-level (global)
+// scope; each inlined function call pushes a frame.
+type frame struct {
+	vars map[string]Label
+	// globalImports records names aliased into this frame via PHP's
+	// `global` statement; their final values are written back to the
+	// global frame when the scope pops.
+	globalImports map[string]bool
+}
+
+func newFrame() frame {
+	return frame{vars: map[string]Label{}}
+}
+
+func (f frame) clone() frame {
+	n := frame{vars: make(map[string]Label, len(f.vars))}
+	for k, v := range f.vars {
+		n.vars[k] = v
+	}
+	if f.globalImports != nil {
+		n.globalImports = make(map[string]bool, len(f.globalImports))
+		for k := range f.globalImports {
+			n.globalImports[k] = true
+		}
+	}
+	return n
+}
+
+// Env is the environment of one execution path (the paper's
+// Env = {Var, Map, cur}): a mapping from variable names to object labels
+// plus the path's reachability constraint. On top of the paper's
+// definition it carries the scope stack used for context-sensitive
+// function-call inlining and the control-flow flags (return/break/
+// continue) the interpreter needs.
+type Env struct {
+	frames []frame
+
+	// Cur is the label of the path's reachability constraint object, or
+	// Null when the path is unconditionally reachable.
+	Cur Label
+	// Returned holds the label of the value produced by an executed
+	// `return`; Terminated marks paths that hit return/exit/throw and stop
+	// executing subsequent statements in the current scope.
+	Returned   Label
+	Terminated bool
+	// BreakN / ContinueN are pending loop-control levels (PHP's `break n`).
+	// A non-zero value suspends statement execution until the enclosing
+	// loop consumes it.
+	BreakN    int
+	ContinueN int
+	// Tmp is the interpreter's per-path operand stack: partially evaluated
+	// operand labels are parked here while a sibling operand evaluates, so
+	// that label vectors stay aligned when the sibling's evaluation forks
+	// the path (labels are cloned along with the environment).
+	Tmp []Label
+}
+
+// NewEnv returns an environment with a single (global) scope, no bindings,
+// and an empty reachability constraint.
+func NewEnv() *Env {
+	return &Env{frames: []frame{newFrame()}}
+}
+
+func (e *Env) top() *frame { return &e.frames[len(e.frames)-1] }
+
+// Suspended reports whether the path is currently not executing statements
+// (terminated or unwinding a break/continue).
+func (e *Env) Suspended() bool {
+	return e.Terminated || e.BreakN > 0 || e.ContinueN > 0
+}
+
+// Get returns the label bound to the variable in the current scope, or
+// Null (the paper's Get_Map).
+func (e *Env) Get(name string) Label { return e.top().vars[name] }
+
+// Has reports whether the variable is bound in the current scope.
+func (e *Env) Has(name string) bool {
+	_, ok := e.top().vars[name]
+	return ok
+}
+
+// Bind associates a variable with an object label in the current scope
+// (the paper's Add_Var + Add_Map).
+func (e *Env) Bind(name string, l Label) { e.top().vars[name] = l }
+
+// Unbind removes a variable binding (PHP unset()).
+func (e *Env) Unbind(name string) { delete(e.top().vars, name) }
+
+// VarNames returns the bound variable names of the current scope, sorted.
+func (e *Env) VarNames() []string {
+	out := make([]string, 0, len(e.top().vars))
+	for v := range e.top().vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PushScope enters a fresh variable scope for an inlined function call.
+func (e *Env) PushScope() {
+	e.frames = append(e.frames, newFrame())
+}
+
+// PopScope leaves the current scope, writing back variables imported with
+// `global`, and clears the return state so the caller's path continues.
+func (e *Env) PopScope() {
+	top := e.top()
+	if len(e.frames) > 1 && top.globalImports != nil {
+		g := &e.frames[0]
+		for name := range top.globalImports {
+			if l, ok := top.vars[name]; ok {
+				g.vars[name] = l
+			}
+		}
+	}
+	e.frames = e.frames[:len(e.frames)-1]
+	e.Returned = Null
+	e.Terminated = false
+}
+
+// Depth returns the scope depth (1 = global scope only).
+func (e *Env) Depth() int { return len(e.frames) }
+
+// ImportGlobal implements PHP's `global $name`: the current scope sees the
+// global frame's binding (created as fresh if absent via mk), and writes it
+// back on PopScope.
+func (e *Env) ImportGlobal(name string, mk func() Label) {
+	g := &e.frames[0]
+	l, ok := g.vars[name]
+	if !ok {
+		l = mk()
+		g.vars[name] = l
+	}
+	top := e.top()
+	top.vars[name] = l
+	if top.globalImports == nil {
+		top.globalImports = map[string]bool{}
+	}
+	top.globalImports[name] = true
+}
+
+// Clone returns a deep copy of the environment. Cloning is how the
+// interpreter forks paths at conditionals; object labels are shared with
+// the original, which is the memory-sharing design the paper credits for
+// the small per-path object counts.
+func (e *Env) Clone() *Env {
+	n := &Env{
+		frames:     make([]frame, len(e.frames)),
+		Cur:        e.Cur,
+		Returned:   e.Returned,
+		Terminated: e.Terminated,
+		BreakN:     e.BreakN,
+		ContinueN:  e.ContinueN,
+	}
+	for i := range e.frames {
+		n.frames[i] = e.frames[i].clone()
+	}
+	if len(e.Tmp) > 0 {
+		n.Tmp = append([]Label(nil), e.Tmp...)
+	}
+	return n
+}
+
+// PushTmp parks a label on the operand stack.
+func (e *Env) PushTmp(l Label) { e.Tmp = append(e.Tmp, l) }
+
+// PopTmp removes and returns the most recently parked label.
+func (e *Env) PopTmp() Label {
+	if len(e.Tmp) == 0 {
+		return Null
+	}
+	l := e.Tmp[len(e.Tmp)-1]
+	e.Tmp = e.Tmp[:len(e.Tmp)-1]
+	return l
+}
+
+// ER extends the path's reachability constraint with the condition object l
+// (the paper's ER, "Extend_Reachability"): cur becomes cur AND l, building
+// the AND operation node in the heap graph. A Null l leaves cur unchanged.
+func (e *Env) ER(g *Graph, l Label, line int) {
+	if l == Null {
+		return
+	}
+	if e.Cur == Null {
+		e.Cur = l
+		return
+	}
+	u := g.NewOp("And", sexpr.Bool, line)
+	g.AddEdge(u, e.Cur)
+	g.AddEdge(u, l)
+	e.Cur = u
+}
+
+// EnvSet is the paper's ℰ: the environments of all live execution paths.
+type EnvSet []*Env
+
+// CloneAll deep-copies every environment.
+func (s EnvSet) CloneAll() EnvSet {
+	out := make(EnvSet, len(s))
+	for i, e := range s {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// Live returns the environments that are executing statements (not
+// terminated or unwinding loop control).
+func (s EnvSet) Live() EnvSet {
+	out := make(EnvSet, 0, len(s))
+	for _, e := range s {
+		if !e.Suspended() {
+			out = append(out, e)
+		}
+	}
+	return out
+}

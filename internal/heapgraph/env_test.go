@@ -1,0 +1,147 @@
+package heapgraph
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+func TestPushPopScope(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	outer := g.NewConcrete(sexpr.IntVal(1), 1)
+	inner := g.NewConcrete(sexpr.IntVal(2), 2)
+
+	e.Bind("x", outer)
+	e.PushScope()
+	if e.Depth() != 2 {
+		t.Fatalf("depth = %d", e.Depth())
+	}
+	if e.Has("x") {
+		t.Error("inner scope must not see outer locals")
+	}
+	e.Bind("x", inner)
+	if e.Get("x") != inner {
+		t.Error("inner binding lost")
+	}
+	e.Returned = inner
+	e.Terminated = true
+	e.PopScope()
+	if e.Depth() != 1 {
+		t.Fatalf("depth after pop = %d", e.Depth())
+	}
+	if e.Get("x") != outer {
+		t.Error("outer binding not restored")
+	}
+	if e.Terminated || e.Returned != Null {
+		t.Error("PopScope must clear return state")
+	}
+}
+
+func TestImportGlobalReadsAndWritesBack(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	orig := g.NewConcrete(sexpr.StrVal("/uploads"), 1)
+	e.Bind("dir", orig) // global scope binding
+
+	e.PushScope()
+	e.ImportGlobal("dir", func() Label { t.Fatal("must reuse existing global"); return Null })
+	if e.Get("dir") != orig {
+		t.Error("global import should alias the global binding")
+	}
+	updated := g.NewConcrete(sexpr.StrVal("/tmp"), 2)
+	e.Bind("dir", updated)
+	e.PopScope()
+	if e.Get("dir") != updated {
+		t.Error("global write-back lost")
+	}
+}
+
+func TestImportGlobalCreatesFresh(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	e.PushScope()
+	fresh := g.NewSymbol("s_global_wpdb", sexpr.Unknown, 3)
+	e.ImportGlobal("wpdb", func() Label { return fresh })
+	if e.Get("wpdb") != fresh {
+		t.Error("fresh global not bound locally")
+	}
+	e.PopScope()
+	if e.Get("wpdb") != fresh {
+		t.Error("fresh global not visible at global scope")
+	}
+}
+
+func TestCloneDeepCopiesScopes(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	l1 := g.NewConcrete(sexpr.IntVal(1), 1)
+	l2 := g.NewConcrete(sexpr.IntVal(2), 1)
+	e.Bind("g", l1)
+	e.PushScope()
+	e.Bind("local", l1)
+
+	c := e.Clone()
+	c.Bind("local", l2)
+	c.PopScope()
+	if e.Get("local") != l1 {
+		t.Error("clone scope write leaked")
+	}
+	if e.Depth() != 2 {
+		t.Error("clone pop affected original depth")
+	}
+}
+
+func TestTmpStack(t *testing.T) {
+	e := NewEnv()
+	e.PushTmp(Label(5))
+	e.PushTmp(Label(7))
+	c := e.Clone()
+	if got := e.PopTmp(); got != 7 {
+		t.Errorf("pop = %d", got)
+	}
+	if got := e.PopTmp(); got != 5 {
+		t.Errorf("pop = %d", got)
+	}
+	if got := e.PopTmp(); got != Null {
+		t.Errorf("pop empty = %d, want Null", got)
+	}
+	// Clone carries its own copy.
+	if got := c.PopTmp(); got != 7 {
+		t.Errorf("clone pop = %d", got)
+	}
+}
+
+func TestSuspendedStates(t *testing.T) {
+	e := NewEnv()
+	if e.Suspended() {
+		t.Error("fresh env should not be suspended")
+	}
+	e.BreakN = 1
+	if !e.Suspended() {
+		t.Error("break should suspend")
+	}
+	e.BreakN = 0
+	e.ContinueN = 2
+	if !e.Suspended() {
+		t.Error("continue should suspend")
+	}
+	e.ContinueN = 0
+	e.Terminated = true
+	if !e.Suspended() {
+		t.Error("termination should suspend")
+	}
+}
+
+func TestVarNamesSorted(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	l := g.NewConcrete(sexpr.IntVal(0), 1)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		e.Bind(n, l)
+	}
+	names := e.VarNames()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}

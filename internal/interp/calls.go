@@ -1,0 +1,256 @@
+package interp
+
+import (
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/heapgraph"
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// evalCall dispatches a function call: sinks are recorded, user functions
+// are inlined context-sensitively, built-ins are modeled, and everything
+// else becomes a FUNC node with a typed symbolic result.
+func (in *Interp) evalCall(x *phpast.Call, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
+	name, named := phpast.CalleeName(x)
+
+	// call_user_func('fn', args...) indirection.
+	if named && (name == "call_user_func" || name == "call_user_func_array") && len(x.Args) > 0 {
+		if lit, ok := x.Args[0].(*phpast.StringLit); ok {
+			inner := &phpast.Call{P: x.P, Func: &phpast.Name{P: x.P, Value: lit.Value}, Args: x.Args[1:]}
+			return in.evalCall(inner, envs)
+		}
+	}
+
+	// Evaluate arguments (left to right), parking on the operand stack.
+	for _, a := range x.Args {
+		var ls []heapgraph.Label
+		envs, ls = in.eval(a, envs)
+		pushTmp(envs, ls)
+	}
+	argVec := func(e *heapgraph.Env) []heapgraph.Label {
+		args := make([]heapgraph.Label, len(x.Args))
+		for j := len(x.Args) - 1; j >= 0; j-- {
+			args[j] = e.PopTmp()
+		}
+		return args
+	}
+
+	if !named {
+		// Variable function: opaque symbolic result.
+		labels := make([]heapgraph.Label, len(envs))
+		for i, e := range envs {
+			args := argVec(e)
+			fn := in.g.NewFunc("call_dynamic", sexpr.Unknown, x.P.Line)
+			for _, a := range args {
+				in.g.AddEdge(fn, a)
+			}
+			labels[i] = fn
+		}
+		return envs, labels
+	}
+
+	// Sink?
+	if callgraph.Sinks[name] {
+		labels := make([]heapgraph.Label, len(envs))
+		for i, e := range envs {
+			args := argVec(e)
+			labels[i] = in.recordSink(name, args, e, x.P.Line)
+		}
+		return envs, labels
+	}
+
+	// User function?
+	if decl, ok := in.funcs[name]; ok {
+		// Pop args per env into a parallel matrix.
+		argMatrix := make([][]heapgraph.Label, len(envs))
+		for i, e := range envs {
+			argMatrix[i] = argVec(e)
+		}
+		return in.inlineCall(decl, argMatrix, envs, heapgraph.Null, x.P.Line)
+	}
+
+	// Built-in model or generic FUNC node.
+	labels := make([]heapgraph.Label, len(envs))
+	for i, e := range envs {
+		args := argVec(e)
+		labels[i] = in.builtinCall(name, args, e, x.P.Line)
+	}
+	return envs, labels
+}
+
+// recordSink records a sink invocation on one path and returns the sink's
+// boolean FUNC object.
+func (in *Interp) recordSink(name string, args []heapgraph.Label, e *heapgraph.Env, line int) heapgraph.Label {
+	var src, dst heapgraph.Label
+	switch name {
+	case "file_put_contents", "file_put_content":
+		// file_put_contents($dst, $src)
+		if len(args) > 0 {
+			dst = args[0]
+		}
+		if len(args) > 1 {
+			src = args[1]
+		}
+	default:
+		// move_uploaded_file($src, $dst), copy($src, $dst), rename($src, $dst)
+		if len(args) > 0 {
+			src = args[0]
+		}
+		if len(args) > 1 {
+			dst = args[1]
+		}
+	}
+	in.sinks = append(in.sinks, SinkHit{
+		Sink: name,
+		Line: line,
+		File: in.curFile,
+		Src:  src,
+		Dst:  dst,
+		Env:  e.Clone(),
+	})
+	fn := in.g.NewFunc(name, sexpr.Bool, line)
+	for _, a := range args {
+		in.g.AddEdge(fn, a)
+	}
+	return fn
+}
+
+// inlineCall executes a user function body per path, with a fresh scope
+// per environment. Forks inside the callee propagate to the caller
+// naturally, because the callee's environments are the callers' with one
+// extra scope frame.
+func (in *Interp) inlineCall(decl *phpast.FuncDecl, argMatrix [][]heapgraph.Label, envs heapgraph.EnvSet, thisLabel heapgraph.Label, line int) (heapgraph.EnvSet, []heapgraph.Label) {
+	lname := strings.ToLower(decl.Name)
+	// Recursion or depth cut: opaque symbolic result.
+	cut := len(in.callStack) >= in.opts.MaxCallDepth
+	for _, f := range in.callStack {
+		if f == lname {
+			cut = true
+			break
+		}
+	}
+	if cut {
+		l := in.g.NewSymbol("s_ret_"+lname, sexpr.Unknown, line)
+		return envs, sameLabel(envs, l)
+	}
+	in.callStack = append(in.callStack, lname)
+	defer func() { in.callStack = in.callStack[:len(in.callStack)-1] }()
+
+	for i, e := range envs {
+		args := argMatrix[i]
+		e.PushScope()
+		if thisLabel != heapgraph.Null {
+			e.Bind("this", thisLabel)
+		}
+		for j, p := range decl.Params {
+			var l heapgraph.Label
+			if j < len(args) && args[j] != heapgraph.Null {
+				l = args[j]
+			} else if p.Default != nil {
+				// Defaults are constant expressions; evaluate on a singleton
+				// set (cannot fork).
+				_, ls := in.eval(p.Default, heapgraph.EnvSet{e})
+				l = ls[0]
+			} else {
+				l = in.g.NewSymbol("s_param_"+p.Name, sexpr.Unknown, decl.P.Line)
+			}
+			e.Bind(p.Name, l)
+		}
+	}
+	envs = in.execStmts(decl.Body, envs)
+	labels := make([]heapgraph.Label, len(envs))
+	for i, e := range envs {
+		if e.Returned != heapgraph.Null {
+			labels[i] = e.Returned
+		} else {
+			labels[i] = in.g.NewConcrete(sexpr.NullVal{}, decl.EndLine)
+		}
+		e.PopScope()
+	}
+	return envs, labels
+}
+
+// inlineCallWithThis evaluates constructor arguments then inlines the
+// method with $this bound.
+func (in *Interp) inlineCallWithThis(decl *phpast.FuncDecl, argExprs []phpast.Expr, envs heapgraph.EnvSet, thisLabels []heapgraph.Label, line int) (heapgraph.EnvSet, []heapgraph.Label) {
+	pushTmp(envs, thisLabels)
+	for _, a := range argExprs {
+		var ls []heapgraph.Label
+		envs, ls = in.eval(a, envs)
+		pushTmp(envs, ls)
+	}
+	argMatrix := make([][]heapgraph.Label, len(envs))
+	this := make([]heapgraph.Label, len(envs))
+	for i, e := range envs {
+		args := make([]heapgraph.Label, len(argExprs))
+		for j := len(argExprs) - 1; j >= 0; j-- {
+			args[j] = e.PopTmp()
+		}
+		argMatrix[i] = args
+		this[i] = e.PopTmp()
+	}
+	// Inline per common this label; constructors keep the object labels.
+	var out heapgraph.EnvSet
+	var outLabels []heapgraph.Label
+	for i, e := range envs {
+		sub, _ := in.inlineCall(decl, [][]heapgraph.Label{argMatrix[i]}, heapgraph.EnvSet{e}, this[i], line)
+		for range sub {
+			outLabels = append(outLabels, this[i])
+		}
+		out = append(out, sub...)
+	}
+	return out, outLabels
+}
+
+func (in *Interp) evalMethodCall(x *phpast.MethodCall, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
+	var objs []heapgraph.Label
+	envs, objs = in.eval(x.Obj, envs)
+	pushTmp(envs, objs)
+	for _, a := range x.Args {
+		var ls []heapgraph.Label
+		envs, ls = in.eval(a, envs)
+		pushTmp(envs, ls)
+	}
+	argMatrix := make([][]heapgraph.Label, len(envs))
+	this := make([]heapgraph.Label, len(envs))
+	for i, e := range envs {
+		args := make([]heapgraph.Label, len(x.Args))
+		for j := len(x.Args) - 1; j >= 0; j-- {
+			args[j] = e.PopTmp()
+		}
+		argMatrix[i] = args
+		this[i] = e.PopTmp()
+	}
+
+	if decl, ok := in.funcs[strings.ToLower(x.Method)]; ok {
+		var out heapgraph.EnvSet
+		var outLabels []heapgraph.Label
+		for i, e := range envs {
+			sub, ls := in.inlineCall(decl, [][]heapgraph.Label{argMatrix[i]}, heapgraph.EnvSet{e}, this[i], x.P.Line)
+			out = append(out, sub...)
+			outLabels = append(outLabels, ls...)
+		}
+		return out, outLabels
+	}
+	labels := make([]heapgraph.Label, len(envs))
+	for i := range envs {
+		fn := in.g.NewFunc("method_"+strings.ToLower(x.Method), sexpr.Unknown, x.P.Line)
+		in.g.AddEdge(fn, this[i])
+		for _, a := range argMatrix[i] {
+			in.g.AddEdge(fn, a)
+		}
+		labels[i] = fn
+	}
+	return envs, labels
+}
+
+func (in *Interp) evalStaticCall(x *phpast.StaticCall, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
+	call := &phpast.Call{P: x.P, Func: &phpast.Name{P: x.P, Value: x.Class + "::" + x.Method}, Args: x.Args}
+	if _, ok := in.funcs[strings.ToLower(x.Class+"::"+x.Method)]; ok {
+		return in.evalCall(call, envs)
+	}
+	call.Func = &phpast.Name{P: x.P, Value: x.Method}
+	return in.evalCall(call, envs)
+}

@@ -1,0 +1,735 @@
+// Package interp is UChecker's AST-based symbolic execution engine
+// (Section III-B of the paper).
+//
+// Starting from the root selected by the locality analysis (a PHP file or
+// a function), the interpreter recursively evaluates AST nodes against a
+// heap graph G and a set of per-path environments ℰ, forking ℰ at
+// conditionals, inlining user-function calls context-sensitively, and
+// recording every invocation of a file-upload sink together with the
+// per-path labels of its source and destination expressions.
+//
+// Faithful to the paper's stated limitations, loops are unrolled to a
+// small bound rather than modeled precisely, and execution is guarded by
+// path/object budgets — exceeding them aborts with ErrBudgetExceeded,
+// which reproduces the paper's "Cimy User Extra Fields" false negative
+// (248K paths exhausting memory).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/heapgraph"
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// ErrBudgetExceeded reports that symbolic execution outgrew its path or
+// object budget.
+var ErrBudgetExceeded = errors.New("interp: path/object budget exceeded")
+
+// Options configures the engine. The zero value selects defaults.
+type Options struct {
+	// MaxPaths bounds the number of live execution paths. Default 100000.
+	MaxPaths int
+	// MaxObjects bounds the heap-graph object count. Default 1500000.
+	MaxObjects int
+	// LoopUnroll is the number of iterations loops are unrolled to.
+	// Default 2.
+	LoopUnroll int
+	// MaxCallDepth bounds user-function inlining depth. Default 24.
+	MaxCallDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 100000
+	}
+	if o.MaxObjects == 0 {
+		o.MaxObjects = 1500000
+	}
+	if o.LoopUnroll == 0 {
+		o.LoopUnroll = 2
+	}
+	if o.MaxCallDepth == 0 {
+		o.MaxCallDepth = 24
+	}
+	return o
+}
+
+// SinkHit records one symbolic execution of a file-upload sink on one path.
+type SinkHit struct {
+	// Sink is the built-in's lower-case name (move_uploaded_file,
+	// file_put_contents, copy, rename).
+	Sink string
+	// Line is the source line of the call.
+	Line int
+	// File is the file containing the call.
+	File string
+	// Src and Dst label the uploaded-content expression and the
+	// destination-path expression.
+	Src, Dst heapgraph.Label
+	// Env is a snapshot of the path's environment at the call.
+	Env *heapgraph.Env
+}
+
+// Result is the outcome of symbolic execution.
+type Result struct {
+	// Graph is the heap graph shared by all paths.
+	Graph *heapgraph.Graph
+	// Envs are the final environments, one per completed path.
+	Envs heapgraph.EnvSet
+	// Sinks are all recorded sink invocations across all paths.
+	Sinks []SinkHit
+	// Paths is the number of final execution paths (Table III "Paths").
+	Paths int
+	// Err is non-nil when execution aborted (budget exceeded); partial
+	// results are still populated.
+	Err error
+}
+
+// Interp is a single-use symbolic executor over one application.
+type Interp struct {
+	opts  Options
+	g     *heapgraph.Graph
+	funcs map[string]*phpast.FuncDecl
+	files map[string]*phpast.File
+
+	sinks     []SinkHit
+	callStack []string
+	curFile   string
+	fileStack []string
+
+	filesArr    heapgraph.Label                // the $_FILES pre-structured array object
+	filesFields map[string]heapgraph.Label     // per-upload-key pre-structured arrays
+	filesMulti  map[heapgraph.Label]multiField // multi-file form field objects
+	superGlobs  map[string]heapgraph.Label
+
+	budgetErr error
+}
+
+// New builds an interpreter for the given parsed files. All function and
+// method declarations across the files are resolvable, mirroring PHP's
+// global function table.
+func New(files []*phpast.File, opts Options) *Interp {
+	in := &Interp{
+		opts:        opts.withDefaults(),
+		g:           heapgraph.New(),
+		funcs:       map[string]*phpast.FuncDecl{},
+		files:       map[string]*phpast.File{},
+		filesFields: map[string]heapgraph.Label{},
+		superGlobs:  map[string]heapgraph.Label{},
+	}
+	for _, f := range files {
+		in.files[f.Name] = f
+		in.declare(f.Stmts)
+	}
+	return in
+}
+
+func (in *Interp) declare(stmts []phpast.Stmt) {
+	for _, s := range stmts {
+		phpast.Walk(s, func(n phpast.Node) bool {
+			switch d := n.(type) {
+			case *phpast.FuncDecl:
+				name := strings.ToLower(d.Name)
+				if _, ok := in.funcs[name]; !ok {
+					in.funcs[name] = d
+				}
+			case *phpast.ClassDecl:
+				for _, m := range d.Methods {
+					decl := &phpast.FuncDecl{P: m.P, Name: d.Name + "::" + m.Name, Params: m.Params, Body: m.Body, EndLine: m.EndLine}
+					qual := strings.ToLower(d.Name + "::" + m.Name)
+					if _, ok := in.funcs[qual]; !ok {
+						in.funcs[qual] = decl
+					}
+					bare := strings.ToLower(m.Name)
+					if _, ok := in.funcs[bare]; !ok {
+						in.funcs[bare] = decl
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Graph exposes the heap graph (for vulnerability modeling).
+func (in *Interp) Graph() *heapgraph.Graph { return in.g }
+
+// RunRoot symbolically executes a locality-analysis root and returns the
+// collected result.
+func (in *Interp) RunRoot(root *callgraph.Node) Result {
+	envs := heapgraph.EnvSet{heapgraph.NewEnv()}
+	in.curFile = root.File
+	switch root.Kind {
+	case callgraph.FileNode:
+		f := in.files[root.Name]
+		if f != nil {
+			in.curFile = f.Name
+			envs = in.execStmts(topLevel(f.Stmts), envs)
+		}
+	case callgraph.FuncNode:
+		if root.Func != nil {
+			// Execute the function body with parameters bound to fresh
+			// symbols (external inputs).
+			env := envs[0]
+			for _, p := range root.Func.Params {
+				t := sexpr.Unknown
+				if p.Type == "array" {
+					t = sexpr.Array
+				}
+				env.Bind(p.Name, in.g.NewSymbol("s_param_"+p.Name, t, root.Func.P.Line))
+			}
+			envs = in.execStmts(root.Func.Body, envs)
+		}
+	}
+	res := Result{
+		Graph: in.g,
+		Envs:  envs,
+		Sinks: in.sinks,
+		Paths: len(envs),
+		Err:   in.budgetErr,
+	}
+	return res
+}
+
+// topLevel filters out declarations, which execute only when called.
+func topLevel(stmts []phpast.Stmt) []phpast.Stmt {
+	out := make([]phpast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s.(type) {
+		case *phpast.FuncDecl, *phpast.ClassDecl:
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// overBudget checks and records budget exhaustion.
+func (in *Interp) overBudget(envs heapgraph.EnvSet) bool {
+	if in.budgetErr != nil {
+		return true
+	}
+	if len(envs) > in.opts.MaxPaths {
+		in.budgetErr = fmt.Errorf("%w: %d paths (max %d)", ErrBudgetExceeded, len(envs), in.opts.MaxPaths)
+		return true
+	}
+	if in.g.NumObjects() > in.opts.MaxObjects {
+		in.budgetErr = fmt.Errorf("%w: %d objects (max %d)", ErrBudgetExceeded, in.g.NumObjects(), in.opts.MaxObjects)
+		return true
+	}
+	return false
+}
+
+// execStmts runs a statement sequence over all live paths; suspended paths
+// (returned / breaking) are carried through untouched.
+func (in *Interp) execStmts(stmts []phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	for _, s := range stmts {
+		if in.overBudget(envs) {
+			return envs
+		}
+		var live, held heapgraph.EnvSet
+		for _, e := range envs {
+			if e.Suspended() {
+				held = append(held, e)
+			} else {
+				live = append(live, e)
+			}
+		}
+		if len(live) == 0 {
+			return envs
+		}
+		envs = append(in.execStmt(s, live), held...)
+	}
+	return envs
+}
+
+func (in *Interp) execStmt(s phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	switch x := s.(type) {
+	case *phpast.ExprStmt:
+		envs, _ = in.eval(x.X, envs)
+		return envs
+	case *phpast.Echo:
+		for _, a := range x.Args {
+			envs, _ = in.eval(a, envs)
+		}
+		return envs
+	case *phpast.Block:
+		return in.execStmts(x.Stmts, envs)
+	case *phpast.If:
+		return in.execIf(x, envs)
+	case *phpast.While:
+		return in.execWhile(x, envs)
+	case *phpast.DoWhile:
+		return in.execDoWhile(x, envs)
+	case *phpast.For:
+		return in.execFor(x, envs)
+	case *phpast.Foreach:
+		return in.execForeach(x, envs)
+	case *phpast.Switch:
+		return in.execSwitch(x, envs)
+	case *phpast.Return:
+		var labels []heapgraph.Label
+		if x.X != nil {
+			envs, labels = in.eval(x.X, envs)
+		}
+		for i, e := range envs {
+			if labels != nil {
+				e.Returned = labels[i]
+			} else {
+				e.Returned = in.g.NewConcrete(sexpr.NullVal{}, x.P.Line)
+			}
+			e.Terminated = true
+		}
+		return envs
+	case *phpast.Break:
+		lvl := x.Level
+		if lvl == 0 {
+			lvl = 1
+		}
+		for _, e := range envs {
+			e.BreakN = lvl
+		}
+		return envs
+	case *phpast.Continue:
+		lvl := x.Level
+		if lvl == 0 {
+			lvl = 1
+		}
+		for _, e := range envs {
+			e.ContinueN = lvl
+		}
+		return envs
+	case *phpast.Global:
+		for _, e := range envs {
+			for _, name := range x.Names {
+				n := name
+				e.ImportGlobal(n, func() heapgraph.Label {
+					return in.g.NewSymbol("s_global_"+n, sexpr.Unknown, x.P.Line)
+				})
+			}
+		}
+		return envs
+	case *phpast.StaticVars:
+		for i, name := range x.Names {
+			if x.Inits[i] != nil {
+				var labels []heapgraph.Label
+				envs, labels = in.eval(x.Inits[i], envs)
+				for j, e := range envs {
+					e.Bind(name, labels[j])
+				}
+			} else {
+				for _, e := range envs {
+					e.Bind(name, in.g.NewSymbol("s_static_"+name, sexpr.Unknown, x.P.Line))
+				}
+			}
+		}
+		return envs
+	case *phpast.Unset:
+		for _, v := range x.Vars {
+			if vv, ok := v.(*phpast.Var); ok {
+				for _, e := range envs {
+					e.Unbind(vv.Name)
+				}
+			}
+		}
+		return envs
+	case *phpast.Try:
+		// The try body executes; catch bodies are alternate paths joined
+		// afterwards (any statement may throw, so catches are reachable);
+		// finally runs on every path.
+		bodyEnvs := in.execStmts(x.Body.Stmts, envs)
+		all := bodyEnvs
+		for _, c := range x.Catches {
+			catchEnvs := envs.CloneAll()
+			for _, e := range catchEnvs {
+				if c.Var != "" {
+					e.Bind(c.Var, in.g.NewSymbol("s_exc_"+c.Var, sexpr.Unknown, c.P.Line))
+				}
+			}
+			all = append(all, in.execStmts(c.Body.Stmts, catchEnvs)...)
+		}
+		if x.Finally != nil {
+			all = in.execStmts(x.Finally.Stmts, all)
+		}
+		return all
+	case *phpast.Throw:
+		envs, _ = in.eval(x.X, envs)
+		for _, e := range envs {
+			e.Terminated = true
+		}
+		return envs
+	case *phpast.FuncDecl, *phpast.ClassDecl, *phpast.InlineHTML, *phpast.Nop:
+		return envs
+	default:
+		return envs
+	}
+}
+
+// execIf implements the paper's eval(if e then S1 else S2, G, ℰ): evaluate
+// the condition once, copy ℰ for the two branches, extend reachability with
+// the condition (negated for the false branch), execute both, and join.
+// Conditions that evaluate to concrete booleans do not fork.
+func (in *Interp) execIf(x *phpast.If, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	envs, condLabels := in.eval(x.Cond, envs)
+
+	var out heapgraph.EnvSet
+	var forkT heapgraph.EnvSet
+	var forkTLabels []heapgraph.Label
+	var forkF heapgraph.EnvSet
+	var forkFLabels []heapgraph.Label
+
+	for i, e := range envs {
+		// Concrete condition: single branch, no fork.
+		if c, ok := in.concreteBool(condLabels[i]); ok {
+			if c {
+				forkT = append(forkT, e)
+				forkTLabels = append(forkTLabels, heapgraph.Null)
+			} else {
+				forkF = append(forkF, e)
+				forkFLabels = append(forkFLabels, heapgraph.Null)
+			}
+			continue
+		}
+		te := e.Clone()
+		fe := e
+		forkT = append(forkT, te)
+		forkTLabels = append(forkTLabels, condLabels[i])
+		forkF = append(forkF, fe)
+		forkFLabels = append(forkFLabels, condLabels[i])
+	}
+
+	if len(forkT) > 0 {
+		for i, e := range forkT {
+			e.ER(in.g, forkTLabels[i], x.P.Line)
+		}
+		out = append(out, in.execStmts(x.Then.Stmts, forkT)...)
+	}
+	if len(forkF) > 0 {
+		notShared := map[heapgraph.Label]heapgraph.Label{}
+		for i, e := range forkF {
+			if forkFLabels[i] != heapgraph.Null {
+				not, ok := notShared[forkFLabels[i]]
+				if !ok {
+					not = in.g.NewOp("!", sexpr.Bool, x.P.Line)
+					in.g.AddEdge(not, forkFLabels[i])
+					notShared[forkFLabels[i]] = not
+				}
+				e.ER(in.g, not, x.P.Line)
+			}
+		}
+		if x.Else != nil {
+			out = append(out, in.execStmt(x.Else, forkF)...)
+		} else {
+			out = append(out, forkF...)
+		}
+	}
+	return out
+}
+
+// concreteBool reports whether the object is a concrete value with a known
+// truthiness (PHP semantics).
+func (in *Interp) concreteBool(l heapgraph.Label) (bool, bool) {
+	o := in.g.Find(l)
+	if o == nil {
+		return false, false
+	}
+	switch o.Kind {
+	case heapgraph.KindConcrete:
+		switch v := o.Val.(type) {
+		case sexpr.BoolVal:
+			return bool(v), true
+		case sexpr.IntVal:
+			return v != 0, true
+		case sexpr.StrVal:
+			return v != "" && v != "0", true
+		case sexpr.NullVal:
+			return false, true
+		case sexpr.FloatVal:
+			return v != 0, true
+		}
+	case heapgraph.KindArray:
+		info := in.g.Array(l)
+		return info != nil && len(info.Keys) > 0, true
+	}
+	return false, false
+}
+
+// consumeLoopControl decrements break/continue counters at a loop
+// boundary; envs whose counters hit zero resume.
+func consumeLoopControl(envs heapgraph.EnvSet) {
+	for _, e := range envs {
+		if e.BreakN > 0 {
+			e.BreakN--
+		} else if e.ContinueN > 0 {
+			e.ContinueN--
+			if e.ContinueN > 0 {
+				// Multi-level continue behaves like break for outer levels.
+				e.BreakN = e.ContinueN
+				e.ContinueN = 0
+			}
+		}
+	}
+}
+
+// execLoopPost evaluates for-loop post expressions at an iteration
+// boundary. Paths that issued `continue` for this loop resume first (PHP
+// runs the post clause after continue); paths that broke or returned skip
+// it.
+func (in *Interp) execLoopPost(post []phpast.Expr, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	if len(post) == 0 {
+		return envs
+	}
+	clearContinues(envs)
+	var live, held heapgraph.EnvSet
+	for _, e := range envs {
+		if e.Suspended() {
+			held = append(held, e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for _, p := range post {
+		if len(live) == 0 {
+			break
+		}
+		live, _ = in.eval(p, live)
+	}
+	return append(live, held...)
+}
+
+// clearContinues resumes envs that issued `continue` for this loop level.
+func clearContinues(envs heapgraph.EnvSet) {
+	for _, e := range envs {
+		if e.ContinueN == 1 {
+			e.ContinueN = 0
+		}
+	}
+}
+
+func (in *Interp) execWhile(x *phpast.While, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	return in.execCondLoop(x.Cond, x.Body.Stmts, nil, x.P.Line, envs, false)
+}
+
+func (in *Interp) execDoWhile(x *phpast.DoWhile, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	return in.execCondLoop(x.Cond, x.Body.Stmts, nil, x.P.Line, envs, true)
+}
+
+func (in *Interp) execFor(x *phpast.For, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	for _, e := range x.Init {
+		envs, _ = in.eval(e, envs)
+	}
+	cond := andAll(x.Cond)
+	var body []phpast.Stmt
+	if x.Body != nil {
+		body = x.Body.Stmts
+	}
+	return in.execCondLoop(cond, body, x.Post, x.P.Line, envs, false)
+}
+
+// execCondLoop unrolls a condition-guarded loop. Paths that take the
+// condition's false branch exit the loop and are not re-forked on later
+// iterations; paths still active after the unroll bound simply exit (the
+// paper: "UChecker does not precisely model loops"). post holds for-loop
+// post expressions, which run at every iteration boundary even after a
+// `continue`. bodyFirst selects do-while semantics.
+func (in *Interp) execCondLoop(cond phpast.Expr, body []phpast.Stmt, post []phpast.Expr, line int, envs heapgraph.EnvSet, bodyFirst bool) heapgraph.EnvSet {
+	var exited heapgraph.EnvSet // took the false branch or broke out
+	active := envs
+
+	if bodyFirst && len(active) > 0 {
+		active = in.execStmts(body, active)
+		active = in.execLoopPost(post, active)
+	}
+
+	for i := 0; i < in.opts.LoopUnroll; i++ {
+		if in.overBudget(active) || len(active) == 0 {
+			break
+		}
+		clearContinues(active)
+		var live, held heapgraph.EnvSet
+		for _, e := range active {
+			if e.BreakN > 0 {
+				e.BreakN--
+				if e.BreakN > 0 {
+					held = append(held, e) // outer levels still unwinding
+				} else {
+					exited = append(exited, e)
+				}
+				continue
+			}
+			if e.Suspended() {
+				held = append(held, e) // returned/thrown: carries through
+				continue
+			}
+			live = append(live, e)
+		}
+		exited = append(exited, held...)
+		if len(live) == 0 {
+			active = nil
+			break
+		}
+		var condLabels []heapgraph.Label
+		live, condLabels = in.eval(cond, live)
+		notShared := map[heapgraph.Label]heapgraph.Label{}
+		var cont heapgraph.EnvSet
+		for j, e := range live {
+			if b, ok := in.concreteBool(condLabels[j]); ok {
+				if b {
+					cont = append(cont, e)
+				} else {
+					exited = append(exited, e)
+				}
+				continue
+			}
+			te := e.Clone()
+			te.ER(in.g, condLabels[j], line)
+			cont = append(cont, te)
+			not, ok := notShared[condLabels[j]]
+			if !ok {
+				not = in.g.NewOp("!", sexpr.Bool, line)
+				in.g.AddEdge(not, condLabels[j])
+				notShared[condLabels[j]] = not
+			}
+			e.ER(in.g, not, line)
+			exited = append(exited, e)
+		}
+		cont = in.execStmts(body, cont)
+		cont = in.execLoopPost(post, cont)
+		active = cont
+	}
+	// Paths still active after the unroll bound exit without a constraint.
+	// Only they still carry unconsumed break/continue flags — paths in
+	// `exited` consumed theirs when the iteration split saw them.
+	consumeLoopControl(active)
+	return append(exited, active...)
+}
+
+func andAll(conds []phpast.Expr) phpast.Expr {
+	if len(conds) == 0 {
+		return &phpast.BoolLit{Value: true}
+	}
+	e := conds[0]
+	for _, c := range conds[1:] {
+		e = &phpast.Binary{P: e.Pos(), Op: "&&", L: e, R: c}
+	}
+	return e
+}
+
+func (in *Interp) execForeach(x *phpast.Foreach, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	var arrLabels []heapgraph.Label
+	envs, arrLabels = in.eval(x.Arr, envs)
+	// Park the array label on each path's operand stack so body forks keep
+	// their copy aligned.
+	pushTmp(envs, arrLabels)
+
+	// When the array object is known, iterate its elements (bounded by the
+	// unroll limit); otherwise bind fresh symbols and run the body once.
+	for iter := 0; iter < in.opts.LoopUnroll; iter++ {
+		if in.overBudget(envs) {
+			break
+		}
+		clearContinues(envs)
+		var live, held heapgraph.EnvSet
+		for _, e := range envs {
+			if e.Suspended() {
+				held = append(held, e)
+			} else {
+				live = append(live, e)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		anyBound := false
+		var iterating heapgraph.EnvSet
+		for _, e := range live {
+			arr := e.Tmp[len(e.Tmp)-1] // peek parked array label
+			info := in.g.Array(arr)
+			var keyLabel, valLabel heapgraph.Label
+			switch {
+			case arr == in.filesArr && in.filesArr != heapgraph.Null:
+				// foreach over $_FILES (multi-file upload forms): one
+				// symbolic iteration binding the shared pre-structured
+				// upload family, keeping taint and the structured name.
+				if iter > 0 {
+					held = append(held, e)
+					continue
+				}
+				keyLabel = in.g.NewSymbol("", sexpr.String, x.P.Line)
+				valLabel = in.filesField("*", x.P.Line)
+			case info != nil && iter < len(info.Keys):
+				k := info.Keys[iter]
+				keyLabel = in.g.NewConcrete(sexpr.StrVal(k), x.P.Line)
+				valLabel = info.Elems[k]
+			case info != nil:
+				held = append(held, e) // array exhausted for this path
+				continue
+			default:
+				if iter > 0 {
+					held = append(held, e) // symbolic arrays iterate once
+					continue
+				}
+				keyLabel = in.g.NewSymbol("", sexpr.Unknown, x.P.Line)
+				valLabel = in.g.NewSymbol("", sexpr.Unknown, x.P.Line)
+			}
+			anyBound = true
+			if x.Key != nil {
+				if kv, ok := x.Key.(*phpast.Var); ok {
+					e.Bind(kv.Name, keyLabel)
+				}
+			}
+			iterating = append(in.assignTo(x.Val, heapgraph.EnvSet{e}, []heapgraph.Label{valLabel}), iterating...)
+		}
+		if !anyBound {
+			envs = append(iterating, held...)
+			break
+		}
+		iterating = in.execStmts(x.Body.Stmts, iterating)
+		envs = append(iterating, held...)
+	}
+	popTmp(envs)
+	consumeLoopControl(envs)
+	return envs
+}
+
+// execSwitch desugars a switch into an if/elseif chain on equality with the
+// subject; case fallthrough is approximated by treating each case body as
+// independent (plus the default).
+func (in *Interp) execSwitch(x *phpast.Switch, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	var chain phpast.Stmt
+	// Build from the last case backwards.
+	var defaultBody *phpast.Block
+	for _, c := range x.Cases {
+		if c.Cond == nil {
+			defaultBody = &phpast.Block{P: c.P, Stmts: c.Stmts}
+		}
+	}
+	var elseStmt phpast.Stmt
+	if defaultBody != nil {
+		elseStmt = defaultBody
+	}
+	for i := len(x.Cases) - 1; i >= 0; i-- {
+		c := x.Cases[i]
+		if c.Cond == nil {
+			continue
+		}
+		cond := &phpast.Binary{P: c.P, Op: "==", L: x.Subject, R: c.Cond}
+		chain = &phpast.If{P: c.P, Cond: cond, Then: &phpast.Block{P: c.P, Stmts: c.Stmts}, Else: elseStmt}
+		elseStmt = chain
+	}
+	if chain == nil {
+		if defaultBody != nil {
+			envs = in.execStmts(defaultBody.Stmts, envs)
+		}
+		consumeLoopControl(envs) // switch consumes one break level
+		return envs
+	}
+	envs = in.execStmt(chain, envs)
+	consumeLoopControl(envs)
+	return envs
+}

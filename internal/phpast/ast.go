@@ -1,0 +1,609 @@
+// Package phpast defines the abstract syntax tree for the PHP dialect
+// parsed by this repository.
+//
+// Every node records the source position of its first token, preserving the
+// one-to-one mapping between AST nodes and lines of source code that the
+// UChecker paper relies on for source-level vulnerability reports
+// (Section I: "AST offers unique advantages since it enables the one-to-one
+// mapping between AST nodes and lines of source code").
+package phpast
+
+import (
+	"repro/internal/phptoken"
+)
+
+// Node is any AST node.
+type Node interface {
+	// Pos returns the position of the node's first token.
+	Pos() phptoken.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// File is a parsed PHP source file.
+type File struct {
+	Name  string // file path as given to the parser
+	Stmts []Stmt
+}
+
+// Pos returns the position of the first statement, or an invalid position
+// for an empty file.
+func (f *File) Pos() phptoken.Pos {
+	if len(f.Stmts) > 0 {
+		return f.Stmts[0].Pos()
+	}
+	return phptoken.Pos{}
+}
+
+// ---------------------------------------------------------------- literals
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P     phptoken.Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	P     phptoken.Pos
+	Value float64
+}
+
+// StringLit is a string literal with escapes already decoded.
+type StringLit struct {
+	P     phptoken.Pos
+	Value string
+}
+
+// InterpString is a double-quoted or heredoc string containing
+// interpolation; Parts alternate between StringLit and expression nodes and
+// the whole evaluates to their concatenation.
+type InterpString struct {
+	P     phptoken.Pos
+	Parts []Expr
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	P     phptoken.Pos
+	Value bool
+}
+
+// NullLit is the null constant.
+type NullLit struct {
+	P phptoken.Pos
+}
+
+// -------------------------------------------------------------- variables
+
+// Var is a variable expression ($name); Name excludes the '$'.
+type Var struct {
+	P    phptoken.Pos
+	Name string
+}
+
+// ArrayDim is an array access x[index]. Index is nil for the push form x[].
+type ArrayDim struct {
+	P     phptoken.Pos
+	Arr   Expr
+	Index Expr
+}
+
+// ArrayItem is one element of an array literal.
+type ArrayItem struct {
+	Key   Expr // nil when no key given
+	Value Expr
+	ByRef bool
+}
+
+// ArrayLit is array(...) or [...].
+type ArrayLit struct {
+	P     phptoken.Pos
+	Items []ArrayItem
+}
+
+// ListExpr is list($a, $b) used as an assignment target.
+type ListExpr struct {
+	P     phptoken.Pos
+	Items []Expr // elements may be nil for skipped slots
+}
+
+// ------------------------------------------------------------- operations
+
+// Unary is a unary operation. Op is one of "!", "-", "+", "~".
+type Unary struct {
+	P  phptoken.Pos
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation. Op uses PHP spellings: "+", "-", "*", "/",
+// "%", "**", ".", "==", "!=", "===", "!==", "<", ">", "<=", ">=", "<=>",
+// "&&", "||", "and", "or", "xor", "&", "|", "^", "<<", ">>", "??",
+// "instanceof".
+type Binary struct {
+	P    phptoken.Pos
+	Op   string
+	L, R Expr
+}
+
+// Assign is an assignment expression. Op is "" for plain =, otherwise the
+// compound operator ("+", ".", "??", ...). ByRef marks $a = &$b.
+type Assign struct {
+	P      phptoken.Pos
+	Op     string
+	Target Expr
+	Value  Expr
+	ByRef  bool
+}
+
+// IncDec is ++$x / $x++ / --$x / $x--.
+type IncDec struct {
+	P   phptoken.Pos
+	Op  string // "++" or "--"
+	Pre bool
+	X   Expr
+}
+
+// Ternary is cond ? then : else. Then is nil for the short form cond ?: else.
+type Ternary struct {
+	P    phptoken.Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// Cast is (int)$x, (string)$x, etc. Type is lower-cased ("int", "bool",
+// "float", "string", "array", "object").
+type Cast struct {
+	P    phptoken.Pos
+	Type string
+	X    Expr
+}
+
+// ErrorSuppress is @expr.
+type ErrorSuppress struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// ------------------------------------------------------- calls and names
+
+// Name is a (possibly namespace-qualified) identifier used as a function
+// name, class name, or constant. Value keeps the original spelling;
+// namespace separators are preserved ("Foo\Bar").
+type Name struct {
+	P     phptoken.Pos
+	Value string
+}
+
+// Call is a function call. Func is usually a *Name but may be any
+// expression (variable functions).
+type Call struct {
+	P    phptoken.Pos
+	Func Expr
+	Args []Expr
+}
+
+// MethodCall is $obj->method(args).
+type MethodCall struct {
+	P      phptoken.Pos
+	Obj    Expr
+	Method string
+	Args   []Expr
+}
+
+// StaticCall is Class::method(args).
+type StaticCall struct {
+	P      phptoken.Pos
+	Class  string
+	Method string
+	Args   []Expr
+}
+
+// New is new Class(args).
+type New struct {
+	P     phptoken.Pos
+	Class string
+	Args  []Expr
+}
+
+// PropFetch is $obj->prop.
+type PropFetch struct {
+	P    phptoken.Pos
+	Obj  Expr
+	Prop string
+}
+
+// StaticPropFetch is Class::$prop.
+type StaticPropFetch struct {
+	P     phptoken.Pos
+	Class string
+	Prop  string
+}
+
+// ClassConstFetch is Class::CONST.
+type ClassConstFetch struct {
+	P     phptoken.Pos
+	Class string
+	Const string
+}
+
+// ConstFetch is a bare constant such as PATHINFO_EXTENSION or PHP_EOL.
+type ConstFetch struct {
+	P    phptoken.Pos
+	Name string
+}
+
+// Isset is isset($a, $b...).
+type Isset struct {
+	P    phptoken.Pos
+	Vars []Expr
+}
+
+// Empty is empty($x).
+type Empty struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// Exit is exit(expr) or die(expr); X may be nil.
+type Exit struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// Print is print expr (an expression in PHP, unlike echo).
+type Print struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// Include is include/require (once) used as an expression.
+// Kind is "include", "include_once", "require" or "require_once".
+type Include struct {
+	P    phptoken.Pos
+	Kind string
+	X    Expr
+}
+
+// Closure is an anonymous function.
+type Closure struct {
+	P      phptoken.Pos
+	Params []Param
+	Uses   []ClosureUse
+	Body   []Stmt
+}
+
+// ClosureUse is one variable captured by a closure.
+type ClosureUse struct {
+	Name  string
+	ByRef bool
+}
+
+// ------------------------------------------------------------- statements
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// Echo is echo e1, e2, ...;
+type Echo struct {
+	P    phptoken.Pos
+	Args []Expr
+}
+
+// Block is { ... }.
+type Block struct {
+	P     phptoken.Pos
+	Stmts []Stmt
+}
+
+// If is a conditional. Else is nil, a *Block, or another *If (for elseif
+// chains, which the parser normalizes to nested ifs).
+type If struct {
+	P    phptoken.Pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// While is a while loop.
+type While struct {
+	P    phptoken.Pos
+	Cond Expr
+	Body *Block
+}
+
+// DoWhile is do { ... } while (cond);
+type DoWhile struct {
+	P    phptoken.Pos
+	Body *Block
+	Cond Expr
+}
+
+// For is for(init; cond; post) body. Each clause may hold zero or more
+// comma-separated expressions.
+type For struct {
+	P    phptoken.Pos
+	Init []Expr
+	Cond []Expr
+	Post []Expr
+	Body *Block
+}
+
+// Foreach is foreach($arr as $k => $v) body. Key may be nil.
+type Foreach struct {
+	P     phptoken.Pos
+	Arr   Expr
+	Key   Expr
+	Val   Expr
+	ByRef bool
+	Body  *Block
+}
+
+// SwitchCase is one case (Conds nil means default).
+type SwitchCase struct {
+	P     phptoken.Pos
+	Cond  Expr // nil for default
+	Stmts []Stmt
+}
+
+// Switch is a switch statement.
+type Switch struct {
+	P       phptoken.Pos
+	Subject Expr
+	Cases   []SwitchCase
+}
+
+// Break is break; or break n;.
+type Break struct {
+	P     phptoken.Pos
+	Level int // 0 means unspecified (= 1)
+}
+
+// Continue is continue; or continue n;.
+type Continue struct {
+	P     phptoken.Pos
+	Level int
+}
+
+// Return is return; or return expr;.
+type Return struct {
+	P phptoken.Pos
+	X Expr // may be nil
+}
+
+// Param is a function parameter.
+type Param struct {
+	P        phptoken.Pos
+	Name     string
+	Type     string // optional type hint, "" when absent
+	Default  Expr   // nil when absent
+	ByRef    bool
+	Variadic bool
+}
+
+// FuncDecl is a named function declaration.
+type FuncDecl struct {
+	P      phptoken.Pos
+	Name   string
+	Params []Param
+	Body   []Stmt
+	// EndLine is the line of the closing brace, used for LoC accounting in
+	// the locality analysis.
+	EndLine int
+}
+
+// ClassMethod is a method inside a class declaration.
+type ClassMethod struct {
+	P          phptoken.Pos
+	Name       string
+	Params     []Param
+	Body       []Stmt // nil for abstract/interface methods
+	Static     bool
+	Visibility string // "public", "private", "protected" or ""
+	EndLine    int
+}
+
+// PropertyDecl is a class property declaration.
+type PropertyDecl struct {
+	P       phptoken.Pos
+	Name    string
+	Default Expr
+	Static  bool
+}
+
+// ClassDecl is a class or interface declaration (trait-free dialect).
+type ClassDecl struct {
+	P           phptoken.Pos
+	Name        string
+	Parent      string
+	Interfaces  []string
+	Methods     []*ClassMethod
+	Props       []*PropertyDecl
+	Consts      map[string]Expr
+	IsInterface bool
+	EndLine     int
+}
+
+// Global is global $a, $b;.
+type Global struct {
+	P     phptoken.Pos
+	Names []string
+}
+
+// StaticVars is static $a = 1, $b;.
+type StaticVars struct {
+	P     phptoken.Pos
+	Names []string
+	Inits []Expr // parallel to Names; entries may be nil
+}
+
+// Unset is unset($a, $b);.
+type Unset struct {
+	P    phptoken.Pos
+	Vars []Expr
+}
+
+// InlineHTML is raw output text between ?> and <?php.
+type InlineHTML struct {
+	P    phptoken.Pos
+	Text string
+}
+
+// Nop is an empty statement (stray semicolon).
+type Nop struct {
+	P phptoken.Pos
+}
+
+// Try is try/catch/finally. The interpreter treats catch bodies as
+// alternate paths and finally as unconditional continuation.
+type Try struct {
+	P       phptoken.Pos
+	Body    *Block
+	Catches []Catch
+	Finally *Block
+}
+
+// Catch is one catch clause.
+type Catch struct {
+	P     phptoken.Pos
+	Types []string
+	Var   string
+	Body  *Block
+}
+
+// Throw is throw expr;.
+type Throw struct {
+	P phptoken.Pos
+	X Expr
+}
+
+// Pos implementations.
+
+func (n *IntLit) Pos() phptoken.Pos          { return n.P }
+func (n *FloatLit) Pos() phptoken.Pos        { return n.P }
+func (n *StringLit) Pos() phptoken.Pos       { return n.P }
+func (n *InterpString) Pos() phptoken.Pos    { return n.P }
+func (n *BoolLit) Pos() phptoken.Pos         { return n.P }
+func (n *NullLit) Pos() phptoken.Pos         { return n.P }
+func (n *Var) Pos() phptoken.Pos             { return n.P }
+func (n *ArrayDim) Pos() phptoken.Pos        { return n.P }
+func (n *ArrayLit) Pos() phptoken.Pos        { return n.P }
+func (n *ListExpr) Pos() phptoken.Pos        { return n.P }
+func (n *Unary) Pos() phptoken.Pos           { return n.P }
+func (n *Binary) Pos() phptoken.Pos          { return n.P }
+func (n *Assign) Pos() phptoken.Pos          { return n.P }
+func (n *IncDec) Pos() phptoken.Pos          { return n.P }
+func (n *Ternary) Pos() phptoken.Pos         { return n.P }
+func (n *Cast) Pos() phptoken.Pos            { return n.P }
+func (n *ErrorSuppress) Pos() phptoken.Pos   { return n.P }
+func (n *Name) Pos() phptoken.Pos            { return n.P }
+func (n *Call) Pos() phptoken.Pos            { return n.P }
+func (n *MethodCall) Pos() phptoken.Pos      { return n.P }
+func (n *StaticCall) Pos() phptoken.Pos      { return n.P }
+func (n *New) Pos() phptoken.Pos             { return n.P }
+func (n *PropFetch) Pos() phptoken.Pos       { return n.P }
+func (n *StaticPropFetch) Pos() phptoken.Pos { return n.P }
+func (n *ClassConstFetch) Pos() phptoken.Pos { return n.P }
+func (n *ConstFetch) Pos() phptoken.Pos      { return n.P }
+func (n *Isset) Pos() phptoken.Pos           { return n.P }
+func (n *Empty) Pos() phptoken.Pos           { return n.P }
+func (n *Exit) Pos() phptoken.Pos            { return n.P }
+func (n *Print) Pos() phptoken.Pos           { return n.P }
+func (n *Include) Pos() phptoken.Pos         { return n.P }
+func (n *Closure) Pos() phptoken.Pos         { return n.P }
+func (n *ExprStmt) Pos() phptoken.Pos        { return n.P }
+func (n *Echo) Pos() phptoken.Pos            { return n.P }
+func (n *Block) Pos() phptoken.Pos           { return n.P }
+func (n *If) Pos() phptoken.Pos              { return n.P }
+func (n *While) Pos() phptoken.Pos           { return n.P }
+func (n *DoWhile) Pos() phptoken.Pos         { return n.P }
+func (n *For) Pos() phptoken.Pos             { return n.P }
+func (n *Foreach) Pos() phptoken.Pos         { return n.P }
+func (n *Switch) Pos() phptoken.Pos          { return n.P }
+func (n *Break) Pos() phptoken.Pos           { return n.P }
+func (n *Continue) Pos() phptoken.Pos        { return n.P }
+func (n *Return) Pos() phptoken.Pos          { return n.P }
+func (n *FuncDecl) Pos() phptoken.Pos        { return n.P }
+func (n *ClassDecl) Pos() phptoken.Pos       { return n.P }
+func (n *ClassMethod) Pos() phptoken.Pos     { return n.P }
+func (n *Global) Pos() phptoken.Pos          { return n.P }
+func (n *StaticVars) Pos() phptoken.Pos      { return n.P }
+func (n *Unset) Pos() phptoken.Pos           { return n.P }
+func (n *InlineHTML) Pos() phptoken.Pos      { return n.P }
+func (n *Nop) Pos() phptoken.Pos             { return n.P }
+func (n *Try) Pos() phptoken.Pos             { return n.P }
+func (n *Throw) Pos() phptoken.Pos           { return n.P }
+
+// Expression markers.
+
+func (*IntLit) exprNode()          {}
+func (*FloatLit) exprNode()        {}
+func (*StringLit) exprNode()       {}
+func (*InterpString) exprNode()    {}
+func (*BoolLit) exprNode()         {}
+func (*NullLit) exprNode()         {}
+func (*Var) exprNode()             {}
+func (*ArrayDim) exprNode()        {}
+func (*ArrayLit) exprNode()        {}
+func (*ListExpr) exprNode()        {}
+func (*Unary) exprNode()           {}
+func (*Binary) exprNode()          {}
+func (*Assign) exprNode()          {}
+func (*IncDec) exprNode()          {}
+func (*Ternary) exprNode()         {}
+func (*Cast) exprNode()            {}
+func (*ErrorSuppress) exprNode()   {}
+func (*Name) exprNode()            {}
+func (*Call) exprNode()            {}
+func (*MethodCall) exprNode()      {}
+func (*StaticCall) exprNode()      {}
+func (*New) exprNode()             {}
+func (*PropFetch) exprNode()       {}
+func (*StaticPropFetch) exprNode() {}
+func (*ClassConstFetch) exprNode() {}
+func (*ConstFetch) exprNode()      {}
+func (*Isset) exprNode()           {}
+func (*Empty) exprNode()           {}
+func (*Exit) exprNode()            {}
+func (*Print) exprNode()           {}
+func (*Include) exprNode()         {}
+func (*Closure) exprNode()         {}
+
+// Statement markers.
+
+func (*ExprStmt) stmtNode()   {}
+func (*Echo) stmtNode()       {}
+func (*Block) stmtNode()      {}
+func (*If) stmtNode()         {}
+func (*While) stmtNode()      {}
+func (*DoWhile) stmtNode()    {}
+func (*For) stmtNode()        {}
+func (*Foreach) stmtNode()    {}
+func (*Switch) stmtNode()     {}
+func (*Break) stmtNode()      {}
+func (*Continue) stmtNode()   {}
+func (*Return) stmtNode()     {}
+func (*FuncDecl) stmtNode()   {}
+func (*ClassDecl) stmtNode()  {}
+func (*Global) stmtNode()     {}
+func (*StaticVars) stmtNode() {}
+func (*Unset) stmtNode()      {}
+func (*InlineHTML) stmtNode() {}
+func (*Nop) stmtNode()        {}
+func (*Try) stmtNode()        {}
+func (*Throw) stmtNode()      {}

@@ -1,0 +1,279 @@
+package phpast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the AST as an indented tree, primarily for debugging and the
+// cmd/phpparse tool. The format is stable enough for golden tests.
+func Dump(n Node) string {
+	var sb strings.Builder
+	dump(&sb, n, 0)
+	return sb.String()
+}
+
+func dump(sb *strings.Builder, n Node, depth int) {
+	if n == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	line := func(format string, args ...any) {
+		sb.WriteString(indent)
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	switch x := n.(type) {
+	case *File:
+		line("File %s", x.Name)
+		for _, s := range x.Stmts {
+			dump(sb, s, depth+1)
+		}
+	case *IntLit:
+		line("Int %d", x.Value)
+	case *FloatLit:
+		line("Float %g", x.Value)
+	case *StringLit:
+		line("String %q", x.Value)
+	case *InterpString:
+		line("InterpString")
+		for _, p := range x.Parts {
+			dump(sb, p, depth+1)
+		}
+	case *BoolLit:
+		line("Bool %v", x.Value)
+	case *NullLit:
+		line("Null")
+	case *Var:
+		line("Var $%s", x.Name)
+	case *ArrayDim:
+		line("ArrayDim")
+		dump(sb, x.Arr, depth+1)
+		if x.Index != nil {
+			dump(sb, x.Index, depth+1)
+		} else {
+			sb.WriteString(indent + "  (push)\n")
+		}
+	case *ArrayLit:
+		line("ArrayLit")
+		for _, it := range x.Items {
+			if it.Key != nil {
+				sb.WriteString(indent + "  key:\n")
+				dump(sb, it.Key, depth+2)
+			}
+			sb.WriteString(indent + "  value:\n")
+			dump(sb, it.Value, depth+2)
+		}
+	case *ListExpr:
+		line("List")
+		for _, it := range x.Items {
+			dump(sb, it, depth+1)
+		}
+	case *Unary:
+		line("Unary %s", x.Op)
+		dump(sb, x.X, depth+1)
+	case *Binary:
+		line("Binary %s", x.Op)
+		dump(sb, x.L, depth+1)
+		dump(sb, x.R, depth+1)
+	case *Assign:
+		if x.Op == "" {
+			line("Assign")
+		} else {
+			line("Assign %s=", x.Op)
+		}
+		dump(sb, x.Target, depth+1)
+		dump(sb, x.Value, depth+1)
+	case *IncDec:
+		line("IncDec %s pre=%v", x.Op, x.Pre)
+		dump(sb, x.X, depth+1)
+	case *Ternary:
+		line("Ternary")
+		dump(sb, x.Cond, depth+1)
+		dump(sb, x.Then, depth+1)
+		dump(sb, x.Else, depth+1)
+	case *Cast:
+		line("Cast (%s)", x.Type)
+		dump(sb, x.X, depth+1)
+	case *ErrorSuppress:
+		line("@")
+		dump(sb, x.X, depth+1)
+	case *Name:
+		line("Name %s", x.Value)
+	case *Call:
+		line("Call")
+		dump(sb, x.Func, depth+1)
+		for _, a := range x.Args {
+			dump(sb, a, depth+1)
+		}
+	case *MethodCall:
+		line("MethodCall ->%s", x.Method)
+		dump(sb, x.Obj, depth+1)
+		for _, a := range x.Args {
+			dump(sb, a, depth+1)
+		}
+	case *StaticCall:
+		line("StaticCall %s::%s", x.Class, x.Method)
+		for _, a := range x.Args {
+			dump(sb, a, depth+1)
+		}
+	case *New:
+		line("New %s", x.Class)
+		for _, a := range x.Args {
+			dump(sb, a, depth+1)
+		}
+	case *PropFetch:
+		line("PropFetch ->%s", x.Prop)
+		dump(sb, x.Obj, depth+1)
+	case *StaticPropFetch:
+		line("StaticProp %s::$%s", x.Class, x.Prop)
+	case *ClassConstFetch:
+		line("ClassConst %s::%s", x.Class, x.Const)
+	case *ConstFetch:
+		line("Const %s", x.Name)
+	case *Isset:
+		line("Isset")
+		for _, e := range x.Vars {
+			dump(sb, e, depth+1)
+		}
+	case *Empty:
+		line("Empty")
+		dump(sb, x.X, depth+1)
+	case *Exit:
+		line("Exit")
+		dump(sb, x.X, depth+1)
+	case *Print:
+		line("Print")
+		dump(sb, x.X, depth+1)
+	case *Include:
+		line("Include %s", x.Kind)
+		dump(sb, x.X, depth+1)
+	case *Closure:
+		line("Closure(%s)", paramNames(x.Params))
+		for _, s := range x.Body {
+			dump(sb, s, depth+1)
+		}
+	case *ExprStmt:
+		line("ExprStmt")
+		dump(sb, x.X, depth+1)
+	case *Echo:
+		line("Echo")
+		for _, a := range x.Args {
+			dump(sb, a, depth+1)
+		}
+	case *Block:
+		line("Block")
+		for _, s := range x.Stmts {
+			dump(sb, s, depth+1)
+		}
+	case *If:
+		line("If")
+		dump(sb, x.Cond, depth+1)
+		dump(sb, x.Then, depth+1)
+		if x.Else != nil {
+			sb.WriteString(indent + "else:\n")
+			dump(sb, x.Else, depth+1)
+		}
+	case *While:
+		line("While")
+		dump(sb, x.Cond, depth+1)
+		dump(sb, x.Body, depth+1)
+	case *DoWhile:
+		line("DoWhile")
+		dump(sb, x.Body, depth+1)
+		dump(sb, x.Cond, depth+1)
+	case *For:
+		line("For")
+		for _, e := range x.Init {
+			dump(sb, e, depth+1)
+		}
+		for _, e := range x.Cond {
+			dump(sb, e, depth+1)
+		}
+		for _, e := range x.Post {
+			dump(sb, e, depth+1)
+		}
+		dump(sb, x.Body, depth+1)
+	case *Foreach:
+		line("Foreach byref=%v", x.ByRef)
+		dump(sb, x.Arr, depth+1)
+		if x.Key != nil {
+			dump(sb, x.Key, depth+1)
+		}
+		dump(sb, x.Val, depth+1)
+		dump(sb, x.Body, depth+1)
+	case *Switch:
+		line("Switch")
+		dump(sb, x.Subject, depth+1)
+		for _, c := range x.Cases {
+			if c.Cond == nil {
+				sb.WriteString(indent + "  default:\n")
+			} else {
+				sb.WriteString(indent + "  case:\n")
+				dump(sb, c.Cond, depth+2)
+			}
+			for _, s := range c.Stmts {
+				dump(sb, s, depth+2)
+			}
+		}
+	case *Break:
+		line("Break %d", x.Level)
+	case *Continue:
+		line("Continue %d", x.Level)
+	case *Return:
+		line("Return")
+		dump(sb, x.X, depth+1)
+	case *FuncDecl:
+		line("Function %s(%s)", x.Name, paramNames(x.Params))
+		for _, s := range x.Body {
+			dump(sb, s, depth+1)
+		}
+	case *ClassDecl:
+		line("Class %s", x.Name)
+		for _, m := range x.Methods {
+			dump(sb, m, depth+1)
+		}
+	case *ClassMethod:
+		line("Method %s(%s)", x.Name, paramNames(x.Params))
+		for _, s := range x.Body {
+			dump(sb, s, depth+1)
+		}
+	case *Global:
+		line("Global %s", strings.Join(x.Names, ", "))
+	case *StaticVars:
+		line("Static %s", strings.Join(x.Names, ", "))
+	case *Unset:
+		line("Unset")
+		for _, e := range x.Vars {
+			dump(sb, e, depth+1)
+		}
+	case *InlineHTML:
+		line("InlineHTML %d bytes", len(x.Text))
+	case *Nop:
+		line("Nop")
+	case *Try:
+		line("Try")
+		dump(sb, x.Body, depth+1)
+		for _, c := range x.Catches {
+			sb.WriteString(indent + "  catch " + strings.Join(c.Types, "|") + ":\n")
+			dump(sb, c.Body, depth+2)
+		}
+		if x.Finally != nil {
+			sb.WriteString(indent + "  finally:\n")
+			dump(sb, x.Finally, depth+2)
+		}
+	case *Throw:
+		line("Throw")
+		dump(sb, x.X, depth+1)
+	default:
+		line("?%T", n)
+	}
+}
+
+func paramNames(ps []Param) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = "$" + p.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,203 @@
+package phpast
+
+// Visitor is called for each node during a Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk performs a depth-first, pre-order traversal of the AST rooted at n,
+// invoking v for every node. nil children are skipped.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		walkStmts(x.Stmts, v)
+	case *InterpString:
+		walkExprs(x.Parts, v)
+	case *ArrayDim:
+		walkExpr(x.Arr, v)
+		walkExpr(x.Index, v)
+	case *ArrayLit:
+		for _, it := range x.Items {
+			walkExpr(it.Key, v)
+			walkExpr(it.Value, v)
+		}
+	case *ListExpr:
+		walkExprs(x.Items, v)
+	case *Unary:
+		walkExpr(x.X, v)
+	case *Binary:
+		walkExpr(x.L, v)
+		walkExpr(x.R, v)
+	case *Assign:
+		walkExpr(x.Target, v)
+		walkExpr(x.Value, v)
+	case *IncDec:
+		walkExpr(x.X, v)
+	case *Ternary:
+		walkExpr(x.Cond, v)
+		walkExpr(x.Then, v)
+		walkExpr(x.Else, v)
+	case *Cast:
+		walkExpr(x.X, v)
+	case *ErrorSuppress:
+		walkExpr(x.X, v)
+	case *Call:
+		walkExpr(x.Func, v)
+		walkExprs(x.Args, v)
+	case *MethodCall:
+		walkExpr(x.Obj, v)
+		walkExprs(x.Args, v)
+	case *StaticCall:
+		walkExprs(x.Args, v)
+	case *New:
+		walkExprs(x.Args, v)
+	case *PropFetch:
+		walkExpr(x.Obj, v)
+	case *Isset:
+		walkExprs(x.Vars, v)
+	case *Empty:
+		walkExpr(x.X, v)
+	case *Exit:
+		walkExpr(x.X, v)
+	case *Print:
+		walkExpr(x.X, v)
+	case *Include:
+		walkExpr(x.X, v)
+	case *Closure:
+		for _, p := range x.Params {
+			walkExpr(p.Default, v)
+		}
+		walkStmts(x.Body, v)
+	case *ExprStmt:
+		walkExpr(x.X, v)
+	case *Echo:
+		walkExprs(x.Args, v)
+	case *Block:
+		walkStmts(x.Stmts, v)
+	case *If:
+		walkExpr(x.Cond, v)
+		if x.Then != nil {
+			Walk(x.Then, v)
+		}
+		if x.Else != nil {
+			Walk(x.Else, v)
+		}
+	case *While:
+		walkExpr(x.Cond, v)
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *DoWhile:
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+		walkExpr(x.Cond, v)
+	case *For:
+		walkExprs(x.Init, v)
+		walkExprs(x.Cond, v)
+		walkExprs(x.Post, v)
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *Foreach:
+		walkExpr(x.Arr, v)
+		walkExpr(x.Key, v)
+		walkExpr(x.Val, v)
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *Switch:
+		walkExpr(x.Subject, v)
+		for _, c := range x.Cases {
+			walkExpr(c.Cond, v)
+			walkStmts(c.Stmts, v)
+		}
+	case *Return:
+		walkExpr(x.X, v)
+	case *FuncDecl:
+		for _, p := range x.Params {
+			walkExpr(p.Default, v)
+		}
+		walkStmts(x.Body, v)
+	case *ClassDecl:
+		for _, m := range x.Methods {
+			Walk(m, v)
+		}
+		for _, p := range x.Props {
+			walkExpr(p.Default, v)
+		}
+		for _, e := range x.Consts {
+			walkExpr(e, v)
+		}
+	case *ClassMethod:
+		for _, p := range x.Params {
+			walkExpr(p.Default, v)
+		}
+		walkStmts(x.Body, v)
+	case *StaticVars:
+		walkExprs(x.Inits, v)
+	case *Unset:
+		walkExprs(x.Vars, v)
+	case *Try:
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+		for _, c := range x.Catches {
+			if c.Body != nil {
+				Walk(c.Body, v)
+			}
+		}
+		if x.Finally != nil {
+			Walk(x.Finally, v)
+		}
+	case *Throw:
+		walkExpr(x.X, v)
+	}
+}
+
+func walkExpr(e Expr, v Visitor) {
+	if e != nil {
+		Walk(e, v)
+	}
+}
+
+func walkExprs(es []Expr, v Visitor) {
+	for _, e := range es {
+		walkExpr(e, v)
+	}
+}
+
+func walkStmts(ss []Stmt, v Visitor) {
+	for _, s := range ss {
+		if s != nil {
+			Walk(s, v)
+		}
+	}
+}
+
+// CalleeName returns the lower-cased function name of a call expression if
+// its callee is a simple name, and ok=false otherwise. PHP function names
+// are case-insensitive.
+func CalleeName(c *Call) (string, bool) {
+	if n, ok := c.Func.(*Name); ok {
+		return lowerASCII(n.Value), true
+	}
+	return "", false
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

@@ -1,0 +1,177 @@
+// Package report renders scan results in interchange formats. Besides the
+// human-readable text the CLI prints, it emits SARIF 2.1.0 — the static
+// analysis results interchange format GitHub code scanning and most
+// security dashboards ingest — so this reproduction is usable as a real
+// scanner, not only as an experiment harness.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/uchecker"
+)
+
+// SARIF document structures (the subset of SARIF 2.1.0 the findings need).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID              string            `json:"id"`
+	Name            string            `json:"name"`
+	ShortDesc       sarifText         `json:"shortDescription"`
+	FullDesc        sarifText         `json:"fullDescription"`
+	Help            sarifText         `json:"help"`
+	DefaultSeverity map[string]string `json:"defaultConfiguration"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	// RelatedLocations carry the other source lines contributing to the
+	// constraints (the paper's source-level feedback).
+	RelatedLocations []sarifLocation   `json:"relatedLocations,omitempty"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// ruleID is the single rule this scanner reports.
+const ruleID = "unrestricted-file-upload"
+
+// ToSARIF renders an AppReport as a SARIF 2.1.0 JSON document. Admin-gated
+// findings are downgraded to "warning"; verified findings are "error".
+func ToSARIF(rep *uchecker.AppReport) ([]byte, error) {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:    "uchecker-go",
+			Version: "1.0.0",
+			Rules: []sarifRule{{
+				ID:   ruleID,
+				Name: "UnrestrictedFileUpload",
+				ShortDesc: sarifText{
+					Text: "Unrestricted file upload",
+				},
+				FullDesc: sarifText{
+					Text: "An attacker-controlled filename can reach a file-writing sink with an executable extension (.php/.php5), allowing remote code execution once the uploaded file is requested.",
+				},
+				Help: sarifText{
+					Text: "Validate the extension against a whitelist before persisting the upload, or store under a server-generated name with a constant safe extension.",
+				},
+				DefaultSeverity: map[string]string{"level": "error"},
+			}},
+		}},
+		Results: []sarifResult{},
+	}
+	for _, f := range rep.Findings {
+		level := "error"
+		if f.AdminGated {
+			level = "warning"
+		}
+		msg := fmt.Sprintf("%s() stores an upload whose name the client controls; a %q-style name executes on the server.",
+			f.Sink, exploitHint(f))
+		res := sarifResult{
+			RuleID:  ruleID,
+			Level:   level,
+			Message: sarifText{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line},
+				},
+			}},
+			Properties: map[string]string{
+				"seDst":       f.SeDst,
+				"seReach":     f.SeReach,
+				"exploitPath": f.ExploitPath,
+				"witness":     witnessString(f),
+			},
+		}
+		for _, ln := range f.Lines {
+			if ln == f.Line {
+				continue
+			}
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: ln},
+				},
+				Message: &sarifText{Text: "contributes to the upload path or its guard"},
+			})
+		}
+		run.Results = append(run.Results, res)
+	}
+	doc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func exploitHint(f uchecker.Finding) string {
+	if f.ExploitPath != "" {
+		return f.ExploitPath
+	}
+	return "shell.php"
+}
+
+// witnessString renders the witness deterministically (sorted keys).
+func witnessString(f uchecker.Finding) string {
+	keys := make([]string, 0, len(f.Witness))
+	for k := range f.Witness {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s=%s", k, f.Witness[k])
+	}
+	return out
+}

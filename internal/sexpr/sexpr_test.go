@@ -1,0 +1,139 @@
+package sexpr
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Expr
+		want string
+	}{
+		{"string", StrVal(".php"), `".php"`},
+		{"int", IntVal(55), "55"},
+		{"negative", IntVal(-3), "-3"},
+		{"bool", BoolVal(true), "true"},
+		{"null", NullVal{}, "null"},
+		{"sym", NewSym("s_ext", String), "s_ext"},
+		{
+			"paper reachability",
+			NewApp(">", Bool,
+				NewApp("+", Int, NewSym("s", Int), IntVal(55)),
+				IntVal(10)),
+			"(> (+ s 55) 10)",
+		},
+		{
+			"paper dst",
+			NewApp(".", String,
+				NewSym("s_path", String),
+				NewApp(".", String,
+					StrVal("/"),
+					NewApp(".", String, NewSym("s_name", String), NewSym("s_ext", String)))),
+			`(. s_path (. "/" (. s_name s_ext)))`,
+		},
+		{"nil arg", NewApp("f", Unknown, nil), "(f nil)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Format(tt.e); got != tt.want {
+				t.Errorf("Format = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFormatNil(t *testing.T) {
+	if Format(nil) != "nil" {
+		t.Error("Format(nil)")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewApp(".", String, NewSym("x", String), StrVal("/"))
+	b := NewApp(".", String, NewSym("x", String), StrVal("/"))
+	c := NewApp(".", String, NewSym("y", String), StrVal("/"))
+	if !Equal(a, b) {
+		t.Error("equal structures should be Equal")
+	}
+	if Equal(a, c) {
+		t.Error("different symbols should differ")
+	}
+	if Equal(StrVal("a"), IntVal(1)) {
+		t.Error("different kinds should differ")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling")
+	}
+	if !Equal(NullVal{}, NullVal{}) {
+		t.Error("null equality")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	e := NewApp("&&", Bool,
+		NewApp(">", Bool, NewSym("a", Int), IntVal(1)),
+		NewApp("==", Bool, NewSym("b", String), NewSym("a", Int)))
+	syms := Symbols(e)
+	names := make([]string, len(syms))
+	for i, s := range syms {
+		names[i] = s.Name
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Errorf("symbols = %v", names)
+	}
+}
+
+func TestStringLits(t *testing.T) {
+	e := NewApp(".", String, StrVal("/"), NewApp(".", String, StrVal(".php"), StrVal("/")))
+	got := StringLits(e)
+	if !reflect.DeepEqual(got, []string{"/", ".php"}) {
+		t.Errorf("lits = %v", got)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	if StrVal("x").Kind() != String || IntVal(1).Kind() != Int ||
+		BoolVal(true).Kind() != Bool || FloatVal(1).Kind() != Float ||
+		(NullVal{}).Kind() != Null {
+		t.Error("value kinds")
+	}
+	if NewSym("s", Array).Kind() != Array {
+		t.Error("sym kind")
+	}
+	if NewApp("f", Unknown).Kind() != Unknown {
+		t.Error("app kind")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		Bool: "bool", Int: "int", Float: "float", String: "string",
+		Array: "array", Null: "null", Unknown: "⊥",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %s, want %s", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	e := NewApp("+", Int, IntVal(1), NewApp("-", Int, IntVal(2), IntVal(3)))
+	var ops []string
+	Walk(e, func(x Expr) {
+		if a, ok := x.(*App); ok {
+			ops = append(ops, a.Op)
+		}
+	})
+	if !reflect.DeepEqual(ops, []string{"+", "-"}) {
+		t.Errorf("walk order = %v", ops)
+	}
+}
+
+func TestGoString(t *testing.T) {
+	if got := GoString(StrVal("x")); got != `sexpr("x")` {
+		t.Errorf("GoString = %q", got)
+	}
+}

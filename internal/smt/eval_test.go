@@ -1,0 +1,182 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalOK(t *testing.T, term *Term, m Model) Value {
+	t.Helper()
+	v, err := Eval(term, m)
+	if err != nil {
+		t.Fatalf("Eval(%s) error: %v", term, err)
+	}
+	return v
+}
+
+func TestEvalConstants(t *testing.T) {
+	if v := evalOK(t, True(), nil); !v.B {
+		t.Error("true != true")
+	}
+	if v := evalOK(t, Int(-5), nil); v.I != -5 {
+		t.Errorf("int = %d", v.I)
+	}
+	if v := evalOK(t, Str("x"), nil); v.S != "x" {
+		t.Errorf("str = %q", v.S)
+	}
+}
+
+func TestEvalVariables(t *testing.T) {
+	m := Model{"x": IntValue(7), "s": StrValue("hi"), "b": BoolValue(true)}
+	if v := evalOK(t, Var("x", SortInt), m); v.I != 7 {
+		t.Errorf("x = %d", v.I)
+	}
+	if _, err := Eval(Var("missing", SortInt), m); err == nil {
+		t.Error("expected unbound-variable error")
+	}
+	if _, err := Eval(Var("s", SortInt), m); err == nil {
+		t.Error("expected sort-mismatch error")
+	}
+}
+
+func TestEvalBooleanOps(t *testing.T) {
+	tests := []struct {
+		name string
+		term *Term
+		want bool
+	}{
+		{"not", Not(False()), true},
+		{"and tt", And(True(), True()), true},
+		{"and tf", And(True(), False()), false},
+		{"or ff", Or(False(), False()), false},
+		{"or ft", Or(False(), True()), true},
+		{"eq int", Eq(Int(3), Int(3)), true},
+		{"eq str", Eq(Str("a"), Str("b")), false},
+		{"eq bool", Eq(True(), True()), true},
+		{"ite", Eq(Ite(True(), Int(1), Int(2)), Int(1)), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if v := evalOK(t, tt.term, nil); v.B != tt.want {
+				t.Errorf("= %v, want %v", v.B, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		term *Term
+		want int64
+	}{
+		{"add", Add(Int(1), Int(2), Int(3)), 6},
+		{"sub", Sub(Int(10), Int(4)), 6},
+		{"mul", Mul(Int(3), Int(-2)), -6},
+		{"neg", Neg(Int(5)), -5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if v := evalOK(t, tt.term, nil); v.I != tt.want {
+				t.Errorf("= %d, want %d", v.I, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	tests := []struct {
+		term *Term
+		want bool
+	}{
+		{Lt(Int(1), Int(2)), true},
+		{Lt(Int(2), Int(2)), false},
+		{Le(Int(2), Int(2)), true},
+		{Gt(Int(3), Int(2)), true},
+		{Ge(Int(1), Int(2)), false},
+	}
+	for _, tt := range tests {
+		if v := evalOK(t, tt.term, nil); v.B != tt.want {
+			t.Errorf("%s = %v, want %v", tt.term, v.B, tt.want)
+		}
+	}
+}
+
+func TestEvalStringOps(t *testing.T) {
+	tests := []struct {
+		name string
+		term *Term
+		want Value
+	}{
+		{"concat", Concat(Str("a"), Str("b"), Str("c")), StrValue("abc")},
+		{"len", Len(Str("hello")), IntValue(5)},
+		{"len empty", Len(Str("")), IntValue(0)},
+		{"suffixof yes", SuffixOf(Str(".php"), Str("a.php")), BoolValue(true)},
+		{"suffixof no", SuffixOf(Str(".php"), Str("a.gif")), BoolValue(false)},
+		{"suffixof empty", SuffixOf(Str(""), Str("x")), BoolValue(true)},
+		{"prefixof", PrefixOf(Str("ab"), Str("abc")), BoolValue(true)},
+		{"contains", Contains(Str("hello"), Str("ell")), BoolValue(true)},
+		{"indexof found", IndexOf(Str("hello"), Str("l"), Int(0)), IntValue(2)},
+		{"indexof from", IndexOf(Str("hello"), Str("l"), Int(3)), IntValue(3)},
+		{"indexof missing", IndexOf(Str("hello"), Str("z"), Int(0)), IntValue(-1)},
+		{"indexof neg from", IndexOf(Str("hello"), Str("l"), Int(-1)), IntValue(-1)},
+		{"indexof empty", IndexOf(Str("hi"), Str(""), Int(1)), IntValue(1)},
+		{"replace", Replace(Str("a.b.c"), Str("."), Str("-")), StrValue("a-b.c")},
+		{"replace missing", Replace(Str("abc"), Str("z"), Str("-")), StrValue("abc")},
+		{"replace empty old", Replace(Str("abc"), Str(""), Str("X")), StrValue("Xabc")},
+		{"substr", Substr(Str("hello"), Int(1), Int(3)), StrValue("ell")},
+		{"substr overrun", Substr(Str("hi"), Int(1), Int(10)), StrValue("i")},
+		{"substr out of range", Substr(Str("hi"), Int(5), Int(1)), StrValue("")},
+		{"substr neg len", Substr(Str("hi"), Int(0), Int(-1)), StrValue("")},
+		{"to.int", ToInt(Str("42")), IntValue(42)},
+		{"to.int leading zero", ToInt(Str("007")), IntValue(7)},
+		{"to.int nondigit", ToInt(Str("4a")), IntValue(-1)},
+		{"to.int empty", ToInt(Str("")), IntValue(-1)},
+		{"to.int negative sign", ToInt(Str("-3")), IntValue(-1)},
+		{"from.int", FromInt(Int(42)), StrValue("42")},
+		{"from.int negative", FromInt(Int(-1)), StrValue("")},
+		{"at", At(Str("abc"), Int(1)), StrValue("b")},
+		{"at out of range", At(Str("abc"), Int(9)), StrValue("")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := evalOK(t, tt.term, nil)
+			if v != tt.want {
+				t.Errorf("= %v, want %v", v, tt.want)
+			}
+		})
+	}
+}
+
+// Property: concat length equals sum of part lengths.
+func TestEvalConcatLenProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		v := evalOK(t, Len(Concat(Str(a), Str(b), Str(c))), nil)
+		return v.I == int64(len(a)+len(b)+len(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: suffixof agrees with strings.HasSuffix via concat.
+func TestEvalSuffixConcatProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		v := evalOK(t, SuffixOf(Str(b), Concat(Str(a), Str(b))), nil)
+		return v.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: substr never panics and always returns a substring.
+func TestEvalSubstrProperty(t *testing.T) {
+	f := func(s string, off, length int16) bool {
+		v := evalOK(t, Substr(Str(s), Int(int64(off)), Int(int64(length))), nil)
+		return len(v.S) <= len(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,556 @@
+package smt
+
+import "strings"
+
+// Simplify rewrites t into an equivalent, usually smaller term. It performs
+// constant folding across all operations plus structural string reasoning:
+// concatenation flattening and constant merging, suffix/prefix
+// decomposition over concatenations, length-of-concatenation arithmetic,
+// boolean unit propagation, and complement detection. Simplification is the
+// solver's "cheap deduction" layer: many unsatisfiable constraints (e.g. a
+// ".php"-suffix requirement against a constant ".zip" tail) fold to false
+// here without any search.
+func Simplify(t *Term) *Term {
+	cur := t
+	for i := 0; i < 8; i++ {
+		next := simplify1(cur)
+		if Equal(next, cur) {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// simplify1 is one bottom-up rewriting pass.
+func simplify1(t *Term) *Term {
+	if t == nil || t.IsConst() || t.Op == OpVar {
+		return t
+	}
+	args := make([]*Term, len(t.Args))
+	ground := true
+	for i, a := range t.Args {
+		args[i] = simplify1(a)
+		if !args[i].IsConst() {
+			ground = false
+		}
+	}
+	n := &Term{Op: t.Op, sort: t.sort, B: t.B, I: t.I, S: t.S, Args: args}
+
+	// Ground term: fold through the evaluator.
+	if ground && t.Op != OpVar {
+		if v, err := Eval(n, nil); err == nil {
+			return constOf(v)
+		}
+	}
+
+	switch n.Op {
+	case OpNot:
+		return simplifyNot(n)
+	case OpAnd:
+		return simplifyAndOr(n, true)
+	case OpOr:
+		return simplifyAndOr(n, false)
+	case OpEq:
+		return simplifyEq(n)
+	case OpIte:
+		if args[0].Op == OpBoolConst {
+			if args[0].B {
+				return args[1]
+			}
+			return args[2]
+		}
+		if Equal(args[1], args[2]) {
+			return args[1]
+		}
+		return n
+	case OpConcat:
+		return simplifyConcat(n)
+	case OpLen:
+		return simplifyLen(n)
+	case OpSuffixOf:
+		return simplifySuffixOf(n)
+	case OpPrefixOf:
+		return simplifyPrefixOf(n)
+	case OpContains:
+		return simplifyContains(n)
+	case OpAdd:
+		return simplifyAdd(n)
+	case OpLt, OpLe, OpGt, OpGe:
+		return simplifyCmp(n)
+	default:
+		return n
+	}
+}
+
+func constOf(v Value) *Term {
+	switch v.Sort {
+	case SortBool:
+		return Bool(v.B)
+	case SortInt:
+		return Int(v.I)
+	default:
+		return Str(v.S)
+	}
+}
+
+func simplifyNot(n *Term) *Term {
+	x := n.Args[0]
+	switch x.Op {
+	case OpBoolConst:
+		return Bool(!x.B)
+	case OpNot:
+		return x.Args[0]
+	}
+	return n
+}
+
+func simplifyAndOr(n *Term, isAnd bool) *Term {
+	unit := isAnd      // true is the unit of and, false of or
+	absorber := !isAnd // false absorbs and, true absorbs or
+	var flat []*Term
+	for _, a := range n.Args {
+		if a.Op == n.Op {
+			flat = append(flat, a.Args...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	var kept []*Term
+	for _, a := range flat {
+		if a.Op == OpBoolConst {
+			if a.B == absorber {
+				return Bool(absorber)
+			}
+			if a.B == unit {
+				continue
+			}
+		}
+		// Deduplicate.
+		dup := false
+		for _, k := range kept {
+			if Equal(k, a) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, a)
+		}
+	}
+	// Complement detection: x and not x.
+	for _, a := range kept {
+		for _, b := range kept {
+			if a.Op == OpNot && Equal(a.Args[0], b) {
+				return Bool(absorber)
+			}
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Bool(unit)
+	case 1:
+		return kept[0]
+	}
+	return &Term{Op: n.Op, sort: SortBool, Args: kept}
+}
+
+func simplifyEq(n *Term) *Term {
+	a, b := n.Args[0], n.Args[1]
+	if Equal(a, b) {
+		return True()
+	}
+	if a.IsConst() && b.IsConst() {
+		// Different constants (Equal already ruled out same).
+		return False()
+	}
+	// Lift equality over ite: (= (ite c x y) k) → (ite c (= x k) (= y k)).
+	// NNF later expands the boolean ite into a disjunction, so guard
+	// patterns like (= (ite match 1 0) 0) reduce to ¬match.
+	if a.Op == OpIte {
+		return simplify1(Ite(a.Args[0], Eq(a.Args[1], b), Eq(a.Args[2], b)))
+	}
+	if b.Op == OpIte {
+		return simplify1(Ite(b.Args[0], Eq(a, b.Args[1]), Eq(a, b.Args[2])))
+	}
+	if a.Sort() == SortString {
+		return simplifyStrEq(n, a, b)
+	}
+	return n
+}
+
+// simplifyStrEq strips common constant prefixes and suffixes from string
+// equalities over concatenations and detects constant mismatches.
+func simplifyStrEq(n *Term, a, b *Term) *Term {
+	la, lb := concatParts(a), concatParts(b)
+	// Strip common constant prefix.
+	for len(la) > 0 && len(lb) > 0 {
+		x, y := la[0], lb[0]
+		if x.Op == OpStrConst && y.Op == OpStrConst && x.S != y.S {
+			p := commonPrefix(x.S, y.S)
+			if p == 0 {
+				return False()
+			}
+			la[0], lb[0] = Str(x.S[p:]), Str(y.S[p:])
+			if la[0].S == "" {
+				la = la[1:]
+			}
+			if lb[0].S == "" {
+				lb = lb[1:]
+			}
+			continue
+		}
+		if Equal(x, y) {
+			la, lb = la[1:], lb[1:]
+			continue
+		}
+		break
+	}
+	// Strip common constant suffix.
+	for len(la) > 0 && len(lb) > 0 {
+		x, y := la[len(la)-1], lb[len(lb)-1]
+		if x.Op == OpStrConst && y.Op == OpStrConst && x.S != y.S {
+			p := commonSuffix(x.S, y.S)
+			if p == 0 {
+				return False()
+			}
+			la[len(la)-1] = Str(x.S[:len(x.S)-p])
+			lb[len(lb)-1] = Str(y.S[:len(y.S)-p])
+			if la[len(la)-1].S == "" {
+				la = la[:len(la)-1]
+			}
+			if lb[len(lb)-1].S == "" {
+				lb = lb[:len(lb)-1]
+			}
+			continue
+		}
+		if Equal(x, y) {
+			la, lb = la[:len(la)-1], lb[:len(lb)-1]
+			continue
+		}
+		break
+	}
+	na, nb := Concat(la...), Concat(lb...)
+	if Equal(na, nb) {
+		return True()
+	}
+	if na.IsConst() && nb.IsConst() {
+		return Bool(na.S == nb.S)
+	}
+	// An empty side forces every remaining part of the other side empty.
+	if na.Op == OpStrConst && na.S == "" && nb.Op == OpConcat {
+		parts := make([]*Term, 0, len(nb.Args))
+		for _, p := range nb.Args {
+			parts = append(parts, Eq(p, Str("")))
+		}
+		return simplifyAndOr(And(parts...), true)
+	}
+	if nb.Op == OpStrConst && nb.S == "" && na.Op == OpConcat {
+		parts := make([]*Term, 0, len(na.Args))
+		for _, p := range na.Args {
+			parts = append(parts, Eq(p, Str("")))
+		}
+		return simplifyAndOr(And(parts...), true)
+	}
+	if Equal(na, n.Args[0]) && Equal(nb, n.Args[1]) {
+		return n
+	}
+	return Eq(na, nb)
+}
+
+// concatParts returns the flattened concatenation parts of a string term
+// (a copy safe to mutate), merging adjacent constants.
+func concatParts(t *Term) []*Term {
+	var parts []*Term
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if x.Op == OpConcat {
+			for _, a := range x.Args {
+				walk(a)
+			}
+			return
+		}
+		parts = append(parts, x)
+	}
+	walk(t)
+	return mergeConstParts(parts)
+}
+
+func mergeConstParts(parts []*Term) []*Term {
+	var out []*Term
+	for _, p := range parts {
+		if p.Op == OpStrConst && p.S == "" {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Op == OpStrConst && p.Op == OpStrConst {
+			out[len(out)-1] = Str(out[len(out)-1].S + p.S)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func commonPrefix(a, b string) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func commonSuffix(a, b string) int {
+	i := 0
+	for i < len(a) && i < len(b) && a[len(a)-1-i] == b[len(b)-1-i] {
+		i++
+	}
+	return i
+}
+
+func simplifyConcat(n *Term) *Term {
+	parts := concatParts(n)
+	return Concat(parts...)
+}
+
+func simplifyLen(n *Term) *Term {
+	x := n.Args[0]
+	switch x.Op {
+	case OpStrConst:
+		return Int(int64(len(x.S)))
+	case OpConcat:
+		// len(a ++ b) = len a + len b, folding constant parts.
+		var constSum int64
+		var terms []*Term
+		for _, p := range x.Args {
+			if p.Op == OpStrConst {
+				constSum += int64(len(p.S))
+				continue
+			}
+			terms = append(terms, Len(p))
+		}
+		if constSum != 0 || len(terms) == 0 {
+			terms = append(terms, Int(constSum))
+		}
+		return simplifyAdd(Add(terms...))
+	case OpFromInt:
+		return n
+	}
+	return n
+}
+
+func simplifySuffixOf(n *Term) *Term {
+	suffix, s := n.Args[0], n.Args[1]
+	if suffix.Op == OpStrConst {
+		if suffix.S == "" {
+			return True()
+		}
+		parts := concatParts(s)
+		suf := suffix.S
+		// Peel constant tail parts.
+		for len(parts) > 0 {
+			last := parts[len(parts)-1]
+			if last.Op != OpStrConst {
+				break
+			}
+			if len(last.S) >= len(suf) {
+				return Bool(strings.HasSuffix(last.S, suf))
+			}
+			if !strings.HasSuffix(suf, last.S) {
+				return False()
+			}
+			suf = suf[:len(suf)-len(last.S)]
+			parts = parts[:len(parts)-1]
+		}
+		if len(parts) == 0 {
+			return Bool(suf == "")
+		}
+		return SuffixOf(Str(suf), Concat(parts...))
+	}
+	if Equal(suffix, s) {
+		return True()
+	}
+	return n
+}
+
+func simplifyPrefixOf(n *Term) *Term {
+	prefix, s := n.Args[0], n.Args[1]
+	if prefix.Op == OpStrConst {
+		if prefix.S == "" {
+			return True()
+		}
+		parts := concatParts(s)
+		pre := prefix.S
+		for len(parts) > 0 {
+			first := parts[0]
+			if first.Op != OpStrConst {
+				break
+			}
+			if len(first.S) >= len(pre) {
+				return Bool(strings.HasPrefix(first.S, pre))
+			}
+			if !strings.HasPrefix(pre, first.S) {
+				return False()
+			}
+			pre = pre[len(first.S):]
+			parts = parts[1:]
+		}
+		if len(parts) == 0 {
+			return Bool(pre == "")
+		}
+		return PrefixOf(Str(pre), Concat(parts...))
+	}
+	if Equal(prefix, s) {
+		return True()
+	}
+	return n
+}
+
+func simplifyContains(n *Term) *Term {
+	s, sub := n.Args[0], n.Args[1]
+	if sub.Op == OpStrConst {
+		if sub.S == "" {
+			return True()
+		}
+		// If any single constant part already contains sub, true.
+		if s.Op == OpConcat {
+			for _, p := range s.Args {
+				if p.Op == OpStrConst && strings.Contains(p.S, sub.S) {
+					return True()
+				}
+			}
+		}
+	}
+	if Equal(s, sub) {
+		return True()
+	}
+	return n
+}
+
+func simplifyAdd(n *Term) *Term {
+	var flat []*Term
+	var walk func(*Term)
+	walk = func(x *Term) {
+		if x.Op == OpAdd {
+			for _, a := range x.Args {
+				walk(a)
+			}
+			return
+		}
+		flat = append(flat, x)
+	}
+	walk(n)
+	var constSum int64
+	var terms []*Term
+	for _, p := range flat {
+		if p.Op == OpIntConst {
+			constSum += p.I
+			continue
+		}
+		terms = append(terms, p)
+	}
+	if constSum != 0 || len(terms) == 0 {
+		terms = append(terms, Int(constSum))
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return &Term{Op: OpAdd, sort: SortInt, Args: terms}
+}
+
+// simplifyCmp normalizes comparisons whose sides share constant offsets,
+// e.g. (> (+ x 4) 10) → (> x 6), and evaluates len-vs-negative bounds:
+// str.len is always >= 0, so (>= (str.len e) 0) is true.
+func simplifyCmp(n *Term) *Term {
+	a, b := n.Args[0], n.Args[1]
+	// Canonicalize: constant offsets live only on the right-hand side, so
+	// bounds like (> (+ n -2) (str.len s)) normalize to
+	// (> n (+ (str.len s) 2)) and the moved constant becomes visible to
+	// candidate seeding. Moving in one direction only keeps this
+	// terminating.
+	if hasConstPart(a) {
+		rest, c := splitConst(a)
+		if c != 0 && rest != nil {
+			return simplifyCmp(&Term{Op: n.Op, sort: SortBool,
+				Args: []*Term{rest, simplifyAdd(Add(b, Int(-c)))}})
+		}
+	}
+	// Nonnegativity of lengths.
+	if isNonNegative(a) && b.Op == OpIntConst {
+		switch n.Op {
+		case OpGe:
+			if b.I <= 0 {
+				return True()
+			}
+		case OpGt:
+			if b.I < 0 {
+				return True()
+			}
+		case OpLt:
+			if b.I <= 0 {
+				return False()
+			}
+		case OpLe:
+			if b.I < 0 {
+				return False()
+			}
+		}
+	}
+	return n
+}
+
+// hasConstPart reports whether t is an Add with a non-zero constant
+// contribution alongside non-constant parts.
+func hasConstPart(t *Term) bool {
+	if t.Op != OpAdd {
+		return false
+	}
+	hasConst, hasOther := false, false
+	for _, p := range t.Args {
+		if p.Op == OpIntConst {
+			if p.I != 0 {
+				hasConst = true
+			}
+		} else {
+			hasOther = true
+		}
+	}
+	return hasConst && hasOther
+}
+
+// splitConst separates an Add into its non-constant remainder and the
+// summed constant part. rest is nil when everything was constant.
+func splitConst(t *Term) (rest *Term, c int64) {
+	if t.Op != OpAdd {
+		return t, 0
+	}
+	var parts []*Term
+	for _, p := range t.Args {
+		if p.Op == OpIntConst {
+			c += p.I
+		} else {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, c
+	}
+	return Add(parts...), c
+}
+
+// isNonNegative reports terms that are always >= 0.
+func isNonNegative(t *Term) bool {
+	switch t.Op {
+	case OpLen:
+		return true
+	case OpIntConst:
+		return t.I >= 0
+	case OpAdd, OpMul:
+		for _, a := range t.Args {
+			if !isNonNegative(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

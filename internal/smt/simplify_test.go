@@ -1,0 +1,231 @@
+package smt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyConstFold(t *testing.T) {
+	tests := []struct {
+		name string
+		in   *Term
+		want *Term
+	}{
+		{"add", Add(Int(1), Int(2)), Int(3)},
+		{"concat", Concat(Str("a"), Str("b")), Str("ab")},
+		{"len", Len(Str("abc")), Int(3)},
+		{"cmp", Gt(Int(3), Int(2)), True()},
+		{"suffix", SuffixOf(Str(".php"), Str("x.php")), True()},
+		{"not", Not(True()), False()},
+		{"eq", Eq(Str("a"), Str("a")), True()},
+		{"eq diff", Eq(Str("a"), Str("b")), False()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !Equal(got, tt.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimplifyBooleanStructure(t *testing.T) {
+	x := Var("x", SortBool)
+	y := Var("y", SortBool)
+	tests := []struct {
+		name string
+		in   *Term
+		want *Term
+	}{
+		{"and unit", And(True(), x), x},
+		{"and absorb", And(False(), x), False()},
+		{"or unit", Or(False(), x), x},
+		{"or absorb", Or(True(), x), True()},
+		{"double neg", Not(Not(x)), x},
+		{"and dedup", And(x, x), x},
+		{"complement", And(x, Not(x)), False()},
+		{"or complement", Or(x, Not(x)), True()},
+		{"flatten", And(And(x, y), True()), And(x, y)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !Equal(got, tt.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimplifyConcatStructure(t *testing.T) {
+	x := Var("x", SortString)
+	got := Simplify(Concat(Str("a"), Str("b"), x, Str(""), Str("c"), Str("d")))
+	want := Concat(Str("ab"), x, Str("cd"))
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifyLenConcat(t *testing.T) {
+	x := Var("x", SortString)
+	got := Simplify(Len(Concat(Str("ab"), x, Str("c"))))
+	// len = len(x) + 3
+	want := Add(Len(x), Int(3))
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifySuffixDecomposition(t *testing.T) {
+	x := Var("x", SortString)
+	tests := []struct {
+		name string
+		in   *Term
+		want *Term
+	}{
+		// suffix fully inside the constant tail: decidable.
+		{"const tail covers", SuffixOf(Str(".php"), Concat(x, Str("name.php"))), True()},
+		{"const tail mismatch", SuffixOf(Str(".php"), Concat(x, Str("name.zip"))), False()},
+		// WP Demo Buddy shape: ".zip" required but tail is constant ".php".
+		{"zip vs php", SuffixOf(Str("zip"), Concat(x, Str(".php"))), False()},
+		// suffix longer than constant tail: peel and keep residue.
+		{"peel", SuffixOf(Str("a.php"), Concat(x, Str("php"))), SuffixOf(Str("a."), x)},
+		{"empty suffix", SuffixOf(Str(""), x), True()},
+		{"self", SuffixOf(x, x), True()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !Equal(got, tt.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimplifyPrefixDecomposition(t *testing.T) {
+	x := Var("x", SortString)
+	tests := []struct {
+		name string
+		in   *Term
+		want *Term
+	}{
+		{"const head covers", PrefixOf(Str("/tmp"), Concat(Str("/tmp/up"), x)), True()},
+		{"const head mismatch", PrefixOf(Str("/var"), Concat(Str("/tmp/"), x)), False()},
+		{"peel", PrefixOf(Str("/tmp/x"), Concat(Str("/tmp/"), x)), PrefixOf(Str("x"), x)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !Equal(got, tt.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimplifyStrEq(t *testing.T) {
+	x := Var("x", SortString)
+	y := Var("y", SortString)
+	tests := []struct {
+		name string
+		in   *Term
+		want *Term
+	}{
+		{"strip prefix", Eq(Concat(Str("a"), x), Concat(Str("a"), y)), Eq(x, y)},
+		{"strip suffix const", Eq(Concat(x, Str(".php")), Str("a.php")), Eq(x, Str("a"))},
+		{"prefix mismatch", Eq(Concat(Str("a"), x), Concat(Str("b"), y)), False()},
+		{"empty forces parts", Eq(Concat(x, Str("k")), Str("")), False()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simplify(tt.in)
+			if !Equal(got, tt.want) {
+				t.Errorf("Simplify(%s) = %s, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimplifyCmpNormalization(t *testing.T) {
+	x := Var("x", SortInt)
+	got := Simplify(Gt(Add(x, Int(4)), Int(10)))
+	want := Gt(x, Int(6))
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifyLenNonNegative(t *testing.T) {
+	s := Var("s", SortString)
+	if got := Simplify(Ge(Len(s), Int(0))); !Equal(got, True()) {
+		t.Errorf("len >= 0 should fold to true, got %s", got)
+	}
+	if got := Simplify(Lt(Len(s), Int(0))); !Equal(got, False()) {
+		t.Errorf("len < 0 should fold to false, got %s", got)
+	}
+}
+
+func TestSimplifyIte(t *testing.T) {
+	x := Var("x", SortInt)
+	if got := Simplify(Ite(True(), x, Int(1))); !Equal(got, x) {
+		t.Errorf("ite true = %s", got)
+	}
+	if got := Simplify(Ite(Var("c", SortBool), x, x)); !Equal(got, x) {
+		t.Errorf("ite same = %s", got)
+	}
+}
+
+// Property: simplification preserves meaning under random models.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	x := Var("x", SortString)
+	n := Var("n", SortInt)
+	b := Var("b", SortBool)
+	terms := []*Term{
+		SuffixOf(Str(".php"), Concat(x, Str(".php"))),
+		SuffixOf(Str(".php"), Concat(Str("dir/"), x)),
+		And(b, Gt(Add(Len(x), Int(2)), n)),
+		Or(Not(b), Eq(Concat(Str("p"), x), Str("pq"))),
+		Eq(Len(Concat(x, Str("ab"))), Add(n, Int(2))),
+		Not(And(b, Not(b))),
+		Contains(Concat(Str("aa"), x), Str("a")),
+	}
+	f := func(sv string, iv int16, bv bool) bool {
+		m := Model{"x": StrValue(sv), "n": IntValue(int64(iv)), "b": BoolValue(bv)}
+		for _, term := range terms {
+			orig, err1 := Eval(term, m)
+			simp, err2 := Eval(Simplify(term), m)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if orig.B != simp.B {
+				t.Logf("term %s: orig %v simp %v under %v", term, orig, simp, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simplify is idempotent.
+func TestSimplifyIdempotent(t *testing.T) {
+	x := Var("x", SortString)
+	n := Var("n", SortInt)
+	terms := []*Term{
+		SuffixOf(Str("a.php"), Concat(x, Str("php"))),
+		And(Gt(Len(x), n), Eq(x, Str("q"))),
+		Len(Concat(Str("ab"), x)),
+		Or(Eq(n, Int(1)), Eq(n, Int(2)), Eq(n, Int(1))),
+	}
+	for _, term := range terms {
+		once := Simplify(term)
+		twice := Simplify(once)
+		if !Equal(once, twice) {
+			t.Errorf("not idempotent: %s -> %s -> %s", term, once, twice)
+		}
+	}
+}

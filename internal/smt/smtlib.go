@@ -1,0 +1,105 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// smtlibOpNames maps opcodes to their official SMT-LIB 2.6 names where they
+// differ from Op.String().
+var smtlibOpNames = map[Op]string{
+	OpToInt:   "str.to_int",
+	OpFromInt: "str.from_int",
+	OpNeg:     "-",
+}
+
+// ToSMTLIB2 renders f as a complete SMT-LIB 2 script: set-logic,
+// declarations for every free variable, a single assert, check-sat and
+// get-model. The output is accepted by Z3 and cvc5, which keeps this
+// reproduction cross-checkable against the solvers the paper used.
+func ToSMTLIB2(f *Term) string {
+	var sb strings.Builder
+	sb.WriteString("(set-logic QF_SLIA)\n")
+	for _, v := range Vars(f) {
+		fmt.Fprintf(&sb, "(declare-const %s %s)\n", sanitizeName(v.S), v.Sort())
+	}
+	sb.WriteString("(assert ")
+	writeSMTLIB(&sb, f)
+	sb.WriteString(")\n(check-sat)\n(get-model)\n")
+	return sb.String()
+}
+
+func writeSMTLIB(sb *strings.Builder, t *Term) {
+	switch t.Op {
+	case OpBoolConst:
+		if t.B {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case OpIntConst:
+		if t.I < 0 {
+			fmt.Fprintf(sb, "(- %d)", -t.I)
+		} else {
+			fmt.Fprintf(sb, "%d", t.I)
+		}
+	case OpStrConst:
+		sb.WriteString(quoteSMT(t.S))
+	case OpVar:
+		sb.WriteString(sanitizeName(t.S))
+	default:
+		name, ok := smtlibOpNames[t.Op]
+		if !ok {
+			name = t.Op.String()
+		}
+		sb.WriteByte('(')
+		sb.WriteString(name)
+		for _, a := range t.Args {
+			sb.WriteByte(' ')
+			writeSMTLIB(sb, a)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// sanitizeName maps internal symbol names onto valid SMT-LIB simple
+// symbols. Internal names may contain '$' (from PHP superglobals) which is
+// legal in SMT-LIB simple symbols, but characters like '[' are not; those
+// are replaced by '_'.
+func sanitizeName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !isSMTSymbolChar(name[i]) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var sb strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if isSMTSymbolChar(c) {
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+func isSMTSymbolChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	switch c {
+	case '~', '!', '@', '$', '%', '^', '&', '*', '_', '-', '+', '=', '<', '>', '.', '?', '/':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,406 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Status is a solver verdict.
+type Status int
+
+// Verdicts.
+const (
+	// Unknown means the solver exceeded a budget before finding a model or
+	// exhausting its bounded search space.
+	Unknown Status = iota
+	// Sat means a model was found and verified by evaluation.
+	Sat
+	// Unsat means the formula was refuted: either the simplifier reduced it
+	// to false, or the bounded candidate space for every DNF cube was
+	// exhausted. The latter is complete only for the candidate space
+	// documented in candidates.go (see package comment).
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats reports the work performed by one Check call.
+type Stats struct {
+	Cubes       int // DNF cubes examined
+	Assignments int // candidate assignments tried
+	Simplified  int // node count after simplification
+}
+
+// Options configures a Solver. The zero value selects defaults suitable for
+// UChecker's constraints.
+type Options struct {
+	// MaxCubes bounds the DNF expansion; beyond it Check falls back to
+	// whole-formula enumeration. Default 4096.
+	MaxCubes int
+	// MaxAssignments bounds the total candidate assignments tried across
+	// all cubes. Default 500000.
+	MaxAssignments int
+	// MaxStrCandidates bounds the per-variable string candidate set.
+	// Default 96.
+	MaxStrCandidates int
+	// MaxIntCandidates bounds the per-variable integer candidate set.
+	// Default 48.
+	MaxIntCandidates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCubes == 0 {
+		o.MaxCubes = 4096
+	}
+	if o.MaxAssignments == 0 {
+		o.MaxAssignments = 500000
+	}
+	if o.MaxStrCandidates == 0 {
+		o.MaxStrCandidates = 96
+	}
+	if o.MaxIntCandidates == 0 {
+		o.MaxIntCandidates = 48
+	}
+	return o
+}
+
+// Solver decides formulas in the UChecker fragment. The zero value is ready
+// to use with default options.
+type Solver struct {
+	opts Options
+}
+
+// NewSolver returns a Solver with the given options.
+func NewSolver(opts Options) *Solver {
+	return &Solver{opts: opts.withDefaults()}
+}
+
+// ErrBudget is returned (wrapped) when a budget was exhausted; the
+// accompanying status is Unknown.
+var ErrBudget = errors.New("smt: budget exhausted")
+
+// Check decides the boolean term f. On Sat the returned model has been
+// verified by evaluating f. On Unsat the model is nil.
+func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
+	opts := s.opts.withDefaults()
+	var st Stats
+	if f.Sort() != SortBool {
+		return Unknown, nil, st, fmt.Errorf("smt: Check on non-boolean term of sort %v", f.Sort())
+	}
+	g := Simplify(f)
+	st.Simplified = Size(g)
+	if g.Op == OpBoolConst {
+		if g.B {
+			m := Model{}
+			for _, v := range Vars(f) {
+				m[v.S] = defaultValue(v.Sort())
+			}
+			return Sat, m, st, nil
+		}
+		return Unsat, nil, st, nil
+	}
+
+	cubes, ok := dnf(nnf(g, false), opts.MaxCubes)
+	if !ok {
+		// DNF blowup: whole-formula enumeration, Sat-only.
+		model, tried := s.search(g, g, opts.MaxAssignments, opts)
+		st.Assignments += tried
+		if model != nil {
+			return Sat, model, st, nil
+		}
+		return Unknown, nil, st, fmt.Errorf("%w: DNF exceeded %d cubes", ErrBudget, opts.MaxCubes)
+	}
+
+	budget := opts.MaxAssignments
+	exhausted := true
+	for _, cube := range cubes {
+		st.Cubes++
+		conj := Simplify(And(cube...))
+		if conj.Op == OpBoolConst {
+			if conj.B {
+				// A cube with no residual constraints: any assignment works;
+				// produce the empty model extended for f's variables.
+				m := Model{}
+				for _, v := range Vars(f) {
+					m[v.S] = defaultValue(v.Sort())
+				}
+				if verify(f, m) {
+					return Sat, m, st, nil
+				}
+				continue
+			}
+			continue // cube is false
+		}
+		if budget <= 0 {
+			exhausted = false
+			break
+		}
+		model, tried := s.search(conj, f, budget, opts)
+		budget -= tried
+		st.Assignments += tried
+		if model != nil {
+			return Sat, model, st, nil
+		}
+		if budget <= 0 {
+			exhausted = false
+		}
+	}
+	if exhausted {
+		return Unsat, nil, st, nil
+	}
+	return Unknown, nil, st, fmt.Errorf("%w: %d assignments tried", ErrBudget, st.Assignments)
+}
+
+func defaultValue(s Sort) Value {
+	switch s {
+	case SortBool:
+		return BoolValue(false)
+	case SortInt:
+		return IntValue(0)
+	default:
+		return StrValue("")
+	}
+}
+
+// verify confirms a model satisfies the original formula, extending it with
+// defaults for variables the cube never mentioned.
+func verify(f *Term, m Model) bool {
+	for _, v := range Vars(f) {
+		if _, ok := m[v.S]; !ok {
+			m[v.S] = defaultValue(v.Sort())
+		}
+	}
+	val, err := Eval(f, m)
+	return err == nil && val.Sort == SortBool && val.B
+}
+
+// search enumerates candidate assignments for the variables of conj,
+// pruning with per-literal partial evaluation, and returns the first model
+// that satisfies the full original formula f, or nil. It reports how many
+// assignments were tried.
+func (s *Solver) search(conj, f *Term, budget int, opts Options) (Model, int) {
+	vars := Vars(conj)
+	if len(vars) == 0 {
+		v, err := Eval(conj, nil)
+		if err == nil && v.B {
+			m := Model{}
+			if verify(f, m) {
+				return m, 1
+			}
+		}
+		return nil, 1
+	}
+
+	// Order variables: strings last tend to have bigger domains; put
+	// smaller domains first for better pruning.
+	cands := make([][]Value, len(vars))
+	pool := newCandidatePool(conj, opts)
+	for i, v := range vars {
+		cands[i] = pool.forVar(v)
+	}
+	order := make([]int, len(vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(cands[order[a]]) < len(cands[order[b]]) })
+
+	// Literals for pruning: the conjuncts of conj.
+	var lits []*Term
+	if conj.Op == OpAnd {
+		lits = conj.Args
+	} else {
+		lits = []*Term{conj}
+	}
+	litVars := make([][]string, len(lits))
+	for i, l := range lits {
+		for _, v := range Vars(l) {
+			litVars[i] = append(litVars[i], v.S)
+		}
+	}
+
+	m := Model{}
+	tried := 0
+	var dfs func(k int) Model
+	dfs = func(k int) Model {
+		if tried >= budget {
+			return nil
+		}
+		if k == len(order) {
+			tried++
+			// verify extends the clone with defaults for variables of f that
+			// the cube never constrained; return that completed model.
+			full := cloneModel(m)
+			if verify(f, full) {
+				return full
+			}
+			return nil
+		}
+		vi := order[k]
+		name := vars[vi].S
+		for _, c := range cands[vi] {
+			if tried >= budget {
+				return nil
+			}
+			m[name] = c
+			// Prune: any literal whose variables are all bound must hold.
+			ok := true
+			for i, l := range lits {
+				if !allBound(litVars[i], m) {
+					continue
+				}
+				v, err := Eval(l, m)
+				if err != nil || !v.B {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if res := dfs(k + 1); res != nil {
+					return res
+				}
+			} else {
+				tried++
+			}
+		}
+		delete(m, name)
+		return nil
+	}
+	res := dfs(0)
+	return res, tried
+}
+
+func allBound(names []string, m Model) bool {
+	for _, n := range names {
+		if _, ok := m[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneModel(m Model) Model {
+	out := make(Model, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// --- normal forms ---
+
+// nnf converts a boolean term to negation normal form. neg indicates the
+// polarity. Non-boolean-structured atoms (equalities, string predicates)
+// are kept as literals, negated with Not.
+func nnf(t *Term, neg bool) *Term {
+	switch t.Op {
+	case OpBoolConst:
+		return Bool(t.B != neg)
+	case OpNot:
+		return nnf(t.Args[0], !neg)
+	case OpAnd:
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = nnf(a, neg)
+		}
+		if neg {
+			return Or(args...)
+		}
+		return And(args...)
+	case OpOr:
+		args := make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = nnf(a, neg)
+		}
+		if neg {
+			return And(args...)
+		}
+		return Or(args...)
+	case OpIte:
+		if t.Sort() == SortBool {
+			c, a, b := t.Args[0], t.Args[1], t.Args[2]
+			// ite(c,a,b) == (c∧a) ∨ (¬c∧b)
+			e := Or(And(c, a), And(Not(c), b))
+			return nnf(e, neg)
+		}
+		fallthrough
+	case OpLt:
+		if neg {
+			return Ge(t.Args[0], t.Args[1])
+		}
+		return t
+	case OpLe:
+		if neg {
+			return Gt(t.Args[0], t.Args[1])
+		}
+		return t
+	case OpGt:
+		if neg {
+			return Le(t.Args[0], t.Args[1])
+		}
+		return t
+	case OpGe:
+		if neg {
+			return Lt(t.Args[0], t.Args[1])
+		}
+		return t
+	default:
+		if neg {
+			return Not(t)
+		}
+		return t
+	}
+}
+
+// dnf converts an NNF term to a list of cubes (conjunctions of literals).
+// ok is false if the expansion exceeds maxCubes.
+func dnf(t *Term, maxCubes int) ([][]*Term, bool) {
+	switch t.Op {
+	case OpAnd:
+		cubes := [][]*Term{nil}
+		for _, a := range t.Args {
+			sub, ok := dnf(a, maxCubes)
+			if !ok {
+				return nil, false
+			}
+			var next [][]*Term
+			for _, c := range cubes {
+				for _, s := range sub {
+					merged := make([]*Term, 0, len(c)+len(s))
+					merged = append(merged, c...)
+					merged = append(merged, s...)
+					next = append(next, merged)
+					if len(next) > maxCubes {
+						return nil, false
+					}
+				}
+			}
+			cubes = next
+		}
+		return cubes, true
+	case OpOr:
+		var cubes [][]*Term
+		for _, a := range t.Args {
+			sub, ok := dnf(a, maxCubes)
+			if !ok {
+				return nil, false
+			}
+			cubes = append(cubes, sub...)
+			if len(cubes) > maxCubes {
+				return nil, false
+			}
+		}
+		return cubes, true
+	default:
+		return [][]*Term{{t}}, true
+	}
+}

@@ -1,0 +1,362 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSat(t *testing.T, f *Term) Model {
+	t.Helper()
+	s := NewSolver(Options{})
+	st, m, _, err := s.Check(f)
+	if err != nil {
+		t.Fatalf("Check(%s) error: %v", f, err)
+	}
+	if st != Sat {
+		t.Fatalf("Check(%s) = %v, want sat", f, st)
+	}
+	// Double-verify the model.
+	v, err := Eval(f, m)
+	if err != nil || !v.B {
+		t.Fatalf("model %v does not satisfy %s (err %v)", m, f, err)
+	}
+	return m
+}
+
+func checkUnsat(t *testing.T, f *Term) {
+	t.Helper()
+	s := NewSolver(Options{})
+	st, _, _, err := s.Check(f)
+	if err != nil {
+		t.Fatalf("Check(%s) error: %v", f, err)
+	}
+	if st != Unsat {
+		t.Fatalf("Check(%s) = %v, want unsat", f, st)
+	}
+}
+
+func TestSolverTrivial(t *testing.T) {
+	checkSat(t, True())
+	checkUnsat(t, False())
+	checkUnsat(t, And(Var("b", SortBool), Not(Var("b", SortBool))))
+	checkSat(t, Or(Var("b", SortBool), Not(Var("b", SortBool))))
+}
+
+func TestSolverBoolVars(t *testing.T) {
+	a, b := Var("a", SortBool), Var("b", SortBool)
+	m := checkSat(t, And(a, Not(b)))
+	if !m["a"].B || m["b"].B {
+		t.Errorf("model = %v", m)
+	}
+}
+
+func TestSolverIntComparisons(t *testing.T) {
+	x := Var("x", SortInt)
+	m := checkSat(t, And(Gt(x, Int(5)), Lt(x, Int(7))))
+	if m["x"].I != 6 {
+		t.Errorf("x = %d, want 6", m["x"].I)
+	}
+	checkUnsat(t, And(Gt(x, Int(5)), Lt(x, Int(5))))
+	checkUnsat(t, And(Gt(x, Int(5)), Lt(x, Int(6))))
+}
+
+func TestSolverStringEquality(t *testing.T) {
+	x := Var("x", SortString)
+	m := checkSat(t, Eq(x, Str("hello")))
+	if m["x"].S != "hello" {
+		t.Errorf("x = %q", m["x"].S)
+	}
+	checkUnsat(t, And(Eq(x, Str("a")), Eq(x, Str("b"))))
+}
+
+func TestSolverConcatEquation(t *testing.T) {
+	x := Var("x", SortString)
+	// x ++ ".php" == "shell.php"  →  x == "shell"
+	m := checkSat(t, Eq(Concat(x, Str(".php")), Str("shell.php")))
+	if m["x"].S != "shell" {
+		t.Errorf("x = %q", m["x"].S)
+	}
+}
+
+func TestSolverTwoVarConcat(t *testing.T) {
+	x, y := Var("x", SortString), Var("y", SortString)
+	m := checkSat(t, Eq(Concat(x, y), Str("ab")))
+	if m["x"].S+m["y"].S != "ab" {
+		t.Errorf("x=%q y=%q", m["x"].S, m["y"].S)
+	}
+}
+
+// The paper's Constraint-2 for Listing 4:
+// (str.suffixof ".php" (str.++ s_path (str.++ "/" (str.++ s_name s_ext))))
+func TestSolverPaperConstraint2(t *testing.T) {
+	sPath := Var("s_path", SortString)
+	sName := Var("s_name", SortString)
+	sExt := Var("s_ext", SortString)
+	c2 := SuffixOf(Str(".php"), Concat(sPath, Str("/"), sName, sExt))
+	m := checkSat(t, c2)
+	full := m["s_path"].S + "/" + m["s_name"].S + m["s_ext"].S
+	if !strings.HasSuffix(full, ".php") {
+		t.Errorf("model %v does not end with .php", m)
+	}
+}
+
+// The paper's Constraint-3 for Listing 4:
+// (> (str.len (str.++ s_name s_ext)) 5)
+func TestSolverPaperConstraint3(t *testing.T) {
+	sName := Var("s_name", SortString)
+	sExt := Var("s_ext", SortString)
+	c3 := Gt(Len(Concat(sName, sExt)), Int(5))
+	m := checkSat(t, c3)
+	if len(m["s_name"].S)+len(m["s_ext"].S) <= 5 {
+		t.Errorf("model %v too short", m)
+	}
+}
+
+// Conjunction of both paper constraints must be satisfiable together
+// (the vulnerable verdict for Listing 4).
+func TestSolverPaperConstraintsConjoined(t *testing.T) {
+	sPath := Var("s_path", SortString)
+	sName := Var("s_name", SortString)
+	sExt := Var("s_ext", SortString)
+	c2 := SuffixOf(Str(".php"), Concat(sPath, Str("/"), sName, sExt))
+	c3 := Gt(Len(Concat(sName, sExt)), Int(5))
+	m := checkSat(t, And(c2, c3))
+	full := m["s_path"].S + "/" + m["s_name"].S + m["s_ext"].S
+	if !strings.HasSuffix(full, ".php") {
+		t.Errorf("bad model %v", m)
+	}
+}
+
+// A sanitized upload: extension is forced to a constant safe value, so the
+// ".php" suffix requirement is unsatisfiable (benign verdict).
+func TestSolverSanitizedExtensionUnsat(t *testing.T) {
+	sName := Var("s_name", SortString)
+	dst := Concat(Str("/uploads/"), sName, Str(".png"))
+	checkUnsat(t, SuffixOf(Str(".php"), dst))
+}
+
+// WP Demo Buddy (Listing 8): guard requires ext === "zip" but the saved
+// name appends a constant ".php" — still satisfiable (vulnerable).
+func TestSolverDemoBuddyShape(t *testing.T) {
+	ext := Var("s_ext", SortString)
+	base := Var("s_base", SortString)
+	guard := Eq(ext, Str("zip"))
+	target := Concat(Var("s_dir", SortString), base, Str(".php"))
+	f := And(guard, SuffixOf(Str(".php"), target))
+	m := checkSat(t, f)
+	if m["s_ext"].S != "zip" {
+		t.Errorf("ext = %q", m["s_ext"].S)
+	}
+}
+
+// An in_array whitelist expansion: ext must equal one of the safe image
+// extensions AND the destination must end with .php where destination ends
+// with "." ++ ext — unsatisfiable.
+func TestSolverWhitelistUnsat(t *testing.T) {
+	ext := Var("s_ext", SortString)
+	whitelist := Or(Eq(ext, Str("jpg")), Eq(ext, Str("png")), Eq(ext, Str("gif")))
+	dst := Concat(Var("s_name", SortString), Str("."), ext)
+	checkUnsat(t, And(whitelist, SuffixOf(Str(".php"), dst)))
+}
+
+// A blacklist that forbids "php" lets "php5" through when only suffix
+// ".php5" is checked (the paper's extension-variant discussion).
+func TestSolverBlacklistVariantSat(t *testing.T) {
+	ext := Var("s_ext", SortString)
+	blacklist := Not(Eq(ext, Str("php")))
+	dst := Concat(Var("s_name", SortString), Str("."), ext)
+	f := And(blacklist, Or(
+		SuffixOf(Str(".php"), dst),
+		SuffixOf(Str(".php5"), dst),
+	))
+	m := checkSat(t, f)
+	if m["s_ext"].S == "php" {
+		t.Errorf("blacklist violated: %v", m)
+	}
+}
+
+func TestSolverStrposGuard(t *testing.T) {
+	// strpos($name, ".php") !== false modeled as indexof >= 0, conjoined
+	// with name containing ".php": satisfiable.
+	name := Var("s_name", SortString)
+	f := And(
+		Ge(IndexOf(name, Str(".php"), Int(0)), Int(0)),
+		SuffixOf(Str(".php"), name),
+	)
+	m := checkSat(t, f)
+	if !strings.HasSuffix(m["s_name"].S, ".php") {
+		t.Errorf("model %v", m)
+	}
+}
+
+func TestSolverToIntInterplay(t *testing.T) {
+	s := Var("s", SortString)
+	// to.int(s) == 42 needs s to be a digit string "42".
+	m := checkSat(t, Eq(ToInt(s), Int(42)))
+	if m["s"].S != "42" {
+		t.Errorf("s = %q", m["s"].S)
+	}
+}
+
+func TestSolverLengthFloor(t *testing.T) {
+	s := Var("s", SortString)
+	m := checkSat(t, And(Gt(Len(s), Int(5)), SuffixOf(Str(".php"), s)))
+	if len(m["s"].S) <= 5 || !strings.HasSuffix(m["s"].S, ".php") {
+		t.Errorf("s = %q", m["s"].S)
+	}
+}
+
+func TestSolverNestedDisjunction(t *testing.T) {
+	x := Var("x", SortInt)
+	y := Var("y", SortString)
+	f := And(
+		Or(Eq(x, Int(1)), Eq(x, Int(2))),
+		Or(Eq(y, Str("a")), Eq(y, Str("b"))),
+		Not(And(Eq(x, Int(1)), Eq(y, Str("a")))),
+	)
+	m := checkSat(t, f)
+	if m["x"].I == 1 && m["y"].S == "a" {
+		t.Errorf("model %v violates exclusion", m)
+	}
+}
+
+func TestSolverReplaceConstraint(t *testing.T) {
+	// replace(s, ".php", ".txt") still ends with ".php": satisfiable when s
+	// contains .php twice (replace is first-occurrence). e.g. "a.php.php".
+	s := Var("s", SortString)
+	f := SuffixOf(Str(".php"), Replace(s, Str(".php"), Str(".txt")))
+	st, m, _, err := NewSolver(Options{}).Check(f)
+	if err != nil {
+		t.Fatalf("err: %v", err)
+	}
+	if st != Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	v, _ := Eval(f, m)
+	if !v.B {
+		t.Errorf("unverified model %v", m)
+	}
+}
+
+func TestSolverEmptyStringEdge(t *testing.T) {
+	s := Var("s", SortString)
+	m := checkSat(t, Eq(Len(s), Int(0)))
+	if m["s"].S != "" {
+		t.Errorf("s = %q", m["s"].S)
+	}
+	checkUnsat(t, And(Eq(Len(s), Int(0)), SuffixOf(Str("x"), s)))
+}
+
+func TestSolverUnsatConflictingSuffixes(t *testing.T) {
+	s := Var("s", SortString)
+	checkUnsat(t, And(
+		SuffixOf(Str(".php"), s),
+		SuffixOf(Str(".png"), s),
+	))
+}
+
+func TestSolverStats(t *testing.T) {
+	x := Var("x", SortInt)
+	s := NewSolver(Options{})
+	_, _, st, err := s.Check(And(Gt(x, Int(0)), Lt(x, Int(10))))
+	if err != nil {
+		t.Fatalf("err: %v", err)
+	}
+	if st.Cubes == 0 {
+		t.Error("expected at least one cube")
+	}
+}
+
+func TestSolverBudgetUnknown(t *testing.T) {
+	// Tiny budget forces Unknown on a formula needing search.
+	s := NewSolver(Options{MaxAssignments: 1})
+	x := Var("x", SortString)
+	y := Var("y", SortString)
+	z := Var("z", SortString)
+	f := And(
+		Eq(Concat(x, y, z), Str("abcdef")),
+		Gt(Len(x), Int(0)), Gt(Len(y), Int(0)), Gt(Len(z), Int(4)),
+	)
+	st, _, _, _ := s.Check(f)
+	if st == Sat {
+		t.Error("1-assignment budget should not reach sat on this formula")
+	}
+}
+
+func TestSolverNonBoolError(t *testing.T) {
+	s := NewSolver(Options{})
+	if _, _, _, err := s.Check(Int(1)); err == nil {
+		t.Error("expected error for non-boolean goal")
+	}
+}
+
+func TestNNFPushesNegation(t *testing.T) {
+	x := Var("x", SortInt)
+	got := nnf(Not(And(Gt(x, Int(1)), Lt(x, Int(5)))), false)
+	// Expect or(<= x 1, >= x 5)
+	if got.Op != OpOr {
+		t.Fatalf("got %s", got)
+	}
+	if got.Args[0].Op != OpLe || got.Args[1].Op != OpGe {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestDNFCubeCount(t *testing.T) {
+	a, b, c, d := Var("a", SortBool), Var("b", SortBool), Var("c", SortBool), Var("d", SortBool)
+	// (a or b) and (c or d) → 4 cubes.
+	cubes, ok := dnf(nnf(And(Or(a, b), Or(c, d)), false), 100)
+	if !ok || len(cubes) != 4 {
+		t.Errorf("cubes = %d ok=%v", len(cubes), ok)
+	}
+	if _, ok := dnf(nnf(And(Or(a, b), Or(c, d)), false), 3); ok {
+		t.Error("expected cube-limit failure")
+	}
+}
+
+func TestToSMTLIB2(t *testing.T) {
+	sName := Var("s_name", SortString)
+	sExt := Var("s_ext", SortString)
+	f := And(
+		SuffixOf(Str(".php"), Concat(sName, sExt)),
+		Gt(Len(Concat(sName, sExt)), Int(5)),
+	)
+	out := ToSMTLIB2(f)
+	for _, want := range []string{
+		"(set-logic QF_SLIA)",
+		"(declare-const s_name String)",
+		"(declare-const s_ext String)",
+		"str.suffixof",
+		"str.++",
+		"str.len",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SMT-LIB output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestToSMTLIB2EscapesQuotes(t *testing.T) {
+	f := Eq(Var("x", SortString), Str(`say "hi"`))
+	out := ToSMTLIB2(f)
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong:\n%s", out)
+	}
+}
+
+func TestToSMTLIB2SanitizesNames(t *testing.T) {
+	f := Eq(Var("s[weird name]", SortString), Str("v"))
+	out := ToSMTLIB2(f)
+	if strings.Contains(out, "[") || strings.Contains(out, " name]") {
+		t.Errorf("unsanitized name in output:\n%s", out)
+	}
+}
+
+func TestToSMTLIB2ToIntName(t *testing.T) {
+	f := Eq(ToInt(Var("s", SortString)), Int(3))
+	out := ToSMTLIB2(f)
+	if !strings.Contains(out, "str.to_int") {
+		t.Errorf("expected official str.to_int name:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+package translate
+
+import (
+	"strings"
+
+	"repro/internal/smt"
+)
+
+// This file implements the Section VI "potential solution" the paper
+// sketches for its regular-expression gap: "A potential solution is to
+// leverage Z3's built-in regular-expression-enabled solver."
+//
+// Rather than a full regex theory, the translator recognizes the pattern
+// shapes upload guards actually use — anchored literals with one
+// alternation group, e.g.
+//
+//	/\.(jpg|jpeg|png)$/     extension whitelist
+//	/^image\//              MIME prefix check
+//	/\.php$/i               extension blacklist
+//
+// and translates preg_match($pat, $subj) into the equivalent
+// suffix/prefix/contains disjunction. Patterns outside the fragment fall
+// back to a fresh symbol, exactly like any other unmodelable operation.
+
+// regexShape is the decoded form of a recognizable pattern.
+type regexShape struct {
+	anchoredStart bool
+	anchoredEnd   bool
+	// alternatives are the literal strings the pattern admits; the single
+	// alternation group (if any) has been expanded, so /\.(a|b)$/ yields
+	// [".a", ".b"].
+	alternatives []string
+	// caseInsensitive records the /i flag; handled by also admitting the
+	// upper-case variants of short alternatives.
+	caseInsensitive bool
+}
+
+// parseRegexLiteral decodes a PHP regex literal (delimiters + body +
+// flags). ok is false when the pattern is outside the supported fragment.
+func parseRegexLiteral(pat string) (regexShape, bool) {
+	var sh regexShape
+	if len(pat) < 2 {
+		return sh, false
+	}
+	delim := pat[0]
+	closing := delim
+	// Bracket-style delimiters.
+	switch delim {
+	case '(':
+		closing = ')'
+	case '[':
+		closing = ']'
+	case '{':
+		closing = '}'
+	case '<':
+		closing = '>'
+	}
+	end := strings.LastIndexByte(pat, closing)
+	if end <= 0 {
+		return sh, false
+	}
+	body := pat[1:end]
+	flags := pat[end+1:]
+	for i := 0; i < len(flags); i++ {
+		switch flags[i] {
+		case 'i':
+			sh.caseInsensitive = true
+		case 'u', 'm', 's', 'x', 'D', 'U':
+			// Accepted but not modeled; m/s/x/U change semantics we do not
+			// rely on for the literal fragment.
+		default:
+			return sh, false
+		}
+	}
+	if strings.HasPrefix(body, "^") {
+		sh.anchoredStart = true
+		body = body[1:]
+	}
+	if strings.HasSuffix(body, "$") && !strings.HasSuffix(body, `\$`) {
+		sh.anchoredEnd = true
+		body = body[:len(body)-1]
+	}
+
+	// Split into: literal prefix, optional single (a|b|c) group, literal
+	// suffix — all parts literal after unescaping.
+	open := strings.IndexByte(body, '(')
+	var pre, group, post string
+	if open < 0 {
+		pre = body
+	} else {
+		closeIdx := strings.IndexByte(body[open:], ')')
+		if closeIdx < 0 {
+			return sh, false
+		}
+		closeIdx += open
+		pre = body[:open]
+		group = body[open+1 : closeIdx]
+		post = body[closeIdx+1:]
+		if strings.ContainsAny(post, "(") {
+			return sh, false // multiple groups: out of fragment
+		}
+		// Non-capturing prefix "?:" is fine.
+		group = strings.TrimPrefix(group, "?:")
+	}
+
+	preLit, ok := unescapeRegexLiteral(pre)
+	if !ok {
+		return sh, false
+	}
+	postLit, ok := unescapeRegexLiteral(post)
+	if !ok {
+		return sh, false
+	}
+	if group == "" {
+		sh.alternatives = []string{preLit + postLit}
+		return sh, true
+	}
+	for _, alt := range strings.Split(group, "|") {
+		lit, ok := unescapeRegexLiteral(alt)
+		if !ok {
+			return sh, false
+		}
+		sh.alternatives = append(sh.alternatives, preLit+lit+postLit)
+	}
+	return sh, true
+}
+
+// unescapeRegexLiteral converts a regex fragment to the literal string it
+// matches, rejecting any metacharacter other than escaped ones.
+func unescapeRegexLiteral(s string) (string, bool) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", false
+			}
+			i++
+			next := s[i]
+			switch next {
+			case '.', '/', '\\', '$', '^', '(', ')', '[', ']', '{', '}', '|', '+', '*', '?', '-':
+				sb.WriteByte(next)
+			default:
+				return "", false // character classes (\d, \w, …): out of fragment
+			}
+		case '.', '[', ']', '{', '}', '*', '+', '?', '^', '$', '|', '(', ')':
+			return "", false // unescaped metacharacter
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), true
+}
+
+// pregMatchTerm translates preg_match(pattern, subject) for a concrete
+// pattern into a boolean term, or ok=false when the pattern is outside
+// the fragment.
+func pregMatchTerm(pattern string, subject *smt.Term) (*smt.Term, bool) {
+	sh, ok := parseRegexLiteral(pattern)
+	if !ok || len(sh.alternatives) == 0 {
+		return nil, false
+	}
+	alts := sh.alternatives
+	if sh.caseInsensitive {
+		seen := map[string]bool{}
+		var widened []string
+		for _, a := range alts {
+			for _, v := range []string{a, strings.ToLower(a), strings.ToUpper(a)} {
+				if !seen[v] {
+					seen[v] = true
+					widened = append(widened, v)
+				}
+			}
+		}
+		alts = widened
+	}
+	var opts []*smt.Term
+	for _, a := range alts {
+		switch {
+		case sh.anchoredStart && sh.anchoredEnd:
+			opts = append(opts, smt.Eq(subject, smt.Str(a)))
+		case sh.anchoredEnd:
+			opts = append(opts, smt.SuffixOf(smt.Str(a), subject))
+		case sh.anchoredStart:
+			opts = append(opts, smt.PrefixOf(smt.Str(a), subject))
+		default:
+			opts = append(opts, smt.Contains(subject, smt.Str(a)))
+		}
+	}
+	return smt.Or(opts...), true
+}

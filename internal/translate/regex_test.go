@@ -1,0 +1,145 @@
+package translate
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+)
+
+func TestParseRegexLiteral(t *testing.T) {
+	tests := []struct {
+		name   string
+		pat    string
+		ok     bool
+		start  bool
+		end    bool
+		insens bool
+		alts   []string
+	}{
+		{"ext whitelist", `/\.(jpg|jpeg|png)$/`, true, false, true, false, []string{".jpg", ".jpeg", ".png"}},
+		{"single suffix", `/\.php$/`, true, false, true, false, []string{".php"}},
+		{"case insensitive", `/\.php$/i`, true, false, true, true, []string{".php"}},
+		{"prefix", `/^image\//`, true, true, false, false, []string{"image/"}},
+		{"full anchor", `/^upload\.zip$/`, true, true, true, false, []string{"upload.zip"}},
+		{"contains", `/evil/`, true, false, false, false, []string{"evil"}},
+		{"non-capturing group", `/\.(?:a|b)$/`, true, false, true, false, []string{".a", ".b"}},
+		{"hash delimiter", `#\.(gif)$#`, true, false, true, false, []string{".gif"}},
+		{"brace delimiter", `{\.zip$}`, true, false, true, false, []string{".zip"}},
+		{"char class unsupported", `/[a-z]+\.php$/`, false, false, false, false, nil},
+		{"backslash-d unsupported", `/\d+/`, false, false, false, false, nil},
+		{"star unsupported", `/a*b/`, false, false, false, false, nil},
+		{"two groups unsupported", `/(a|b)(c|d)/`, false, false, false, false, nil},
+		{"empty", ``, false, false, false, false, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sh, ok := parseRegexLiteral(tt.pat)
+			if ok != tt.ok {
+				t.Fatalf("ok = %v, want %v", ok, tt.ok)
+			}
+			if !ok {
+				return
+			}
+			if sh.anchoredStart != tt.start || sh.anchoredEnd != tt.end || sh.caseInsensitive != tt.insens {
+				t.Errorf("shape = %+v", sh)
+			}
+			if !reflect.DeepEqual(sh.alternatives, tt.alts) {
+				t.Errorf("alts = %v, want %v", sh.alternatives, tt.alts)
+			}
+		})
+	}
+}
+
+func TestPregMatchTermSuffix(t *testing.T) {
+	subj := smt.Var("s", smt.SortString)
+	term, ok := pregMatchTerm(`/\.(jpg|png)$/`, subj)
+	if !ok {
+		t.Fatal("pattern should be modelable")
+	}
+	want := smt.Or(
+		smt.SuffixOf(smt.Str(".jpg"), subj),
+		smt.SuffixOf(smt.Str(".png"), subj),
+	)
+	if !smt.Equal(term, want) {
+		t.Errorf("term = %s, want %s", term, want)
+	}
+}
+
+func TestPregMatchTermCaseInsensitive(t *testing.T) {
+	subj := smt.Var("s", smt.SortString)
+	term, ok := pregMatchTerm(`/\.php$/i`, subj)
+	if !ok {
+		t.Fatal("modelable")
+	}
+	// Admits .php and .PHP variants.
+	s := term.String()
+	if !contains(s, `".php"`) || !contains(s, `".PHP"`) {
+		t.Errorf("term = %s", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// End-to-end through the translator: a preg_match guard constrains the
+// subject, and the guard + extension constraint interplay solves the way
+// PHP behaves.
+func TestTrlPregMatchGuard(t *testing.T) {
+	b := nb()
+	name := b.sym("s_name", sexpr.String)
+	pat := b.str(`/\.(jpg|png)$/`)
+	guard := b.fn("preg_match", sexpr.Int, pat, name)
+	// if (preg_match(...)) — truthiness of the int result.
+	cond := b.op("!", sexpr.Bool, guard) // !preg_match: no match
+
+	tr := New(b.g)
+	noMatch := tr.Label(cond, smt.SortBool)
+	// ¬match ∧ name ends with .jpg is unsatisfiable.
+	f := smt.And(noMatch, smt.SuffixOf(smt.Str(".jpg"), smt.Var("s_name", smt.SortString)))
+	st, _, _, err := smt.NewSolver(smt.Options{}).Check(f)
+	if err != nil || st != smt.Unsat {
+		t.Errorf("status=%v err=%v, want unsat", st, err)
+	}
+	// ¬match ∧ name ends with .php is satisfiable.
+	f2 := smt.And(noMatch, smt.SuffixOf(smt.Str(".php"), smt.Var("s_name", smt.SortString)))
+	st2, model, _, err := smt.NewSolver(smt.Options{}).Check(f2)
+	if err != nil || st2 != smt.Sat {
+		t.Fatalf("status=%v err=%v, want sat", st2, err)
+	}
+	if v := model["s_name"].S; !hasSuffix(v, ".php") {
+		t.Errorf("witness %v", model)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func TestTrlPregMatchUnmodelableFallsBack(t *testing.T) {
+	b := nb()
+	pat := b.str(`/\d{4}-[a-z]+/`)
+	guard := b.fn("preg_match", sexpr.Int, pat, b.sym("s", sexpr.String))
+	got := b.trl(guard, smt.SortInt)
+	if got.Op != smt.OpVar {
+		t.Errorf("unmodelable pattern should be a fresh symbol, got %s", got)
+	}
+}
+
+func TestTrlPregMatchDynamicPatternFallsBack(t *testing.T) {
+	b := nb()
+	guard := b.fn("preg_match", sexpr.Int, b.sym("pat", sexpr.String), b.sym("s", sexpr.String))
+	got := b.trl(guard, smt.SortInt)
+	if got.Op != smt.OpVar {
+		t.Errorf("dynamic pattern should be a fresh symbol, got %s", got)
+	}
+}

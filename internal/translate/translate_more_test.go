@@ -1,0 +1,286 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/heapgraph"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+)
+
+func TestTrlCoercions(t *testing.T) {
+	b := nb()
+	tr := New(b.g)
+	// int -> string
+	n := b.sym("n", sexpr.Int)
+	if got := tr.Label(n, smt.SortString); got.Op != smt.OpFromInt {
+		t.Errorf("int->string = %s", got)
+	}
+	// bool -> int
+	bl := b.sym("b", sexpr.Bool)
+	if got := tr.Label(bl, smt.SortInt); got.Op != smt.OpIte {
+		t.Errorf("bool->int = %s", got)
+	}
+	// bool -> string
+	if got := tr.Label(bl, smt.SortString); got.Op != smt.OpIte {
+		t.Errorf("bool->string = %s", got)
+	}
+	// int -> bool (truthiness)
+	if got := tr.Label(n, smt.SortBool); got.Op != smt.OpNot {
+		t.Errorf("int->bool = %s", got)
+	}
+	// string -> bool (length > 0)
+	s := b.sym("s", sexpr.String)
+	if got := tr.Label(s, smt.SortBool); got.Op != smt.OpGt {
+		t.Errorf("string->bool = %s", got)
+	}
+}
+
+func TestTrlConstCoercion(t *testing.T) {
+	b := nb()
+	tr := New(b.g)
+	// Integer constant requested as string.
+	got := tr.Label(b.num(7), smt.SortString)
+	// Simplification is the solver's job; the coercion wraps with
+	// str.from_int.
+	if got.Op != smt.OpFromInt {
+		t.Errorf("int const as string = %s", got)
+	}
+	// Bool constant as bool.
+	if got := tr.Label(b.boolean(false), smt.SortBool); !smt.Equal(got, smt.False()) {
+		t.Errorf("bool const = %s", got)
+	}
+	// Float truncates to int.
+	f := b.g.NewConcrete(sexpr.FloatVal(2.9), 1)
+	if got := tr.Label(f, smt.SortInt); !smt.Equal(got, smt.Int(2)) {
+		t.Errorf("float const = %s", got)
+	}
+	// Null coerces to sort defaults.
+	nl := b.g.NewConcrete(sexpr.NullVal{}, 1)
+	if got := tr.Label(nl, smt.SortString); !smt.Equal(got, smt.Str("")) {
+		t.Errorf("null as string = %s", got)
+	}
+	if got := tr.Label(nl, smt.SortInt); !smt.Equal(got, smt.Int(0)) {
+		t.Errorf("null as int = %s", got)
+	}
+}
+
+func TestTrlArithmetic(t *testing.T) {
+	b := nb()
+	x := b.sym("x", sexpr.Int)
+	plus := b.op("+", sexpr.Int, x, b.num(2))
+	if got := b.trl(plus, smt.SortInt); !smt.Equal(got, smt.Add(smt.Var("x", smt.SortInt), smt.Int(2))) {
+		t.Errorf("+ = %s", got)
+	}
+	minus := b.op("-", sexpr.Int, x, b.num(1))
+	if got := b.trl(minus, smt.SortInt); !smt.Equal(got, smt.Sub(smt.Var("x", smt.SortInt), smt.Int(1))) {
+		t.Errorf("- = %s", got)
+	}
+	negU := b.op("-", sexpr.Int, x)
+	if got := b.trl(negU, smt.SortInt); !smt.Equal(got, smt.Neg(smt.Var("x", smt.SortInt))) {
+		t.Errorf("unary - = %s", got)
+	}
+	times := b.op("*", sexpr.Int, x, b.num(3))
+	if got := b.trl(times, smt.SortInt); !smt.Equal(got, smt.Mul(smt.Var("x", smt.SortInt), smt.Int(3))) {
+		t.Errorf("* = %s", got)
+	}
+}
+
+func TestTrlOtherComparisons(t *testing.T) {
+	b := nb()
+	x := b.sym("x", sexpr.Int)
+	for _, tc := range []struct {
+		op   string
+		want smt.Op
+	}{
+		{"<", smt.OpLt}, {"<=", smt.OpLe}, {">=", smt.OpGe},
+	} {
+		l := b.op(tc.op, sexpr.Bool, x, b.num(1))
+		if got := b.trl(l, smt.SortBool); got.Op != tc.want {
+			t.Errorf("%s = %s", tc.op, got)
+		}
+	}
+}
+
+func TestTrlXor(t *testing.T) {
+	b := nb()
+	l := b.op("xor", sexpr.Bool, b.sym("p", sexpr.Bool), b.sym("q", sexpr.Bool))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Not(smt.Eq(smt.Var("p", smt.SortBool), smt.Var("q", smt.SortBool)))
+	if !smt.Equal(got, want) {
+		t.Errorf("xor = %s", got)
+	}
+}
+
+func TestTrlOrOperator(t *testing.T) {
+	b := nb()
+	l := b.op("||", sexpr.Bool, b.sym("p", sexpr.Bool), b.sym("n", sexpr.Int))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Or(
+		smt.Var("p", smt.SortBool),
+		smt.Not(smt.Eq(smt.Var("n", smt.SortInt), smt.Int(0))),
+	)
+	if !smt.Equal(got, want) {
+		t.Errorf("|| = %s", got)
+	}
+}
+
+func TestTrlSubstrNegativeStart(t *testing.T) {
+	b := nb()
+	s := b.sym("s", sexpr.String)
+	// substr($s, -4): the last four characters.
+	l := b.fn("substr", sexpr.String, s, b.num(-4))
+	got := b.trl(l, smt.SortString)
+	sv := smt.Var("s", smt.SortString)
+	want := smt.Substr(sv, smt.Add(smt.Len(sv), smt.Int(-4)), smt.Int(4))
+	if !smt.Equal(got, want) {
+		t.Errorf("substr(-4) = %s, want %s", got, want)
+	}
+	// And it actually selects a ".php" suffix under a model.
+	f := smt.Eq(got, smt.Str(".php"))
+	st, m, _, err := smt.NewSolver(smt.Options{}).Check(f)
+	if err != nil || st != smt.Sat {
+		t.Fatalf("status=%v err=%v", st, err)
+	}
+	v := m["s"].S
+	if len(v) < 4 || v[len(v)-4:] != ".php" {
+		t.Errorf("witness %q", v)
+	}
+}
+
+func TestTrlCastBool(t *testing.T) {
+	b := nb()
+	l := b.op("cast_bool", sexpr.Bool, b.sym("s", sexpr.String))
+	got := b.trl(l, smt.SortBool)
+	if got.Op != smt.OpGt {
+		t.Errorf("cast_bool = %s", got)
+	}
+}
+
+func TestTrlCastStringAndInt(t *testing.T) {
+	b := nb()
+	sInt := b.op("cast_int", sexpr.Int, b.sym("s", sexpr.String))
+	if got := b.trl(sInt, smt.SortInt); got.Op != smt.OpToInt {
+		t.Errorf("cast_int = %s", got)
+	}
+	iStr := b.op("cast_string", sexpr.String, b.sym("n", sexpr.Int))
+	if got := b.trl(iStr, smt.SortString); got.Op != smt.OpFromInt {
+		t.Errorf("cast_string = %s", got)
+	}
+}
+
+func TestTrlLogicalEqualBoolString(t *testing.T) {
+	b := nb()
+	l := b.op("==", sexpr.Bool, b.sym("flag", sexpr.Bool), b.sym("s", sexpr.String))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Eq(smt.Var("flag", smt.SortBool), smt.Gt(smt.Len(smt.Var("s", smt.SortString)), smt.Int(0)))
+	if !smt.Equal(got, want) {
+		t.Errorf("bool==string = %s", got)
+	}
+}
+
+func TestTrlLogicalEqualIntBool(t *testing.T) {
+	b := nb()
+	l := b.op("==", sexpr.Bool, b.sym("n", sexpr.Int), b.sym("flag", sexpr.Bool))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Eq(smt.Var("flag", smt.SortBool), smt.Gt(smt.Var("n", smt.SortInt), smt.Int(0)))
+	if !smt.Equal(got, want) {
+		t.Errorf("int==bool = %s", got)
+	}
+}
+
+func TestTrlEqMissingArg(t *testing.T) {
+	b := nb()
+	l := b.g.NewOp("==", sexpr.Bool, 1) // no edges
+	got := New(b.g).Label(l, smt.SortBool)
+	if got.Op != smt.OpVar {
+		t.Errorf("degenerate == = %s", got)
+	}
+}
+
+func TestTrlArrayInScalarPosition(t *testing.T) {
+	b := nb()
+	arr := b.g.NewArray(1)
+	got := b.trl(arr, smt.SortString)
+	if got.Op != smt.OpVar {
+		t.Errorf("array as string = %s", got)
+	}
+}
+
+func TestTrlIsset(t *testing.T) {
+	b := nb()
+	l := b.op("isset", sexpr.Bool, b.sym("x", sexpr.Unknown))
+	got := b.trl(l, smt.SortBool)
+	if got.Op != smt.OpVar || got.Sort() != smt.SortBool {
+		t.Errorf("isset = %s", got)
+	}
+}
+
+func TestTrlEmptyByType(t *testing.T) {
+	b := nb()
+	l := b.op("empty", sexpr.Bool, b.sym("s", sexpr.String))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Eq(smt.Len(smt.Var("s", smt.SortString)), smt.Int(0))
+	if !smt.Equal(got, want) {
+		t.Errorf("empty = %s", got)
+	}
+}
+
+func TestTrlArrayAccessOpaque(t *testing.T) {
+	b := nb()
+	l := b.op("array_access", sexpr.Unknown, b.sym("arr", sexpr.Array), b.str("k"))
+	got := b.trl(l, smt.SortString)
+	if got.Op != smt.OpVar || got.Sort() != smt.SortString {
+		t.Errorf("array_access = %s", got)
+	}
+}
+
+func TestTrlNullObject(t *testing.T) {
+	b := nb()
+	if got := New(b.g).Label(heapgraph.Label(9999), smt.SortInt); !smt.Equal(got, smt.Int(0)) {
+		t.Errorf("unknown label = %s", got)
+	}
+}
+
+func TestTrlStrposWithOffset(t *testing.T) {
+	b := nb()
+	l := b.fn("strpos", sexpr.Int, b.sym("h", sexpr.String), b.str("."), b.num(2))
+	got := b.trl(l, smt.SortInt)
+	want := smt.IndexOf(smt.Var("h", smt.SortString), smt.Str("."), smt.Int(2))
+	if !smt.Equal(got, want) {
+		t.Errorf("strpos/3 = %s", got)
+	}
+}
+
+func TestTrlSanitizeNames(t *testing.T) {
+	if got := sanitize("weird name/with:stuff"); got != "weird_name_with_stuff" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize(""); got != "x" {
+		t.Errorf("sanitize empty = %q", got)
+	}
+}
+
+// A full guard chain end to end: Table II rows composed (And of == over
+// pathinfo-extension, strlen bound, in_array whitelist) stays solvable and
+// respects the guards.
+func TestTrlComposedGuards(t *testing.T) {
+	b := nb()
+	ext := b.sym("s_ext", sexpr.String)
+	arr := b.g.NewArray(1)
+	b.g.SetElem(arr, "0", b.str("zip"))
+	b.g.SetElem(arr, "1", b.str("rar"))
+	guard := b.op("And", sexpr.Bool,
+		b.fn("in_array", sexpr.Bool, ext, arr),
+		b.op(">", sexpr.Bool, b.fn("strlen", sexpr.Int, ext), b.num(2)),
+	)
+	tr := New(b.g)
+	f := tr.Label(guard, smt.SortBool)
+	st, m, _, err := smt.NewSolver(smt.Options{}).Check(f)
+	if err != nil || st != smt.Sat {
+		t.Fatalf("status=%v err=%v", st, err)
+	}
+	if v := m["s_ext"].S; v != "zip" && v != "rar" {
+		t.Errorf("witness s_ext = %q", v)
+	}
+}

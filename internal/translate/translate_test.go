@@ -1,0 +1,419 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heapgraph"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+)
+
+// builder helps construct heap-graph values tersely.
+type builder struct {
+	g *heapgraph.Graph
+}
+
+func nb() *builder { return &builder{g: heapgraph.New()} }
+
+func (b *builder) str(s string) heapgraph.Label   { return b.g.NewConcrete(sexpr.StrVal(s), 1) }
+func (b *builder) num(i int64) heapgraph.Label    { return b.g.NewConcrete(sexpr.IntVal(i), 1) }
+func (b *builder) boolean(v bool) heapgraph.Label { return b.g.NewConcrete(sexpr.BoolVal(v), 1) }
+func (b *builder) sym(name string, t sexpr.Type) heapgraph.Label {
+	return b.g.NewSymbol(name, t, 1)
+}
+
+func (b *builder) op(name string, t sexpr.Type, args ...heapgraph.Label) heapgraph.Label {
+	l := b.g.NewOp(name, t, 1)
+	for _, a := range args {
+		b.g.AddEdge(l, a)
+	}
+	return l
+}
+
+func (b *builder) fn(name string, t sexpr.Type, args ...heapgraph.Label) heapgraph.Label {
+	l := b.g.NewFunc(name, t, 1)
+	for _, a := range args {
+		b.g.AddEdge(l, a)
+	}
+	return l
+}
+
+func (b *builder) trl(l heapgraph.Label, want smt.Sort) *smt.Term {
+	return New(b.g).Label(l, want)
+}
+
+func TestTrlConstants(t *testing.T) {
+	b := nb()
+	if got := b.trl(b.str(".php"), smt.SortString); !smt.Equal(got, smt.Str(".php")) {
+		t.Errorf("str const = %s", got)
+	}
+	if got := b.trl(b.num(5), smt.SortInt); !smt.Equal(got, smt.Int(5)) {
+		t.Errorf("int const = %s", got)
+	}
+	if got := b.trl(b.boolean(true), smt.SortBool); !smt.Equal(got, smt.True()) {
+		t.Errorf("bool const = %s", got)
+	}
+}
+
+func TestTrlSymbol(t *testing.T) {
+	b := nb()
+	got := b.trl(b.sym("s_ext", sexpr.String), smt.SortString)
+	want := smt.Var("s_ext", smt.SortString)
+	if !smt.Equal(got, want) {
+		t.Errorf("sym = %s", got)
+	}
+}
+
+func TestTrlSymbolSortStability(t *testing.T) {
+	// The same symbol requested at two sorts keeps its first sort; the
+	// second request is coerced.
+	b := nb()
+	tr := New(b.g)
+	s := b.sym("s_x", sexpr.Unknown)
+	first := tr.Label(s, smt.SortString)
+	if first.Sort() != smt.SortString {
+		t.Fatalf("first = %v", first.Sort())
+	}
+	second := tr.Label(s, smt.SortInt)
+	if second.Sort() != smt.SortInt {
+		t.Fatalf("second sort = %v", second.Sort())
+	}
+	if second.Op != smt.OpToInt {
+		t.Errorf("second = %s, want str.to.int coercion", second)
+	}
+}
+
+// Table II row: String concat.
+func TestTrlConcat(t *testing.T) {
+	b := nb()
+	l := b.op(".", sexpr.String, b.sym("a", sexpr.String), b.str("/"))
+	got := b.trl(l, smt.SortString)
+	want := smt.Concat(smt.Var("a", smt.SortString), smt.Str("/"))
+	if !smt.Equal(got, want) {
+		t.Errorf("concat = %s", got)
+	}
+}
+
+// Table II row: String replace — parameter reorder.
+func TestTrlStrReplace(t *testing.T) {
+	b := nb()
+	search, repl, subj := b.str("x"), b.str("y"), b.sym("s", sexpr.String)
+	l := b.fn("str_replace", sexpr.String, search, repl, subj)
+	got := b.trl(l, smt.SortString)
+	want := smt.Replace(smt.Var("s", smt.SortString), smt.Str("x"), smt.Str("y"))
+	if !smt.Equal(got, want) {
+		t.Errorf("str_replace = %s, want %s", got, want)
+	}
+}
+
+// Table II row: String to int.
+func TestTrlIntval(t *testing.T) {
+	b := nb()
+	l := b.fn("intval", sexpr.Int, b.sym("s", sexpr.String))
+	got := b.trl(l, smt.SortInt)
+	want := smt.ToInt(smt.Var("s", smt.SortString))
+	if !smt.Equal(got, want) {
+		t.Errorf("intval = %s", got)
+	}
+}
+
+// Table II row: Index of string.
+func TestTrlStrpos(t *testing.T) {
+	b := nb()
+	l := b.fn("strpos", sexpr.Int, b.sym("h", sexpr.String), b.str("."))
+	got := b.trl(l, smt.SortInt)
+	want := smt.IndexOf(smt.Var("h", smt.SortString), smt.Str("."), smt.Int(0))
+	if !smt.Equal(got, want) {
+		t.Errorf("strpos = %s", got)
+	}
+}
+
+// Table II row: String length.
+func TestTrlStrlen(t *testing.T) {
+	b := nb()
+	l := b.fn("strlen", sexpr.Int, b.sym("s", sexpr.String))
+	got := b.trl(l, smt.SortInt)
+	if !smt.Equal(got, smt.Len(smt.Var("s", smt.SortString))) {
+		t.Errorf("strlen = %s", got)
+	}
+}
+
+// Table II row: Logical Not, three type cases.
+func TestTrlLogicalNot(t *testing.T) {
+	b := nb()
+	boolCase := b.op("!", sexpr.Bool, b.sym("b", sexpr.Bool))
+	if got := b.trl(boolCase, smt.SortBool); !smt.Equal(got, smt.Not(smt.Var("b", smt.SortBool))) {
+		t.Errorf("!bool = %s", got)
+	}
+	intCase := b.op("!", sexpr.Bool, b.sym("i", sexpr.Int))
+	if got := b.trl(intCase, smt.SortBool); !smt.Equal(got, smt.Eq(smt.Var("i", smt.SortInt), smt.Int(0))) {
+		t.Errorf("!int = %s", got)
+	}
+	strCase := b.op("!", sexpr.Bool, b.sym("s", sexpr.String))
+	want := smt.Eq(smt.Len(smt.Var("s", smt.SortString)), smt.Int(0))
+	if got := b.trl(strCase, smt.SortBool); !smt.Equal(got, want) {
+		t.Errorf("!string = %s", got)
+	}
+}
+
+// Table II row: Logical AND with mixed types.
+func TestTrlLogicalAnd(t *testing.T) {
+	b := nb()
+	l := b.op("And", sexpr.Bool, b.sym("i", sexpr.Int), b.sym("b", sexpr.Bool))
+	got := b.trl(l, smt.SortBool)
+	want := smt.And(
+		smt.Not(smt.Eq(smt.Var("i", smt.SortInt), smt.Int(0))),
+		smt.Var("b", smt.SortBool),
+	)
+	if !smt.Equal(got, want) {
+		t.Errorf("And = %s, want %s", got, want)
+	}
+}
+
+func TestTrlLogicalAndStringInt(t *testing.T) {
+	b := nb()
+	l := b.op("And", sexpr.Bool, b.sym("s", sexpr.String), b.sym("i", sexpr.Int))
+	got := b.trl(l, smt.SortBool)
+	want := smt.And(
+		smt.Gt(smt.Len(smt.Var("s", smt.SortString)), smt.Int(0)),
+		smt.Not(smt.Eq(smt.Var("i", smt.SortInt), smt.Int(0))),
+	)
+	if !smt.Equal(got, want) {
+		t.Errorf("And = %s, want %s", got, want)
+	}
+}
+
+// Table II row: Logical Equal, same and mixed types.
+func TestTrlLogicalEqual(t *testing.T) {
+	b := nb()
+	same := b.op("==", sexpr.Bool, b.sym("a", sexpr.String), b.str("zip"))
+	if got := b.trl(same, smt.SortBool); !smt.Equal(got, smt.Eq(smt.Var("a", smt.SortString), smt.Str("zip"))) {
+		t.Errorf("== same = %s", got)
+	}
+	mixed := b.op("==", sexpr.Bool, b.sym("i", sexpr.Int), b.sym("s", sexpr.String))
+	want := smt.Eq(smt.Var("i", smt.SortInt), smt.ToInt(smt.Var("s", smt.SortString)))
+	if got := b.trl(mixed, smt.SortBool); !smt.Equal(got, want) {
+		t.Errorf("== int/string = %s", got)
+	}
+	boolInt := b.op("==", sexpr.Bool, b.sym("b", sexpr.Bool), b.sym("i", sexpr.Int))
+	want2 := smt.Eq(smt.Var("b", smt.SortBool), smt.Gt(smt.Var("i", smt.SortInt), smt.Int(0)))
+	if got := b.trl(boolInt, smt.SortBool); !smt.Equal(got, want2) {
+		t.Errorf("== bool/int = %s", got)
+	}
+}
+
+func TestTrlStrictEqualMismatch(t *testing.T) {
+	b := nb()
+	l := b.op("===", sexpr.Bool, b.sym("i", sexpr.Int), b.sym("s", sexpr.String))
+	if got := b.trl(l, smt.SortBool); !smt.Equal(got, smt.False()) {
+		t.Errorf("=== mismatch = %s, want false", got)
+	}
+}
+
+func TestTrlNotEqual(t *testing.T) {
+	b := nb()
+	l := b.op("!==", sexpr.Bool, b.sym("e", sexpr.String), b.str("zip"))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Not(smt.Eq(smt.Var("e", smt.SortString), smt.Str("zip")))
+	if !smt.Equal(got, want) {
+		t.Errorf("!== = %s", got)
+	}
+}
+
+// Table II row: Array Check (in_array) over a recognized array.
+func TestTrlInArrayRecognized(t *testing.T) {
+	b := nb()
+	arr := b.g.NewArray(1)
+	b.g.SetElem(arr, "0", b.str("jpg"))
+	b.g.SetElem(arr, "1", b.str("png"))
+	l := b.fn("in_array", sexpr.Bool, b.sym("e", sexpr.String), arr)
+	got := b.trl(l, smt.SortBool)
+	want := smt.Or(
+		smt.Eq(smt.Var("e", smt.SortString), smt.Str("jpg")),
+		smt.Eq(smt.Var("e", smt.SortString), smt.Str("png")),
+	)
+	if !smt.Equal(got, want) {
+		t.Errorf("in_array = %s, want %s", got, want)
+	}
+}
+
+func TestTrlInArrayUnknown(t *testing.T) {
+	b := nb()
+	l := b.fn("in_array", sexpr.Bool, b.sym("e", sexpr.String), b.sym("h", sexpr.Array))
+	got := b.trl(l, smt.SortBool)
+	if got.Op != smt.OpVar || got.Sort() != smt.SortBool {
+		t.Errorf("in_array unknown = %s, want fresh bool symbol", got)
+	}
+}
+
+// Table II row: Substring with and without length.
+func TestTrlSubstr(t *testing.T) {
+	b := nb()
+	s := b.sym("s", sexpr.String)
+	two := b.fn("substr", sexpr.String, s, b.num(1))
+	got := b.trl(two, smt.SortString)
+	want := smt.Substr(smt.Var("s", smt.SortString), smt.Int(1), smt.Len(smt.Var("s", smt.SortString)))
+	if !smt.Equal(got, want) {
+		t.Errorf("substr/2 = %s", got)
+	}
+	three := b.fn("substr", sexpr.String, s, b.num(1), b.num(3))
+	got3 := b.trl(three, smt.SortString)
+	want3 := smt.Substr(smt.Var("s", smt.SortString), smt.Int(1), smt.Int(3))
+	if !smt.Equal(got3, want3) {
+		t.Errorf("substr/3 = %s", got3)
+	}
+}
+
+// Table II row: Tail Element.
+func TestTrlEndRecognized(t *testing.T) {
+	b := nb()
+	arr := b.g.NewArray(1)
+	b.g.SetElem(arr, "0", b.str("name"))
+	b.g.SetElem(arr, "1", b.sym("s_ext", sexpr.String))
+	l := b.fn("end", sexpr.Unknown, arr)
+	got := b.trl(l, smt.SortString)
+	if !smt.Equal(got, smt.Var("s_ext", smt.SortString)) {
+		t.Errorf("end = %s", got)
+	}
+}
+
+func TestTrlEndUnknown(t *testing.T) {
+	b := nb()
+	l := b.fn("end", sexpr.Unknown, b.sym("h", sexpr.Array))
+	got := b.trl(l, smt.SortString)
+	if got.Op != smt.OpVar {
+		t.Errorf("end unknown = %s, want fresh symbol", got)
+	}
+}
+
+// Table II row: File Name (basename).
+func TestTrlBasename(t *testing.T) {
+	b := nb()
+	concrete := b.fn("basename", sexpr.String, b.str("/var/www/shell.php"))
+	if got := b.trl(concrete, smt.SortString); !smt.Equal(got, smt.Str("shell.php")) {
+		t.Errorf("basename concrete = %s", got)
+	}
+	// Structured upload name with no separator: passes through.
+	name := b.op(".", sexpr.String, b.sym("s_name", sexpr.String), b.sym("s_ext", sexpr.String))
+	structured := b.fn("basename", sexpr.String, name)
+	got := b.trl(structured, smt.SortString)
+	want := smt.Concat(smt.Var("s_name", smt.SortString), smt.Var("s_ext", smt.SortString))
+	if !smt.Equal(got, want) {
+		t.Errorf("basename structured = %s", got)
+	}
+	// Separator present and symbolic: fresh symbol.
+	path := b.op(".", sexpr.String, b.sym("dir", sexpr.String), b.str("/"))
+	opaque := b.fn("basename", sexpr.String, path)
+	if got := b.trl(opaque, smt.SortString); got.Op != smt.OpVar {
+		t.Errorf("basename opaque = %s, want fresh symbol", got)
+	}
+}
+
+func TestTrlComparisons(t *testing.T) {
+	b := nb()
+	l := b.op(">", sexpr.Bool, b.fn("strlen", sexpr.Int, b.sym("s", sexpr.String)), b.num(5))
+	got := b.trl(l, smt.SortBool)
+	want := smt.Gt(smt.Len(smt.Var("s", smt.SortString)), smt.Int(5))
+	if !smt.Equal(got, want) {
+		t.Errorf("> = %s", got)
+	}
+}
+
+func TestTrlUnknownFunctionFreshSymbol(t *testing.T) {
+	b := nb()
+	l := b.fn("wp_mystery", sexpr.Unknown, b.sym("x", sexpr.String))
+	got1 := b.trl(l, smt.SortString)
+	if got1.Op != smt.OpVar {
+		t.Fatalf("unknown fn = %s, want symbol", got1)
+	}
+	// Stability: translating the same object again yields the same symbol.
+	tr := New(b.g)
+	a := tr.Label(l, smt.SortString)
+	b2 := tr.Label(l, smt.SortString)
+	if !smt.Equal(a, b2) {
+		t.Error("fallback symbol not stable across translations")
+	}
+}
+
+func TestTrlIte(t *testing.T) {
+	b := nb()
+	l := b.op("ite", sexpr.String, b.sym("c", sexpr.Bool), b.str("a"), b.str("b"))
+	got := b.trl(l, smt.SortString)
+	want := smt.Ite(smt.Var("c", smt.SortBool), smt.Str("a"), smt.Str("b"))
+	if !smt.Equal(got, want) {
+		t.Errorf("ite = %s", got)
+	}
+}
+
+func TestTrlPassThroughTransforms(t *testing.T) {
+	b := nb()
+	for _, fn := range []string{"strtolower", "trim", "sanitize_file_name"} {
+		l := b.fn(fn, sexpr.String, b.sym("s", sexpr.String))
+		if got := b.trl(l, smt.SortString); !smt.Equal(got, smt.Var("s", smt.SortString)) {
+			t.Errorf("%s = %s, want pass-through", fn, got)
+		}
+	}
+}
+
+func TestTrlCoalesce(t *testing.T) {
+	b := nb()
+	l := b.op("??", sexpr.Unknown, b.sym("a", sexpr.String), b.str("fallback"))
+	got := b.trl(l, smt.SortString)
+	if !smt.Equal(got, smt.Var("a", smt.SortString)) {
+		t.Errorf("?? = %s", got)
+	}
+}
+
+// The paper's worked example (Section III-D): Constraint-2 and
+// Constraint-3 for Listing 4 translate to the exact SMT shapes given in
+// the text.
+func TestTrlPaperListing4Constraints(t *testing.T) {
+	b := nb()
+	sPath := b.sym("s_path", sexpr.String)
+	sName := b.sym("s_name", sexpr.String)
+	sExt := b.sym("s_ext", sexpr.String)
+	// se_dst = (. s_path (. "/" (. s_name s_ext)))
+	nameExt := b.op(".", sexpr.String, sName, sExt)
+	slashName := b.op(".", sexpr.String, b.str("/"), nameExt)
+	seDst := b.op(".", sexpr.String, sPath, slashName)
+	// se_reach = (> (strlen (. s_name s_ext)) 5)
+	seReach := b.op(">", sexpr.Bool, b.fn("strlen", sexpr.Int, nameExt), b.num(5))
+
+	tr := New(b.g)
+	c2 := smt.SuffixOf(smt.Str(".php"), tr.Label(seDst, smt.SortString))
+	c3 := tr.Label(seReach, smt.SortBool)
+
+	wantC2 := smt.SuffixOf(smt.Str(".php"),
+		smt.Concat(smt.Var("s_path", smt.SortString),
+			smt.Concat(smt.Str("/"),
+				smt.Concat(smt.Var("s_name", smt.SortString), smt.Var("s_ext", smt.SortString)))))
+	if !smt.Equal(c2, wantC2) {
+		t.Errorf("C2 = %s\nwant %s", c2, wantC2)
+	}
+	wantC3 := smt.Gt(smt.Len(smt.Concat(smt.Var("s_name", smt.SortString), smt.Var("s_ext", smt.SortString))), smt.Int(5))
+	if !smt.Equal(c3, wantC3) {
+		t.Errorf("C3 = %s\nwant %s", c3, wantC3)
+	}
+
+	// And the conjunction is satisfiable, as the paper's detection requires.
+	solver := smt.NewSolver(smt.Options{})
+	status, model, _, err := solver.Check(smt.And(c2, c3))
+	if err != nil || status != smt.Sat {
+		t.Fatalf("status=%v err=%v", status, err)
+	}
+	full := model["s_path"].S + "/" + model["s_name"].S + model["s_ext"].S
+	if !strings.HasSuffix(full, ".php") {
+		t.Errorf("witness %v does not end in .php", model)
+	}
+}
+
+func TestTrlNullLabel(t *testing.T) {
+	b := nb()
+	if got := b.trl(heapgraph.Null, smt.SortBool); !smt.Equal(got, smt.True()) {
+		t.Errorf("null bool = %s", got)
+	}
+	if got := b.trl(heapgraph.Null, smt.SortString); !smt.Equal(got, smt.Str("")) {
+		t.Errorf("null string = %s", got)
+	}
+}

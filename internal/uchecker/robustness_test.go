@@ -1,0 +1,256 @@
+package uchecker
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+)
+
+// Failure injection: the pipeline must produce a usable report for broken,
+// hostile, or degenerate inputs — a scanner that crashes on the long tail
+// of a plugin crawl is useless for the Section IV-B workflow.
+
+func TestScanEmptyApp(t *testing.T) {
+	rep := check(t, map[string]string{}, Options{})
+	if rep.Vulnerable || rep.TotalLoC != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestScanEmptyFile(t *testing.T) {
+	rep := check(t, map[string]string{"empty.php": ""}, Options{})
+	if rep.Vulnerable {
+		t.Error("empty file flagged")
+	}
+}
+
+func TestScanHTMLOnly(t *testing.T) {
+	rep := check(t, map[string]string{
+		"page.php": "<html><body><h1>No PHP here</h1></body></html>",
+	}, Options{})
+	if rep.Vulnerable || len(rep.Roots) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestScanSyntaxErrorBeforeSink(t *testing.T) {
+	// The statement before the sink is malformed; recovery must still
+	// reach and verify the sink.
+	rep := check(t, map[string]string{
+		"broken.php": `<?php
+$x = = 1;
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if rep.ParseErrors == 0 {
+		t.Error("expected recorded parse errors")
+	}
+	if !rep.Vulnerable {
+		t.Error("sink after syntax error must still be detected")
+	}
+}
+
+func TestScanUnterminatedConstructs(t *testing.T) {
+	cases := []string{
+		`<?php function f( {`,
+		`<?php if ($a { $x = 1; }`,
+		`<?php $s = "never closed`,
+		`<?php class C {`,
+		`<?php foreach ($a as { }`,
+		`<?php switch ($x) { case`,
+	}
+	for _, src := range cases {
+		rep := check(t, map[string]string{"bad.php": src}, Options{})
+		if rep == nil {
+			t.Fatalf("nil report for %q", src)
+		}
+	}
+}
+
+func TestScanDeeplyNestedExpressions(t *testing.T) {
+	// 2000-deep parenthesization: must not overflow the stack.
+	var sb strings.Builder
+	sb.WriteString("<?php $x = ")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("(")
+	}
+	sb.WriteString("1")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(")")
+	}
+	sb.WriteString(";")
+	rep := check(t, map[string]string{"deep.php": sb.String()}, Options{})
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestScanDeeplyNestedBlocks(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<?php\n")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("if (true) {\n")
+	}
+	sb.WriteString("$x = 1;\n")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("}\n")
+	}
+	rep := check(t, map[string]string{"blocks.php": sb.String()}, Options{})
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestScanSelfIncludingFile(t *testing.T) {
+	rep := check(t, map[string]string{
+		"loop.php": `<?php
+include 'loop.php';
+move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Error("self-include must not prevent detection")
+	}
+}
+
+func TestScanMutualIncludes(t *testing.T) {
+	rep := check(t, map[string]string{
+		"a.php": `<?php include 'b.php'; $n = $_FILES['f']['name'];`,
+		"b.php": `<?php include 'a.php'; move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);`,
+	}, Options{})
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestScanMissingIncludeTarget(t *testing.T) {
+	rep := check(t, map[string]string{
+		"main.php": `<?php
+include 'not-shipped.php';
+move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Error("unresolvable include must not block detection")
+	}
+}
+
+func TestScanWeirdUploadKeys(t *testing.T) {
+	rep := check(t, map[string]string{
+		"keys.php": `<?php
+move_uploaded_file($_FILES["weird key-~!"]['tmp_name'], "/u/" . $_FILES["weird key-~!"]['name']);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Error("non-identifier upload keys must work")
+	}
+}
+
+func TestScanSinkWithMissingArgs(t *testing.T) {
+	rep := check(t, map[string]string{
+		"degenerate.php": `<?php
+$x = $_FILES['f']['name'];
+move_uploaded_file();
+move_uploaded_file($_FILES['f']['tmp_name']);
+`,
+	}, Options{})
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.Vulnerable {
+		t.Error("argument-less sinks must not be flagged")
+	}
+}
+
+func TestScanRecursiveUploadHelper(t *testing.T) {
+	rep := check(t, map[string]string{
+		"rec.php": `<?php
+function retry_upload($f, $n) {
+	if ($n <= 0) { return false; }
+	if (move_uploaded_file($f['tmp_name'], "/u/" . $f['name'])) {
+		return true;
+	}
+	return retry_upload($f, $n - 1);
+}
+retry_upload($_FILES['doc'], 3);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Error("recursive helper must still be detected (recursion cut)")
+	}
+}
+
+func TestScanTinyBudgetNeverPanics(t *testing.T) {
+	rep := check(t, map[string]string{
+		"b.php": `<?php
+if ($a) { $x = 1; } else { $x = 2; }
+if ($b) { $y = 1; } else { $y = 2; }
+move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
+`,
+	}, Options{Interp: interp.Options{MaxPaths: 1}})
+	if !rep.BudgetExceeded {
+		t.Error("expected budget exceeded")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := check(t, map[string]string{
+		"j.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back AppReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Vulnerable != rep.Vulnerable || len(back.Findings) != len(rep.Findings) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Findings[0].ExploitPath != rep.Findings[0].ExploitPath {
+		t.Error("ExploitPath lost in JSON")
+	}
+}
+
+// Property: the checker never panics on arbitrary "PHP-ish" source and
+// always returns a report.
+func TestScanArbitrarySource(t *testing.T) {
+	f := func(body string) bool {
+		rep := New(Options{Interp: interp.Options{MaxPaths: 200}}).CheckSources("fuzz", map[string]string{
+			"fuzz.php": "<?php " + body,
+		})
+		return rep != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scanning is deterministic — same sources, same verdict and
+// finding count.
+func TestScanDeterministic(t *testing.T) {
+	sources := map[string]string{
+		"d.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext != "php") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/u/x." . $ext);
+}
+`,
+	}
+	first := check(t, sources, Options{})
+	for i := 0; i < 5; i++ {
+		again := check(t, sources, Options{})
+		if again.Vulnerable != first.Vulnerable || len(again.Findings) != len(first.Findings) {
+			t.Fatalf("non-deterministic at iteration %d", i)
+		}
+		if len(again.Findings) > 0 && again.Findings[0].SeDst != first.Findings[0].SeDst {
+			t.Fatalf("se_dst drift: %s vs %s", again.Findings[0].SeDst, first.Findings[0].SeDst)
+		}
+	}
+}

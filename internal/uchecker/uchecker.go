@@ -1,0 +1,345 @@
+// Package uchecker is the end-to-end UChecker pipeline (Figure 2 of the
+// paper): parsing → vulnerability-oriented locality analysis → AST-based
+// symbolic execution → vulnerability modeling → Z3-oriented translation →
+// SMT-based verification.
+//
+// The public entry point is Checker.CheckSources, which scans one web
+// application (a map of PHP sources) and produces an AppReport carrying
+// the detection verdict, per-finding source lines and witness models, and
+// the measurements Table III reports (LoC, % analyzed, paths, objects,
+// objects/path, memory, time).
+package uchecker
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/interp"
+	"repro/internal/locality"
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+	"repro/internal/translate"
+	"repro/internal/vulnmodel"
+)
+
+// Options configures a Checker. The zero value reproduces the paper's
+// configuration (".php"/".php5" extensions, no admin-gating model — which
+// is what produces the two admin-plugin false positives of Section IV-A).
+type Options struct {
+	// Extensions are the executable extensions of Constraint-2.
+	// Default: [".php", ".php5"].
+	Extensions []string
+	// Interp configures the symbolic executor.
+	Interp interp.Options
+	// Solver configures the SMT solver.
+	Solver smt.Options
+	// DisableLocality skips the vulnerability-oriented locality analysis
+	// and symbolically executes every file and every function as a root —
+	// the whole-program baseline the paper's locality analysis exists to
+	// avoid. For ablation benchmarks.
+	DisableLocality bool
+	// ModelAdminGating enables the Section VI extension: sinks only
+	// reachable through callbacks registered with
+	// add_action('admin_menu', …) are reported as admin-gated and excluded
+	// from the vulnerable verdict. Off by default to match the paper.
+	ModelAdminGating bool
+	// KeepSMT records each finding's SMT-LIB2 script in the report.
+	KeepSMT bool
+}
+
+// Finding is one verified vulnerable sink on one satisfiable path.
+type Finding struct {
+	Sink string
+	File string
+	Line int
+	// Lines are all source lines contributing to the constraints — the
+	// paper's source-code-level feedback.
+	Lines []int
+	// SeDst / SeReach are the PHP s-expressions of the destination and
+	// reachability constraints.
+	SeDst   string
+	SeReach string
+	// Witness is the satisfying assignment: concrete attacker-controlled
+	// values (e.g. s_ext = ".php") demonstrating the exploit.
+	Witness smt.Model
+	// ExploitPath is the concrete destination path obtained by evaluating
+	// the translated destination under the witness — the location where
+	// the attacker's script lands on the server.
+	ExploitPath string
+	// SMTLIB is the solver input (set when Options.KeepSMT).
+	SMTLIB string
+	// AdminGated marks findings suppressed by the admin-gating model.
+	AdminGated bool
+}
+
+// AppReport is the scan result for one application, carrying Table III's
+// columns.
+type AppReport struct {
+	Name string
+
+	// Table III columns.
+	TotalLoC        int
+	AnalyzedLoC     int
+	PercentAnalyzed float64
+	Paths           int
+	Objects         int
+	ObjectsPerPath  float64
+	MemoryMB        float64
+	Seconds         float64
+
+	// Roots selected by the locality analysis.
+	Roots []string
+	// SinkCount is the number of (path, sink) candidates examined.
+	SinkCount int
+	// Findings are the verified vulnerable sinks.
+	Findings []Finding
+	// Vulnerable is the verdict: at least one non-admin-gated finding.
+	Vulnerable bool
+	// BudgetExceeded reports that symbolic execution aborted (the paper's
+	// Cimy User Extra Fields failure mode); the verdict is then "not
+	// detected".
+	BudgetExceeded bool
+	// ParseErrors counts tolerated syntax errors.
+	ParseErrors int
+}
+
+// Checker runs the pipeline. A zero-value Checker uses default options.
+type Checker struct {
+	opts Options
+}
+
+// New returns a Checker.
+func New(opts Options) *Checker {
+	if len(opts.Extensions) == 0 {
+		opts.Extensions = vulnmodel.DefaultExtensions
+	}
+	return &Checker{opts: opts}
+}
+
+// CheckSources scans one application given as file-name → source-text.
+func (c *Checker) CheckSources(name string, sources map[string]string) *AppReport {
+	start := time.Now()
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+
+	rep := &AppReport{Name: name}
+
+	// --- Phase 1: parsing ---
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*phpast.File, 0, len(names))
+	for _, n := range names {
+		f, errs := phpparser.Parse(n, sources[n])
+		rep.ParseErrors += len(errs)
+		files = append(files, f)
+	}
+
+	// --- Phase 2: locality analysis ---
+	g := callgraph.Build(files)
+	loc := locality.Analyze(g, files, sources)
+	rep.TotalLoC = loc.TotalLoC
+	rep.AnalyzedLoC = loc.AnalyzedLoC
+	rep.PercentAnalyzed = loc.PercentAnalyzed()
+
+	roots := loc.Roots
+	if c.opts.DisableLocality {
+		// Whole-program ablation: every file and function is a root.
+		roots = roots[:0]
+		for _, n := range g.Nodes {
+			if n.Kind == callgraph.FileNode || n.Kind == callgraph.FuncNode {
+				roots = append(roots, locality.Root{Node: n, File: n.File})
+			}
+		}
+		rep.AnalyzedLoC = rep.TotalLoC
+		rep.PercentAnalyzed = 100
+	}
+
+	adminCallbacks := map[string]bool{}
+	if c.opts.ModelAdminGating {
+		adminCallbacks = findAdminCallbacks(files)
+	}
+
+	// --- Phases 3-6 per root ---
+	for _, root := range roots {
+		rep.Roots = append(rep.Roots, root.Node.String())
+		in := interp.New(files, c.opts.Interp)
+		res := in.RunRoot(root.Node)
+		rep.Paths += res.Paths
+		rep.Objects += res.Graph.NumObjects()
+		if res.Err != nil {
+			if errors.Is(res.Err, interp.ErrBudgetExceeded) {
+				rep.BudgetExceeded = true
+				continue
+			}
+		}
+		c.verifySinks(rep, root.Node, res, adminCallbacks, g)
+	}
+
+	if rep.Paths > 0 {
+		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
+	}
+	for _, f := range rep.Findings {
+		if !f.AdminGated {
+			rep.Vulnerable = true
+		}
+	}
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	if memAfter.HeapAlloc > memBefore.HeapAlloc {
+		rep.MemoryMB = float64(memAfter.HeapAlloc-memBefore.HeapAlloc) / (1 << 20)
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	return rep
+}
+
+// verifySinks models and solver-checks every recorded sink hit of one
+// root's execution.
+func (c *Checker) verifySinks(rep *AppReport, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph) {
+	solver := smt.NewSolver(c.opts.Solver)
+	tr := translate.New(res.Graph)
+	seen := map[string]bool{} // dedupe per (file,line,witness-free)
+
+	for _, hit := range res.Sinks {
+		rep.SinkCount++
+		cand := vulnmodel.Model(res.Graph, tr, vulnmodel.Sink{
+			Name: hit.Sink,
+			File: hit.File,
+			Line: hit.Line,
+			Src:  hit.Src,
+			Dst:  hit.Dst,
+			Cur:  hit.Env.Cur,
+		}, c.opts.Extensions)
+		if !cand.Tainted {
+			continue // Constraint-1 failed
+		}
+		// One satisfiable path per call site is enough for a verdict; skip
+		// further paths of an already-confirmed sink.
+		key := fmt.Sprintf("%s:%d", cand.File, cand.Line)
+		if seen[key] {
+			continue
+		}
+		status, model, _, _ := solver.Check(cand.Combined)
+		if status != smt.Sat {
+			continue
+		}
+		seen[key] = true
+		f := Finding{
+			Sink:    cand.Sink,
+			File:    cand.File,
+			Line:    cand.Line,
+			Lines:   cand.Lines,
+			SeDst:   sexpr.Format(cand.SeDst),
+			SeReach: sexpr.Format(cand.SeReach),
+			Witness: model,
+		}
+		// Independent exploit validation: evaluate the destination under
+		// the witness and confirm the executable suffix concretely.
+		if v, err := smt.Eval(cand.DstTerm, modelWithDefaults(cand.DstTerm, model)); err == nil {
+			f.ExploitPath = v.S
+		}
+		if c.opts.KeepSMT {
+			f.SMTLIB = smt.ToSMTLIB2(cand.Combined)
+		}
+		if c.opts.ModelAdminGating && isAdminGated(root, adminCallbacks, g) {
+			f.AdminGated = true
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+}
+
+// findAdminCallbacks collects the lower-cased names of callbacks
+// registered with add_action('admin_menu', …) — the WordPress pattern the
+// paper's Section IV-A false positives hinge on (Listing 5).
+// modelWithDefaults extends a model with zero values for any variable of
+// t the solver never constrained.
+func modelWithDefaults(t *smt.Term, m smt.Model) smt.Model {
+	out := make(smt.Model, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, v := range smt.Vars(t) {
+		if _, ok := out[v.S]; !ok {
+			switch v.Sort() {
+			case smt.SortBool:
+				out[v.S] = smt.BoolValue(false)
+			case smt.SortInt:
+				out[v.S] = smt.IntValue(0)
+			default:
+				out[v.S] = smt.StrValue("")
+			}
+		}
+	}
+	return out
+}
+
+func findAdminCallbacks(files []*phpast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range files {
+		phpast.Walk(f, func(n phpast.Node) bool {
+			call, ok := n.(*phpast.Call)
+			if !ok {
+				return true
+			}
+			name, ok := phpast.CalleeName(call)
+			if !ok || name != "add_action" || len(call.Args) < 2 {
+				return true
+			}
+			hook, ok := call.Args[0].(*phpast.StringLit)
+			if !ok || !strings.HasPrefix(hook.Value, "admin_") {
+				return true
+			}
+			if cb, ok := call.Args[1].(*phpast.StringLit); ok {
+				out[strings.ToLower(cb.Value)] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isAdminGated reports whether the analysis root is (or is only reachable
+// through) an admin-registered callback.
+func isAdminGated(root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph) bool {
+	if len(adminCallbacks) == 0 {
+		return false
+	}
+	if root.Kind == callgraph.FuncNode && adminCallbacks[root.Name] {
+		return true
+	}
+	// A file root is gated when every sink-reaching successor is an admin
+	// callback subtree.
+	if root.Kind == callgraph.FileNode {
+		gated := false
+		for _, s := range g.Succ[root] {
+			if s.Kind != callgraph.FuncNode {
+				continue
+			}
+			if !g.Reaches(s, callgraph.SinkNode) {
+				continue
+			}
+			if adminCallbacks[s.Name] {
+				gated = true
+			} else {
+				return false
+			}
+		}
+		return gated
+	}
+	return false
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d %s", f.File, f.Line, f.Sink)
+}

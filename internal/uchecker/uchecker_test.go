@@ -1,0 +1,674 @@
+package uchecker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func check(t *testing.T, sources map[string]string, opts Options) *AppReport {
+	t.Helper()
+	return New(opts).CheckSources("test-app", sources)
+}
+
+// Listing 4 of the paper: the canonical vulnerable upload.
+func TestDetectListing4(t *testing.T) {
+	rep := check(t, map[string]string{
+		"upload.php": `<?php
+$path_array = wp_upload_dir();
+$pathAndName = $path_array['path'] . "/" . $_FILES['upload_file']['name'];
+if (!move_uploaded_file($_FILES['upload_file']['tmp_name'], $pathAndName)) {
+	return false;
+}
+return true;
+`,
+	}, Options{KeepSMT: true})
+	if !rep.Vulnerable {
+		t.Fatalf("Listing 4 must be detected; report: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Sink != "move_uploaded_file" || f.Line != 4 {
+		t.Errorf("finding = %+v", f)
+	}
+	// Source-level feedback covers the lines that build the path.
+	if !containsInt(f.Lines, 3) {
+		t.Errorf("lines = %v, want to include 3 (path construction)", f.Lines)
+	}
+	// Witness assigns the extension.
+	joined := ""
+	for _, v := range f.Witness {
+		joined += v.S
+	}
+	if !strings.Contains(joined, "php") {
+		t.Errorf("witness = %v, expected a .php assignment", f.Witness)
+	}
+	if !strings.Contains(f.SMTLIB, "str.suffixof") {
+		t.Errorf("SMT-LIB output missing suffix constraint")
+	}
+}
+
+// Listing 6: WooCommerce Custom Profile Picture 1.0 (Section IV-B).
+func TestDetectWooCommerceCustomProfilePicture(t *testing.T) {
+	rep := check(t, map[string]string{
+		"wc-custom-profile-picture.php": `<?php
+if($_FILES['profile_pic']){
+	$picture_id = wc_cus_upload_picture($_FILES['profile_pic']);
+}
+function wc_cus_upload_picture( $foto ) {
+	$profilepicture = $foto;
+	$wordpress_upload_dir = wp_upload_dir();
+	$new_file_path = $wordpress_upload_dir['path'] . '/' . $profilepicture['name'];
+	if( move_uploaded_file( $profilepicture['tmp_name'], $new_file_path ) ) {
+		return 1;
+	}
+	return 0;
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatalf("WooCommerce CPP must be detected; report %+v", rep)
+	}
+	if rep.Findings[0].Line != 9 {
+		t.Errorf("finding line = %d, want 9 (the move_uploaded_file call)", rep.Findings[0].Line)
+	}
+}
+
+// Listing 7: File Provider 1.2.3 (Section IV-B).
+func TestDetectFileProvider(t *testing.T) {
+	rep := check(t, map[string]string{
+		"file-provider.php": `<?php
+function upload_file() {
+	$uploaddir = get_option('fp_upload_dir');
+	$nome_final = $_FILES['userFile']['name'];
+	$uploadfile = $uploaddir . basename($nome_final);
+	if (move_uploaded_file($_FILES['userFile']['tmp_name'], $uploadfile)) {
+		echo "ok";
+	}
+}
+upload_file();
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatalf("File Provider must be detected; report %+v", rep)
+	}
+}
+
+// Listing 8: WP Demo Buddy 1.0.2 — the zip guard does not help because a
+// constant ".php" is appended (Section IV-B).
+func TestDetectWPDemoBuddy(t *testing.T) {
+	rep := check(t, map[string]string{
+		"wp-demo-buddy.php": `<?php
+function file_Upload($type)
+{
+	global $wpdb;
+	$upload_dir = get_option('wp_demo_buddy_upload_dir');
+	$ext = pathinfo($_FILES[$type]['name'], PATHINFO_EXTENSION);
+	if ($ext !== 'zip') return;
+	$info = pathinfo($_FILES[$type]['name']);
+	$newname = time() . rand() . '_' . $info['basename'] . '.php';
+	$target = $upload_dir . $newname;
+	move_uploaded_file($_FILES[$type]['tmp_name'], $target);
+	$ret = array($newname, $info['basename']);
+	return $ret;
+}
+file_Upload("pkg");
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatalf("WP Demo Buddy must be detected; report %+v", rep)
+	}
+	// The ext === zip guard must be part of the reachability constraint.
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f.SeReach, `"zip"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reachability should mention the zip guard: %+v", rep.Findings)
+	}
+}
+
+// A proper whitelist of image extensions makes the app safe.
+func TestBenignWhitelist(t *testing.T) {
+	rep := check(t, map[string]string{
+		"safe.php": `<?php
+$ext = pathinfo($_FILES['pic']['name'], PATHINFO_EXTENSION);
+$allowed = array('jpg', 'png', 'gif');
+if (in_array($ext, $allowed)) {
+	move_uploaded_file($_FILES['pic']['tmp_name'], "/up/img." . $ext);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("whitelisted upload must not be flagged: %+v", rep.Findings)
+	}
+	if rep.SinkCount == 0 {
+		t.Error("the sink should still be examined")
+	}
+}
+
+// A constant safe extension on the destination is safe.
+func TestBenignConstantExtension(t *testing.T) {
+	rep := check(t, map[string]string{
+		"safe2.php": `<?php
+$name = md5($_FILES['doc']['name']);
+move_uploaded_file($_FILES['doc']['tmp_name'], "/up/" . $name . ".png");
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("constant .png destination must not be flagged: %+v", rep.Findings)
+	}
+}
+
+// Equality guard against the full extension list blocks the exploit when
+// the destination is "name.ext" and ext is forced to a safe constant.
+func TestBenignForcedExtension(t *testing.T) {
+	rep := check(t, map[string]string{
+		"safe3.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext == "jpg") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/x." . $ext);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("jpg-guarded upload must not be flagged: %+v", rep.Findings)
+	}
+}
+
+// A blacklist that only blocks "php" misses "php5" — still vulnerable
+// (Section VI extension-variant discussion).
+func TestBlacklistMissesPhp5(t *testing.T) {
+	rep := check(t, map[string]string{
+		"blacklist.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext != "php") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/x." . $ext);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("php-only blacklist must still be flagged (php5 bypass)")
+	}
+	// The witness must use a non-"php" extension.
+	for _, f := range rep.Findings {
+		for name, v := range f.Witness {
+			if strings.Contains(name, "ext") && v.S == "php" {
+				t.Errorf("witness violates guard: %v", f.Witness)
+			}
+		}
+	}
+}
+
+// No $_FILES access: locality analysis selects nothing, nothing to verify.
+func TestNoUploadCode(t *testing.T) {
+	rep := check(t, map[string]string{
+		"plain.php": `<?php
+echo "hello world";
+file_put_contents("/tmp/log.txt", "some log line");
+`,
+	}, Options{})
+	if rep.Vulnerable || len(rep.Roots) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// Untainted source: a constant file copied — Constraint-1 fails even
+// though the name is attacker-ish.
+func TestUntaintedSourceNotFlagged(t *testing.T) {
+	rep := check(t, map[string]string{
+		"untainted.php": `<?php
+$n = $_FILES['f']['name'];
+move_uploaded_file("/etc/passwd", "/up/" . $n);
+$x = $n;
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Errorf("untainted source must not be flagged: %+v", rep.Findings)
+	}
+}
+
+// file_put_contents with tainted content and unconstrained name.
+func TestFilePutContentsSink(t *testing.T) {
+	rep := check(t, map[string]string{
+		"fpc.php": `<?php
+$data = $_FILES['f']['tmp_name'];
+$name = $_FILES['f']['name'];
+file_put_contents("/up/" . $name, $data);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("file_put_contents sink must be detected")
+	}
+	if rep.Findings[0].Sink != "file_put_contents" {
+		t.Errorf("sink = %s", rep.Findings[0].Sink)
+	}
+}
+
+// The locality percentages: filler code dwarfs the upload function.
+func TestLocalityPercentSmall(t *testing.T) {
+	filler := "<?php\n"
+	for i := 0; i < 120; i++ {
+		filler += "function f" + itoa(i) + "($a) {\n\t$b = $a + 1;\n\t$c = $b * 2;\n\treturn $c;\n}\n"
+	}
+	rep := check(t, map[string]string{
+		"filler.php": filler,
+		"up.php": `<?php
+function do_up() {
+	move_uploaded_file($_FILES['x']['tmp_name'], "/u/" . $_FILES['x']['name']);
+}
+do_up();
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("vulnerable upload must be found despite filler")
+	}
+	if rep.PercentAnalyzed > 20 {
+		t.Errorf("analyzed %% = %.1f, want small", rep.PercentAnalyzed)
+	}
+	if rep.TotalLoC < 500 {
+		t.Errorf("total LoC = %d", rep.TotalLoC)
+	}
+}
+
+// Budget exhaustion: the Cimy User Extra Fields failure mode.
+func TestBudgetExceededVerdict(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<?php\n$tmp = $_FILES['f']['tmp_name'];\n")
+	for i := 0; i < 24; i++ {
+		sb.WriteString("if ($c" + itoa(i) + ") { $x = " + itoa(i) + "; } else { $x = 0; }\n")
+	}
+	sb.WriteString("move_uploaded_file($tmp, \"/u/\" . $_FILES['f']['name']);\n")
+	rep := check(t, map[string]string{"cimy.php": sb.String()},
+		Options{Interp: interp.Options{MaxPaths: 2000}})
+	if !rep.BudgetExceeded {
+		t.Fatal("expected budget exceeded")
+	}
+	if rep.Vulnerable {
+		t.Error("budget-exceeded scan must not report vulnerable (paper FN)")
+	}
+}
+
+// Admin gating (Section VI): enabled, it suppresses the Event Registration
+// Pro-style false positive; disabled (paper config), it flags it.
+func TestAdminGatingExtension(t *testing.T) {
+	sources := map[string]string{
+		"admin-upload.php": `<?php
+add_action('admin_menu', 'csv_upload_page');
+function csv_upload_page() {
+	move_uploaded_file($_FILES['csv']['tmp_name'], "/up/" . $_FILES['csv']['name']);
+}
+`,
+	}
+	paper := check(t, sources, Options{})
+	if !paper.Vulnerable {
+		t.Fatal("paper configuration must flag the admin uploader (the documented FP)")
+	}
+	gated := check(t, sources, Options{ModelAdminGating: true})
+	if gated.Vulnerable {
+		t.Fatal("admin gating must suppress the verdict")
+	}
+	if len(gated.Findings) == 0 || !gated.Findings[0].AdminGated {
+		t.Errorf("finding should be recorded as admin-gated: %+v", gated.Findings)
+	}
+}
+
+// Custom extension lists (Section VI): .phtml uploads caught only when
+// configured.
+func TestCustomExtensions(t *testing.T) {
+	sources := map[string]string{
+		"phtml.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext == "phtml") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/x." . $ext);
+}
+`,
+	}
+	std := check(t, sources, Options{})
+	if std.Vulnerable {
+		t.Fatal("default extensions should not flag .phtml")
+	}
+	custom := check(t, sources, Options{Extensions: []string{".php", ".php5", ".phtml"}})
+	if !custom.Vulnerable {
+		t.Fatal(".phtml must be flagged with the extended list")
+	}
+}
+
+// The end(explode()) extension-extraction idiom with a whitelist is safe.
+func TestExplodeEndWhitelistBenign(t *testing.T) {
+	rep := check(t, map[string]string{
+		"explode.php": `<?php
+$parts = explode('.', $_FILES['f']['name']);
+$ext = end($parts);
+if ($ext == 'jpg' || $ext == 'jpeg' || $ext == 'png') {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/pic." . $ext);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Errorf("explode/end whitelist must not be flagged: %+v", rep.Findings)
+	}
+}
+
+// Multi-file app via include.
+func TestMultiFileDetection(t *testing.T) {
+	rep := check(t, map[string]string{
+		"plugin/main.php": `<?php
+include 'handler.php';
+process_upload($_FILES['att']);
+`,
+		"plugin/handler.php": `<?php
+function process_upload($f) {
+	$dst = wp_upload_dir();
+	move_uploaded_file($f['tmp_name'], $dst['path'] . '/' . $f['name']);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatalf("multi-file vulnerable app must be detected: %+v", rep)
+	}
+}
+
+// Reports carry Table III's measurement columns.
+func TestReportMetricsPopulated(t *testing.T) {
+	rep := check(t, map[string]string{
+		"m.php": `<?php
+if ($a) { $x = 1; } else { $x = 2; }
+move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if rep.Paths < 1 || rep.Objects == 0 || rep.ObjectsPerPath <= 0 {
+		t.Errorf("metrics: paths=%d objects=%d o/p=%.1f", rep.Paths, rep.Objects, rep.ObjectsPerPath)
+	}
+	if rep.Seconds <= 0 {
+		t.Error("missing timing")
+	}
+}
+
+// Strict-guarded upload where the name equality pins the full name.
+func TestStrictNameEqualityBenign(t *testing.T) {
+	rep := check(t, map[string]string{
+		"pin.php": `<?php
+$n = $_FILES['f']['name'];
+if ($n === "report.pdf") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $n);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Errorf("pinned name must not be flagged: %+v", rep.Findings)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// A preg_match extension whitelist is understood (Section VI regex
+// extension): the guard pins the suffix, so no executable upload exists.
+func TestPregMatchWhitelistBenign(t *testing.T) {
+	rep := check(t, map[string]string{
+		"regex-safe.php": `<?php
+$name = $_FILES['img']['name'];
+if (preg_match('/\.(jpg|jpeg|png|gif)$/', $name)) {
+	move_uploaded_file($_FILES['img']['tmp_name'], "/up/" . $name);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("regex whitelist must not be flagged: %+v", rep.Findings)
+	}
+	if rep.SinkCount == 0 {
+		t.Error("sink should still be examined")
+	}
+}
+
+// A preg_match blacklist that only blocks ".php" misses ".php5".
+func TestPregMatchBlacklistBypassed(t *testing.T) {
+	rep := check(t, map[string]string{
+		"regex-blacklist.php": `<?php
+$name = $_FILES['doc']['name'];
+if (!preg_match('/\.php$/', $name)) {
+	move_uploaded_file($_FILES['doc']['tmp_name'], "/up/" . $name);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("php-only regex blacklist must be flagged (.php5 bypass)")
+	}
+	for _, f := range rep.Findings {
+		for name, v := range f.Witness {
+			if strings.Contains(name, "name") || strings.Contains(name, "ext") {
+				if strings.HasSuffix(v.S, ".php") && !strings.HasSuffix(v.S, ".php5") {
+					// The full destination is what matters; individual
+					// fragments may not end in .php. Check the combined name.
+				}
+			}
+		}
+	}
+}
+
+// An unmodelable regex falls back to a symbolic guard: the analysis stays
+// sound (still flags) rather than assuming the guard works.
+func TestPregMatchUnmodelableStillFlagged(t *testing.T) {
+	rep := check(t, map[string]string{
+		"regex-opaque.php": `<?php
+$name = $_FILES['doc']['name'];
+if (preg_match('/^[a-z0-9_]+\.[a-z]+$/', $name)) {
+	move_uploaded_file($_FILES['doc']['tmp_name'], "/up/" . $name);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("opaque regex guard must not suppress the finding")
+	}
+}
+
+// The finding's ExploitPath is the concrete server path under the witness;
+// it must carry an executable extension.
+func TestExploitPathConcrete(t *testing.T) {
+	rep := check(t, map[string]string{
+		"ep.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/var/www/uploads/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("should be vulnerable")
+	}
+	p := rep.Findings[0].ExploitPath
+	if !strings.HasPrefix(p, "/var/www/uploads/") {
+		t.Errorf("ExploitPath = %q, want the constant prefix", p)
+	}
+	if !strings.HasSuffix(p, ".php") && !strings.HasSuffix(p, ".php5") {
+		t.Errorf("ExploitPath = %q, want executable suffix", p)
+	}
+}
+
+// Multi-file upload: foreach over $_FILES binds the pre-structured upload
+// family, so taint and the extension structure survive.
+func TestForeachOverFilesDetected(t *testing.T) {
+	rep := check(t, map[string]string{
+		"multi.php": `<?php
+foreach ($_FILES as $key => $f) {
+	move_uploaded_file($f['tmp_name'], "/up/" . $f['name']);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("foreach multi-upload must be detected")
+	}
+}
+
+// The copy() and rename() sinks are modeled like move_uploaded_file.
+func TestCopyAndRenameSinks(t *testing.T) {
+	rep := check(t, map[string]string{
+		"copy.php": `<?php
+copy($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if !rep.Vulnerable || rep.Findings[0].Sink != "copy" {
+		t.Fatalf("copy sink: %+v", rep.Findings)
+	}
+	rep2 := check(t, map[string]string{
+		"rename.php": `<?php
+rename($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	}, Options{})
+	if !rep2.Vulnerable || rep2.Findings[0].Sink != "rename" {
+		t.Fatalf("rename sink: %+v", rep2.Findings)
+	}
+}
+
+// Inequality blacklists are bypassed by double extensions: ext != "php"
+// admits "jpg.php"-style values, and the verdict's witness proves it.
+func TestDoubleExtensionBypass(t *testing.T) {
+	rep := check(t, map[string]string{
+		"double.php": `<?php
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext != "php" && $ext != "php5") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/upload." . $ext);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("double-extension bypass must be detected")
+	}
+	// Witness extension is neither "php" nor "php5" yet ends with .php.
+	for _, f := range rep.Findings {
+		for name, v := range f.Witness {
+			if strings.HasSuffix(name, "ext_f") {
+				if v.S == "php" || v.S == "php5" {
+					t.Errorf("witness violates guard: %s = %q", name, v.S)
+				}
+				if !strings.HasSuffix(f.ExploitPath, ".php") && !strings.HasSuffix(f.ExploitPath, ".php5") {
+					t.Errorf("exploit path %q not executable", f.ExploitPath)
+				}
+			}
+		}
+	}
+}
+
+// An error-code guard ($_FILES[...]['error'] === 0) does not sanitize the
+// name; still vulnerable.
+func TestErrorCheckNotSanitizer(t *testing.T) {
+	rep := check(t, map[string]string{
+		"err.php": `<?php
+if ($_FILES['f']['error'] === 0) {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("error-code guard must not suppress detection")
+	}
+}
+
+// strtolower on the extension passes structure through: a lowercase
+// whitelist still protects.
+func TestStrtolowerWhitelistBenign(t *testing.T) {
+	rep := check(t, map[string]string{
+		"lower.php": `<?php
+$ext = strtolower(pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION));
+if ($ext == "jpg" || $ext == "png") {
+	move_uploaded_file($_FILES['f']['tmp_name'], "/up/pic." . $ext);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("lowercased whitelist must not be flagged: %+v", rep.Findings)
+	}
+}
+
+// Multi-file upload loop over indexed $_FILES arrays is detected with the
+// structured name intact.
+func TestMultiFileIndexedUploadDetected(t *testing.T) {
+	rep := check(t, map[string]string{
+		"multi-indexed.php": `<?php
+for ($i = 0; $i < count($_FILES['docs']['name']); $i++) {
+	$name = $_FILES['docs']['name'][$i];
+	move_uploaded_file($_FILES['docs']['tmp_name'][$i], "/up/" . $name);
+}
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatal("indexed multi-file upload must be detected")
+	}
+}
+
+// And a whitelisted multi-file upload is not flagged.
+func TestMultiFileIndexedWhitelistBenign(t *testing.T) {
+	rep := check(t, map[string]string{
+		"multi-safe.php": `<?php
+$i = 0;
+$ext = pathinfo($_FILES['docs']['name'][$i], PATHINFO_EXTENSION);
+if (in_array($ext, array('png', 'jpg'))) {
+	move_uploaded_file($_FILES['docs']['tmp_name'][$i], "/up/m." . $ext);
+}
+`,
+	}, Options{})
+	if rep.Vulnerable {
+		t.Fatalf("whitelisted multi-file upload flagged: %+v", rep.Findings)
+	}
+}
+
+// Admin gating with the sink at file level through a gated function: the
+// file root is gated only when every sink-reaching callee is an admin
+// callback.
+func TestAdminGatingFileRoot(t *testing.T) {
+	sources := map[string]string{
+		"file-root.php": `<?php
+add_action('admin_menu', 'gated_upload');
+function gated_upload() {
+	move_uploaded_file($_FILES['a']['tmp_name'], "/u/" . $_FILES['a']['name']);
+}
+$probe = $_FILES['a']['name'];
+gated_upload();
+`,
+	}
+	gated := check(t, sources, Options{ModelAdminGating: true})
+	if gated.Vulnerable {
+		t.Fatalf("file root with only admin-gated sink functions must be suppressed: %+v", gated.Findings)
+	}
+}
+
+// Mixed gating: one admin-gated and one public upload path — the public
+// one keeps the app vulnerable.
+func TestAdminGatingMixed(t *testing.T) {
+	sources := map[string]string{
+		"mixed.php": `<?php
+add_action('admin_menu', 'admin_up');
+function admin_up() {
+	move_uploaded_file($_FILES['a']['tmp_name'], "/u/" . $_FILES['a']['name']);
+}
+function public_up() {
+	move_uploaded_file($_FILES['b']['tmp_name'], "/u/" . $_FILES['b']['name']);
+}
+$x = $_FILES['b']['name'];
+public_up();
+admin_up();
+`,
+	}
+	rep := check(t, sources, Options{ModelAdminGating: true})
+	if !rep.Vulnerable {
+		t.Fatal("public upload path must keep the app vulnerable despite gating")
+	}
+}
