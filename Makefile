@@ -1,0 +1,34 @@
+# Repository check targets. `make check` is the CI gate: formatting,
+# vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-scan
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper-evaluation benchmarks (bench_test.go).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The Scanner v2 serial-vs-parallel pair.
+bench-scan:
+	$(GO) test -run '^$$' -bench 'BenchmarkScan(Serial|Parallel|Roots)' .

@@ -14,6 +14,9 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/callgraph"
@@ -281,6 +284,98 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(bs)
+}
+
+// --- Scanner v2: parallel vs serial ---
+
+// scanTargets is the multi-root corpus workload for the Scanner
+// benchmarks: every Table III app scanned as one batch (44+ independent
+// roots in aggregate across applications).
+func scanTargets() []uchecker.Target {
+	apps := corpus.All()
+	targets := make([]uchecker.Target, len(apps))
+	for i, app := range apps {
+		targets[i] = uchecker.Target{Name: app.Name, Sources: app.Sources}
+	}
+	return targets
+}
+
+func benchScanBatch(b *testing.B, workers int) {
+	targets := scanTargets()
+	opts := benchOpts()
+	opts.Workers = workers
+	scanner := uchecker.NewScanner(opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := scanner.ScanBatch(context.Background(), targets)
+		if len(reps) != len(targets) {
+			b.Fatalf("reports = %d, want %d", len(reps), len(targets))
+		}
+		vuln := 0
+		for _, rep := range reps {
+			if rep.Vulnerable {
+				vuln++
+			}
+		}
+		if vuln == 0 {
+			b.Fatal("verdict drift: no vulnerable apps in corpus sweep")
+		}
+	}
+}
+
+// parallelWorkers is the pool size for the parallel benchmarks: all
+// available cores, but at least 4 so the pool machinery (fan-out, merge)
+// is exercised even on single-core CI runners. Wall-clock speedup over
+// the serial pair requires GOMAXPROCS > 1.
+func parallelWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// BenchmarkScanSerial sweeps the full corpus with Workers=1 — the v1
+// CheckSources execution model.
+func BenchmarkScanSerial(b *testing.B) { benchScanBatch(b, 1) }
+
+// BenchmarkScanParallel sweeps the same corpus with the parallel worker
+// pool; byte-identical reports, lower wall clock on multicore hosts.
+func BenchmarkScanParallel(b *testing.B) { benchScanBatch(b, parallelWorkers()) }
+
+// multiRootApp synthesizes one application with n independent upload
+// handlers, so the locality analysis selects n roots inside a single Scan
+// — the per-root fan-out path (corpus apps are single-root).
+func multiRootApp(n int) uchecker.Target {
+	sources := map[string]string{}
+	for i := 0; i < n; i++ {
+		sources[fmt.Sprintf("handler%02d.php", i)] = fmt.Sprintf(`<?php
+$dir = "/uploads/%02d";
+$name = $_FILES['f%d']['name'];
+$ext = strtolower(substr($name, strrpos($name, '.')));
+if (strlen($name) > 3 && $ext != '.exe') {
+	move_uploaded_file($_FILES['f%d']['tmp_name'], $dir . "/" . $name);
+}
+`, i, i, i)
+	}
+	return uchecker.Target{Name: fmt.Sprintf("multi-root-%d", n), Sources: sources}
+}
+
+// BenchmarkScanRoots contrasts Workers=1 and the parallel pool on a
+// single 32-root application — per-root parallelism inside one Scan.
+func BenchmarkScanRoots(b *testing.B) {
+	target := multiRootApp(32)
+	for _, workers := range []int{1, parallelWorkers()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scanner := uchecker.NewScanner(uchecker.Options{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				rep, err := scanner.Scan(context.Background(), target)
+				if err != nil || !rep.Vulnerable || len(rep.Roots) != 32 {
+					b.Fatalf("err=%v vulnerable=%v roots=%d", err, rep.Vulnerable, len(rep.Roots))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkScreening measures the Section IV-B screening workflow: one

@@ -6,10 +6,15 @@
 //	ucheck-bench -all         # both
 //	ucheck-bench -screen 500  # Section IV-B screening sweep over 500 plugins
 //	ucheck-bench -paper       # also print the paper's numbers side by side
+//	ucheck-bench -phases      # per-app, per-phase timing breakdown
+//	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
 //
 // The -max-paths flag lowers the symbolic-execution budget (useful on
 // small machines: 20000 still reproduces every verdict including the Cimy
-// false negative, at a fraction of the memory).
+// false negative, at a fraction of the memory). The -phases breakdown is
+// the CLI face of bench_test.go's BenchmarkScanSerial/BenchmarkScanParallel
+// pair: symexec+verify are summed per-root CPU seconds, execute is
+// wall-clock, and their ratio is the per-root parallel speedup.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 		plant    = flag.Int("plant", 20, "seed one vulnerable plugin every N positions in the sweep")
 		seed     = flag.Int64("seed", 1, "screening generator seed")
 		paper    = flag.Bool("paper", false, "print paper numbers next to measured ones")
+		phases   = flag.Bool("phases", false, "print a per-app, per-phase timing breakdown")
+		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
 		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
 	)
 	flag.Parse()
@@ -38,7 +45,15 @@ func main() {
 		*table = true
 	}
 
-	opts := uchecker.Options{Interp: interp.Options{MaxPaths: *maxPaths}}
+	opts := uchecker.Options{
+		Interp:  interp.Options{MaxPaths: *maxPaths},
+		Workers: *workers,
+	}
+	var times *evalharness.PhaseTimes
+	if *phases {
+		times = evalharness.NewPhaseTimes()
+		opts.OnPhase = times.Hook()
+	}
 
 	if *table || *all {
 		rows := evalharness.TableIII(opts)
@@ -60,6 +75,10 @@ func main() {
 		if *paper {
 			fmt.Println("\nPaper (Section IV-C): UChecker 15/16, 2/28 FP; RIPS 15/16, 27/28 FP; WAP 4/16, 1/28 FP")
 		}
+	}
+	if times != nil {
+		fmt.Println()
+		fmt.Print(times.Render())
 	}
 	os.Exit(0)
 }

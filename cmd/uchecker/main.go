@@ -3,30 +3,40 @@
 //
 // Usage:
 //
-//	uchecker [flags] <dir|file.php> [more paths...]
+//	uchecker [flags] <dir|file.php> [more targets...]
 //	uchecker [flags] -corpus "<app name>"     # scan a built-in corpus app
 //	uchecker -list-corpus                     # list corpus app names
 //
+// Each positional path is scanned as its own application; multiple paths
+// run concurrently through Scanner.ScanBatch.
+//
 // Flags:
 //
-//	-json           emit the report as JSON
+//	-json           emit the report(s) as JSON
 //	-sarif          emit the report as SARIF 2.1.0 (GitHub code scanning)
 //	-smt            print each finding's SMT-LIB2 script
 //	-ext LIST       comma-separated executable extensions (default ".php,.php5")
 //	-admin-gating   model add_action('admin_menu', ...) gating (Section VI)
 //	-max-paths N    symbolic execution path budget
+//	-workers N      worker pool size for per-root and per-app parallelism
+//	                (default: GOMAXPROCS)
+//	-timeout D      abort the scan after D (e.g. 30s, 5m); partial results
+//	                are still reported
 //	-v              verbose: also print per-phase measurements
 //
-// Exit status: 0 not vulnerable, 1 vulnerable, 2 usage/IO error.
+// Exit status: 0 not vulnerable, 1 vulnerable (any target), 2 usage/IO
+// error or scan aborted by -timeout.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -47,6 +57,8 @@ func run() int {
 		exts        = flag.String("ext", ".php,.php5", "comma-separated executable extensions")
 		adminGating = flag.Bool("admin-gating", false, "model admin_menu gating (Section VI extension)")
 		maxPaths    = flag.Int("max-paths", 0, "symbolic execution path budget (0 = default)")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration (0 = none)")
 		corpusApp   = flag.String("corpus", "", "scan the named built-in corpus application")
 		listCorpus  = flag.Bool("list-corpus", false, "list built-in corpus application names")
 		verbose     = flag.Bool("v", false, "verbose measurements")
@@ -60,15 +72,16 @@ func run() int {
 		return 0
 	}
 
+	extList := splitExts(*exts)
 	opts := core.Options{
-		Extensions:       splitExts(*exts),
+		Extensions:       extList,
 		ModelAdminGating: *adminGating,
 		KeepSMT:          *smtOut,
+		Workers:          *workers,
 		Interp:           interp.Options{MaxPaths: *maxPaths},
 	}
 
-	var name string
-	var sources map[string]string
+	var targets []core.Target
 	switch {
 	case *corpusApp != "":
 		app, ok := corpus.ByName(*corpusApp)
@@ -76,40 +89,66 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "uchecker: unknown corpus app %q (try -list-corpus)\n", *corpusApp)
 			return 2
 		}
-		name, sources = app.Name, app.Sources
+		targets = append(targets, core.Target{Name: app.Name, Sources: app.Sources})
 	case flag.NArg() > 0:
-		var err error
-		name, sources, err = loadPaths(flag.Args())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
-			return 2
+		for _, p := range flag.Args() {
+			t, err := loadTarget(p, extList)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+				return 2
+			}
+			targets = append(targets, t)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: uchecker [flags] <dir|file.php>... (see -h)")
 		return 2
 	}
 
-	rep := core.New(opts).CheckSources(name, sources)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	if *sarifOut {
-		data, err := report.ToSARIF(rep)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
-			return 2
+	scanner := core.NewScanner(opts)
+	reps := scanner.ScanBatch(ctx, targets)
+
+	switch {
+	case *sarifOut:
+		for _, rep := range reps {
+			data, err := report.ToSARIF(rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+				return 2
+			}
+			fmt.Println(string(data))
 		}
-		fmt.Println(string(data))
-	} else if *jsonOut {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
-			return 2
+		for _, rep := range reps {
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+				return 2
+			}
 		}
-	} else {
-		printReport(os.Stdout, rep, *verbose, *smtOut)
+	default:
+		for i, rep := range reps {
+			if i > 0 {
+				fmt.Println()
+			}
+			printReport(os.Stdout, rep, *verbose, *smtOut)
+		}
 	}
-	if rep.Vulnerable {
-		return 1
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: scan aborted: %v\n", ctx.Err())
+		return 2
+	}
+	for _, rep := range reps {
+		if rep.Vulnerable {
+			return 1
+		}
 	}
 	return 0
 }
@@ -129,45 +168,54 @@ func splitExts(s string) []string {
 	return out
 }
 
-// loadPaths reads .php files from the given files/directories.
-func loadPaths(paths []string) (string, map[string]string, error) {
+// loadTarget reads one application from a file or directory. Directory
+// walks accept every configured executable extension plus ".inc" (PHP
+// include files routinely carry upload handlers), not just ".php".
+func loadTarget(p string, exts []string) (core.Target, error) {
+	accept := make(map[string]bool, len(exts)+1)
+	for _, e := range exts {
+		accept[strings.ToLower(e)] = true
+	}
+	accept[".inc"] = true
+
 	sources := map[string]string{}
-	name := strings.TrimSuffix(filepath.Base(paths[0]), ".php")
-	for _, p := range paths {
-		info, err := os.Stat(p)
+	name := filepath.Base(p)
+	if ext := filepath.Ext(name); accept[strings.ToLower(ext)] {
+		name = strings.TrimSuffix(name, ext)
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return core.Target{}, err
+	}
+	if !info.IsDir() {
+		data, err := os.ReadFile(p)
 		if err != nil {
-			return "", nil, err
+			return core.Target{}, err
 		}
-		if !info.IsDir() {
-			data, err := os.ReadFile(p)
-			if err != nil {
-				return "", nil, err
-			}
-			sources[p] = string(data)
-			continue
+		sources[p] = string(data)
+		return core.Target{Name: name, Sources: sources}, nil
+	}
+	err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
 		}
-		err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(strings.ToLower(path), ".php") {
-				return nil
-			}
-			data, err := os.ReadFile(path)
-			if err != nil {
-				return err
-			}
-			sources[path] = string(data)
+		if d.IsDir() || !accept[strings.ToLower(filepath.Ext(path))] {
 			return nil
-		})
-		if err != nil {
-			return "", nil, err
 		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sources[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		return core.Target{}, err
 	}
 	if len(sources) == 0 {
-		return "", nil, fmt.Errorf("no .php files under %v", paths)
+		return core.Target{}, fmt.Errorf("no source files with extensions %v under %s", append(exts, ".inc"), p)
 	}
-	return name, sources, nil
+	return core.Target{Name: name, Sources: sources}, nil
 }
 
 func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
@@ -184,6 +232,9 @@ func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
 	if verbose {
 		fmt.Fprintf(w, "  roots: %s\n", strings.Join(rep.Roots, ", "))
 		fmt.Fprintf(w, "  %.1f MB, %.3f s, %d parse errors\n", rep.MemoryMB, rep.Seconds, rep.ParseErrors)
+		for _, e := range rep.RootErrors {
+			fmt.Fprintf(w, "  root error: %s\n", e)
+		}
 	}
 	for _, f := range rep.Findings {
 		gate := ""
@@ -200,8 +251,13 @@ func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
 			fmt.Fprintf(w, "    se_reach = %s\n", f.SeReach)
 		}
 		fmt.Fprintf(w, "    witness:\n")
-		for k, v := range f.Witness {
-			fmt.Fprintf(w, "      %s = %s\n", k, v)
+		keys := make([]string, 0, len(f.Witness))
+		for k := range f.Witness {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "      %s = %s\n", k, f.Witness[k])
 		}
 		if smtOut && f.SMTLIB != "" {
 			fmt.Fprintf(w, "    SMT-LIB2:\n%s\n", indentLines(f.SMTLIB, "      "))

@@ -27,44 +27,62 @@ func TestSplitExts(t *testing.T) {
 	}
 }
 
-func TestLoadPaths(t *testing.T) {
+func TestLoadTarget(t *testing.T) {
+	exts := []string{".php", ".php5"}
 	dir := t.TempDir()
 	sub := filepath.Join(dir, "inc")
 	if err := os.MkdirAll(sub, 0o755); err != nil {
 		t.Fatal(err)
 	}
 	files := map[string]string{
-		filepath.Join(dir, "main.php"):  "<?php echo 1;",
-		filepath.Join(sub, "lib.php"):   "<?php echo 2;",
-		filepath.Join(dir, "README.md"): "not php",
+		filepath.Join(dir, "main.php"):   "<?php echo 1;",
+		filepath.Join(sub, "lib.php"):    "<?php echo 2;",
+		filepath.Join(dir, "old.php5"):   "<?php echo 3;", // configured extension, not just .php
+		filepath.Join(dir, "common.inc"): "<?php echo 4;", // .inc always accepted
+		filepath.Join(dir, "README.md"):  "not php",
 	}
 	for name, content := range files {
 		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	_, sources, err := loadPaths([]string{dir})
+	tgt, err := loadTarget(dir, exts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sources) != 2 {
-		t.Errorf("sources = %d files, want 2 (README excluded)", len(sources))
+	if len(tgt.Sources) != 4 {
+		t.Errorf("sources = %d files, want 4 (.php, .php5, .inc; README excluded): %v", len(tgt.Sources), tgt.Sources)
+	}
+	if tgt.Name != filepath.Base(dir) {
+		t.Errorf("name = %q, want %q", tgt.Name, filepath.Base(dir))
+	}
+
+	// Narrower -ext still excludes unconfigured extensions.
+	narrow, err := loadTarget(dir, []string{".php"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow.Sources) != 3 {
+		t.Errorf("narrow sources = %d files, want 3 (.php5 excluded)", len(narrow.Sources))
 	}
 
 	// Single file.
-	_, one, err := loadPaths([]string{filepath.Join(dir, "main.php")})
-	if err != nil || len(one) != 1 {
-		t.Errorf("single file: %v, %d", err, len(one))
+	one, err := loadTarget(filepath.Join(dir, "main.php"), exts)
+	if err != nil || len(one.Sources) != 1 {
+		t.Errorf("single file: %v, %d", err, len(one.Sources))
+	}
+	if one.Name != "main" {
+		t.Errorf("single-file name = %q, want \"main\"", one.Name)
 	}
 
 	// Missing path.
-	if _, _, err := loadPaths([]string{filepath.Join(dir, "nope")}); err == nil {
+	if _, err := loadTarget(filepath.Join(dir, "nope"), exts); err == nil {
 		t.Error("missing path should error")
 	}
 
 	// Directory without PHP.
 	empty := t.TempDir()
-	if _, _, err := loadPaths([]string{empty}); err == nil {
+	if _, err := loadTarget(empty, exts); err == nil {
 		t.Error("no-php dir should error")
 	}
 }

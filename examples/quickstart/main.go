@@ -8,7 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"sort"
+	"time"
 
 	"repro/internal/core"
 )
@@ -26,10 +30,19 @@ return true;
 `
 
 func main() {
-	checker := core.New(core.Options{KeepSMT: true})
-	report := checker.CheckSources("listing4", map[string]string{
-		"upload.php": listing4,
+	// Scanner v2: context-aware, with a bounded worker pool. A deadline
+	// guards against pathological inputs; phases 3–6 fan out per root.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	scanner := core.NewScanner(core.Options{KeepSMT: true})
+	report, err := scanner.Scan(ctx, core.Target{
+		Name:    "listing4",
+		Sources: map[string]string{"upload.php": listing4},
 	})
+	if err != nil {
+		log.Fatalf("scan aborted: %v", err)
+	}
 
 	fmt.Printf("verdict: vulnerable=%v\n", report.Vulnerable)
 	fmt.Printf("locality: %d/%d LoC analyzed (%.1f%%), %d paths explored\n",
@@ -40,8 +53,13 @@ func main() {
 		fmt.Printf("  source lines involved: %v\n", f.Lines)
 		fmt.Printf("  destination (PHP s-expression):  %s\n", f.SeDst)
 		fmt.Printf("  exploit witness (solver model):\n")
-		for name, v := range f.Witness {
-			fmt.Printf("    %s = %s\n", name, v)
+		names := make([]string, 0, len(f.Witness))
+		for name := range f.Witness {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("    %s = %s\n", name, f.Witness[name])
 		}
 		fmt.Printf("\n  SMT-LIB2 constraint handed to the solver:\n%s", f.SMTLIB)
 	}

@@ -1,11 +1,18 @@
 // Package core is the canonical entry point to this repository's UChecker
 // implementation — the paper's primary contribution. It re-exports the
 // pipeline from internal/uchecker under the conventional internal/core
-// location so downstream code has one obvious import:
+// location so downstream code has one obvious import.
 //
-//	checker := core.New(core.Options{})
-//	report := checker.CheckSources("my-plugin", sources)
+// The canonical surface is the v2 Scanner API: context-aware, with
+// parallel per-root execution and batch corpus scanning:
+//
+//	scanner := core.NewScanner(core.Options{Workers: 8})
+//	report, err := scanner.Scan(ctx, core.Target{Name: "my-plugin", Sources: sources})
 //	if report.Vulnerable { ... }
+//
+//	reports := scanner.ScanBatch(ctx, targets) // corpus sweep, one report per target
+//
+// The v1 Checker/CheckSources API remains as a deprecated shim over Scan.
 //
 // The full pipeline (Figure 2 of the paper) lives in the sibling packages:
 //
@@ -21,10 +28,20 @@ import (
 	"repro/internal/uchecker"
 )
 
-// Options configures a Checker. See uchecker.Options.
+// Options configures a Scanner. See uchecker.Options.
 type Options = uchecker.Options
 
-// Checker runs the six-phase detection pipeline.
+// Scanner runs the six-phase detection pipeline with context
+// cancellation, a bounded per-root worker pool, and batch scanning.
+type Scanner = uchecker.Scanner
+
+// Target identifies one application to scan: a name plus its PHP sources
+// as file-name → source-text.
+type Target = uchecker.Target
+
+// Checker is the deprecated v1 façade over Scanner.
+//
+// Deprecated: use Scanner.
 type Checker = uchecker.Checker
 
 // AppReport is a scan result carrying the verdict, findings and Table III
@@ -35,5 +52,20 @@ type AppReport = uchecker.AppReport
 // exploit witness.
 type Finding = uchecker.Finding
 
+// Phase names delivered to Options.OnPhase.
+const (
+	PhaseParse    = uchecker.PhaseParse
+	PhaseLocality = uchecker.PhaseLocality
+	PhaseExecute  = uchecker.PhaseExecute
+	PhaseSymExec  = uchecker.PhaseSymExec
+	PhaseVerify   = uchecker.PhaseVerify
+	PhaseTotal    = uchecker.PhaseTotal
+)
+
+// NewScanner returns a Scanner with normalized options.
+func NewScanner(opts Options) *Scanner { return uchecker.NewScanner(opts) }
+
 // New returns a Checker.
+//
+// Deprecated: use NewScanner.
 func New(opts Options) *Checker { return uchecker.New(opts) }

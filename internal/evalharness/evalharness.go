@@ -12,8 +12,11 @@
 package evalharness
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -33,9 +36,86 @@ func (r Row) Detected() bool { return r.Report.Vulnerable }
 
 // RunApp scans one corpus application with the paper's configuration.
 func RunApp(app corpus.App, opts uchecker.Options) Row {
-	checker := uchecker.New(opts)
-	rep := checker.CheckSources(app.Name, app.Sources)
+	scanner := uchecker.NewScanner(opts)
+	rep, _ := scanner.Scan(context.Background(), corpusTarget(app))
 	return Row{App: app, Report: rep}
+}
+
+func corpusTarget(app corpus.App) uchecker.Target {
+	return uchecker.Target{Name: app.Name, Sources: app.Sources}
+}
+
+// PhaseTimes aggregates Options.OnPhase callbacks across one or more
+// scans, keyed by (app, phase). Safe for concurrent use — install Hook()
+// before a ScanBatch sweep and Render() afterwards.
+type PhaseTimes struct {
+	mu    sync.Mutex
+	total map[string]map[string]time.Duration
+	order []string // apps in first-seen order
+}
+
+// NewPhaseTimes returns an empty aggregator.
+func NewPhaseTimes() *PhaseTimes {
+	return &PhaseTimes{total: map[string]map[string]time.Duration{}}
+}
+
+// Hook returns a callback suitable for uchecker.Options.OnPhase.
+func (p *PhaseTimes) Hook() func(app, phase string, d time.Duration) {
+	return func(app, phase string, d time.Duration) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		m, ok := p.total[app]
+		if !ok {
+			m = map[string]time.Duration{}
+			p.total[app] = m
+			p.order = append(p.order, app)
+		}
+		m[phase] += d
+	}
+}
+
+// phaseColumns is the rendering order for the per-phase breakdown.
+var phaseColumns = []string{
+	uchecker.PhaseParse,
+	uchecker.PhaseLocality,
+	uchecker.PhaseExecute,
+	uchecker.PhaseSymExec,
+	uchecker.PhaseVerify,
+	uchecker.PhaseTotal,
+}
+
+// Render formats the per-app, per-phase breakdown as a table (seconds).
+// Apps appear in first-callback order; a TOTAL row sums each column.
+// symexec/verify are summed per-root CPU time, so with Workers>1 they can
+// exceed the execute wall-clock column — that surplus is the speedup.
+func (p *PhaseTimes) Render() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString("Per-phase timing breakdown (seconds)\n")
+	fmt.Fprintf(&sb, "%-55s", "App")
+	for _, ph := range phaseColumns {
+		fmt.Fprintf(&sb, " %9s", ph)
+	}
+	sb.WriteString("\n")
+	sum := map[string]time.Duration{}
+	apps := append([]string(nil), p.order...)
+	sort.Strings(apps)
+	for _, app := range apps {
+		fmt.Fprintf(&sb, "%-55s", truncate(app, 55))
+		for _, ph := range phaseColumns {
+			d := p.total[app][ph]
+			sum[ph] += d
+			fmt.Fprintf(&sb, " %9.3f", d.Seconds())
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-55s", "TOTAL")
+	for _, ph := range phaseColumns {
+		fmt.Fprintf(&sb, " %9.3f", sum[ph].Seconds())
+	}
+	sb.WriteString("\n")
+	return sb.String()
 }
 
 // TableIII runs the detector over the named Table III applications: the
@@ -125,10 +205,14 @@ func Comparison(opts uchecker.Options) []ToolResult {
 		{Tool: "RIPS-like", PerApp: map[string]bool{}},
 		{Tool: "WAP-like", PerApp: map[string]bool{}},
 	}
-	for _, app := range apps {
-		uRep := uchecker.New(opts).CheckSources(app.Name, app.Sources)
+	targets := make([]uchecker.Target, len(apps))
+	for i, app := range apps {
+		targets[i] = corpusTarget(app)
+	}
+	uReps := uchecker.NewScanner(opts).ScanBatch(context.Background(), targets)
+	for i, app := range apps {
 		verdicts := []bool{
-			uRep.Vulnerable,
+			uReps[i].Vulnerable,
 			baseline.RIPSLike(app.Name, app.Sources).Flagged,
 			baseline.WAPLike(app.Name, app.Sources).Flagged,
 		}
@@ -180,11 +264,16 @@ func Screening(opts uchecker.Options, seed int64, n, plantEvery int) ScreeningRe
 	var res ScreeningResult
 	res.Scanned = len(apps)
 	start := timeNow()
-	for _, app := range apps {
+	targets := make([]uchecker.Target, len(apps))
+	for i, app := range apps {
 		if app.Planted {
 			res.Planted++
 		}
-		rep := uchecker.New(opts).CheckSources(app.Name, app.Sources)
+		targets[i] = uchecker.Target{Name: app.Name, Sources: app.Sources}
+	}
+	reps := uchecker.NewScanner(opts).ScanBatch(context.Background(), targets)
+	for i, app := range apps {
+		rep := reps[i]
 		res.TotalLoC += rep.TotalLoC
 		if rep.Vulnerable {
 			res.Flagged = append(res.Flagged, app.Name)

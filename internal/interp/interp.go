@@ -16,6 +16,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -108,7 +109,18 @@ type Interp struct {
 	superGlobs  map[string]heapgraph.Label
 
 	budgetErr error
+
+	// ctx carries the cancellation signal for the current RunRootCtx call;
+	// steps counts overBudget checkpoints so the (mutex-guarded) ctx.Err is
+	// only sampled every ctxCheckStride checkpoints.
+	ctx   context.Context
+	steps uint
 }
+
+// ctxCheckStride is how many budget checkpoints pass between context
+// polls. Checkpoints fire at every statement and loop-iteration boundary,
+// so even a large stride reacts to cancellation within microseconds.
+const ctxCheckStride = 64
 
 // New builds an interpreter for the given parsed files. All function and
 // method declarations across the files are resolvable, mirroring PHP's
@@ -162,6 +174,15 @@ func (in *Interp) Graph() *heapgraph.Graph { return in.g }
 // RunRoot symbolically executes a locality-analysis root and returns the
 // collected result.
 func (in *Interp) RunRoot(root *callgraph.Node) Result {
+	return in.RunRootCtx(context.Background(), root)
+}
+
+// RunRootCtx is RunRoot with cancellation: path exploration polls ctx at
+// statement and loop-iteration boundaries and aborts with Result.Err set
+// to ctx.Err() (partial results are still populated, exactly as for a
+// budget abort).
+func (in *Interp) RunRootCtx(ctx context.Context, root *callgraph.Node) Result {
+	in.ctx = ctx
 	envs := heapgraph.EnvSet{heapgraph.NewEnv()}
 	in.curFile = root.File
 	switch root.Kind {
@@ -209,10 +230,19 @@ func topLevel(stmts []phpast.Stmt) []phpast.Stmt {
 	return out
 }
 
-// overBudget checks and records budget exhaustion.
+// overBudget checks and records budget exhaustion and context
+// cancellation. Either condition aborts the exploration; the cause is
+// preserved in budgetErr (ErrBudgetExceeded-wrapped vs ctx.Err()).
 func (in *Interp) overBudget(envs heapgraph.EnvSet) bool {
 	if in.budgetErr != nil {
 		return true
+	}
+	in.steps++
+	if in.ctx != nil && in.steps%ctxCheckStride == 0 {
+		if err := in.ctx.Err(); err != nil {
+			in.budgetErr = err
+			return true
+		}
 	}
 	if len(envs) > in.opts.MaxPaths {
 		in.budgetErr = fmt.Errorf("%w: %d paths (max %d)", ErrBudgetExceeded, len(envs), in.opts.MaxPaths)

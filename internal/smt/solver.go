@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -89,11 +90,25 @@ func NewSolver(opts Options) *Solver {
 // accompanying status is Unknown.
 var ErrBudget = errors.New("smt: budget exhausted")
 
+// ctxPollMask controls how often the candidate enumeration polls its
+// context: every ctxPollMask+1 assignments (a power of two minus one).
+const ctxPollMask = 0x3ff
+
 // Check decides the boolean term f. On Sat the returned model has been
 // verified by evaluating f. On Unsat the model is nil.
 func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
+	return s.CheckCtx(context.Background(), f)
+}
+
+// CheckCtx is Check with cancellation: the cube loop and the candidate
+// enumeration poll ctx and abort with status Unknown and ctx's error once
+// the context is done.
+func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, error) {
 	opts := s.opts.withDefaults()
 	var st Stats
+	if err := ctx.Err(); err != nil {
+		return Unknown, nil, st, err
+	}
 	if f.Sort() != SortBool {
 		return Unknown, nil, st, fmt.Errorf("smt: Check on non-boolean term of sort %v", f.Sort())
 	}
@@ -113,10 +128,13 @@ func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
 	cubes, ok := dnf(nnf(g, false), opts.MaxCubes)
 	if !ok {
 		// DNF blowup: whole-formula enumeration, Sat-only.
-		model, tried := s.search(g, g, opts.MaxAssignments, opts)
+		model, tried := s.search(ctx, g, g, opts.MaxAssignments, opts)
 		st.Assignments += tried
 		if model != nil {
 			return Sat, model, st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return Unknown, nil, st, err
 		}
 		return Unknown, nil, st, fmt.Errorf("%w: DNF exceeded %d cubes", ErrBudget, opts.MaxCubes)
 	}
@@ -124,6 +142,9 @@ func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
 	budget := opts.MaxAssignments
 	exhausted := true
 	for _, cube := range cubes {
+		if err := ctx.Err(); err != nil {
+			return Unknown, nil, st, err
+		}
 		st.Cubes++
 		conj := Simplify(And(cube...))
 		if conj.Op == OpBoolConst {
@@ -145,7 +166,7 @@ func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
 			exhausted = false
 			break
 		}
-		model, tried := s.search(conj, f, budget, opts)
+		model, tried := s.search(ctx, conj, f, budget, opts)
 		budget -= tried
 		st.Assignments += tried
 		if model != nil {
@@ -154,6 +175,9 @@ func (s *Solver) Check(f *Term) (Status, Model, Stats, error) {
 		if budget <= 0 {
 			exhausted = false
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Unknown, nil, st, err
 	}
 	if exhausted {
 		return Unsat, nil, st, nil
@@ -187,8 +211,10 @@ func verify(f *Term, m Model) bool {
 // search enumerates candidate assignments for the variables of conj,
 // pruning with per-literal partial evaluation, and returns the first model
 // that satisfies the full original formula f, or nil. It reports how many
-// assignments were tried.
-func (s *Solver) search(conj, f *Term, budget int, opts Options) (Model, int) {
+// assignments were tried. ctx is polled every ctxPollMask+1 assignments;
+// cancellation aborts the enumeration (returning nil, like exhaustion —
+// the caller distinguishes via ctx.Err()).
+func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Options) (Model, int) {
 	vars := Vars(conj)
 	if len(vars) == 0 {
 		v, err := Eval(conj, nil)
@@ -230,9 +256,14 @@ func (s *Solver) search(conj, f *Term, budget int, opts Options) (Model, int) {
 
 	m := Model{}
 	tried := 0
+	canceled := false
 	var dfs func(k int) Model
 	dfs = func(k int) Model {
-		if tried >= budget {
+		if tried >= budget || canceled {
+			return nil
+		}
+		if tried&ctxPollMask == ctxPollMask && ctx.Err() != nil {
+			canceled = true
 			return nil
 		}
 		if k == len(order) {
@@ -248,7 +279,7 @@ func (s *Solver) search(conj, f *Term, budget int, opts Options) (Model, int) {
 		vi := order[k]
 		name := vars[vi].S
 		for _, c := range cands[vi] {
-			if tried >= budget {
+			if tried >= budget || canceled {
 				return nil
 			}
 			m[name] = c

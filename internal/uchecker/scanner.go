@@ -1,0 +1,381 @@
+// Scanner is the v2 scanning API: context-aware, parallel per-root
+// execution with batch corpus scanning.
+//
+// The paper's pipeline (Figure 2) runs phases 3–6 — symbolic execution,
+// vulnerability modeling, Z3-oriented translation and SMT verification —
+// once per locality root, and every root is independent: it gets its own
+// heap graph, its own interpreter and its own solver. Scanner exploits
+// that by fanning roots out to a bounded worker pool and merging the
+// per-root results deterministically (root order, findings sorted by
+// file:line), so the output is byte-identical regardless of worker count.
+package uchecker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/interp"
+	"repro/internal/locality"
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+	"repro/internal/translate"
+	"repro/internal/vulnmodel"
+)
+
+// Phase names passed to Options.OnPhase, in emission order.
+const (
+	PhaseParse    = "parse"    // phase 1: lexing + parsing
+	PhaseLocality = "locality" // phase 2: call graph + locality analysis
+	PhaseExecute  = "execute"  // phases 3–6 wall-clock across all roots
+	PhaseSymExec  = "symexec"  // per-root symbolic execution, summed CPU time
+	PhaseVerify   = "verify"   // per-root modeling+translation+solving, summed CPU time
+	PhaseTotal    = "total"    // whole-scan wall clock
+)
+
+// Target identifies one application to scan: a name and its PHP sources
+// as file-name → source-text.
+type Target struct {
+	Name    string
+	Sources map[string]string
+}
+
+// Scanner runs the six-phase detection pipeline. A Scanner is safe for
+// concurrent use: all mutable state lives in the per-call Scan frame.
+type Scanner struct {
+	opts Options
+}
+
+// NewScanner returns a Scanner with normalized options (default
+// extensions, Workers defaulting to runtime.GOMAXPROCS(0)).
+func NewScanner(opts Options) *Scanner {
+	if len(opts.Extensions) == 0 {
+		opts.Extensions = vulnmodel.DefaultExtensions
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scanner{opts: opts}
+}
+
+// phase reports one finished phase to the OnPhase hook, when installed.
+func (s *Scanner) phase(app, phase string, d time.Duration) {
+	if s.opts.OnPhase != nil {
+		s.opts.OnPhase(app, phase, d)
+	}
+}
+
+// rootResult is the outcome of phases 3–6 for a single locality root.
+// Each worker fills exactly one slot of a pre-sized slice, so the merge
+// can walk roots in their canonical (locality) order and produce output
+// independent of scheduling.
+type rootResult struct {
+	paths     int
+	objects   int
+	sinkCount int
+	findings  []Finding
+	budget    bool   // the root aborted on ErrBudgetExceeded
+	errText   string // non-budget interpreter error (including ctx errors)
+
+	symExec time.Duration // interpreter time
+	verify  time.Duration // modeling + translation + solving time
+}
+
+// Scan runs the full pipeline over one application. The context cancels
+// or deadlines the expensive phases: symbolic-execution path exploration
+// and the SMT candidate search both poll ctx and abort promptly. On
+// cancellation Scan returns the partial report alongside ctx.Err();
+// per-root cancellation details land in AppReport.RootErrors.
+func (s *Scanner) Scan(ctx context.Context, t Target) (*AppReport, error) {
+	return s.scan(ctx, t, true)
+}
+
+// scan is the shared implementation. measureMem gates the forced-GC
+// heap-delta measurement backing AppReport.MemoryMB: meaningful (and
+// Table III-faithful) for solo scans, meaningless and GC-heavy when many
+// apps share the heap — ScanBatch disables it.
+func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppReport, error) {
+	start := time.Now()
+	var memBefore runtime.MemStats
+	if measureMem {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
+
+	rep := &AppReport{Name: t.Name}
+
+	// --- Phase 1: parsing ---
+	phaseStart := time.Now()
+	names := make([]string, 0, len(t.Sources))
+	for n := range t.Sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*phpast.File, 0, len(names))
+	for _, n := range names {
+		f, errs := phpparser.Parse(n, t.Sources[n])
+		rep.ParseErrors += len(errs)
+		files = append(files, f)
+	}
+	s.phase(t.Name, PhaseParse, time.Since(phaseStart))
+
+	// --- Phase 2: locality analysis ---
+	phaseStart = time.Now()
+	g := callgraph.Build(files)
+	loc := locality.Analyze(g, files, t.Sources)
+	rep.TotalLoC = loc.TotalLoC
+	rep.AnalyzedLoC = loc.AnalyzedLoC
+	rep.PercentAnalyzed = loc.PercentAnalyzed()
+
+	roots := loc.Roots
+	if s.opts.DisableLocality {
+		// Whole-program ablation: every file and function is a root.
+		roots = roots[:0]
+		for _, n := range g.Nodes {
+			if n.Kind == callgraph.FileNode || n.Kind == callgraph.FuncNode {
+				roots = append(roots, locality.Root{Node: n, File: n.File})
+			}
+		}
+		rep.AnalyzedLoC = rep.TotalLoC
+		rep.PercentAnalyzed = 100
+	}
+
+	adminCallbacks := map[string]bool{}
+	if s.opts.ModelAdminGating {
+		adminCallbacks = findAdminCallbacks(files)
+	}
+	s.phase(t.Name, PhaseLocality, time.Since(phaseStart))
+
+	// --- Phases 3–6 per root, fanned out to the worker pool ---
+	phaseStart = time.Now()
+	results := make([]rootResult, len(roots))
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers <= 1 {
+		for i, root := range roots {
+			if ctx.Err() != nil {
+				results[i] = rootResult{errText: ctx.Err().Error()}
+				continue
+			}
+			results[i] = s.scanRoot(ctx, files, root.Node, adminCallbacks, g)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ctx.Err() != nil {
+						results[i] = rootResult{errText: ctx.Err().Error()}
+						continue
+					}
+					results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g)
+				}
+			}()
+		}
+		for i := range roots {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	s.phase(t.Name, PhaseExecute, time.Since(phaseStart))
+
+	// --- Deterministic merge, in canonical root order ---
+	var symExec, verify time.Duration
+	for i, root := range roots {
+		rr := &results[i]
+		rep.Roots = append(rep.Roots, root.Node.String())
+		rep.Paths += rr.paths
+		rep.Objects += rr.objects
+		rep.SinkCount += rr.sinkCount
+		if rr.budget {
+			rep.BudgetExceeded = true
+		}
+		if rr.errText != "" {
+			rep.RootErrors = append(rep.RootErrors, fmt.Sprintf("%s: %s", root.Node, rr.errText))
+		}
+		rep.Findings = append(rep.Findings, rr.findings...)
+		symExec += rr.symExec
+		verify += rr.verify
+	}
+	sortFindings(rep.Findings)
+	s.phase(t.Name, PhaseSymExec, symExec)
+	s.phase(t.Name, PhaseVerify, verify)
+
+	if rep.Paths > 0 {
+		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
+	}
+	for _, f := range rep.Findings {
+		if !f.AdminGated {
+			rep.Vulnerable = true
+		}
+	}
+
+	if measureMem {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		if memAfter.HeapAlloc > memBefore.HeapAlloc {
+			rep.MemoryMB = float64(memAfter.HeapAlloc-memBefore.HeapAlloc) / (1 << 20)
+		}
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	s.phase(t.Name, PhaseTotal, time.Since(start))
+	return rep, ctx.Err()
+}
+
+// ScanBatch scans whole applications concurrently — the corpus-sweep
+// workload of Section IV-B. Up to Options.Workers apps are in flight at
+// once (each app additionally parallelizes its own roots over the same
+// worker budget). The returned slice is aligned with targets; every entry
+// is non-nil even under cancellation (partial reports, with ctx errors
+// recorded in RootErrors). OnPhase hooks are invoked from multiple
+// goroutines during a batch and must be safe for concurrent use.
+//
+// Batched reports leave MemoryMB at zero: per-app heap deltas are
+// meaningless when many apps share the heap, and skipping the forced-GC
+// measurement keeps the sweep fast. Use Scan for Table III-style memory
+// numbers.
+func (s *Scanner) ScanBatch(ctx context.Context, targets []Target) []*AppReport {
+	reports := make([]*AppReport, len(targets))
+	if len(targets) == 0 {
+		return reports
+	}
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i], _ = s.scan(ctx, targets[i], false)
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports
+}
+
+// scanRoot runs phases 3–6 for one root with a private interpreter and a
+// private solver, touching only shared read-only structures (the parsed
+// files and the call graph).
+func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph) rootResult {
+	var rr rootResult
+	symStart := time.Now()
+	in := interp.New(files, s.opts.Interp)
+	res := in.RunRootCtx(ctx, root)
+	rr.symExec = time.Since(symStart)
+	rr.paths = res.Paths
+	rr.objects = res.Graph.NumObjects()
+	if res.Err != nil {
+		if errors.Is(res.Err, interp.ErrBudgetExceeded) {
+			rr.budget = true
+			return rr
+		}
+		rr.errText = res.Err.Error()
+		return rr
+	}
+	verifyStart := time.Now()
+	s.verifySinks(ctx, &rr, root, res, adminCallbacks, g)
+	rr.verify = time.Since(verifyStart)
+	return rr
+}
+
+// verifySinks models and solver-checks every recorded sink hit of one
+// root's execution, appending verified findings to rr.
+func (s *Scanner) verifySinks(ctx context.Context, rr *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph) {
+	solver := smt.NewSolver(s.opts.Solver)
+	tr := translate.New(res.Graph)
+	seen := map[string]bool{} // dedupe per (file,line,witness-free)
+
+	for _, hit := range res.Sinks {
+		rr.sinkCount++
+		if err := ctx.Err(); err != nil {
+			rr.errText = err.Error()
+			return
+		}
+		cand := vulnmodel.Model(res.Graph, tr, vulnmodel.Sink{
+			Name: hit.Sink,
+			File: hit.File,
+			Line: hit.Line,
+			Src:  hit.Src,
+			Dst:  hit.Dst,
+			Cur:  hit.Env.Cur,
+		}, s.opts.Extensions)
+		if !cand.Tainted {
+			continue // Constraint-1 failed
+		}
+		// One satisfiable path per call site is enough for a verdict; skip
+		// further paths of an already-confirmed sink.
+		key := fmt.Sprintf("%s:%d", cand.File, cand.Line)
+		if seen[key] {
+			continue
+		}
+		status, model, _, _ := solver.CheckCtx(ctx, cand.Combined)
+		if status != smt.Sat {
+			continue
+		}
+		seen[key] = true
+		f := Finding{
+			Sink:    cand.Sink,
+			File:    cand.File,
+			Line:    cand.Line,
+			Lines:   cand.Lines,
+			SeDst:   sexpr.Format(cand.SeDst),
+			SeReach: sexpr.Format(cand.SeReach),
+			Witness: model,
+		}
+		// Independent exploit validation: evaluate the destination under
+		// the witness and confirm the executable suffix concretely.
+		if v, err := smt.Eval(cand.DstTerm, modelWithDefaults(cand.DstTerm, model)); err == nil {
+			f.ExploitPath = v.S
+		}
+		if s.opts.KeepSMT {
+			f.SMTLIB = smt.ToSMTLIB2(cand.Combined)
+		}
+		if s.opts.ModelAdminGating && isAdminGated(root, adminCallbacks, g) {
+			f.AdminGated = true
+		}
+		rr.findings = append(rr.findings, f)
+	}
+}
+
+// sortFindings orders findings by file, then line, then sink name —
+// stably, so per-root discovery order breaks any remaining ties and the
+// output is identical for every worker count.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Sink < fs[j].Sink
+	})
+}

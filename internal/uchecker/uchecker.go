@@ -3,33 +3,31 @@
 // symbolic execution → vulnerability modeling → Z3-oriented translation →
 // SMT-based verification.
 //
-// The public entry point is Checker.CheckSources, which scans one web
-// application (a map of PHP sources) and produces an AppReport carrying
-// the detection verdict, per-finding source lines and witness models, and
-// the measurements Table III reports (LoC, % analyzed, paths, objects,
-// objects/path, memory, time).
+// The public entry point is the v2 Scanner API: Scanner.Scan runs the
+// pipeline over one application (a Target: name plus a map of PHP
+// sources) with context cancellation and parallel per-root execution,
+// and Scanner.ScanBatch sweeps whole corpora concurrently. Both produce
+// AppReports carrying the detection verdict, per-finding source lines
+// and witness models, and the measurements Table III reports (LoC, %
+// analyzed, paths, objects, objects/path, memory, time).
+//
+// The v1 entry point, Checker.CheckSources, remains as a deprecated shim
+// delegating to Scan.
 package uchecker
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"runtime"
-	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/interp"
-	"repro/internal/locality"
 	"repro/internal/phpast"
-	"repro/internal/phpparser"
-	"repro/internal/sexpr"
 	"repro/internal/smt"
-	"repro/internal/translate"
-	"repro/internal/vulnmodel"
 )
 
-// Options configures a Checker. The zero value reproduces the paper's
+// Options configures a Scanner. The zero value reproduces the paper's
 // configuration (".php"/".php5" extensions, no admin-gating model — which
 // is what produces the two admin-plugin false positives of Section IV-A).
 type Options struct {
@@ -52,6 +50,15 @@ type Options struct {
 	ModelAdminGating bool
 	// KeepSMT records each finding's SMT-LIB2 script in the report.
 	KeepSMT bool
+	// Workers bounds the per-root (and, in ScanBatch, per-app) worker
+	// pool. Zero or negative selects runtime.GOMAXPROCS(0). Workers=1
+	// scans serially; results are byte-identical for every value.
+	Workers int
+	// OnPhase, when non-nil, receives per-phase timings (see the Phase*
+	// constants) as each phase of a scan completes. During ScanBatch it is
+	// invoked from multiple goroutines and must be safe for concurrent
+	// use.
+	OnPhase func(app, phase string, d time.Duration)
 }
 
 // Finding is one verified vulnerable sink on one satisfiable path.
@@ -108,155 +115,31 @@ type AppReport struct {
 	BudgetExceeded bool
 	// ParseErrors counts tolerated syntax errors.
 	ParseErrors int
+	// RootErrors records, per failing root, non-budget interpreter errors
+	// (including context cancellation), formatted "<root>: <error>" in
+	// canonical root order. Budget aborts are reported via BudgetExceeded
+	// instead.
+	RootErrors []string
 }
 
-// Checker runs the pipeline. A zero-value Checker uses default options.
-type Checker struct {
-	opts Options
-}
+// Checker is the deprecated v1 façade over Scanner.
+//
+// Deprecated: use Scanner (NewScanner, Scan, ScanBatch).
+type Checker = Scanner
 
 // New returns a Checker.
-func New(opts Options) *Checker {
-	if len(opts.Extensions) == 0 {
-		opts.Extensions = vulnmodel.DefaultExtensions
-	}
-	return &Checker{opts: opts}
-}
+//
+// Deprecated: use NewScanner.
+func New(opts Options) *Checker { return NewScanner(opts) }
 
 // CheckSources scans one application given as file-name → source-text.
-func (c *Checker) CheckSources(name string, sources map[string]string) *AppReport {
-	start := time.Now()
-	var memBefore runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&memBefore)
-
-	rep := &AppReport{Name: name}
-
-	// --- Phase 1: parsing ---
-	names := make([]string, 0, len(sources))
-	for n := range sources {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	files := make([]*phpast.File, 0, len(names))
-	for _, n := range names {
-		f, errs := phpparser.Parse(n, sources[n])
-		rep.ParseErrors += len(errs)
-		files = append(files, f)
-	}
-
-	// --- Phase 2: locality analysis ---
-	g := callgraph.Build(files)
-	loc := locality.Analyze(g, files, sources)
-	rep.TotalLoC = loc.TotalLoC
-	rep.AnalyzedLoC = loc.AnalyzedLoC
-	rep.PercentAnalyzed = loc.PercentAnalyzed()
-
-	roots := loc.Roots
-	if c.opts.DisableLocality {
-		// Whole-program ablation: every file and function is a root.
-		roots = roots[:0]
-		for _, n := range g.Nodes {
-			if n.Kind == callgraph.FileNode || n.Kind == callgraph.FuncNode {
-				roots = append(roots, locality.Root{Node: n, File: n.File})
-			}
-		}
-		rep.AnalyzedLoC = rep.TotalLoC
-		rep.PercentAnalyzed = 100
-	}
-
-	adminCallbacks := map[string]bool{}
-	if c.opts.ModelAdminGating {
-		adminCallbacks = findAdminCallbacks(files)
-	}
-
-	// --- Phases 3-6 per root ---
-	for _, root := range roots {
-		rep.Roots = append(rep.Roots, root.Node.String())
-		in := interp.New(files, c.opts.Interp)
-		res := in.RunRoot(root.Node)
-		rep.Paths += res.Paths
-		rep.Objects += res.Graph.NumObjects()
-		if res.Err != nil {
-			if errors.Is(res.Err, interp.ErrBudgetExceeded) {
-				rep.BudgetExceeded = true
-				continue
-			}
-		}
-		c.verifySinks(rep, root.Node, res, adminCallbacks, g)
-	}
-
-	if rep.Paths > 0 {
-		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
-	}
-	for _, f := range rep.Findings {
-		if !f.AdminGated {
-			rep.Vulnerable = true
-		}
-	}
-
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
-	if memAfter.HeapAlloc > memBefore.HeapAlloc {
-		rep.MemoryMB = float64(memAfter.HeapAlloc-memBefore.HeapAlloc) / (1 << 20)
-	}
-	rep.Seconds = time.Since(start).Seconds()
+//
+// Deprecated: use Scan, which adds context cancellation and returns
+// per-root errors; CheckSources delegates to it with
+// context.Background().
+func (s *Scanner) CheckSources(name string, sources map[string]string) *AppReport {
+	rep, _ := s.Scan(context.Background(), Target{Name: name, Sources: sources})
 	return rep
-}
-
-// verifySinks models and solver-checks every recorded sink hit of one
-// root's execution.
-func (c *Checker) verifySinks(rep *AppReport, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph) {
-	solver := smt.NewSolver(c.opts.Solver)
-	tr := translate.New(res.Graph)
-	seen := map[string]bool{} // dedupe per (file,line,witness-free)
-
-	for _, hit := range res.Sinks {
-		rep.SinkCount++
-		cand := vulnmodel.Model(res.Graph, tr, vulnmodel.Sink{
-			Name: hit.Sink,
-			File: hit.File,
-			Line: hit.Line,
-			Src:  hit.Src,
-			Dst:  hit.Dst,
-			Cur:  hit.Env.Cur,
-		}, c.opts.Extensions)
-		if !cand.Tainted {
-			continue // Constraint-1 failed
-		}
-		// One satisfiable path per call site is enough for a verdict; skip
-		// further paths of an already-confirmed sink.
-		key := fmt.Sprintf("%s:%d", cand.File, cand.Line)
-		if seen[key] {
-			continue
-		}
-		status, model, _, _ := solver.Check(cand.Combined)
-		if status != smt.Sat {
-			continue
-		}
-		seen[key] = true
-		f := Finding{
-			Sink:    cand.Sink,
-			File:    cand.File,
-			Line:    cand.Line,
-			Lines:   cand.Lines,
-			SeDst:   sexpr.Format(cand.SeDst),
-			SeReach: sexpr.Format(cand.SeReach),
-			Witness: model,
-		}
-		// Independent exploit validation: evaluate the destination under
-		// the witness and confirm the executable suffix concretely.
-		if v, err := smt.Eval(cand.DstTerm, modelWithDefaults(cand.DstTerm, model)); err == nil {
-			f.ExploitPath = v.S
-		}
-		if c.opts.KeepSMT {
-			f.SMTLIB = smt.ToSMTLIB2(cand.Combined)
-		}
-		if c.opts.ModelAdminGating && isAdminGated(root, adminCallbacks, g) {
-			f.AdminGated = true
-		}
-		rep.Findings = append(rep.Findings, f)
-	}
 }
 
 // findAdminCallbacks collects the lower-cased names of callbacks
