@@ -1,11 +1,15 @@
 # Repository check targets. `make check` is the CI gate: formatting,
-# vet, build, and the full test suite under the race detector.
+# vet, build, the full test suite under the race detector, and a bounded
+# fuzz smoke over the PHP lexer and parser.
 
 GO ?= go
+# Per-target budget for the fuzz smoke; raise for a real fuzzing session
+# (e.g. make fuzz-smoke FUZZTIME=10m).
+FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-scan
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-scan
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,6 +28,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Bounded coverage-guided fuzzing of the robustness frontier: the lexer
+# and parser must never panic on malformed PHP (the scanner's parse-stage
+# fault containment assumes it). Seed corpora live under each package's
+# testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/phplex
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/phpparser
+	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 
 # Paper-evaluation benchmarks (bench_test.go).
 bench:

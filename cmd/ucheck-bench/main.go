@@ -7,6 +7,7 @@
 //	ucheck-bench -screen 500  # Section IV-B screening sweep over 500 plugins
 //	ucheck-bench -paper       # also print the paper's numbers side by side
 //	ucheck-bench -phases      # per-app, per-phase timing breakdown
+//	ucheck-bench -failures    # per-class failure tally of the Table III sweep
 //	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
 //
 // The -max-paths flag lowers the symbolic-execution budget (useful on
@@ -37,11 +38,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "screening generator seed")
 		paper    = flag.Bool("paper", false, "print paper numbers next to measured ones")
 		phases   = flag.Bool("phases", false, "print a per-app, per-phase timing breakdown")
+		failures = flag.Bool("failures", false, "print the per-class failure tally of the Table III sweep")
 		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
 		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
 	)
 	flag.Parse()
-	if !*table && !*compare && !*all && *screen == 0 {
+	if !*table && !*compare && !*all && *screen == 0 && !*failures {
 		*table = true
 	}
 
@@ -55,14 +57,24 @@ func main() {
 		opts.OnPhase = times.Hook()
 	}
 
-	if *table || *all {
+	if *table || *all || *failures {
 		rows := evalharness.TableIII(opts)
-		fmt.Print(evalharness.RenderTableIII(rows))
-		if *paper {
+		if *table || *all {
+			fmt.Print(evalharness.RenderTableIII(rows))
+			if *paper {
+				fmt.Println()
+				printPaperComparison(rows)
+			}
 			fmt.Println()
-			printPaperComparison(rows)
 		}
-		fmt.Println()
+		if *failures {
+			reps := make([]*uchecker.AppReport, len(rows))
+			for i, r := range rows {
+				reps[i] = r.Report
+			}
+			fmt.Print(evalharness.RenderFailureTally(evalharness.FailureTally(reps)))
+			fmt.Println()
+		}
 	}
 	if *screen > 0 {
 		res := evalharness.Screening(opts, *seed, *screen, *plant)

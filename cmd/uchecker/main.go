@@ -12,20 +12,37 @@
 //
 // Flags:
 //
-//	-json           emit the report(s) as JSON
-//	-sarif          emit the report as SARIF 2.1.0 (GitHub code scanning)
-//	-smt            print each finding's SMT-LIB2 script
-//	-ext LIST       comma-separated executable extensions (default ".php,.php5")
-//	-admin-gating   model add_action('admin_menu', ...) gating (Section VI)
-//	-max-paths N    symbolic execution path budget
-//	-workers N      worker pool size for per-root and per-app parallelism
-//	                (default: GOMAXPROCS)
-//	-timeout D      abort the scan after D (e.g. 30s, 5m); partial results
-//	                are still reported
-//	-v              verbose: also print per-phase measurements
+//	-json                emit the report(s) as JSON
+//	-sarif               emit the report as SARIF 2.1.0 (GitHub code scanning)
+//	-smt                 print each finding's SMT-LIB2 script
+//	-ext LIST            comma-separated executable extensions (default ".php,.php5")
+//	-admin-gating        model add_action('admin_menu', ...) gating (Section VI)
+//	-max-paths N         symbolic execution path budget
+//	-workers N           worker pool size for per-root and per-app parallelism
+//	                     (default: GOMAXPROCS)
+//	-timeout D           abort the scan after D (e.g. 30s, 5m); partial
+//	                     results are still reported
+//	-root-timeout D      per-root wall-clock budget; a root exceeding it
+//	                     fails with a root-timeout failure and enters the
+//	                     degradation ladder instead of stalling the scan
+//	-retries N           degradation-ladder retries per failed root
+//	                     (0 = default, negative disables)
+//	-max-root-failures N abort an app's scan after N root failures
+//	-no-degraded         disable the degradation ladder (paper semantics:
+//	                     a budget abort is a silent miss)
+//	-v                   verbose: also print per-phase measurements and the
+//	                     per-class failure summary
 //
-// Exit status: 0 not vulnerable, 1 vulnerable (any target), 2 usage/IO
-// error or scan aborted by -timeout.
+// Exit status:
+//
+//	0  scan completed cleanly, nothing vulnerable
+//	1  at least one target vulnerable
+//	2  usage/IO error, scan aborted by -timeout, or any root/file failed
+//	   (panic, budget exhaustion, solver give-up, root timeout)
+//
+// Scan errors take precedence over findings: exit 1 means the verdicts
+// are complete AND something is vulnerable; exit 2 means the verdicts may
+// be incomplete (partial reports are still printed).
 package main
 
 import (
@@ -59,6 +76,10 @@ func run() int {
 		maxPaths    = flag.Int("max-paths", 0, "symbolic execution path budget (0 = default)")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration (0 = none)")
+		rootTimeout = flag.Duration("root-timeout", 0, "per-root wall-clock budget (0 = none)")
+		retries     = flag.Int("retries", 0, "degradation-ladder retries per failed root (0 = default, negative disables)")
+		maxFailures = flag.Int("max-root-failures", 0, "abort an app's scan after N root failures (0 = no limit)")
+		noDegraded  = flag.Bool("no-degraded", false, "disable the degradation ladder (budget aborts become silent misses)")
 		corpusApp   = flag.String("corpus", "", "scan the named built-in corpus application")
 		listCorpus  = flag.Bool("list-corpus", false, "list built-in corpus application names")
 		verbose     = flag.Bool("v", false, "verbose measurements")
@@ -79,6 +100,10 @@ func run() int {
 		KeepSMT:          *smtOut,
 		Workers:          *workers,
 		Interp:           interp.Options{MaxPaths: *maxPaths},
+		RootTimeout:      *rootTimeout,
+		MaxRetries:       *retries,
+		MaxRootFailures:  *maxFailures,
+		DisableDegraded:  *noDegraded,
 	}
 
 	var targets []core.Target
@@ -143,14 +168,30 @@ func run() int {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "uchecker: scan aborted: %v\n", ctx.Err())
+	} else if code := exitCode(nil, reps); code == 2 {
+		fmt.Fprintln(os.Stderr, "uchecker: scan completed with failures (see -v for the per-class summary)")
+	}
+	return exitCode(ctx.Err(), reps)
+}
+
+// exitCode maps a batch outcome to the process exit status: 2 when the
+// scan was aborted or any root/file failed (the verdicts may be
+// incomplete), else 1 when any target is vulnerable, else 0. Scan errors
+// take precedence over findings — exit 1 certifies complete verdicts.
+func exitCode(ctxErr error, reps []*core.AppReport) int {
+	if ctxErr != nil {
 		return 2
 	}
+	code := 0
 	for _, rep := range reps {
+		if rep.Aborted || len(rep.FailureCounts) > 0 {
+			return 2
+		}
 		if rep.Vulnerable {
-			return 1
+			code = 1
 		}
 	}
-	return 0
+	return code
 }
 
 func splitExts(s string) []string {
@@ -226,14 +267,32 @@ func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
 	if rep.BudgetExceeded {
 		verdict += " (analysis incomplete: budget exceeded)"
 	}
+	if rep.Aborted {
+		verdict += " (scan aborted: too many root failures)"
+	}
 	fmt.Fprintf(w, "%s: %s\n", rep.Name, verdict)
 	fmt.Fprintf(w, "  %d LoC, %.2f%% symbolically executed, %d paths, %d objects, %d sink candidates\n",
 		rep.TotalLoC, rep.PercentAnalyzed, rep.Paths, rep.Objects, rep.SinkCount)
 	if verbose {
 		fmt.Fprintf(w, "  roots: %s\n", strings.Join(rep.Roots, ", "))
 		fmt.Fprintf(w, "  %.1f MB, %.3f s, %d parse errors\n", rep.MemoryMB, rep.Seconds, rep.ParseErrors)
-		for _, e := range rep.RootErrors {
-			fmt.Fprintf(w, "  root error: %s\n", e)
+		if rep.Retries > 0 {
+			fmt.Fprintf(w, "  degradation-ladder retries: %d\n", rep.Retries)
+		}
+		if len(rep.FailureCounts) > 0 {
+			classes := make([]string, 0, len(rep.FailureCounts))
+			for c := range rep.FailureCounts {
+				classes = append(classes, string(c))
+			}
+			sort.Strings(classes)
+			parts := make([]string, 0, len(classes))
+			for _, c := range classes {
+				parts = append(parts, fmt.Sprintf("%s=%d", c, rep.FailureCounts[core.FailureClass(c)]))
+			}
+			fmt.Fprintf(w, "  failures: %s\n", strings.Join(parts, " "))
+		}
+		for _, fl := range rep.Failures {
+			fmt.Fprintf(w, "  failure: %s\n", fl)
 		}
 	}
 	for _, f := range rep.Findings {
@@ -241,23 +300,32 @@ func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {
 		if f.AdminGated {
 			gate = " [admin-gated]"
 		}
+		if f.Degraded {
+			gate += " [degraded]"
+		}
 		fmt.Fprintf(w, "\n  finding: %s at %s:%d%s\n", f.Sink, f.File, f.Line, gate)
-		fmt.Fprintf(w, "    relevant lines: %v\n", f.Lines)
+		if len(f.Lines) > 0 {
+			fmt.Fprintf(w, "    relevant lines: %v\n", f.Lines)
+		}
 		if f.ExploitPath != "" {
 			fmt.Fprintf(w, "    exploit lands at: %q\n", f.ExploitPath)
 		}
-		fmt.Fprintf(w, "    se_dst   = %s\n", f.SeDst)
+		if f.SeDst != "" {
+			fmt.Fprintf(w, "    se_dst   = %s\n", f.SeDst)
+		}
 		if f.SeReach != "nil" && f.SeReach != "" {
 			fmt.Fprintf(w, "    se_reach = %s\n", f.SeReach)
 		}
-		fmt.Fprintf(w, "    witness:\n")
-		keys := make([]string, 0, len(f.Witness))
-		for k := range f.Witness {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Fprintf(w, "      %s = %s\n", k, f.Witness[k])
+		if len(f.Witness) > 0 {
+			fmt.Fprintf(w, "    witness:\n")
+			keys := make([]string, 0, len(f.Witness))
+			for k := range f.Witness {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "      %s = %s\n", k, f.Witness[k])
+			}
 		}
 		if smtOut && f.SMTLIB != "" {
 			fmt.Fprintf(w, "    SMT-LIB2:\n%s\n", indentLines(f.SMTLIB, "      "))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -125,5 +126,70 @@ func TestPrintReportBenign(t *testing.T) {
 func TestIndentLines(t *testing.T) {
 	if got := indentLines("a\nb\n", "  "); got != "  a\n  b" {
 		t.Errorf("indentLines = %q", got)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	clean := &core.AppReport{Name: "clean"}
+	vuln := &core.AppReport{Name: "vuln", Vulnerable: true}
+	failed := &core.AppReport{
+		Name:          "failed",
+		FailureCounts: map[core.FailureClass]int{core.FailPanic: 1},
+	}
+	aborted := &core.AppReport{Name: "aborted", Aborted: true}
+
+	tests := []struct {
+		name   string
+		ctxErr error
+		reps   []*core.AppReport
+		want   int
+	}{
+		{"clean", nil, []*core.AppReport{clean}, 0},
+		{"vulnerable", nil, []*core.AppReport{clean, vuln}, 1},
+		{"failures beat findings", nil, []*core.AppReport{vuln, failed}, 2},
+		{"aborted", nil, []*core.AppReport{aborted}, 2},
+		{"ctx error", context.DeadlineExceeded, []*core.AppReport{clean}, 2},
+		{"empty", nil, nil, 0},
+	}
+	for _, tt := range tests {
+		if got := exitCode(tt.ctxErr, tt.reps); got != tt.want {
+			t.Errorf("%s: exitCode = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestPrintReportFailures asserts the verbose report carries the per-class
+// failure summary, individual failure records and degraded markers.
+func TestPrintReportFailures(t *testing.T) {
+	rep := &core.AppReport{
+		Name:    "broken",
+		Retries: 2,
+		Findings: []core.Finding{
+			{Sink: "move_uploaded_file", File: "a.php", Line: 3, Degraded: true},
+		},
+		Failures: []core.Failure{
+			{Root: "file:a.php", Stage: "symexec", Class: core.FailPathBudget, Err: "budget exceeded"},
+			{Root: "file:b.php", Stage: "symexec", Class: core.FailPanic, Err: "boom"},
+		},
+		FailureCounts: map[core.FailureClass]int{
+			core.FailPathBudget: 1,
+			core.FailPanic:      1,
+		},
+		Aborted: true,
+	}
+	var sb strings.Builder
+	printReport(&sb, rep, true, false)
+	out := sb.String()
+	for _, want := range []string{
+		"scan aborted: too many root failures",
+		"degradation-ladder retries: 2",
+		"failures: panic=1 path-budget=1",
+		"failure: file:a.php: [symexec/path-budget] budget exceeded",
+		"failure: file:b.php: [symexec/panic] boom",
+		"[degraded]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }

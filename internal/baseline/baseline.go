@@ -58,6 +58,17 @@ func RIPSLike(name string, sources map[string]string) Report {
 	return scan(name, sources, config{trackMethods: false, suppress: false})
 }
 
+// RIPSLikeFiles runs the RIPS-style taint-only analysis over already
+// parsed files. The uchecker scanner's degradation ladder uses it as the
+// final rung: when symbolic execution cannot finish a root within budget,
+// this conservative check still yields (low-confidence) signal without
+// re-parsing the sources. Method taint tracking is enabled so flows
+// through object methods are not silently dropped — a degraded rung
+// should over- rather than under-approximate.
+func RIPSLikeFiles(name string, files []*phpast.File) Report {
+	return scanFiles(name, files, config{trackMethods: true, suppress: false})
+}
+
 // WAPLike scans sources with the WAP-style taint + symptom-suppression
 // analysis.
 func WAPLike(name string, sources map[string]string) Report {
@@ -103,16 +114,20 @@ type scanner struct {
 }
 
 func scan(name string, sources map[string]string, cfg config) Report {
+	var files []*phpast.File
+	for fname, src := range sources {
+		f, _ := phpparser.Parse(fname, src)
+		files = append(files, f)
+	}
+	return scanFiles(name, files, cfg)
+}
+
+func scanFiles(name string, files []*phpast.File, cfg config) Report {
 	s := &scanner{
 		cfg:        cfg,
 		scopes:     map[string]*scope{},
 		taintedRet: map[string]bool{},
 		funcs:      map[string]*phpast.FuncDecl{},
-	}
-	var files []*phpast.File
-	for fname, src := range sources {
-		f, _ := phpparser.Parse(fname, src)
-		files = append(files, f)
 	}
 	s.collect(files)
 

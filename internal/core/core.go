@@ -52,6 +52,29 @@ type AppReport = uchecker.AppReport
 // exploit witness.
 type Finding = uchecker.Finding
 
+// Failure is one structured failure record: root, pipeline stage, failure
+// class and error text (plus the recovered stack for panics).
+type Failure = uchecker.Failure
+
+// FailureClass partitions everything that can go wrong with one root.
+type FailureClass = uchecker.FailureClass
+
+// Failure classes. See the uchecker package for semantics.
+const (
+	FailParse        = uchecker.FailParse
+	FailPathBudget   = uchecker.FailPathBudget
+	FailObjectBudget = uchecker.FailObjectBudget
+	FailSolverBudget = uchecker.FailSolverBudget
+	FailRootTimeout  = uchecker.FailRootTimeout
+	FailCancelled    = uchecker.FailCancelled
+	FailPanic        = uchecker.FailPanic
+	FailInternal     = uchecker.FailInternal
+)
+
+// DefaultMaxRetries is the degradation-ladder retry count selected when
+// Options.MaxRetries is zero.
+const DefaultMaxRetries = uchecker.DefaultMaxRetries
+
 // Phase names delivered to Options.OnPhase.
 const (
 	PhaseParse    = uchecker.PhaseParse

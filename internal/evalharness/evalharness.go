@@ -302,6 +302,46 @@ func RenderScreening(r ScreeningResult) string {
 	return sb.String()
 }
 
+// FailureTally aggregates countable failures per class across a batch of
+// reports — the operator's view of what went wrong in a corpus sweep.
+// Cancelled entries are excluded (they already are from each report's
+// FailureCounts). Nil when the sweep was failure-free.
+func FailureTally(reps []*uchecker.AppReport) map[uchecker.FailureClass]int {
+	var tally map[uchecker.FailureClass]int
+	for _, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for class, n := range rep.FailureCounts {
+			if tally == nil {
+				tally = map[uchecker.FailureClass]int{}
+			}
+			tally[class] += n
+		}
+	}
+	return tally
+}
+
+// RenderFailureTally formats a per-class failure tally, classes sorted by
+// name. An empty tally renders as a single clean-sweep line.
+func RenderFailureTally(tally map[uchecker.FailureClass]int) string {
+	var sb strings.Builder
+	sb.WriteString("Failure tally (countable failures per class)\n")
+	if len(tally) == 0 {
+		sb.WriteString("no failures\n")
+		return sb.String()
+	}
+	classes := make([]string, 0, len(tally))
+	for c := range tally {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&sb, "%-15s %d\n", c, tally[uchecker.FailureClass(c)])
+	}
+	return sb.String()
+}
+
 // RenderComparison formats the Section IV-C table.
 func RenderComparison(results []ToolResult) string {
 	var sb strings.Builder

@@ -248,3 +248,47 @@ func TestScreeningDeterministic(t *testing.T) {
 		t.Errorf("non-deterministic screening: %+v vs %+v", a, b)
 	}
 }
+
+// FailureTally aggregates countable failures across a sweep; the Table III
+// sweep's only failure is Cimy's path-budget abort (plus its ladder).
+func TestFailureTally(t *testing.T) {
+	reps := []*uchecker.AppReport{
+		nil,
+		{Name: "clean"},
+		{Name: "a", FailureCounts: map[uchecker.FailureClass]int{uchecker.FailPathBudget: 2}},
+		{Name: "b", FailureCounts: map[uchecker.FailureClass]int{
+			uchecker.FailPathBudget: 1,
+			uchecker.FailPanic:      1,
+		}},
+	}
+	tally := FailureTally(reps)
+	if tally[uchecker.FailPathBudget] != 3 || tally[uchecker.FailPanic] != 1 || len(tally) != 2 {
+		t.Errorf("tally = %v", tally)
+	}
+	out := RenderFailureTally(tally)
+	for _, want := range []string{"path-budget     3", "panic           1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if FailureTally(nil) != nil {
+		t.Error("empty sweep should tally nil")
+	}
+	if !strings.Contains(RenderFailureTally(nil), "no failures") {
+		t.Errorf("empty render:\n%s", RenderFailureTally(nil))
+	}
+}
+
+// TestTableIIIFailureTally asserts the real sweep surfaces Cimy's
+// path-budget failure through the tally.
+func TestTableIIIFailureTally(t *testing.T) {
+	rows := cachedTableIII(t)
+	reps := make([]*uchecker.AppReport, len(rows))
+	for i, r := range rows {
+		reps[i] = r.Report
+	}
+	tally := FailureTally(reps)
+	if tally[uchecker.FailPathBudget] == 0 {
+		t.Errorf("tally = %v, want a path-budget entry (Cimy abort)", tally)
+	}
+}

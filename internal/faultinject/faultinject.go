@@ -1,0 +1,109 @@
+// Package faultinject defines the scanner pipeline's fault-injection
+// seams. The scanner calls an installed Hook at well-known Points; tests
+// use hooks to inject panics (crash containment), sleeps (per-root
+// deadlines) and forced solver failures (budget degradation) at each
+// stage, proving end-to-end fault containment without touching
+// production code paths.
+//
+// A nil Hook is free: every call site guards with `if hook != nil`.
+// Production binaries never install one.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point identifies one instrumentation site in the scanner pipeline.
+type Point string
+
+const (
+	// ParseFile fires before each source file is parsed. Detail is the
+	// file name. A panicking hook simulates a parser crash on that file; a
+	// returned error marks the file unparseable.
+	ParseFile Point = "parse-file"
+	// RootStart fires at the start of every per-root attempt (including
+	// ladder retries). Detail is the root's name. A panicking hook
+	// simulates an interpreter crash; a sleeping hook simulates a
+	// pathological root (tripping Options.RootTimeout); a returned error
+	// aborts the root with an internal failure.
+	RootStart Point = "root-start"
+	// SolverCheck fires before each SMT check of a modeled sink. Detail is
+	// "file:line" of the candidate. A returned error forces the check to
+	// resolve Unknown (a solver-budget failure); a panicking hook
+	// simulates a solver crash.
+	SolverCheck Point = "solver-check"
+	// Fallback fires before the degraded taint-only fallback runs for a
+	// root. Detail is the root's name. A panicking hook proves the last
+	// ladder rung is itself contained.
+	Fallback Point = "fallback"
+)
+
+// Hook receives fault-injection callbacks. Hooks may panic, sleep, or
+// return a non-nil error; the meaning of each is documented per Point.
+// Hooks run on scanner worker goroutines and must be safe for concurrent
+// use.
+type Hook func(p Point, detail string) error
+
+// ErrInjected is the base error returned by the helper constructors, so
+// tests can assert provenance with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// matches reports whether detail matches the target spec: empty target
+// matches everything, otherwise substring match.
+func matches(target, detail string) bool {
+	return target == "" || strings.Contains(detail, target)
+}
+
+// PanicOn returns a Hook that panics at the given point when detail
+// contains target (empty target: always).
+func PanicOn(p Point, target string) Hook {
+	return func(point Point, detail string) error {
+		if point == p && matches(target, detail) {
+			panic(fmt.Sprintf("faultinject: injected panic at %s (%s)", point, detail))
+		}
+		return nil
+	}
+}
+
+// SleepOn returns a Hook that sleeps d at the given point when detail
+// contains target — the "pathological root" simulator.
+func SleepOn(p Point, target string, d time.Duration) Hook {
+	return func(point Point, detail string) error {
+		if point == p && matches(target, detail) {
+			time.Sleep(d)
+		}
+		return nil
+	}
+}
+
+// ErrorOn returns a Hook that returns an ErrInjected-wrapped error at the
+// given point when detail contains target. At SolverCheck this forces an
+// Unknown verdict; at RootStart it aborts the root; at ParseFile it marks
+// the file unparseable.
+func ErrorOn(p Point, target string) Hook {
+	return func(point Point, detail string) error {
+		if point == p && matches(target, detail) {
+			return fmt.Errorf("%w at %s (%s)", ErrInjected, point, detail)
+		}
+		return nil
+	}
+}
+
+// Chain combines hooks; the first non-nil error wins (later hooks still
+// do not run after an error, preserving injection ordering).
+func Chain(hooks ...Hook) Hook {
+	return func(point Point, detail string) error {
+		for _, h := range hooks {
+			if h == nil {
+				continue
+			}
+			if err := h(point, detail); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

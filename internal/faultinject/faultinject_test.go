@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPanicOn(t *testing.T) {
+	h := PanicOn(RootStart, "file:evil.php")
+	if err := h(RootStart, "file:good.php"); err != nil {
+		t.Fatalf("non-matching detail: %v", err)
+	}
+	if err := h(SolverCheck, "file:evil.php"); err != nil {
+		t.Fatalf("non-matching point: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("matching point+detail must panic")
+		}
+	}()
+	h(RootStart, "file:evil.php")
+}
+
+func TestErrorOn(t *testing.T) {
+	h := ErrorOn(SolverCheck, "")
+	err := h(SolverCheck, "a.php:3")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := h(ParseFile, "a.php"); err != nil {
+		t.Fatalf("other point: %v", err)
+	}
+}
+
+func TestSleepOn(t *testing.T) {
+	h := SleepOn(RootStart, "", 20*time.Millisecond)
+	start := time.Now()
+	if err := h(RootStart, "any"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("hook did not sleep")
+	}
+	start = time.Now()
+	h(ParseFile, "any")
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("non-matching point slept")
+	}
+}
+
+func TestChain(t *testing.T) {
+	var calls int
+	count := func(Point, string) error { calls++; return nil }
+	h := Chain(nil, count, ErrorOn(RootStart, ""), count)
+	if err := h(RootStart, "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (chain stops at first error)", calls)
+	}
+}

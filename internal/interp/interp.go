@@ -28,8 +28,14 @@ import (
 )
 
 // ErrBudgetExceeded reports that symbolic execution outgrew its path or
-// object budget.
-var ErrBudgetExceeded = errors.New("interp: path/object budget exceeded")
+// object budget. ErrPathBudget and ErrObjectBudget wrap it, so existing
+// errors.Is(err, ErrBudgetExceeded) checks keep working while callers that
+// need the failure taxonomy can distinguish which budget blew.
+var (
+	ErrBudgetExceeded = errors.New("interp: path/object budget exceeded")
+	ErrPathBudget     = fmt.Errorf("%w (paths)", ErrBudgetExceeded)
+	ErrObjectBudget   = fmt.Errorf("%w (objects)", ErrBudgetExceeded)
+)
 
 // Options configures the engine. The zero value selects defaults.
 type Options struct {
@@ -57,6 +63,20 @@ func (o Options) withDefaults() Options {
 	if o.MaxCallDepth == 0 {
 		o.MaxCallDepth = 24
 	}
+	return o
+}
+
+// Halved returns the options with every budget cut in half (floored at 1)
+// — one rung of the scanner's degradation ladder. Besides the raw
+// path/object budgets, the loop-unroll bound and call-inlining depth are
+// halved too, so a retry explores a coarser (and therefore cheaper) model
+// rather than just aborting earlier on the same explosion.
+func (o Options) Halved() Options {
+	o = o.withDefaults()
+	o.MaxPaths = max(1, o.MaxPaths/2)
+	o.MaxObjects = max(1, o.MaxObjects/2)
+	o.LoopUnroll = max(1, o.LoopUnroll/2)
+	o.MaxCallDepth = max(1, o.MaxCallDepth/2)
 	return o
 }
 
@@ -245,11 +265,11 @@ func (in *Interp) overBudget(envs heapgraph.EnvSet) bool {
 		}
 	}
 	if len(envs) > in.opts.MaxPaths {
-		in.budgetErr = fmt.Errorf("%w: %d paths (max %d)", ErrBudgetExceeded, len(envs), in.opts.MaxPaths)
+		in.budgetErr = fmt.Errorf("%w: %d paths (max %d)", ErrPathBudget, len(envs), in.opts.MaxPaths)
 		return true
 	}
 	if in.g.NumObjects() > in.opts.MaxObjects {
-		in.budgetErr = fmt.Errorf("%w: %d objects (max %d)", ErrBudgetExceeded, in.g.NumObjects(), in.opts.MaxObjects)
+		in.budgetErr = fmt.Errorf("%w: %d objects (max %d)", ErrObjectBudget, in.g.NumObjects(), in.opts.MaxObjects)
 		return true
 	}
 	return false

@@ -1,0 +1,463 @@
+package uchecker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/interp"
+)
+
+// budgetBlowupTarget is a seeded vulnerable app whose path exploration
+// forks well past tiny budgets before any path reaches the sink: the live
+// path set doubles at each if, so MaxPaths=4 aborts mid-file and symbolic
+// execution records no sink hits at all — the workload the taint-only
+// fallback rung exists for.
+func budgetBlowupTarget() Target {
+	src := "<?php\n$name = $_FILES['f']['name'];\n$d = \"/up\";\n"
+	for i := 0; i < 6; i++ {
+		src += fmt.Sprintf("if (strlen($name) > %d) { $d = $d . \"/x%d\"; }\n", i, i)
+	}
+	src += "move_uploaded_file($_FILES['f']['tmp_name'], $d . \"/\" . $name);\n"
+	return Target{Name: "blowup", Sources: map[string]string{"blowup.php": src}}
+}
+
+// findingsJSON serializes a finding slice for byte-level comparison.
+func findingsJSON(t *testing.T, fs []Finding) string {
+	t.Helper()
+	data, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestPanicIsolation is the tentpole acceptance test: panicking 1 of N
+// roots leaves the other N-1 roots' findings byte-identical to a
+// fault-free run, with a Panic-class failure carrying the recovered stack
+// — and the process survives.
+func TestPanicIsolation(t *testing.T) {
+	target := multiRootTarget("panicky", 6)
+	const victim = "handler03.php"
+
+	clean, err := NewScanner(Options{Workers: 4}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := NewScanner(Options{
+		Workers:   4,
+		FaultHook: faultinject.PanicOn(faultinject.RootStart, victim),
+	}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The surviving roots' verified findings are byte-identical to the
+	// fault-free run's findings minus the victim's.
+	var wantSurvivors, gotSurvivors []Finding
+	for _, f := range clean.Findings {
+		if f.File != victim {
+			wantSurvivors = append(wantSurvivors, f)
+		}
+	}
+	for _, f := range faulty.Findings {
+		if !f.Degraded {
+			gotSurvivors = append(gotSurvivors, f)
+		}
+	}
+	if got, want := findingsJSON(t, gotSurvivors), findingsJSON(t, wantSurvivors); got != want {
+		t.Errorf("surviving findings drifted under injected panic\n got: %s\nwant: %s", got, want)
+	}
+	if !faulty.Vulnerable {
+		t.Error("verdict lost: the 5 surviving roots still prove the app vulnerable")
+	}
+
+	// The victim surfaces as exactly one FailPanic failure with a stack.
+	if n := faulty.FailureCounts[FailPanic]; n != 1 {
+		t.Errorf("FailureCounts[panic] = %d, want 1", n)
+	}
+	var panics []Failure
+	for _, fl := range faulty.Failures {
+		if fl.Class == FailPanic {
+			panics = append(panics, fl)
+		}
+	}
+	if len(panics) != 1 {
+		t.Fatalf("panic failures = %v, want exactly 1", panics)
+	}
+	p := panics[0]
+	if p.Root != victim {
+		t.Errorf("panic attributed to %q, want %q", p.Root, victim)
+	}
+	if p.Stage != StageSymExec {
+		t.Errorf("panic stage = %q, want %q", p.Stage, StageSymExec)
+	}
+	if p.Stack == "" {
+		t.Error("panic failure carries no stack")
+	}
+
+	// The ladder's fallback still extracted degraded signal from the
+	// panicked root.
+	degradedVictim := false
+	for _, f := range faulty.Findings {
+		if f.Degraded && f.File == victim {
+			degradedVictim = true
+		}
+	}
+	if !degradedVictim {
+		t.Errorf("no degraded finding for the panicked root; findings: %v", faulty.Findings)
+	}
+
+	// Deterministic even under injection: Workers=1 reproduces the report.
+	serial, err := NewScanner(Options{
+		Workers:   1,
+		FaultHook: faultinject.PanicOn(faultinject.RootStart, victim),
+	}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacks differ across goroutines; compare everything else.
+	stripStacks := func(rep *AppReport) *AppReport {
+		clone := *rep
+		clone.Failures = append([]Failure(nil), rep.Failures...)
+		for i := range clone.Failures {
+			clone.Failures[i].Stack = ""
+		}
+		return &clone
+	}
+	if reportFingerprint(t, stripStacks(faulty)) != reportFingerprint(t, stripStacks(serial)) {
+		t.Error("injected-panic report differs across worker counts")
+	}
+}
+
+// TestDegradedFallback is the budget-exhaustion acceptance test: a seeded
+// vulnerable root whose exploration blows a tiny path budget — and which
+// under the paper's semantics returns nothing — now yields at least one
+// Degraded finding from the taint-only fallback, without flipping the
+// Vulnerable verdict.
+func TestDegradedFallback(t *testing.T) {
+	target := budgetBlowupTarget()
+	opts := Options{Interp: interp.Options{MaxPaths: 4}}
+
+	rep, err := NewScanner(opts).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BudgetExceeded {
+		t.Fatal("path budget did not trip; the target no longer blows up")
+	}
+	var degraded []Finding
+	for _, f := range rep.Findings {
+		if !f.Degraded {
+			t.Errorf("unexpected verified finding %v from a budget-aborted root", f)
+		} else {
+			degraded = append(degraded, f)
+		}
+	}
+	if len(degraded) == 0 {
+		t.Fatalf("no Degraded finding; failures: %v", rep.Failures)
+	}
+	if degraded[0].Sink != "move_uploaded_file" || degraded[0].File != "blowup.php" {
+		t.Errorf("degraded finding = %+v, want move_uploaded_file in blowup.php", degraded[0])
+	}
+	if rep.Vulnerable {
+		t.Error("Degraded findings must not set Vulnerable (paper verdicts preserved)")
+	}
+	if !rep.Degraded {
+		t.Error("AppReport.Degraded not set")
+	}
+	if rep.Retries == 0 {
+		t.Error("ladder spent no retries before falling back")
+	}
+	if rep.FailureCounts[FailPathBudget] == 0 {
+		t.Errorf("FailureCounts = %v, want path-budget entries", rep.FailureCounts)
+	}
+
+	// The same scan with the ladder disabled reproduces the paper's
+	// silent miss: no findings, no retries, just the typed failure.
+	opts.DisableDegraded = true
+	miss, err := NewScanner(opts).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(miss.Findings) != 0 || miss.Retries != 0 || miss.Degraded {
+		t.Errorf("DisableDegraded leaked ladder output: %+v", miss)
+	}
+	if !miss.BudgetExceeded || miss.FailureCounts[FailPathBudget] == 0 {
+		t.Errorf("DisableDegraded lost the typed failure: %v", miss.FailureCounts)
+	}
+}
+
+// TestRootTimeout asserts a pathological (slow) root trips the per-root
+// deadline, is classified root-timeout, and still yields degraded signal
+// while the rest of the app scans normally.
+func TestRootTimeout(t *testing.T) {
+	target := multiRootTarget("slowpoke", 4)
+	const victim = "handler01.php"
+	opts := Options{
+		Workers:     2,
+		RootTimeout: 30 * time.Millisecond,
+		FaultHook:   faultinject.SleepOn(faultinject.RootStart, victim, 120*time.Millisecond),
+	}
+	rep, err := NewScanner(opts).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailureCounts[FailRootTimeout] == 0 {
+		t.Fatalf("FailureCounts = %v, want root-timeout entries; failures: %v", rep.FailureCounts, rep.Failures)
+	}
+	for _, fl := range rep.Failures {
+		if fl.Class == FailRootTimeout && fl.Root != victim {
+			t.Errorf("root-timeout attributed to %q, want %q", fl.Root, victim)
+		}
+		if fl.Class == FailCancelled {
+			t.Errorf("root timeout misclassified as cancellation: %v", fl)
+		}
+	}
+	// The other 3 roots verified normally; the victim degraded.
+	verified := 0
+	degradedVictim := false
+	for _, f := range rep.Findings {
+		if f.Degraded {
+			if f.File == victim {
+				degradedVictim = true
+			}
+			continue
+		}
+		verified++
+	}
+	if verified != 3 {
+		t.Errorf("verified findings = %d, want 3 (non-victim roots)", verified)
+	}
+	if !degradedVictim {
+		t.Errorf("no degraded finding for the timed-out root; findings: %v", rep.Findings)
+	}
+	if !rep.Vulnerable {
+		t.Error("verdict lost to one slow root")
+	}
+}
+
+// TestSolverBudgetDegradation asserts forced solver Unknowns are recorded
+// as solver-budget failures, retried, and finally degraded via the
+// taint-only rung.
+func TestSolverBudgetDegradation(t *testing.T) {
+	app := multiRootTarget("unsat", 1)
+	rep, err := NewScanner(Options{
+		FaultHook: faultinject.ErrorOn(faultinject.SolverCheck, ""),
+	}).Scan(context.Background(), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailureCounts[FailSolverBudget] == 0 {
+		t.Fatalf("FailureCounts = %v, want solver-budget entries", rep.FailureCounts)
+	}
+	if rep.Vulnerable {
+		t.Error("no sink was solver-verified; verdict must stay clean")
+	}
+	if !rep.Degraded {
+		t.Errorf("taint-only rung produced nothing; findings: %v, failures: %v", rep.Findings, rep.Failures)
+	}
+	if rep.Retries == 0 {
+		t.Error("solver-budget failures should be retried")
+	}
+}
+
+// TestParseFaultContainment asserts a parser crash (panic) on one file
+// and a parse failure on another each degrade only their file: the third
+// file's root still verifies.
+func TestParseFaultContainment(t *testing.T) {
+	target := Target{Name: "mixed", Sources: map[string]string{
+		"bad.php":  "<?php echo 1;",
+		"ugly.php": "<?php echo 2;",
+		"good.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+	}}
+	rep, err := NewScanner(Options{
+		FaultHook: faultinject.Chain(
+			faultinject.PanicOn(faultinject.ParseFile, "bad.php"),
+			faultinject.ErrorOn(faultinject.ParseFile, "ugly.php"),
+		),
+	}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Vulnerable {
+		t.Error("good.php's verified finding lost to sibling parse faults")
+	}
+	if rep.FailureCounts[FailPanic] != 1 || rep.FailureCounts[FailParse] != 1 {
+		t.Errorf("FailureCounts = %v, want panic=1 parse=1", rep.FailureCounts)
+	}
+	for _, fl := range rep.Failures {
+		switch fl.Root {
+		case "bad.php":
+			if fl.Class != FailPanic || fl.Stage != StageParse || fl.Stack == "" {
+				t.Errorf("bad.php failure = %+v, want parse-stage panic with stack", fl)
+			}
+		case "ugly.php":
+			if fl.Class != FailParse || fl.Stage != StageParse {
+				t.Errorf("ugly.php failure = %+v, want parse-stage parse failure", fl)
+			}
+		default:
+			t.Errorf("unexpected failure: %+v", fl)
+		}
+	}
+	if rep.ParseErrors < 2 {
+		t.Errorf("ParseErrors = %d, want >= 2 (both dropped files counted)", rep.ParseErrors)
+	}
+}
+
+// TestFallbackPanicContainment asserts the ladder's last rung is itself
+// panic-isolated.
+func TestFallbackPanicContainment(t *testing.T) {
+	rep, err := NewScanner(Options{
+		Interp:    interp.Options{MaxPaths: 4},
+		FaultHook: faultinject.PanicOn(faultinject.Fallback, ""),
+	}).Scan(context.Background(), budgetBlowupTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings = %v, want none (fallback panicked)", rep.Findings)
+	}
+	foundFallbackPanic := false
+	for _, fl := range rep.Failures {
+		if fl.Class == FailPanic && fl.Stage == StageFallback {
+			foundFallbackPanic = true
+			if fl.Stack == "" {
+				t.Error("fallback panic carries no stack")
+			}
+		}
+	}
+	if !foundFallbackPanic {
+		t.Errorf("failures = %v, want a fallback-stage panic", rep.Failures)
+	}
+}
+
+// TestMaxRootFailuresAbort asserts the failure limit aborts the scan
+// early: remaining roots are skipped as (uncounted) schedule failures and
+// the report is marked Aborted.
+func TestMaxRootFailuresAbort(t *testing.T) {
+	target := multiRootTarget("doomed", 8)
+	rep, err := NewScanner(Options{
+		Workers:         1, // deterministic skip set
+		MaxRootFailures: 3,
+		DisableDegraded: true,
+		FaultHook:       faultinject.ErrorOn(faultinject.RootStart, ""),
+	}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted {
+		t.Fatal("Aborted not set")
+	}
+	countable, skipped := 0, 0
+	for _, fl := range rep.Failures {
+		if fl.Countable() {
+			countable++
+		}
+		if fl.Stage == StageSchedule {
+			skipped++
+			if fl.Class != FailCancelled {
+				t.Errorf("skipped root class = %s, want %s", fl.Class, FailCancelled)
+			}
+		}
+	}
+	if countable != 3 {
+		t.Errorf("countable failures = %d, want exactly the limit (3)", countable)
+	}
+	if skipped != 5 {
+		t.Errorf("skipped roots = %d, want 5 of 8", skipped)
+	}
+	if rep.FailureCounts[FailCancelled] != 0 {
+		t.Errorf("FailureCounts counts cancellations: %v", rep.FailureCounts)
+	}
+}
+
+// TestFailureClassesRoundTrip asserts every failure class survives the
+// AppReport JSON round trip — classes, counts, stacks and attempts intact.
+func TestFailureClassesRoundTrip(t *testing.T) {
+	classes := []FailureClass{
+		FailParse, FailPathBudget, FailObjectBudget, FailSolverBudget,
+		FailRootTimeout, FailCancelled, FailPanic, FailInternal,
+	}
+	rep := &AppReport{Name: "round-trip"}
+	for i, c := range classes {
+		rep.Failures = append(rep.Failures, Failure{
+			Root:    fmt.Sprintf("root%d.php", i),
+			Stage:   StageSymExec,
+			Class:   c,
+			Err:     "err " + string(c),
+			Stack:   map[bool]string{true: "goroutine 1 [running]:", false: ""}[c == FailPanic],
+			Attempt: i % 2,
+		})
+	}
+	rep.FailureCounts = countFailures(rep.Failures)
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AppReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Failures) != len(classes) {
+		t.Fatalf("failures = %d, want %d", len(got.Failures), len(classes))
+	}
+	for i, c := range classes {
+		fl := got.Failures[i]
+		if fl.Class != c || fl.Err != "err "+string(c) || fl.Root != fmt.Sprintf("root%d.php", i) {
+			t.Errorf("failure %d round-tripped to %+v", i, fl)
+		}
+		if c == FailPanic && fl.Stack == "" {
+			t.Error("panic stack lost in round trip")
+		}
+		if fl.Attempt != i%2 {
+			t.Errorf("failure %d attempt = %d, want %d", i, fl.Attempt, i%2)
+		}
+	}
+	// Counts: all classes except cancelled are countable.
+	if len(got.FailureCounts) != len(classes)-1 {
+		t.Errorf("FailureCounts = %v, want %d classes", got.FailureCounts, len(classes)-1)
+	}
+	if _, ok := got.FailureCounts[FailCancelled]; ok {
+		t.Error("cancelled leaked into FailureCounts")
+	}
+	for _, c := range classes {
+		if c == FailCancelled {
+			continue
+		}
+		if got.FailureCounts[c] != 1 {
+			t.Errorf("FailureCounts[%s] = %d, want 1", c, got.FailureCounts[c])
+		}
+	}
+}
+
+// TestRetryableMatrix pins the ladder's retry policy per class.
+func TestRetryableMatrix(t *testing.T) {
+	want := map[FailureClass]bool{
+		FailParse:        false,
+		FailPathBudget:   true,
+		FailObjectBudget: true,
+		FailSolverBudget: true,
+		FailRootTimeout:  true,
+		FailCancelled:    false,
+		FailPanic:        false,
+		FailInternal:     false,
+	}
+	for c, w := range want {
+		if got := (Failure{Class: c}).Retryable(); got != w {
+			t.Errorf("Retryable(%s) = %v, want %v", c, got, w)
+		}
+	}
+	if (Failure{Class: FailCancelled}).Countable() {
+		t.Error("cancelled must not be countable")
+	}
+	if !(Failure{Class: FailPanic}).Countable() {
+		t.Error("panic must be countable")
+	}
+}

@@ -1,0 +1,142 @@
+// Typed failure taxonomy for fault-contained scanning.
+//
+// A production corpus sweep (the paper scans 13,814 plugins) meets every
+// pathology the long tail has to offer: parser crashes, path-budget
+// blow-ups (the Cimy failure mode), solver give-ups, wall-clock hangs.
+// One pathological file must degrade one root, never sink the batch —
+// and the operator must be able to see, per class, what went wrong.
+// Failure is that structured record; it replaces the v2 string-based
+// AppReport.RootErrors (kept as a deprecated shim).
+package uchecker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/interp"
+)
+
+// FailureClass partitions everything that can go wrong with one root (or
+// one file) into the classes the degradation ladder and the CLI's failure
+// accounting operate on.
+type FailureClass string
+
+const (
+	// FailParse: a source file could not be parsed at all (beyond the
+	// tolerated, recovered syntax errors counted by AppReport.ParseErrors).
+	FailParse FailureClass = "parse"
+	// FailPathBudget: symbolic execution outgrew Options.Interp.MaxPaths.
+	FailPathBudget FailureClass = "path-budget"
+	// FailObjectBudget: the heap graph outgrew Options.Interp.MaxObjects.
+	FailObjectBudget FailureClass = "object-budget"
+	// FailSolverBudget: the SMT solver returned Unknown after exhausting
+	// its search budget on at least one candidate of the root.
+	FailSolverBudget FailureClass = "solver-budget"
+	// FailRootTimeout: the root exceeded Options.RootTimeout while the
+	// surrounding scan was still live.
+	FailRootTimeout FailureClass = "root-timeout"
+	// FailCancelled: the surrounding scan's context was cancelled (or its
+	// deadline expired) — an operator decision, not a root failure.
+	// Cancelled entries are excluded from FailureCounts and from the
+	// deprecated RootErrors shim.
+	FailCancelled FailureClass = "cancelled"
+	// FailPanic: a pipeline stage panicked; the panic was recovered, the
+	// stack captured, and the batch kept running.
+	FailPanic FailureClass = "panic"
+	// FailInternal: any other unexpected error.
+	FailInternal FailureClass = "internal"
+)
+
+// Pipeline stages a Failure can be attributed to.
+const (
+	StageParse    = "parse"    // per-file parsing
+	StageSymExec  = "symexec"  // per-root symbolic execution
+	StageVerify   = "verify"   // modeling + translation + solving
+	StageFallback = "fallback" // degraded taint-only rung
+	StageSchedule = "schedule" // root never started (cancelled / abort limit)
+)
+
+// Failure is one structured failure record: which root (or file), which
+// pipeline stage, which class, and the underlying error text. Panic
+// failures additionally carry the recovered stack.
+type Failure struct {
+	// Root is the failing root's name (callgraph node string), or the
+	// file name for parse-stage failures.
+	Root string
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Class is the failure class.
+	Class FailureClass
+	// Err is the underlying error text.
+	Err string
+	// Stack is the recovered goroutine stack for FailPanic entries.
+	Stack string `json:",omitempty"`
+	// Attempt is the degradation-ladder rung the failure occurred on:
+	// 0 for the full-budget attempt, 1.. for halved-budget retries.
+	Attempt int `json:",omitempty"`
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s: [%s/%s] %s", f.Root, f.Stage, f.Class, f.Err)
+}
+
+// Countable reports whether the failure participates in failure
+// accounting (FailureCounts, -max-root-failures, CLI exit code 2).
+// Cancellation is an operator decision, not a root failure: a timed-out
+// batch must not report every pending root as errored.
+func (f Failure) Countable() bool { return f.Class != FailCancelled }
+
+// Retryable reports whether the degradation ladder should retry the root
+// with halved budgets after this failure. Budget and per-root-deadline
+// classes are retryable: a halved-budget rerun explores a coarser, cheaper
+// model (loop unrolling and inlining depth are halved too) that either
+// completes or aborts quickly with a small partial result worth
+// degraded-verifying. Panics are not retried (the same input would panic
+// again) and cancellation is final.
+func (f Failure) Retryable() bool {
+	switch f.Class {
+	case FailPathBudget, FailObjectBudget, FailSolverBudget, FailRootTimeout:
+		return true
+	}
+	return false
+}
+
+// countFailures tallies countable failures per class.
+func countFailures(fs []Failure) map[FailureClass]int {
+	counts := map[FailureClass]int{}
+	for _, f := range fs {
+		if f.Countable() {
+			counts[f.Class]++
+		}
+	}
+	return counts
+}
+
+// classifyRootErr maps an error surfaced by a per-root pipeline stage to
+// its failure class. parent is the scan-level context, rctx the per-root
+// context (parent plus Options.RootTimeout, when configured): an error
+// that coincides with a live parent but a dead root context is a root
+// timeout; one with a dead parent is a cancellation.
+func classifyRootErr(err error, parent, rctx context.Context) FailureClass {
+	switch {
+	case errors.Is(err, interp.ErrPathBudget):
+		return FailPathBudget
+	case errors.Is(err, interp.ErrObjectBudget):
+		return FailObjectBudget
+	case errors.Is(err, interp.ErrBudgetExceeded):
+		// Budget abort of unknown flavour: account it to the path budget,
+		// the dominant blow-up mode.
+		return FailPathBudget
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if parent.Err() != nil {
+			return FailCancelled
+		}
+		if rctx.Err() != nil {
+			return FailRootTimeout
+		}
+		return FailCancelled
+	default:
+		return FailInternal
+	}
+}

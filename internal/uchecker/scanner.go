@@ -1,5 +1,6 @@
 // Scanner is the v2 scanning API: context-aware, parallel per-root
-// execution with batch corpus scanning.
+// execution with batch corpus scanning, fault containment and a
+// budget-degradation ladder.
 //
 // The paper's pipeline (Figure 2) runs phases 3–6 — symbolic execution,
 // vulnerability modeling, Z3-oriented translation and SMT verification —
@@ -8,6 +9,16 @@
 // that by fanning roots out to a bounded worker pool and merging the
 // per-root results deterministically (root order, findings sorted by
 // file:line), so the output is byte-identical regardless of worker count.
+//
+// Fault containment: every per-root attempt (and every per-file parse)
+// runs under recover(), so a panic anywhere in interp, translate or smt
+// degrades one root — recorded as a FailPanic Failure with the captured
+// stack — instead of killing the batch. Roots that blow a budget or a
+// per-root deadline descend a degradation ladder: up to
+// Options.MaxRetries halved-budget reruns (whose findings are marked
+// Degraded), then a conservative taint-only fallback reusing the
+// internal/baseline machinery, so pathological roots yield partial
+// signal, not silence.
 package uchecker
 
 import (
@@ -15,11 +26,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/baseline"
 	"repro/internal/callgraph"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/locality"
 	"repro/internal/phpast"
@@ -54,13 +69,20 @@ type Scanner struct {
 }
 
 // NewScanner returns a Scanner with normalized options (default
-// extensions, Workers defaulting to runtime.GOMAXPROCS(0)).
+// extensions, Workers defaulting to runtime.GOMAXPROCS(0), MaxRetries
+// defaulting to DefaultMaxRetries; negative MaxRetries disables retries).
 func NewScanner(opts Options) *Scanner {
 	if len(opts.Extensions) == 0 {
 		opts.Extensions = vulnmodel.DefaultExtensions
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opts.MaxRetries == 0:
+		opts.MaxRetries = DefaultMaxRetries
+	case opts.MaxRetries < 0:
+		opts.MaxRetries = 0
 	}
 	return &Scanner{opts: opts}
 }
@@ -72,7 +94,8 @@ func (s *Scanner) phase(app, phase string, d time.Duration) {
 	}
 }
 
-// rootResult is the outcome of phases 3–6 for a single locality root.
+// rootResult is the outcome of phases 3–6 for a single locality root
+// (one ladder attempt, or the whole ladder once merged by scanRoot).
 // Each worker fills exactly one slot of a pre-sized slice, so the merge
 // can walk roots in their canonical (locality) order and produce output
 // independent of scheduling.
@@ -81,11 +104,24 @@ type rootResult struct {
 	objects   int
 	sinkCount int
 	findings  []Finding
-	budget    bool   // the root aborted on ErrBudgetExceeded
-	errText   string // non-budget interpreter error (including ctx errors)
+	budget    bool      // some attempt aborted on ErrBudgetExceeded
+	failures  []Failure // typed failures, in occurrence order
+	retries   int       // ladder retry attempts spent
+	skipped   bool      // never ran: the MaxRootFailures limit tripped
 
-	symExec time.Duration // interpreter time
+	symExec time.Duration // interpreter time (summed over attempts)
 	verify  time.Duration // modeling + translation + solving time
+}
+
+// countable tallies the root's countable failures.
+func (rr *rootResult) countable() int {
+	n := 0
+	for _, f := range rr.failures {
+		if f.Countable() {
+			n++
+		}
+	}
+	return n
 }
 
 // Scan runs the full pipeline over one application. The context cancels
@@ -111,7 +147,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 
 	rep := &AppReport{Name: t.Name}
 
-	// --- Phase 1: parsing ---
+	// --- Phase 1: parsing (panic-isolated per file) ---
 	phaseStart := time.Now()
 	names := make([]string, 0, len(t.Sources))
 	for n := range t.Sources {
@@ -120,8 +156,15 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	sort.Strings(names)
 	files := make([]*phpast.File, 0, len(names))
 	for _, n := range names {
-		f, errs := phpparser.Parse(n, t.Sources[n])
-		rep.ParseErrors += len(errs)
+		f, nerrs, fail := s.parseFile(n, t.Sources[n])
+		rep.ParseErrors += nerrs
+		if fail != nil {
+			// The file is dropped from analysis but the scan continues:
+			// a parser crash on one file must not sink the app.
+			rep.Failures = append(rep.Failures, *fail)
+			rep.ParseErrors++
+			continue
+		}
 		files = append(files, f)
 	}
 	s.phase(t.Name, PhaseParse, time.Since(phaseStart))
@@ -156,6 +199,28 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	// --- Phases 3–6 per root, fanned out to the worker pool ---
 	phaseStart = time.Now()
 	results := make([]rootResult, len(roots))
+	// failTally accumulates countable failures across workers for the
+	// MaxRootFailures early-abort check.
+	var failTally atomic.Int64
+	runIdx := func(i int) {
+		rootName := roots[i].Node.String()
+		if ctx.Err() != nil {
+			// Cancellation is an operator decision, not a root failure:
+			// record it as such, excluded from failure accounting.
+			results[i] = scheduleFailure(rootName, FailCancelled,
+				"scan cancelled before root started", false)
+			return
+		}
+		if limit := s.opts.MaxRootFailures; limit > 0 && failTally.Load() >= int64(limit) {
+			results[i] = scheduleFailure(rootName, FailCancelled,
+				fmt.Sprintf("root skipped: app failure limit (%d) reached", limit), true)
+			return
+		}
+		results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g)
+		if n := results[i].countable(); n > 0 {
+			failTally.Add(int64(n))
+		}
+	}
 	workers := s.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -164,12 +229,8 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		workers = len(roots)
 	}
 	if workers <= 1 {
-		for i, root := range roots {
-			if ctx.Err() != nil {
-				results[i] = rootResult{errText: ctx.Err().Error()}
-				continue
-			}
-			results[i] = s.scanRoot(ctx, files, root.Node, adminCallbacks, g)
+		for i := range roots {
+			runIdx(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -179,11 +240,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					if ctx.Err() != nil {
-						results[i] = rootResult{errText: ctx.Err().Error()}
-						continue
-					}
-					results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g)
+					runIdx(i)
 				}
 			}()
 		}
@@ -203,17 +260,28 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		rep.Paths += rr.paths
 		rep.Objects += rr.objects
 		rep.SinkCount += rr.sinkCount
+		rep.Retries += rr.retries
 		if rr.budget {
 			rep.BudgetExceeded = true
 		}
-		if rr.errText != "" {
-			rep.RootErrors = append(rep.RootErrors, fmt.Sprintf("%s: %s", root.Node, rr.errText))
+		if rr.skipped {
+			rep.Aborted = true
 		}
+		rep.Failures = append(rep.Failures, rr.failures...)
 		rep.Findings = append(rep.Findings, rr.findings...)
 		symExec += rr.symExec
 		verify += rr.verify
 	}
+	rep.Findings = dedupeDegraded(rep.Findings)
 	sortFindings(rep.Findings)
+	if c := countFailures(rep.Failures); len(c) > 0 {
+		rep.FailureCounts = c
+	}
+	for _, fl := range rep.Failures {
+		if fl.Countable() {
+			rep.RootErrors = append(rep.RootErrors, fmt.Sprintf("%s: %s", fl.Root, fl.Err))
+		}
+	}
 	s.phase(t.Name, PhaseSymExec, symExec)
 	s.phase(t.Name, PhaseVerify, verify)
 
@@ -221,6 +289,10 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
 	}
 	for _, f := range rep.Findings {
+		if f.Degraded {
+			rep.Degraded = true
+			continue // partial signal, not a verified verdict
+		}
 		if !f.AdminGated {
 			rep.Vulnerable = true
 		}
@@ -281,42 +353,249 @@ func (s *Scanner) ScanBatch(ctx context.Context, targets []Target) []*AppReport 
 	return reports
 }
 
-// scanRoot runs phases 3–6 for one root with a private interpreter and a
-// private solver, touching only shared read-only structures (the parsed
-// files and the call graph).
+// parseFile parses one source file under recover(): a parser panic (or a
+// fault-injected parse failure) is converted into a typed Failure and the
+// file is skipped, instead of the crash killing the scan.
+func (s *Scanner) parseFile(name, src string) (f *phpast.File, nerrs int, fail *Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			f = nil
+			fail = &Failure{
+				Root:  name,
+				Stage: StageParse,
+				Class: FailPanic,
+				Err:   fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	if s.opts.FaultHook != nil {
+		if err := s.opts.FaultHook(faultinject.ParseFile, name); err != nil {
+			return nil, 0, &Failure{Root: name, Stage: StageParse, Class: FailParse, Err: err.Error()}
+		}
+	}
+	parsed, errs := phpparser.Parse(name, src)
+	if parsed == nil {
+		return nil, len(errs), &Failure{Root: name, Stage: StageParse, Class: FailParse, Err: "parser returned no AST"}
+	}
+	return parsed, len(errs), nil
+}
+
+// scheduleFailure builds the result of a root that never ran.
+func scheduleFailure(root string, class FailureClass, msg string, skipped bool) rootResult {
+	return rootResult{
+		skipped:  skipped,
+		failures: []Failure{{Root: root, Stage: StageSchedule, Class: class, Err: msg}},
+	}
+}
+
+// scanRoot runs the degradation ladder for one root:
+//
+//	rung 0    full budgets; a budget abort yields no findings (the
+//	          paper's semantics — the Cimy miss).
+//	rung 1..  Options.MaxRetries halved-budget reruns of a retryably
+//	          failed root; a coarser model (halved unroll/inlining) that
+//	          either completes or aborts cheaply, with its partial sink
+//	          set degraded-verified. Findings are marked Degraded.
+//	final     conservative taint-only fallback (internal/baseline) when
+//	          every rung failed without findings.
+//
+// Every rung is panic-isolated; the ladder is deterministic except under
+// Options.RootTimeout (wall clock) — see DESIGN.md "Failure model".
 func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph) rootResult {
 	var rr rootResult
-	symStart := time.Now()
-	in := interp.New(files, s.opts.Interp)
-	res := in.RunRootCtx(ctx, root)
-	rr.symExec = time.Since(symStart)
-	rr.paths = res.Paths
-	rr.objects = res.Graph.NumObjects()
-	if res.Err != nil {
-		if errors.Is(res.Err, interp.ErrBudgetExceeded) {
+	iopts, sopts := s.opts.Interp, s.opts.Solver
+	maxRetries := s.opts.MaxRetries
+	if s.opts.DisableDegraded {
+		maxRetries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		ar := s.runRootAttempt(ctx, files, root, adminCallbacks, g, iopts, sopts, attempt)
+		rr.symExec += ar.symExec
+		rr.verify += ar.verify
+		// Report the deepest exploration's measurements (attempt 0 unless a
+		// retry went further), keeping Table III's paths/objects columns
+		// faithful to the full-budget run.
+		rr.paths = max(rr.paths, ar.paths)
+		rr.objects = max(rr.objects, ar.objects)
+		rr.sinkCount = max(rr.sinkCount, ar.sinkCount)
+		rr.findings = ar.findings
+		rr.failures = append(rr.failures, ar.failures...)
+		rr.retries = attempt
+		if ar.budget {
 			rr.budget = true
-			return rr
 		}
-		rr.errText = res.Err.Error()
+
+		failed, retryable := false, false
+		for _, fl := range ar.failures {
+			if fl.Class == FailCancelled {
+				return rr // operator decision: no retries, no fallback
+			}
+			failed = true
+			if fl.Retryable() {
+				retryable = true
+			}
+		}
+		if !failed || len(ar.findings) > 0 {
+			return rr // clean, or failed with partial findings already
+		}
+		if retryable && attempt < maxRetries {
+			iopts, sopts = iopts.Halved(), sopts.Halved()
+			continue
+		}
+		// Final rung: the root failed on every attempt and produced
+		// nothing — fall back to the conservative taint-only check.
+		if !s.opts.DisableDegraded {
+			s.fallbackRoot(&rr, root, files)
+		}
 		return rr
 	}
+}
+
+// runRootAttempt executes one ladder rung for one root with a private
+// interpreter and a private solver, touching only shared read-only
+// structures (the parsed files and the call graph). The whole attempt
+// runs under recover(): a panic in interp, translate or smt becomes a
+// FailPanic failure with the captured stack.
+func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, iopts interp.Options, sopts smt.Options, attempt int) (ar rootResult) {
+	rootName := root.String()
+	stage := StageSymExec
+	defer func() {
+		if r := recover(); r != nil {
+			ar.failures = append(ar.failures, Failure{
+				Root:    rootName,
+				Stage:   stage,
+				Class:   FailPanic,
+				Err:     fmt.Sprint(r),
+				Stack:   string(debug.Stack()),
+				Attempt: attempt,
+			})
+		}
+	}()
+
+	rctx := ctx
+	if s.opts.RootTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, s.opts.RootTimeout)
+		defer cancel()
+	}
+	if s.opts.FaultHook != nil {
+		if err := s.opts.FaultHook(faultinject.RootStart, rootName); err != nil {
+			ar.failures = append(ar.failures, Failure{
+				Root: rootName, Stage: StageSymExec, Class: FailInternal,
+				Err: err.Error(), Attempt: attempt,
+			})
+			return ar
+		}
+	}
+
+	degraded := attempt > 0
+	symStart := time.Now()
+	in := interp.New(files, iopts)
+	res := in.RunRootCtx(rctx, root)
+	ar.symExec = time.Since(symStart)
+	ar.paths = res.Paths
+	ar.objects = res.Graph.NumObjects()
+	if res.Err != nil {
+		class := classifyRootErr(res.Err, ctx, rctx)
+		if class == FailPathBudget || class == FailObjectBudget {
+			ar.budget = true
+		}
+		ar.failures = append(ar.failures, Failure{
+			Root: rootName, Stage: StageSymExec, Class: class,
+			Err: res.Err.Error(), Attempt: attempt,
+		})
+		// Rung 0 keeps the paper's semantics: a budget abort verifies
+		// nothing. Retry rungs degraded-verify the partial exploration —
+		// the sink hits recorded before the abort carry valid path
+		// constraints, they are just an incomplete set.
+		if !degraded || class == FailCancelled || class == FailInternal {
+			return ar
+		}
+	}
+	stage = StageVerify
+	// Degraded verification runs under the parent context: the root
+	// deadline is typically already spent by the time a timed-out rung
+	// reaches it, and the (halved) solver budgets bound the work.
+	vctx := rctx
+	if degraded {
+		vctx = ctx
+	}
 	verifyStart := time.Now()
-	s.verifySinks(ctx, &rr, root, res, adminCallbacks, g)
-	rr.verify = time.Since(verifyStart)
-	return rr
+	s.verifySinks(ctx, vctx, &ar, root, res, adminCallbacks, g, sopts, degraded, attempt)
+	ar.verify = time.Since(verifyStart)
+	return ar
+}
+
+// fallbackRoot is the ladder's final rung: a conservative taint-only
+// check over the root's file via the internal/baseline machinery. Its
+// hits become Degraded findings — no witness, no solver — so a root that
+// defeated symbolic execution still yields signal. The rung is itself
+// panic-isolated.
+func (s *Scanner) fallbackRoot(rr *rootResult, root *callgraph.Node, files []*phpast.File) {
+	rootName := root.String()
+	start := time.Now()
+	defer func() {
+		rr.verify += time.Since(start)
+		if r := recover(); r != nil {
+			rr.failures = append(rr.failures, Failure{
+				Root:  rootName,
+				Stage: StageFallback,
+				Class: FailPanic,
+				Err:   fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	if s.opts.FaultHook != nil {
+		if err := s.opts.FaultHook(faultinject.Fallback, rootName); err != nil {
+			rr.failures = append(rr.failures, Failure{
+				Root: rootName, Stage: StageFallback, Class: FailInternal, Err: err.Error(),
+			})
+			return
+		}
+	}
+	var rootFiles []*phpast.File
+	for _, f := range files {
+		if f != nil && f.Name == root.File {
+			rootFiles = append(rootFiles, f)
+		}
+	}
+	if len(rootFiles) == 0 {
+		return
+	}
+	for _, h := range baseline.RIPSLikeFiles(rootName, rootFiles).Hits {
+		if h.Suppressed {
+			continue
+		}
+		rr.findings = append(rr.findings, Finding{
+			Sink:     h.Sink,
+			File:     h.File,
+			Line:     h.Line,
+			Degraded: true,
+		})
+	}
 }
 
 // verifySinks models and solver-checks every recorded sink hit of one
-// root's execution, appending verified findings to rr.
-func (s *Scanner) verifySinks(ctx context.Context, rr *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph) {
-	solver := smt.NewSolver(s.opts.Solver)
+// root's execution, appending verified findings to ar. parent is the
+// scan-level context (for cancellation classification), vctx the context
+// the verification itself runs under. In degraded mode (ladder retries)
+// findings are marked Degraded.
+func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph, sopts smt.Options, degraded bool, attempt int) {
+	rootName := root.String()
+	solver := smt.NewSolver(sopts)
 	tr := translate.New(res.Graph)
-	seen := map[string]bool{} // dedupe per (file,line,witness-free)
-
-	for _, hit := range res.Sinks {
-		rr.sinkCount++
-		if err := ctx.Err(); err != nil {
-			rr.errText = err.Error()
+	seen := map[string]bool{}       // dedupe per (file,line,witness-free)
+	solverBudgetNoted := false      // one FailSolverBudget per attempt
+	for _, hit := range res.Sinks { //nolint:gocritic // value copy is fine
+		ar.sinkCount++
+		if err := vctx.Err(); err != nil {
+			ar.failures = append(ar.failures, Failure{
+				Root: rootName, Stage: StageVerify,
+				Class: classifyRootErr(err, parent, vctx),
+				Err:   "verification aborted: " + err.Error(), Attempt: attempt,
+			})
 			return
 		}
 		cand := vulnmodel.Model(res.Graph, tr, vulnmodel.Sink{
@@ -336,19 +615,39 @@ func (s *Scanner) verifySinks(ctx context.Context, rr *rootResult, root *callgra
 		if seen[key] {
 			continue
 		}
-		status, model, _, _ := solver.CheckCtx(ctx, cand.Combined)
+		if s.opts.FaultHook != nil {
+			if err := s.opts.FaultHook(faultinject.SolverCheck, key); err != nil {
+				if !solverBudgetNoted {
+					solverBudgetNoted = true
+					ar.failures = append(ar.failures, Failure{
+						Root: rootName, Stage: StageVerify, Class: FailSolverBudget,
+						Err: err.Error(), Attempt: attempt,
+					})
+				}
+				continue
+			}
+		}
+		status, model, _, cerr := solver.CheckCtx(vctx, cand.Combined)
 		if status != smt.Sat {
+			if errors.Is(cerr, smt.ErrBudget) && !solverBudgetNoted {
+				solverBudgetNoted = true
+				ar.failures = append(ar.failures, Failure{
+					Root: rootName, Stage: StageVerify, Class: FailSolverBudget,
+					Err: fmt.Sprintf("%s (sink %s)", cerr, key), Attempt: attempt,
+				})
+			}
 			continue
 		}
 		seen[key] = true
 		f := Finding{
-			Sink:    cand.Sink,
-			File:    cand.File,
-			Line:    cand.Line,
-			Lines:   cand.Lines,
-			SeDst:   sexpr.Format(cand.SeDst),
-			SeReach: sexpr.Format(cand.SeReach),
-			Witness: model,
+			Sink:     cand.Sink,
+			File:     cand.File,
+			Line:     cand.Line,
+			Lines:    cand.Lines,
+			SeDst:    sexpr.Format(cand.SeDst),
+			SeReach:  sexpr.Format(cand.SeReach),
+			Witness:  model,
+			Degraded: degraded,
 		}
 		// Independent exploit validation: evaluate the destination under
 		// the witness and confirm the executable suffix concretely.
@@ -361,8 +660,34 @@ func (s *Scanner) verifySinks(ctx context.Context, rr *rootResult, root *callgra
 		if s.opts.ModelAdminGating && isAdminGated(root, adminCallbacks, g) {
 			f.AdminGated = true
 		}
-		rr.findings = append(rr.findings, f)
+		ar.findings = append(ar.findings, f)
 	}
+}
+
+// dedupeDegraded removes degraded findings that duplicate a verified
+// finding at the same call site (another root may have verified the same
+// sink the fallback flagged) and collapses identical degraded hits
+// produced by different roots sharing a file.
+func dedupeDegraded(fs []Finding) []Finding {
+	verified := map[string]bool{}
+	for _, f := range fs {
+		if !f.Degraded {
+			verified[fmt.Sprintf("%s:%d", f.File, f.Line)] = true
+		}
+	}
+	out := fs[:0]
+	seenDegraded := map[string]bool{}
+	for _, f := range fs {
+		if f.Degraded {
+			key := fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Sink)
+			if verified[fmt.Sprintf("%s:%d", f.File, f.Line)] || seenDegraded[key] {
+				continue
+			}
+			seenDegraded[key] = true
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // sortFindings orders findings by file, then line, then sink name —

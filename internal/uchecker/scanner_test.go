@@ -210,14 +210,28 @@ func TestScanCancellation(t *testing.T) {
 	if rep == nil {
 		t.Fatal("nil report on cancellation; want partial results")
 	}
+	// Cancellation is classified, not stringly recorded: it must appear
+	// as FailCancelled in Failures, and must NOT pollute the deprecated
+	// RootErrors shim or the per-class failure counts — a timed-out batch
+	// does not report every pending root as errored.
 	found := false
-	for _, e := range rep.RootErrors {
-		if strings.Contains(e, context.Canceled.Error()) {
+	for _, fl := range rep.Failures {
+		if fl.Class == FailCancelled {
 			found = true
+		} else if fl.Countable() {
+			t.Errorf("unexpected countable failure on cancellation: %+v", fl)
 		}
 	}
 	if !found {
-		t.Errorf("RootErrors = %v, want a %q entry", rep.RootErrors, context.Canceled)
+		t.Errorf("Failures = %v, want a %s entry", rep.Failures, FailCancelled)
+	}
+	for _, e := range rep.RootErrors {
+		if strings.Contains(e, context.Canceled.Error()) {
+			t.Errorf("RootErrors contains cancellation text %q; cancellation is not a root failure", e)
+		}
+	}
+	if n := rep.FailureCounts[FailCancelled]; n != 0 {
+		t.Errorf("FailureCounts[%s] = %d, want 0 (excluded)", FailCancelled, n)
 	}
 
 	// A context canceled before the call returns immediately.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/callgraph"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/phpast"
 	"repro/internal/smt"
@@ -59,7 +60,43 @@ type Options struct {
 	// invoked from multiple goroutines and must be safe for concurrent
 	// use.
 	OnPhase func(app, phase string, d time.Duration)
+	// RootTimeout bounds the wall clock of each per-root attempt. A root
+	// that exceeds it fails with a FailRootTimeout failure (and enters the
+	// degradation ladder) instead of stalling the whole scan. Zero
+	// disables the per-root deadline. Note that a non-zero RootTimeout
+	// makes reports timing-dependent: whether a given root finishes or
+	// degrades can vary run to run.
+	RootTimeout time.Duration
+	// MaxRetries is the number of degradation-ladder retries for a root
+	// whose attempt fails with a retryable class (path/object/solver
+	// budget, root timeout). Each retry halves the interpreter and solver
+	// budgets (and the loop-unroll / inlining depth), so it explores a
+	// coarser, cheaper model; findings from retries are marked Degraded.
+	// Zero selects DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// MaxRootFailures, when positive, aborts an app's scan early once
+	// that many countable (non-cancelled) failures have accumulated:
+	// remaining roots are skipped (recorded as cancelled schedule
+	// failures) and AppReport.Aborted is set. Zero means no limit. Which
+	// roots are skipped depends on worker scheduling, so reports of an
+	// aborted scan are not deterministic across worker counts.
+	MaxRootFailures int
+	// DisableDegraded switches the degradation ladder off wholesale: no
+	// halved-budget retries, no degraded verification of partial
+	// explorations, no taint-only fallback. Failed roots then surface
+	// only their typed failures, exactly as in the paper's configuration
+	// (a budget abort is a silent miss).
+	DisableDegraded bool
+	// FaultHook, when non-nil, is invoked at the faultinject.Point seams
+	// of the pipeline. Tests use it to inject panics, slow roots and
+	// forced solver failures; production scans leave it nil.
+	FaultHook faultinject.Hook
 }
+
+// DefaultMaxRetries is the degradation-ladder retry count selected when
+// Options.MaxRetries is zero: one halved-budget rerun before the
+// taint-only fallback rung.
+const DefaultMaxRetries = 1
 
 // Finding is one verified vulnerable sink on one satisfiable path.
 type Finding struct {
@@ -84,6 +121,12 @@ type Finding struct {
 	SMTLIB string
 	// AdminGated marks findings suppressed by the admin-gating model.
 	AdminGated bool
+	// Degraded marks lower-confidence findings produced by the
+	// degradation ladder — either a halved-budget retry (coarser model)
+	// or the taint-only fallback (no witness, no constraint solving).
+	// Degraded findings never set AppReport.Vulnerable: they are partial
+	// signal from a root that would otherwise have produced nothing.
+	Degraded bool `json:",omitempty"`
 }
 
 // AppReport is the scan result for one application, carrying Table III's
@@ -115,11 +158,29 @@ type AppReport struct {
 	BudgetExceeded bool
 	// ParseErrors counts tolerated syntax errors.
 	ParseErrors int
-	// RootErrors records, per failing root, non-budget interpreter errors
-	// (including context cancellation), formatted "<root>: <error>" in
-	// canonical root order. Budget aborts are reported via BudgetExceeded
-	// instead.
-	RootErrors []string
+	// Failures are the typed failure records: parse-stage failures first
+	// (in file-name order), then per-root failures in canonical root
+	// order. Cancellation entries are included here for visibility but
+	// excluded from FailureCounts and RootErrors.
+	Failures []Failure `json:",omitempty"`
+	// FailureCounts aggregates countable (non-cancelled) failures per
+	// class. Nil when the scan was failure-free.
+	FailureCounts map[FailureClass]int `json:",omitempty"`
+	// Degraded reports that at least one finding was produced by the
+	// degradation ladder (and is marked Finding.Degraded).
+	Degraded bool `json:",omitempty"`
+	// Retries is the total number of degradation-ladder retry attempts
+	// spent across all roots.
+	Retries int `json:",omitempty"`
+	// Aborted reports that Options.MaxRootFailures tripped and remaining
+	// roots were skipped.
+	Aborted bool `json:",omitempty"`
+	// RootErrors lists countable failures formatted "<root>: <error>",
+	// in the same order as Failures. Cancellation is not included:
+	// a timed-out batch does not report every pending root as errored.
+	//
+	// Deprecated: use Failures / FailureCounts.
+	RootErrors []string `json:",omitempty"`
 }
 
 // Checker is the deprecated v1 façade over Scanner.
