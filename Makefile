@@ -14,7 +14,8 @@ check: fmt vet build race fuzz-smoke
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt needed on:"; echo "$$out"; \
+		gofmt -d $$out; exit 1; \
 	fi
 
 vet:

@@ -8,6 +8,7 @@
 //	ucheck-bench -paper       # also print the paper's numbers side by side
 //	ucheck-bench -phases      # per-app, per-phase timing breakdown
 //	ucheck-bench -failures    # per-class failure tally of the Table III sweep
+//	ucheck-bench -counters    # deterministic work-counter table of the sweep
 //	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
 //
 // The -max-paths flag lowers the symbolic-execution budget (useful on
@@ -39,11 +40,12 @@ func main() {
 		paper    = flag.Bool("paper", false, "print paper numbers next to measured ones")
 		phases   = flag.Bool("phases", false, "print a per-app, per-phase timing breakdown")
 		failures = flag.Bool("failures", false, "print the per-class failure tally of the Table III sweep")
+		counters = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
 		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
 		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
 	)
 	flag.Parse()
-	if !*table && !*compare && !*all && *screen == 0 && !*failures {
+	if !*table && !*compare && !*all && *screen == 0 && !*failures && !*counters {
 		*table = true
 	}
 
@@ -57,7 +59,7 @@ func main() {
 		opts.OnPhase = times.Hook()
 	}
 
-	if *table || *all || *failures {
+	if *table || *all || *failures || *counters {
 		rows := evalharness.TableIII(opts)
 		if *table || *all {
 			fmt.Print(evalharness.RenderTableIII(rows))
@@ -67,12 +69,16 @@ func main() {
 			}
 			fmt.Println()
 		}
+		reps := make([]*uchecker.AppReport, len(rows))
+		for i, r := range rows {
+			reps[i] = r.Report
+		}
 		if *failures {
-			reps := make([]*uchecker.AppReport, len(rows))
-			for i, r := range rows {
-				reps[i] = r.Report
-			}
 			fmt.Print(evalharness.RenderFailureTally(evalharness.FailureTally(reps)))
+			fmt.Println()
+		}
+		if *counters {
+			fmt.Print(evalharness.RenderCounterTable(evalharness.CounterTally(reps)))
 			fmt.Println()
 		}
 	}

@@ -30,6 +30,11 @@
 //	-max-root-failures N abort an app's scan after N root failures
 //	-no-degraded         disable the degradation ladder (paper semantics:
 //	                     a budget abort is a silent miss)
+//	-trace FILE          write a Chrome trace-event JSON file of the scan's
+//	                     span tree (open in chrome://tracing or Perfetto);
+//	                     "-" writes to stdout
+//	-metrics FILE        write the per-app work counters in Prometheus text
+//	                     exposition format; "-" writes to stdout
 //	-v                   verbose: also print per-phase measurements and the
 //	                     per-class failure summary
 //
@@ -82,6 +87,8 @@ func run() int {
 		noDegraded  = flag.Bool("no-degraded", false, "disable the degradation ladder (budget aborts become silent misses)")
 		corpusApp   = flag.String("corpus", "", "scan the named built-in corpus application")
 		listCorpus  = flag.Bool("list-corpus", false, "list built-in corpus application names")
+		traceOut    = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
+		metricsOut  = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" = stdout)")
 		verbose     = flag.Bool("v", false, "verbose measurements")
 	)
 	flag.Parse()
@@ -94,7 +101,12 @@ func run() int {
 	}
 
 	extList := splitExts(*exts)
+	var rec *core.TraceRecorder
+	if *traceOut != "" {
+		rec = core.NewTraceRecorder()
+	}
 	opts := core.Options{
+		Trace:            rec,
 		Extensions:       extList,
 		ModelAdminGating: *adminGating,
 		KeepSMT:          *smtOut,
@@ -166,6 +178,29 @@ func run() int {
 			printReport(os.Stdout, rep, *verbose, *smtOut)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, func(w io.Writer) error {
+			return core.WriteChromeTrace(w, rec.Snapshot())
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: writing trace: %v\n", err)
+			return 2
+		}
+	}
+	if *metricsOut != "" {
+		series := make([]core.LabeledMetrics, 0, len(reps))
+		for _, rep := range reps {
+			series = append(series, core.LabeledMetrics{
+				Labels:  map[string]string{"app": rep.Name},
+				Metrics: rep.Metrics,
+			})
+		}
+		if err := writeTo(*metricsOut, func(w io.Writer) error {
+			return core.WritePrometheus(w, "uchecker", series)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: writing metrics: %v\n", err)
+			return 2
+		}
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "uchecker: scan aborted: %v\n", ctx.Err())
 	} else if code := exitCode(nil, reps); code == 2 {
@@ -192,6 +227,22 @@ func exitCode(ctxErr error, reps []*core.AppReport) int {
 		}
 	}
 	return code
+}
+
+// writeTo streams one export to a file path, or to stdout for "-".
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitExts(s string) []string {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -85,6 +87,121 @@ func TestLoadTarget(t *testing.T) {
 	empty := t.TempDir()
 	if _, err := loadTarget(empty, exts); err == nil {
 		t.Error("no-php dir should error")
+	}
+}
+
+// TestLoadTargetCaseInsensitiveExtensions is the regression test for
+// extension matching on case-preserving filesystems: real plugin zips
+// ship UPLOAD.PHP and Common.Inc, and both the on-disk extension and the
+// -ext flag values must match case-insensitively.
+func TestLoadTargetCaseInsensitiveExtensions(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		filepath.Join(dir, "UPLOAD.PHP"): "<?php echo 1;",
+		filepath.Join(dir, "Admin.PhP"):  "<?php echo 2;",
+		filepath.Join(dir, "Common.Inc"): "<?php echo 3;", // .inc is always accepted
+		filepath.Join(dir, "old.PHP5"):   "<?php echo 4;",
+		filepath.Join(dir, "notes.TXT"):  "not php",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tgt, err := loadTarget(dir, []string{".php", ".php5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.Sources) != 4 {
+		t.Errorf("sources = %d files, want 4 (UPLOAD.PHP, Admin.PhP, Common.Inc, old.PHP5): %v",
+			len(tgt.Sources), tgt.Sources)
+	}
+
+	// Configured extensions are themselves case-normalized: -ext .PHP
+	// must accept upload.php and UPLOAD.PHP alike.
+	upper, err := loadTarget(dir, []string{".PHP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upper.Sources) != 3 {
+		t.Errorf("upper-ext sources = %d files, want 3 (.PHP5 excluded): %v",
+			len(upper.Sources), upper.Sources)
+	}
+
+	// Single file with uppercase extension: name trimming still applies.
+	one, err := loadTarget(filepath.Join(dir, "UPLOAD.PHP"), []string{".php"})
+	if err != nil || len(one.Sources) != 1 {
+		t.Fatalf("single file: %v, %d", err, len(one.Sources))
+	}
+	if one.Name != "UPLOAD" {
+		t.Errorf("single-file name = %q, want \"UPLOAD\"", one.Name)
+	}
+}
+
+// TestTraceAndMetricsExport covers the -trace/-metrics plumbing end to
+// end: a traced scan must export parseable Chrome trace-event JSON and
+// well-formed Prometheus text with the expected metric lines.
+func TestTraceAndMetricsExport(t *testing.T) {
+	rec := core.NewTraceRecorder()
+	rep, err := core.NewScanner(core.Options{Trace: rec}).Scan(
+		context.Background(), core.Target{
+			Name: "export-demo",
+			Sources: map[string]string{
+				"demo.php": `<?php
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := writeTo(tracePath, func(w io.Writer) error {
+		return core.WriteChromeTrace(w, rec.Snapshot())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceData, &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" || ev["name"] == "" {
+			t.Fatalf("malformed trace event: %v", ev)
+		}
+	}
+
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	if err := writeTo(metricsPath, func(w io.Writer) error {
+		return core.WritePrometheus(w, "uchecker", []core.LabeledMetrics{
+			{Labels: map[string]string{"app": rep.Name}, Metrics: rep.Metrics},
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(metricsData)
+	for _, want := range []string{
+		"# TYPE uchecker_scan_findings counter",
+		`uchecker_scan_findings{app="export-demo"} 1`,
+		"# TYPE uchecker_interp_live_envs_peak gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/uchecker"
 )
 
@@ -84,6 +85,33 @@ const (
 	PhaseVerify   = uchecker.PhaseVerify
 	PhaseTotal    = uchecker.PhaseTotal
 )
+
+// Observability re-exports (see internal/obs): install a TraceRecorder
+// via Options.Trace to capture the scan's span tree, and read the
+// deterministic work counters from AppReport.Metrics.
+type (
+	// TraceRecorder collects spans; safe for concurrent use, and a nil
+	// recorder disables tracing.
+	TraceRecorder = obs.Recorder
+	// Span is one finished timed region of the scan.
+	Span = obs.Span
+	// Metrics is the flat, deterministically mergeable counter set on
+	// AppReport.Metrics.
+	Metrics = obs.Metrics
+	// LabeledMetrics pairs a metric set with Prometheus labels for export.
+	LabeledMetrics = obs.LabeledMetrics
+)
+
+// NewTraceRecorder returns an empty span recorder for Options.Trace.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// WriteChromeTrace exports recorded spans as Chrome trace-event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev).
+var WriteChromeTrace = obs.WriteChromeTrace
+
+// WritePrometheus exports metric sets in Prometheus text exposition
+// format under the given namespace.
+var WritePrometheus = obs.WritePrometheus
 
 // NewScanner returns a Scanner with normalized options.
 func NewScanner(opts Options) *Scanner { return uchecker.NewScanner(opts) }

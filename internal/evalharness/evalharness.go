@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/uchecker"
 )
 
@@ -338,6 +339,40 @@ func RenderFailureTally(tally map[uchecker.FailureClass]int) string {
 	sort.Strings(classes)
 	for _, c := range classes {
 		fmt.Fprintf(&sb, "%-15s %d\n", c, tally[uchecker.FailureClass(c)])
+	}
+	return sb.String()
+}
+
+// CounterTally merges every report's deterministic work counters into
+// one corpus-wide metric set: "_peak" gauges by max, everything else
+// additive — the same commutative merge the scanner uses per root, so
+// the tally is independent of app order and worker count.
+func CounterTally(reps []*uchecker.AppReport) obs.Metrics {
+	total := obs.NewMetrics()
+	for _, rep := range reps {
+		if rep != nil {
+			total.Merge(rep.Metrics)
+		}
+	}
+	return total
+}
+
+// RenderCounterTable formats the corpus-wide work-counter table, metric
+// names sorted. Peak gauges are marked to distinguish high-water marks
+// from monotone counts.
+func RenderCounterTable(m obs.Metrics) string {
+	var sb strings.Builder
+	sb.WriteString("Work counters (deterministic; merged across all apps)\n")
+	if len(m) == 0 {
+		sb.WriteString("no counters recorded\n")
+		return sb.String()
+	}
+	for _, k := range m.Keys() {
+		kind := "counter"
+		if strings.HasSuffix(k, obs.PeakSuffix) {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&sb, "%-28s %12d  %s\n", k, m[k], kind)
 	}
 	return sb.String()
 }

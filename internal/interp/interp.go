@@ -37,6 +37,29 @@ var (
 	ErrObjectBudget   = fmt.Errorf("%w (objects)", ErrBudgetExceeded)
 )
 
+// Stats counts the work one RunRoot performed. The counters are
+// deterministic for a given root and options (they count work, not
+// time), which is what lets the scanner merge them across workers into
+// a byte-identical per-app metric set. See DESIGN.md "Observability".
+type Stats struct {
+	// PathsForked counts environment clones at control-flow forks
+	// (symbolic if/loop conditions, catch clauses).
+	PathsForked int64
+	// PathsPruned counts branch decisions resolved concretely — paths
+	// that did NOT fork because the condition had a known truth value.
+	// This is the fork-avoidance the paper's concrete evaluation buys.
+	PathsPruned int64
+	// PathsHeld counts suspended paths (returned/thrown/breaking)
+	// carried past a statement boundary without re-execution.
+	PathsHeld int64
+	// BudgetChecks counts budget/cancellation checkpoints (statement and
+	// loop-iteration boundaries).
+	BudgetChecks int64
+	// LiveEnvsPeak is the maximum number of live paths observed at any
+	// checkpoint — the high-water mark MaxPaths guards.
+	LiveEnvsPeak int64
+}
+
 // Options configures the engine. The zero value selects defaults.
 type Options struct {
 	// MaxPaths bounds the number of live execution paths. Default 100000.
@@ -106,6 +129,9 @@ type Result struct {
 	Sinks []SinkHit
 	// Paths is the number of final execution paths (Table III "Paths").
 	Paths int
+	// Stats counts the work performed (forks, pruned branches, budget
+	// checkpoints, peak live paths) — deterministic per root.
+	Stats Stats
 	// Err is non-nil when execution aborted (budget exceeded); partial
 	// results are still populated.
 	Err error
@@ -129,6 +155,7 @@ type Interp struct {
 	superGlobs  map[string]heapgraph.Label
 
 	budgetErr error
+	stats     Stats
 
 	// ctx carries the cancellation signal for the current RunRootCtx call;
 	// steps counts overBudget checkpoints so the (mutex-guarded) ctx.Err is
@@ -232,6 +259,7 @@ func (in *Interp) RunRootCtx(ctx context.Context, root *callgraph.Node) Result {
 		Envs:  envs,
 		Sinks: in.sinks,
 		Paths: len(envs),
+		Stats: in.stats,
 		Err:   in.budgetErr,
 	}
 	return res
@@ -258,6 +286,10 @@ func (in *Interp) overBudget(envs heapgraph.EnvSet) bool {
 		return true
 	}
 	in.steps++
+	in.stats.BudgetChecks++
+	if n := int64(len(envs)); n > in.stats.LiveEnvsPeak {
+		in.stats.LiveEnvsPeak = n
+	}
 	if in.ctx != nil && in.steps%ctxCheckStride == 0 {
 		if err := in.ctx.Err(); err != nil {
 			in.budgetErr = err
@@ -290,6 +322,7 @@ func (in *Interp) execStmts(stmts []phpast.Stmt, envs heapgraph.EnvSet) heapgrap
 				live = append(live, e)
 			}
 		}
+		in.stats.PathsHeld += int64(len(held))
 		if len(live) == 0 {
 			return envs
 		}
@@ -396,6 +429,7 @@ func (in *Interp) execStmt(s phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSe
 		all := bodyEnvs
 		for _, c := range x.Catches {
 			catchEnvs := envs.CloneAll()
+			in.stats.PathsForked += int64(len(catchEnvs))
 			for _, e := range catchEnvs {
 				if c.Var != "" {
 					e.Bind(c.Var, in.g.NewSymbol("s_exc_"+c.Var, sexpr.Unknown, c.P.Line))
@@ -436,6 +470,7 @@ func (in *Interp) execIf(x *phpast.If, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	for i, e := range envs {
 		// Concrete condition: single branch, no fork.
 		if c, ok := in.concreteBool(condLabels[i]); ok {
+			in.stats.PathsPruned++
 			if c {
 				forkT = append(forkT, e)
 				forkTLabels = append(forkTLabels, heapgraph.Null)
@@ -445,6 +480,7 @@ func (in *Interp) execIf(x *phpast.If, envs heapgraph.EnvSet) heapgraph.EnvSet {
 			}
 			continue
 		}
+		in.stats.PathsForked++
 		te := e.Clone()
 		fe := e
 		forkT = append(forkT, te)
@@ -629,6 +665,7 @@ func (in *Interp) execCondLoop(cond phpast.Expr, body []phpast.Stmt, post []phpa
 		var cont heapgraph.EnvSet
 		for j, e := range live {
 			if b, ok := in.concreteBool(condLabels[j]); ok {
+				in.stats.PathsPruned++
 				if b {
 					cont = append(cont, e)
 				} else {
@@ -636,6 +673,7 @@ func (in *Interp) execCondLoop(cond phpast.Expr, body []phpast.Stmt, post []phpa
 				}
 				continue
 			}
+			in.stats.PathsForked++
 			te := e.Clone()
 			te.ER(in.g, condLabels[j], line)
 			cont = append(cont, te)

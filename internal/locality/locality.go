@@ -39,6 +39,13 @@ type Result struct {
 	// AnalyzedLoC is the number of source lines covered by the roots
 	// (deduplicated).
 	AnalyzedLoC int
+	// FilesTotal is the number of parsed files considered.
+	FilesTotal int
+	// FilesPruned is the number of files the locality analysis skipped
+	// entirely: no root lives in them and no function they declare is
+	// reachable from any root. The ratio FilesPruned/FilesTotal is the
+	// file-level face of the paper's "% of LoC analyzed" reduction.
+	FilesPruned int
 }
 
 // PercentAnalyzed returns 100*AnalyzedLoC/TotalLoC, or 0 for empty input.
@@ -81,6 +88,19 @@ func Analyze(g *callgraph.Graph, files []*phpast.File, sources map[string]string
 	}
 	if res.AnalyzedLoC > res.TotalLoC {
 		res.AnalyzedLoC = res.TotalLoC
+	}
+	// File-level pruning: a file survives when any counted (analyzed)
+	// node lives in it; everything else the symbolic executor never
+	// touches.
+	analyzedFiles := map[string]bool{}
+	for n := range counted {
+		analyzedFiles[n.File] = true
+	}
+	res.FilesTotal = len(files)
+	for _, f := range files {
+		if f != nil && !analyzedFiles[f.Name] {
+			res.FilesPruned++
+		}
 	}
 	return res
 }

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsMerge(t *testing.T) {
+	a := NewMetrics()
+	a.Add("paths_forked", 3)
+	a.Add("paths_forked", 2)
+	a.SetMax("live_envs_peak", 7)
+	b := NewMetrics()
+	b.Add("paths_forked", 10)
+	b.SetMax("live_envs_peak", 4)
+	b.Add("models_tried", 1)
+
+	a.Merge(b)
+	if a["paths_forked"] != 15 {
+		t.Errorf("paths_forked = %d, want 15", a["paths_forked"])
+	}
+	if a["live_envs_peak"] != 7 {
+		t.Errorf("live_envs_peak = %d, want 7 (max merge)", a["live_envs_peak"])
+	}
+	if a["models_tried"] != 1 {
+		t.Errorf("models_tried = %d, want 1", a["models_tried"])
+	}
+}
+
+func TestMetricsMergeOrderIndependent(t *testing.T) {
+	parts := []Metrics{
+		{"c": 1, "x_peak": 9},
+		{"c": 4, "x_peak": 2},
+		{"c": 2, "d": 7},
+	}
+	forward := NewMetrics()
+	for _, p := range parts {
+		forward.Merge(p)
+	}
+	backward := NewMetrics()
+	for i := len(parts) - 1; i >= 0; i-- {
+		backward.Merge(parts[i])
+	}
+	for k, v := range forward {
+		if backward[k] != v {
+			t.Errorf("merge order dependence on %s: %d vs %d", k, v, backward[k])
+		}
+	}
+	if len(forward) != len(backward) {
+		t.Errorf("key sets differ: %v vs %v", forward.Keys(), backward.Keys())
+	}
+}
+
+func TestMetricsAddZeroAllocatesNothing(t *testing.T) {
+	m := NewMetrics()
+	m.Add("untouched", 0)
+	if len(m) != 0 {
+		t.Errorf("Add(0) created a key: %v", m.Keys())
+	}
+}
+
+func TestRecorderSpans(t *testing.T) {
+	rec := NewRecorder()
+	now := time.Unix(100, 0)
+	rec.now = func() time.Time { now = now.Add(time.Millisecond); return now }
+
+	root := rec.Start(0, "scan", A("app", "demo"))
+	child := rec.Start(root.ID(), "parse")
+	child.End()
+	root.End(A("verdict", "clean"))
+
+	spans := rec.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Finish order: child first.
+	if spans[0].Name != "parse" || spans[1].Name != "scan" {
+		t.Errorf("span order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("parse parent = %d, want %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Attr("app") != "demo" || spans[1].Attr("verdict") != "clean" {
+		t.Errorf("scan attrs wrong: %+v", spans[1].Attrs)
+	}
+	if spans[0].Dur() <= 0 {
+		t.Errorf("parse duration = %v, want > 0", spans[0].Dur())
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var rec *Recorder
+	sp := rec.Start(0, "anything", A("k", "v"))
+	sp.SetAttr("x", "y")
+	sp.End() // must not panic
+	if sp.ID() != 0 {
+		t.Errorf("nil recorder span ID = %d, want 0", sp.ID())
+	}
+	if rec.Snapshot() != nil || rec.Len() != 0 {
+		t.Error("nil recorder should report no spans")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := rec.Start(0, "work")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Len() != 16*50 {
+		t.Errorf("got %d spans, want %d", rec.Len(), 16*50)
+	}
+	seen := map[SpanID]bool{}
+	for _, s := range rec.Snapshot() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestRecorderOnEnd(t *testing.T) {
+	rec := NewRecorder()
+	var got []string
+	rec.OnEnd = func(s Span) { got = append(got, s.Name) }
+	rec.Start(0, "a").End()
+	rec.Start(0, "b").End()
+	if strings.Join(got, ",") != "a,b" {
+		t.Errorf("OnEnd order = %v", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rec := NewRecorder()
+	now := time.Unix(50, 0)
+	rec.now = func() time.Time { now = now.Add(2 * time.Millisecond); return now }
+	scan := rec.Start(0, "scan", A("app", "demo"))
+	in := rec.Start(scan.ID(), "interp")
+	in.End()
+	scan.End()
+	open := rec.Start(0, "never-ended")
+	_ = open // intentionally left open: must be skipped
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2:\n%s", len(events), buf.String())
+	}
+	// Sorted by ts: scan starts first.
+	if events[0]["name"] != "scan" || events[1]["name"] != "interp" {
+		t.Errorf("event order: %v, %v", events[0]["name"], events[1]["name"])
+	}
+	if events[0]["ph"] != "X" {
+		t.Errorf("ph = %v, want X", events[0]["ph"])
+	}
+	if ts := events[0]["ts"].(float64); ts != 0 {
+		t.Errorf("first ts = %v, want 0 (relative to epoch)", ts)
+	}
+	// Child shares the top-level ancestor's track.
+	if events[0]["tid"] != events[1]["tid"] {
+		t.Errorf("tid mismatch: %v vs %v", events[0]["tid"], events[1]["tid"])
+	}
+	if args := events[0]["args"].(map[string]any); args["app"] != "demo" {
+		t.Errorf("args = %v", args)
+	}
+	if dur := events[1]["dur"].(float64); dur != 2000 {
+		t.Errorf("interp dur = %v µs, want 2000", dur)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	series := []LabeledMetrics{
+		{Labels: map[string]string{"app": "beta"}, Metrics: Metrics{"paths": 5, "live_envs_peak": 3}},
+		{Labels: map[string]string{"app": "alpha"}, Metrics: Metrics{"paths": 2}},
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, "uchecker", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := []string{
+		"# TYPE uchecker_live_envs_peak gauge",
+		`uchecker_live_envs_peak{app="beta"} 3`,
+		"# TYPE uchecker_paths counter",
+		`uchecker_paths{app="alpha"} 2`,
+		`uchecker_paths{app="beta"} 5`,
+	}
+	if got := strings.TrimSpace(out); got != strings.Join(want, "\n") {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	series := []LabeledMetrics{
+		{Labels: map[string]string{"app": "x"}, Metrics: Metrics{"a": 1, "b": 2, "c": 3, "d_peak": 4}},
+	}
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, "ns", series); err != nil {
+			t.Fatal(err)
+		}
+		if first == "" {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("nondeterministic exposition on iteration %d", i)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	var buf bytes.Buffer
+	series := []LabeledMetrics{
+		{Labels: map[string]string{"app name": `has "quotes" and\slash`}, Metrics: Metrics{"weird-key.x": 1}},
+	}
+	if err := WritePrometheus(&buf, "ns", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ns_weird_key_x") {
+		t.Errorf("metric name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, "app_name=") {
+		t.Errorf("label name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `\"quotes\"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}

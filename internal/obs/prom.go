@@ -1,0 +1,141 @@
+// Prometheus text-exposition export (version 0.0.4 of the format:
+// https://prometheus.io/docs/instrumenting/exposition_formats/).
+// Counters become "<ns>_<key>" counter series; "_peak" keys become
+// gauges. Series carrying the same metric under different label sets
+// (one per scanned app) share one TYPE header, exactly as the format
+// requires. Output is fully sorted, so two runs with identical metrics
+// produce byte-identical expositions — the determinism contract the
+// scanner tests enforce.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LabeledMetrics is one metric set qualified by a label set (typically
+// {app="<name>"} for a per-app report).
+type LabeledMetrics struct {
+	Labels  map[string]string
+	Metrics Metrics
+}
+
+// WritePrometheus writes series in Prometheus text exposition format.
+// namespace prefixes every metric name (conventionally "uchecker").
+// Metric names, label keys and series are emitted in sorted order.
+func WritePrometheus(w io.Writer, namespace string, series []LabeledMetrics) error {
+	// Collect the union of metric names.
+	nameSet := map[string]bool{}
+	for _, s := range series {
+		for k := range s.Metrics {
+			nameSet[k] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		full := name
+		if namespace != "" {
+			full = namespace + "_" + name
+		}
+		full = sanitizeMetricName(full)
+		kind := "counter"
+		if strings.HasSuffix(name, PeakSuffix) {
+			kind = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", full, kind); err != nil {
+			return err
+		}
+		// One line per series that carries this metric, in input order
+		// (callers pass apps in canonical order); ties broken by the
+		// rendered label set for full determinism.
+		type line struct {
+			labels string
+			value  int64
+		}
+		var lines []line
+		for _, s := range series {
+			v, ok := s.Metrics[name]
+			if !ok {
+				continue
+			}
+			lines = append(lines, line{labels: renderLabels(s.Labels), value: v})
+		}
+		sort.SliceStable(lines, func(i, j int) bool { return lines[i].labels < lines[j].labels })
+		for _, l := range lines {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", full, l.labels, l.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels formats a label set as {k="v",...} with sorted keys and
+// escaped values, or "" when empty.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", sanitizeLabelName(k), escapeLabelValue(labels[k]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes per the exposition format: backslash,
+// double-quote and newline. %q above handles quote+backslash; convert
+// the value first so %q sees clean input for newlines too.
+func escapeLabelValue(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// sanitizeMetricName maps arbitrary strings into the metric-name
+// alphabet [a-zA-Z0-9_:], replacing anything else with '_'.
+func sanitizeMetricName(s string) string {
+	return sanitize(s, func(c byte) bool {
+		return c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	})
+}
+
+// sanitizeLabelName maps into [a-zA-Z0-9_].
+func sanitizeLabelName(s string) string {
+	return sanitize(s, func(c byte) bool {
+		return c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	})
+}
+
+func sanitize(s string, ok func(byte) bool) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !ok(c) {
+			c = '_'
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			sb.WriteByte('_')
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

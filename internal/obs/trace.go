@@ -1,0 +1,106 @@
+// Chrome trace-event export: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+// (the JSON array format consumed by chrome://tracing, Perfetto and
+// speedscope). Each finished span becomes one complete ("ph":"X")
+// event; nesting falls out of time containment on a shared track, so
+// every top-level span (and its whole subtree) is assigned its own
+// tid — one visual row per scanned app / per root.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes spans as a Chrome trace-event JSON array.
+// Timestamps are microseconds relative to the earliest span start, so
+// the trace opens at t=0 in any viewer. Open spans (zero End) are
+// skipped.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	finished := make([]Span, 0, len(spans))
+	var epoch time.Time
+	for _, s := range spans {
+		if s.End.IsZero() {
+			continue
+		}
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+		finished = append(finished, s)
+	}
+	// Track assignment: each span inherits its top-level ancestor's ID.
+	parent := make(map[SpanID]SpanID, len(finished))
+	for _, s := range finished {
+		parent[s.ID] = s.Parent
+	}
+	track := func(id SpanID) int64 {
+		seen := 0
+		for parent[id] != 0 && seen < len(parent)+1 { // cycle guard
+			id = parent[id]
+			seen++
+		}
+		return int64(id)
+	}
+	events := make([]traceEvent, 0, len(finished))
+	for _, s := range finished {
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  "uchecker",
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  track(s.ID),
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	// Stable output: order by (ts, tid, name) so identical scans produce
+	// structurally comparable traces.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Name < events[j].Name
+	})
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s", data, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

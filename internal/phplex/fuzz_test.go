@@ -29,6 +29,16 @@ func FuzzLex(f *testing.F) {
 		"<?php $",
 		"<?ph",
 		"<",
+		// Escape-sequence edges: hex/octal/unicode escapes, including the
+		// invalid shapes DecodeEscapes must keep verbatim.
+		`<?php $d = "\x2ephp";`,
+		`<?php $d = "\x41\102\u{43}";`,
+		`<?php $d = "\u{}";`,
+		`<?php $d = "\u{110000}";`,
+		`<?php $d = "\u{FFFFFFFFFFFFFFFFFF41}";`,
+		`<?php $d = "\u{D800}\u{48`,
+		`<?php $d = "\777\x";`,
+		"<?php $d = \"\\",
 	} {
 		f.Add(seed)
 	}

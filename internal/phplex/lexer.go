@@ -602,14 +602,30 @@ func DecodeEscapes(raw string) string {
 			sb.WriteByte(byte(v))
 			i = j - 1
 		case 'u':
+			// \u{H...} codepoint escape (PHP 7+). PHP raises a compile
+			// error for empty braces and for codepoints beyond U+10FFFF;
+			// a lexer cannot abort, so invalid sequences keep their
+			// literal text instead of silently becoming U+0000 (empty
+			// braces) or U+FFFD (rune(v) of an overflowed accumulator —
+			// a long digit run used to wrap the int).
 			if i+1 < len(raw) && raw[i+1] == '{' {
 				j := i + 2
 				v := 0
-				for j < len(raw) && raw[j] != '}' && isHexDigit(raw[j]) {
+				n := 0
+				for j < len(raw) && isHexDigit(raw[j]) {
 					v = v*16 + hexVal(raw[j])
+					if v > 0x10FFFF {
+						// Saturate above the Unicode range: the value
+						// stays invalid and the accumulator cannot
+						// overflow no matter how many digits follow.
+						v = 0x110000
+					}
 					j++
+					n++
 				}
-				if j < len(raw) && raw[j] == '}' {
+				valid := j < len(raw) && raw[j] == '}' && n > 0 &&
+					v <= 0x10FFFF && (v < 0xD800 || v > 0xDFFF)
+				if valid {
 					sb.WriteRune(rune(v))
 					i = j
 					continue

@@ -348,6 +348,54 @@ func TestDecodeEscapesUnknownKept(t *testing.T) {
 	}
 }
 
+// TestDecodeEscapes pins PHP's escape semantics byte-for-byte, including
+// the invalid-sequence edges PHP rejects at compile time: the lexer keeps
+// those verbatim rather than smuggling in U+0000 / U+FFFD.
+func TestDecodeEscapes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		// \xHH — one or two hex digits, case-insensitive.
+		{"hex two digits", `\x41`, "A"},
+		{"hex one digit", `\x9`, "\t"},
+		{"hex stops after two", `\x414`, "A4"},
+		{"hex lowercase", `\x2e` + "php", ".php"},
+		{"hex uppercase", `\X` /* not an escape */, `\X`},
+		{"hex no digits kept", `\xzz`, `\xzz`},
+		{"hex high byte", `\xff`, "\xff"},
+		// \NNN — one to three octal digits, mod 256.
+		{"octal three", `\101`, "A"},
+		{"octal one", `\0`, "\x00"},
+		{"octal stops after three", `\1017`, "A7"},
+		{"octal wraps mod 256", `\777`, "\xff"},
+		// \u{...} — bounded codepoint.
+		{"unicode basic", `\u{48}`, "H"},
+		{"unicode multibyte", `\u{1F600}`, "\U0001F600"},
+		{"unicode nul", `\u{0}`, "\x00"},
+		{"unicode max", `\u{10FFFF}`, "\U0010FFFF"},
+		{"unicode empty braces kept", `\u{}`, `\u{}`},
+		{"unicode too large kept", `\u{110000}`, `\u{110000}`},
+		{"unicode overflow run kept", `\u{FFFFFFFFFFFFFFFFFF41}`, `\u{FFFFFFFFFFFFFFFFFF41}`},
+		{"unicode surrogate kept", `\u{D800}`, `\u{D800}`},
+		{"unicode unterminated kept", `\u{48`, `\u{48`},
+		{"unicode non-hex kept", `\u{zz}`, `\u{zz}`},
+		{"unicode no brace kept", `\u48`, `\u48`},
+		// Mixes.
+		{"dotted ext via hex", `evil\x2e` + `php`, "evil.php"},
+		{"mixed escapes", `\x41\102\u{43}`, "ABC"},
+		{"trailing backslash", `a\`, `a\`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DecodeEscapes(tt.in); got != tt.want {
+				t.Errorf("DecodeEscapes(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
 // Property: lexing never panics and always terminates with EOF, for
 // arbitrary input bytes.
 func TestLexArbitraryInputTerminates(t *testing.T) {

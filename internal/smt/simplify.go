@@ -11,12 +11,21 @@ import "strings"
 // ".php"-suffix requirement against a constant ".zip" tail) fold to false
 // here without any search.
 func Simplify(t *Term) *Term {
+	var st Stats
+	return simplifyCounted(t, &st)
+}
+
+// simplifyCounted is Simplify with rewrite accounting: every pass that
+// changed the term increments st.Rewrites, so the solver's Stats report
+// how much cheap deduction the simplifier performed.
+func simplifyCounted(t *Term, st *Stats) *Term {
 	cur := t
 	for i := 0; i < 8; i++ {
 		next := simplify1(cur)
 		if Equal(next, cur) {
 			return next
 		}
+		st.Rewrites++
 		cur = next
 	}
 	return cur

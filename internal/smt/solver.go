@@ -35,11 +35,23 @@ func (s Status) String() string {
 	}
 }
 
-// Stats reports the work performed by one Check call.
+// Stats reports the work performed by one Check call. All fields count
+// work, not time, and are deterministic for a given formula and
+// options — the scanner aggregates them into its per-app metric set.
 type Stats struct {
 	Cubes       int // DNF cubes examined
-	Assignments int // candidate assignments tried
+	Assignments int // candidate assignments (models) tried
 	Simplified  int // node count after simplification
+	// Candidates is the number of candidate values seeded across the
+	// variables of every searched cube (the size of the bounded model
+	// space actually enumerated).
+	Candidates int
+	// VerifyEvals counts full-formula verification evaluations — every
+	// would-be model is re-checked against the original formula.
+	VerifyEvals int
+	// Rewrites counts simplifier passes that changed the term (across
+	// the top-level simplification and every per-cube simplification).
+	Rewrites int
 }
 
 // Options configures a Solver. The zero value selects defaults suitable for
@@ -124,7 +136,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 	if f.Sort() != SortBool {
 		return Unknown, nil, st, fmt.Errorf("smt: Check on non-boolean term of sort %v", f.Sort())
 	}
-	g := Simplify(f)
+	g := simplifyCounted(f, &st)
 	st.Simplified = Size(g)
 	if g.Op == OpBoolConst {
 		if g.B {
@@ -140,7 +152,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 	cubes, ok := dnf(nnf(g, false), opts.MaxCubes)
 	if !ok {
 		// DNF blowup: whole-formula enumeration, Sat-only.
-		model, tried := s.search(ctx, g, g, opts.MaxAssignments, opts)
+		model, tried := s.search(ctx, g, g, opts.MaxAssignments, opts, &st)
 		st.Assignments += tried
 		if model != nil {
 			return Sat, model, st, nil
@@ -158,7 +170,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 			return Unknown, nil, st, err
 		}
 		st.Cubes++
-		conj := Simplify(And(cube...))
+		conj := simplifyCounted(And(cube...), &st)
 		if conj.Op == OpBoolConst {
 			if conj.B {
 				// A cube with no residual constraints: any assignment works;
@@ -167,6 +179,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 				for _, v := range Vars(f) {
 					m[v.S] = defaultValue(v.Sort())
 				}
+				st.VerifyEvals++
 				if verify(f, m) {
 					return Sat, m, st, nil
 				}
@@ -178,7 +191,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 			exhausted = false
 			break
 		}
-		model, tried := s.search(ctx, conj, f, budget, opts)
+		model, tried := s.search(ctx, conj, f, budget, opts, &st)
 		budget -= tried
 		st.Assignments += tried
 		if model != nil {
@@ -226,12 +239,13 @@ func verify(f *Term, m Model) bool {
 // assignments were tried. ctx is polled every ctxPollMask+1 assignments;
 // cancellation aborts the enumeration (returning nil, like exhaustion —
 // the caller distinguishes via ctx.Err()).
-func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Options) (Model, int) {
+func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Options, st *Stats) (Model, int) {
 	vars := Vars(conj)
 	if len(vars) == 0 {
 		v, err := Eval(conj, nil)
 		if err == nil && v.B {
 			m := Model{}
+			st.VerifyEvals++
 			if verify(f, m) {
 				return m, 1
 			}
@@ -245,6 +259,7 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 	pool := newCandidatePool(conj, opts)
 	for i, v := range vars {
 		cands[i] = pool.forVar(v)
+		st.Candidates += len(cands[i])
 	}
 	order := make([]int, len(vars))
 	for i := range order {
@@ -283,6 +298,7 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 			// verify extends the clone with defaults for variables of f that
 			// the cube never constrained; return that completed model.
 			full := cloneModel(m)
+			st.VerifyEvals++
 			if verify(f, full) {
 				return full
 			}

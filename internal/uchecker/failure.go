@@ -118,7 +118,17 @@ func countFailures(fs []Failure) map[FailureClass]int {
 // context (parent plus Options.RootTimeout, when configured): an error
 // that coincides with a live parent but a dead root context is a root
 // timeout; one with a dead parent is a cancellation.
+//
+// Operator cancellation dominates every other class: once the scan-level
+// context is dead, whatever error the aborting stage happened to surface
+// first — a budget trip racing the cancellation poll, a wrapped context
+// error, a solver abort — is an artifact of the teardown, not a root
+// defect, and must never be accounted as a path/object/solver budget
+// failure (which would poison FailureCounts and the retry ladder).
 func classifyRootErr(err error, parent, rctx context.Context) FailureClass {
+	if parent.Err() != nil {
+		return FailCancelled
+	}
 	switch {
 	case errors.Is(err, interp.ErrPathBudget):
 		return FailPathBudget
@@ -129,9 +139,6 @@ func classifyRootErr(err error, parent, rctx context.Context) FailureClass {
 		// the dominant blow-up mode.
 		return FailPathBudget
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		if parent.Err() != nil {
-			return FailCancelled
-		}
 		if rctx.Err() != nil {
 			return FailRootTimeout
 		}

@@ -27,7 +27,10 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/locality"
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparser"
 	"repro/internal/sexpr"
@@ -66,6 +70,11 @@ type Target struct {
 // concurrent use: all mutable state lives in the per-call Scan frame.
 type Scanner struct {
 	opts Options
+	// hookMu serializes every user-facing callback (OnPhase, OnSpan):
+	// workers and concurrent batch scans invoke hooks from many
+	// goroutines, and the documented contract is that the callback
+	// itself never observes concurrency.
+	hookMu sync.Mutex
 }
 
 // NewScanner returns a Scanner with normalized options (default
@@ -88,9 +97,57 @@ func NewScanner(opts Options) *Scanner {
 }
 
 // phase reports one finished phase to the OnPhase hook, when installed.
+// Invocations are serialized behind hookMu — see Options.OnPhase for the
+// thread-safety contract.
 func (s *Scanner) phase(app, phase string, d time.Duration) {
-	if s.opts.OnPhase != nil {
-		s.opts.OnPhase(app, phase, d)
+	if s.opts.OnPhase == nil {
+		return
+	}
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	s.opts.OnPhase(app, phase, d)
+}
+
+// scanTrace wires span recording for one scan: a Recorder (the
+// caller's, or a private one when only OnSpan is installed) plus the
+// serialized OnSpan delivery. A nil *scanTrace disables tracing with
+// zero overhead beyond a nil check.
+type scanTrace struct {
+	s   *Scanner
+	rec *obs.Recorder
+}
+
+// newScanTrace returns the scan's trace sink, or nil when neither
+// Options.Trace nor Options.OnSpan is installed.
+func (s *Scanner) newScanTrace() *scanTrace {
+	if s.opts.Trace == nil && s.opts.OnSpan == nil {
+		return nil
+	}
+	rec := s.opts.Trace
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	return &scanTrace{s: s, rec: rec}
+}
+
+// start opens a span; nil-safe.
+func (t *scanTrace) start(parent obs.SpanID, name string, attrs ...obs.Attr) *obs.ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.rec.Start(parent, name, attrs...)
+}
+
+// end closes a span and delivers it to OnSpan (serialized); nil-safe.
+func (t *scanTrace) end(sp *obs.ActiveSpan, attrs ...obs.Attr) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.End(attrs...)
+	if t.s.opts.OnSpan != nil {
+		t.s.hookMu.Lock()
+		t.s.opts.OnSpan(sp.Span())
+		t.s.hookMu.Unlock()
 	}
 }
 
@@ -111,6 +168,21 @@ type rootResult struct {
 
 	symExec time.Duration // interpreter time (summed over attempts)
 	verify  time.Duration // modeling + translation + solving time
+
+	// metrics is the root's deterministic work-counter set (summed over
+	// attempts; "_peak" keys by max). Nil when no attempt ran.
+	metrics obs.Metrics
+}
+
+// addMetrics lazily allocates and merges counters into the root result.
+func (rr *rootResult) addMetrics(m obs.Metrics) {
+	if len(m) == 0 {
+		return
+	}
+	if rr.metrics == nil {
+		rr.metrics = obs.NewMetrics()
+	}
+	rr.metrics.Merge(m)
 }
 
 // countable tallies the root's countable failures.
@@ -146,9 +218,15 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	}
 
 	rep := &AppReport{Name: t.Name}
+	rep.Metrics = obs.NewMetrics()
+
+	tr := s.newScanTrace()
+	scanSpan := tr.start(0, "scan", obs.A("app", t.Name))
+	defer tr.end(scanSpan)
 
 	// --- Phase 1: parsing (panic-isolated per file) ---
 	phaseStart := time.Now()
+	parseSpan := tr.start(scanSpan.ID(), "parse", obs.A("app", t.Name))
 	names := make([]string, 0, len(t.Sources))
 	for n := range t.Sources {
 		names = append(names, n)
@@ -167,10 +245,12 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		}
 		files = append(files, f)
 	}
+	tr.end(parseSpan, obs.A("files", strconv.Itoa(len(files))))
 	s.phase(t.Name, PhaseParse, time.Since(phaseStart))
 
 	// --- Phase 2: locality analysis ---
 	phaseStart = time.Now()
+	locSpan := tr.start(scanSpan.ID(), "locality", obs.A("app", t.Name))
 	g := callgraph.Build(files)
 	loc := locality.Analyze(g, files, t.Sources)
 	rep.TotalLoC = loc.TotalLoC
@@ -194,6 +274,10 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	if s.opts.ModelAdminGating {
 		adminCallbacks = findAdminCallbacks(files)
 	}
+	rep.Metrics.Add("locality_roots_found", int64(len(roots)))
+	rep.Metrics.Add("locality_files_total", int64(loc.FilesTotal))
+	rep.Metrics.Add("locality_files_pruned", int64(loc.FilesPruned))
+	tr.end(locSpan, obs.A("roots", strconv.Itoa(len(roots))))
 	s.phase(t.Name, PhaseLocality, time.Since(phaseStart))
 
 	// --- Phases 3–6 per root, fanned out to the worker pool ---
@@ -216,7 +300,15 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 				fmt.Sprintf("root skipped: app failure limit (%d) reached", limit), true)
 			return
 		}
-		results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g)
+		rootSpan := tr.start(scanSpan.ID(), "root", obs.A("root", rootName))
+		// pprof labels attribute CPU-profile samples to the app and root
+		// being executed, so `go tool pprof` can slice a scan by root.
+		pprof.Do(ctx, pprof.Labels("uchecker_app", t.Name, "uchecker_root", rootName), func(ctx context.Context) {
+			results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g, tr, rootSpan.ID())
+		})
+		tr.end(rootSpan,
+			obs.A("findings", strconv.Itoa(len(results[i].findings))),
+			obs.A("failures", strconv.Itoa(len(results[i].failures))))
 		if n := results[i].countable(); n > 0 {
 			failTally.Add(int64(n))
 		}
@@ -269,6 +361,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		}
 		rep.Failures = append(rep.Failures, rr.failures...)
 		rep.Findings = append(rep.Findings, rr.findings...)
+		rep.Metrics.Merge(rr.metrics)
 		symExec += rr.symExec
 		verify += rr.verify
 	}
@@ -276,6 +369,21 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	sortFindings(rep.Findings)
 	if c := countFailures(rep.Failures); len(c) > 0 {
 		rep.FailureCounts = c
+	}
+	// Scanner-level counters. Failure classes become per-class counters
+	// with '-' sanitized to '_' for metric-name validity.
+	rep.Metrics.Add("scan_retries", int64(rep.Retries))
+	rep.Metrics.Add("scan_sink_candidates", int64(rep.SinkCount))
+	degradedFindings := 0
+	for _, f := range rep.Findings {
+		if f.Degraded {
+			degradedFindings++
+		}
+	}
+	rep.Metrics.Add("scan_findings", int64(len(rep.Findings)))
+	rep.Metrics.Add("scan_findings_degraded", int64(degradedFindings))
+	for class, n := range rep.FailureCounts {
+		rep.Metrics.Add("scan_failures_"+strings.ReplaceAll(string(class), "-", "_"), int64(n))
 	}
 	for _, fl := range rep.Failures {
 		if fl.Countable() {
@@ -315,8 +423,9 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 // once (each app additionally parallelizes its own roots over the same
 // worker budget). The returned slice is aligned with targets; every entry
 // is non-nil even under cancellation (partial reports, with ctx errors
-// recorded in RootErrors). OnPhase hooks are invoked from multiple
-// goroutines during a batch and must be safe for concurrent use.
+// recorded in RootErrors). Hooks (OnPhase, OnSpan) fire for every app in
+// the batch; the Scanner serializes each hook behind an internal mutex,
+// so the callbacks themselves never observe concurrency.
 //
 // Batched reports leave MemoryMB at zero: per-app heap deltas are
 // meaningless when many apps share the heap, and skipping the forced-GC
@@ -402,7 +511,7 @@ func scheduleFailure(root string, class FailureClass, msg string, skipped bool) 
 //
 // Every rung is panic-isolated; the ladder is deterministic except under
 // Options.RootTimeout (wall clock) — see DESIGN.md "Failure model".
-func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph) rootResult {
+func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, tr *scanTrace, rootSpan obs.SpanID) rootResult {
 	var rr rootResult
 	iopts, sopts := s.opts.Interp, s.opts.Solver
 	maxRetries := s.opts.MaxRetries
@@ -410,9 +519,12 @@ func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *call
 		maxRetries = 0
 	}
 	for attempt := 0; ; attempt++ {
-		ar := s.runRootAttempt(ctx, files, root, adminCallbacks, g, iopts, sopts, attempt)
+		attemptSpan := tr.start(rootSpan, "attempt", obs.A("rung", strconv.Itoa(attempt)))
+		ar := s.runRootAttempt(ctx, files, root, adminCallbacks, g, iopts, sopts, attempt, tr, attemptSpan.ID())
+		tr.end(attemptSpan, obs.A("findings", strconv.Itoa(len(ar.findings))))
 		rr.symExec += ar.symExec
 		rr.verify += ar.verify
+		rr.addMetrics(ar.metrics)
 		// Report the deepest exploration's measurements (attempt 0 unless a
 		// retry went further), keeping Table III's paths/objects columns
 		// faithful to the full-budget run.
@@ -446,7 +558,9 @@ func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *call
 		// Final rung: the root failed on every attempt and produced
 		// nothing — fall back to the conservative taint-only check.
 		if !s.opts.DisableDegraded {
+			fbSpan := tr.start(rootSpan, "fallback", obs.A("root", root.String()))
 			s.fallbackRoot(&rr, root, files)
+			tr.end(fbSpan, obs.A("findings", strconv.Itoa(len(rr.findings))))
 		}
 		return rr
 	}
@@ -457,7 +571,7 @@ func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *call
 // structures (the parsed files and the call graph). The whole attempt
 // runs under recover(): a panic in interp, translate or smt becomes a
 // FailPanic failure with the captured stack.
-func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, iopts interp.Options, sopts smt.Options, attempt int) (ar rootResult) {
+func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, iopts interp.Options, sopts smt.Options, attempt int, tr *scanTrace, attemptSpan obs.SpanID) (ar rootResult) {
 	rootName := root.String()
 	stage := StageSymExec
 	defer func() {
@@ -491,11 +605,21 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 
 	degraded := attempt > 0
 	symStart := time.Now()
+	interpSpan := tr.start(attemptSpan, "interp", obs.A("root", rootName))
 	in := interp.New(files, iopts)
 	res := in.RunRootCtx(rctx, root)
+	tr.end(interpSpan, obs.A("paths", strconv.Itoa(res.Paths)))
 	ar.symExec = time.Since(symStart)
 	ar.paths = res.Paths
 	ar.objects = res.Graph.NumObjects()
+	ar.metrics = obs.NewMetrics()
+	ar.metrics.Add("interp_paths_forked", res.Stats.PathsForked)
+	ar.metrics.Add("interp_paths_pruned", res.Stats.PathsPruned)
+	ar.metrics.Add("interp_paths_held", res.Stats.PathsHeld)
+	ar.metrics.Add("interp_budget_checks", res.Stats.BudgetChecks)
+	ar.metrics.SetMax("interp_live_envs_peak", res.Stats.LiveEnvsPeak)
+	ar.metrics.Add("interp_paths_total", int64(res.Paths))
+	ar.metrics.Add("interp_objects_allocated", int64(res.Graph.NumObjects()))
 	if res.Err != nil {
 		class := classifyRootErr(res.Err, ctx, rctx)
 		if class == FailPathBudget || class == FailObjectBudget {
@@ -522,7 +646,9 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 		vctx = ctx
 	}
 	verifyStart := time.Now()
-	s.verifySinks(ctx, vctx, &ar, root, res, adminCallbacks, g, sopts, degraded, attempt)
+	verifySpan := tr.start(attemptSpan, "verify", obs.A("root", rootName))
+	s.verifySinks(ctx, vctx, &ar, root, res, adminCallbacks, g, sopts, degraded, attempt, tr, verifySpan.ID())
+	tr.end(verifySpan, obs.A("sinks", strconv.Itoa(ar.sinkCount)))
 	ar.verify = time.Since(verifyStart)
 	return ar
 }
@@ -582,7 +708,7 @@ func (s *Scanner) fallbackRoot(rr *rootResult, root *callgraph.Node, files []*ph
 // scan-level context (for cancellation classification), vctx the context
 // the verification itself runs under. In degraded mode (ladder retries)
 // findings are marked Degraded.
-func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph, sopts smt.Options, degraded bool, attempt int) {
+func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph, sopts smt.Options, degraded bool, attempt int, strace *scanTrace, verifySpan obs.SpanID) {
 	rootName := root.String()
 	solver := smt.NewSolver(sopts)
 	tr := translate.New(res.Graph)
@@ -598,6 +724,7 @@ func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root
 			})
 			return
 		}
+		modelSpan := strace.start(verifySpan, "model", obs.A("sink", fmt.Sprintf("%s:%d", hit.File, hit.Line)))
 		cand := vulnmodel.Model(res.Graph, tr, vulnmodel.Sink{
 			Name: hit.Sink,
 			File: hit.File,
@@ -606,6 +733,7 @@ func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root
 			Dst:  hit.Dst,
 			Cur:  hit.Env.Cur,
 		}, s.opts.Extensions)
+		strace.end(modelSpan, obs.A("tainted", strconv.FormatBool(cand.Tainted)))
 		if !cand.Tainted {
 			continue // Constraint-1 failed
 		}
@@ -627,7 +755,15 @@ func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root
 				continue
 			}
 		}
-		status, model, _, cerr := solver.CheckCtx(vctx, cand.Combined)
+		solveSpan := strace.start(verifySpan, "solve", obs.A("sink", key))
+		status, model, sstats, cerr := solver.CheckCtx(vctx, cand.Combined)
+		strace.end(solveSpan, obs.A("status", status.String()))
+		ar.metrics.Add("smt_checks", 1)
+		ar.metrics.Add("smt_cubes_examined", int64(sstats.Cubes))
+		ar.metrics.Add("smt_models_tried", int64(sstats.Assignments))
+		ar.metrics.Add("smt_candidates_seeded", int64(sstats.Candidates))
+		ar.metrics.Add("smt_verify_reevals", int64(sstats.VerifyEvals))
+		ar.metrics.Add("smt_simplifier_rewrites", int64(sstats.Rewrites))
 		if status != smt.Sat {
 			if errors.Is(cerr, smt.ErrBudget) && !solverBudgetNoted {
 				solverBudgetNoted = true

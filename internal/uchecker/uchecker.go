@@ -24,6 +24,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/faultinject"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/smt"
 )
@@ -56,10 +57,31 @@ type Options struct {
 	// scans serially; results are byte-identical for every value.
 	Workers int
 	// OnPhase, when non-nil, receives per-phase timings (see the Phase*
-	// constants) as each phase of a scan completes. During ScanBatch it is
-	// invoked from multiple goroutines and must be safe for concurrent
-	// use.
+	// constants) as each phase of a scan completes.
+	//
+	// Thread-safety contract: the scanner serializes every OnPhase (and
+	// OnSpan) invocation behind one per-Scanner mutex, so the callback
+	// may touch unsynchronized state even under Workers>1 or ScanBatch.
+	// It must not call back into the Scanner (deadlock) and should be
+	// fast — it runs on the scanning goroutines' critical path.
+	//
+	// Deprecated: use OnSpan (or Trace), which carries the same phase
+	// timings as named spans plus the per-root / per-rung breakdown
+	// OnPhase cannot express.
 	OnPhase func(app, phase string, d time.Duration)
+	// Trace, when non-nil, records the scan's span tree: a "scan" span
+	// per app with "parse" / "locality" children, a "root" span per
+	// locality root with one "attempt" child per degradation-ladder
+	// rung (plus "fallback"), and "interp" / "model" / "solve" spans
+	// inside each attempt. Export the snapshot with
+	// obs.WriteChromeTrace. The Recorder is safe to share across scans
+	// and batches.
+	Trace *obs.Recorder
+	// OnSpan, when non-nil, receives every finished span. Invocations
+	// are serialized behind the same per-Scanner mutex as OnPhase (see
+	// the OnPhase thread-safety contract). When Trace is nil the
+	// scanner still times spans internally to feed OnSpan.
+	OnSpan func(obs.Span)
 	// RootTimeout bounds the wall clock of each per-root attempt. A root
 	// that exceeds it fails with a FailRootTimeout failure (and enters the
 	// degradation ladder) instead of stalling the whole scan. Zero
@@ -175,6 +197,17 @@ type AppReport struct {
 	// Aborted reports that Options.MaxRootFailures tripped and remaining
 	// roots were skipped.
 	Aborted bool `json:",omitempty"`
+	// Metrics is the scan's deterministic counter set: typed counters
+	// from the interpreter (paths forked/pruned/held, budget
+	// checkpoints, peak live envs, objects allocated), the solver
+	// (candidates seeded, models tried, verify re-evals, simplifier
+	// rewrites), the locality analysis (roots found, files pruned) and
+	// the scanner itself (retries, degraded findings, per-class
+	// failures). Per-root contributions are merged in canonical root
+	// order with commutative operations, so the metric set is
+	// byte-identical for every Options.Workers value. See DESIGN.md
+	// "Observability" for the full counter inventory.
+	Metrics obs.Metrics `json:",omitempty"`
 	// RootErrors lists countable failures formatted "<root>: <error>",
 	// in the same order as Failures. Cancellation is not included:
 	// a timed-out batch does not report every pending root as errored.

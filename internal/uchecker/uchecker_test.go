@@ -48,6 +48,32 @@ return true;
 	}
 }
 
+// TestDetectHexEscapedExtension covers corpus-style obfuscation: the
+// executable extension spelled with a hex escape ("\x2ephp" decodes to
+// ".php"). The attacker-controlled portion sits in the middle of the
+// destination, so detection hinges on the lexer decoding the escaped
+// suffix correctly — a lexer that keeps "\x2ephp" verbatim sees a
+// destination ending in "ephp" and misses the finding.
+func TestDetectHexEscapedExtension(t *testing.T) {
+	rep := check(t, map[string]string{
+		"rename.php": `<?php
+$name = $_FILES['doc']['name'];
+$dst = "/srv/uploads/" . $name . "_copy" . "\x2ephp";
+move_uploaded_file($_FILES['doc']['tmp_name'], $dst);
+`,
+	}, Options{})
+	if !rep.Vulnerable {
+		t.Fatalf("hex-escaped .php extension missed; report: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Sink != "move_uploaded_file" || f.Line != 4 {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.ExploitPath != "" && !strings.HasSuffix(f.ExploitPath, ".php") {
+		t.Errorf("exploit path %q does not end in .php", f.ExploitPath)
+	}
+}
+
 // Listing 6: WooCommerce Custom Profile Picture 1.0 (Section IV-B).
 func TestDetectWooCommerceCustomProfilePicture(t *testing.T) {
 	rep := check(t, map[string]string{
