@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-scan
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix bench bench-scan
 
 check: fmt vet build race fuzz-smoke
 
@@ -29,6 +29,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Crash-safety acceptance suite under the race detector: kill the batch
+# at every journal-write boundary and require the resumed sweep to merge
+# byte-identically (uchecker), plus the journal corruption matrix and
+# cache torture tests (scanjournal) and the cancellation/loader
+# robustness satellites.
+crash-matrix:
+	$(GO) test -race -run 'TestCrashResumeMatrix|TestBatchJournalCorruptionRecovery|TestBatchCacheCorrectness|TestBatchCacheReadFault|TestScanBatchCancelledTargets' ./internal/uchecker
+	$(GO) test -race ./internal/scanjournal
+	$(GO) test -race -run 'TestLoadTargetUnreadable|TestWriteToAtomic' ./cmd/uchecker
 
 # Bounded coverage-guided fuzzing of the robustness frontier: the lexer
 # and parser must never panic on malformed PHP (the scanner's parse-stage

@@ -10,6 +10,16 @@
 //	ucheck-bench -failures    # per-class failure tally of the Table III sweep
 //	ucheck-bench -counters    # deterministic work-counter table of the sweep
 //	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
+//	ucheck-bench -journal F   # journal the Table III sweep to F (crash-safe)
+//	ucheck-bench -resume F    # resume a killed sweep from journal F
+//	ucheck-bench -cache DIR   # replay unchanged apps from a result cache
+//
+// With -journal/-resume/-cache the Table III sweep runs through the
+// crash-safe batch path: kill it at any point and re-run with
+// `-journal F -resume F` to continue where it stopped — completed apps
+// replay from the journal byte-identically instead of re-scanning. The
+// batch path does not sample per-app memory, so the Mem(MB) column
+// reads 0 there.
 //
 // The -max-paths flag lowers the symbolic-execution budget (useful on
 // small machines: 20000 still reproduces every verdict including the Cimy
@@ -43,6 +53,9 @@ func main() {
 		counters = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
 		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
 		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
+		journal  = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
+		resume   = flag.String("resume", "", "resume the Table III sweep from this journal")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory")
 	)
 	flag.Parse()
 	if !*table && !*compare && !*all && *screen == 0 && !*failures && !*counters {
@@ -50,9 +63,13 @@ func main() {
 	}
 
 	opts := uchecker.Options{
-		Interp:  interp.Options{MaxPaths: *maxPaths},
-		Workers: *workers,
+		Interp:     interp.Options{MaxPaths: *maxPaths},
+		Workers:    *workers,
+		Journal:    *journal,
+		ResumeFrom: *resume,
+		CacheDir:   *cacheDir,
 	}
+	crashSafe := *journal != "" || *resume != "" || *cacheDir != ""
 	var times *evalharness.PhaseTimes
 	if *phases {
 		times = evalharness.NewPhaseTimes()
@@ -60,7 +77,24 @@ func main() {
 	}
 
 	if *table || *all || *failures || *counters {
-		rows := evalharness.TableIII(opts)
+		var rows []evalharness.Row
+		if crashSafe {
+			var stats *uchecker.BatchStats
+			var err error
+			rows, stats, err = evalharness.TableIIIBatch(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ucheck-bench: sweep aborted: %v (re-run with -journal %s -resume %s to continue)\n",
+					err, *journal, *journal)
+				os.Exit(2)
+			}
+			fmt.Printf("sweep: %d targets, %d scanned, %d replayed from journal, %d cache hits, %d salvaged records\n\n",
+				stats.Targets, stats.Scanned, stats.Replayed, stats.CacheHits, stats.SalvagedRecords)
+			for _, fl := range stats.Failures {
+				fmt.Printf("sweep failure: %s\n", fl)
+			}
+		} else {
+			rows = evalharness.TableIII(opts)
+		}
 		if *table || *all {
 			fmt.Print(evalharness.RenderTableIII(rows))
 			if *paper {

@@ -35,8 +35,21 @@
 //	                     "-" writes to stdout
 //	-metrics FILE        write the per-app work counters in Prometheus text
 //	                     exposition format; "-" writes to stdout
-//	-v                   verbose: also print per-phase measurements and the
-//	                     per-class failure summary
+//	-journal FILE        append a crash-safe scan journal: batch manifest,
+//	                     per-target start/finish and the full report, each
+//	                     record checksummed and fsynced
+//	-resume FILE         resume from a previous journal: completed targets
+//	                     are replayed byte-identically, in-flight ones are
+//	                     re-scanned; pass the same FILE to -journal and
+//	                     -resume to continue a killed sweep in place
+//	-cache DIR           content-addressed result cache: unchanged targets
+//	                     (same sources and same analysis options) are
+//	                     served from DIR instead of re-scanned
+//	-cache-verify        re-checksum every -cache entry, prune corrupt
+//	                     ones, print a summary, and exit
+//	-v                   verbose: also print per-phase measurements, the
+//	                     per-class failure summary and the batch
+//	                     replay/cache counters
 //
 // Exit status:
 //
@@ -89,9 +102,27 @@ func run() int {
 		listCorpus  = flag.Bool("list-corpus", false, "list built-in corpus application names")
 		traceOut    = flag.String("trace", "", "write Chrome trace-event JSON to this file (\"-\" = stdout)")
 		metricsOut  = flag.String("metrics", "", "write Prometheus text metrics to this file (\"-\" = stdout)")
+		journalOut  = flag.String("journal", "", "append a crash-safe scan journal to this file")
+		resumeFrom  = flag.String("resume", "", "resume from a previous scan journal (replay completed targets)")
+		cacheDir    = flag.String("cache", "", "content-addressed result cache directory")
+		cacheVerify = flag.Bool("cache-verify", false, "verify the -cache directory, prune corrupt entries, and exit")
 		verbose     = flag.Bool("v", false, "verbose measurements")
 	)
 	flag.Parse()
+
+	if *cacheVerify {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "uchecker: -cache-verify requires -cache DIR")
+			return 2
+		}
+		ok, bad, err := core.VerifyCache(*cacheDir, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uchecker: verifying cache: %v\n", err)
+			return 2
+		}
+		fmt.Printf("cache %s: %d entries ok, %d corrupt (pruned)\n", *cacheDir, ok, bad)
+		return 0
+	}
 
 	if *listCorpus {
 		for _, app := range corpus.All() {
@@ -116,6 +147,9 @@ func run() int {
 		MaxRetries:       *retries,
 		MaxRootFailures:  *maxFailures,
 		DisableDegraded:  *noDegraded,
+		Journal:          *journalOut,
+		ResumeFrom:       *resumeFrom,
+		CacheDir:         *cacheDir,
 	}
 
 	var targets []core.Target
@@ -149,7 +183,7 @@ func run() int {
 	}
 
 	scanner := core.NewScanner(opts)
-	reps := scanner.ScanBatch(ctx, targets)
+	reps, stats, batchErr := scanner.ScanBatchJournaled(ctx, targets)
 
 	switch {
 	case *sarifOut:
@@ -178,6 +212,13 @@ func run() int {
 			printReport(os.Stdout, rep, *verbose, *smtOut)
 		}
 	}
+	if *verbose && (*journalOut != "" || *resumeFrom != "" || *cacheDir != "") {
+		fmt.Printf("\nbatch: %d targets, %d scanned, %d replayed, %d cache hits, %d misses, %d journal records salvaged\n",
+			stats.Targets, stats.Scanned, stats.Replayed, stats.CacheHits, stats.CacheMisses, stats.SalvagedRecords)
+		for _, fl := range stats.Failures {
+			fmt.Printf("batch failure: %s\n", fl)
+		}
+	}
 	if *traceOut != "" {
 		if err := writeTo(*traceOut, func(w io.Writer) error {
 			return core.WriteChromeTrace(w, rec.Snapshot())
@@ -187,11 +228,17 @@ func run() int {
 		}
 	}
 	if *metricsOut != "" {
-		series := make([]core.LabeledMetrics, 0, len(reps))
+		series := make([]core.LabeledMetrics, 0, len(reps)+1)
 		for _, rep := range reps {
 			series = append(series, core.LabeledMetrics{
 				Labels:  map[string]string{"app": rep.Name},
 				Metrics: rep.Metrics,
+			})
+		}
+		if len(stats.Metrics) > 0 {
+			series = append(series, core.LabeledMetrics{
+				Labels:  map[string]string{"scope": "batch"},
+				Metrics: stats.Metrics,
 			})
 		}
 		if err := writeTo(*metricsOut, func(w io.Writer) error {
@@ -201,12 +248,12 @@ func run() int {
 			return 2
 		}
 	}
-	if ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "uchecker: scan aborted: %v\n", ctx.Err())
+	if batchErr != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: scan aborted: %v\n", batchErr)
 	} else if code := exitCode(nil, reps); code == 2 {
 		fmt.Fprintln(os.Stderr, "uchecker: scan completed with failures (see -v for the per-class summary)")
 	}
-	return exitCode(ctx.Err(), reps)
+	return exitCode(batchErr, reps)
 }
 
 // exitCode maps a batch outcome to the process exit status: 2 when the
@@ -229,20 +276,14 @@ func exitCode(ctxErr error, reps []*core.AppReport) int {
 	return code
 }
 
-// writeTo streams one export to a file path, or to stdout for "-".
+// writeTo streams one export to a file path, or to stdout for "-". File
+// writes are atomic (temp file + rename): a failure mid-export leaves
+// any previous file byte-identical instead of half-overwritten.
 func writeTo(path string, write func(io.Writer) error) error {
 	if path == "-" {
 		return write(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return core.AtomicWrite(path, write)
 }
 
 func splitExts(s string) []string {
@@ -263,6 +304,14 @@ func splitExts(s string) []string {
 // loadTarget reads one application from a file or directory. Directory
 // walks accept every configured executable extension plus ".inc" (PHP
 // include files routinely carry upload handlers), not just ".php".
+//
+// Unreadable files and broken directory entries (permission errors,
+// symlink loops, files deleted mid-walk) do not abort the target: each
+// is recorded as a typed load-stage Failure on the eventual report, so
+// a partially loaded application is scanned with what could be read and
+// is visibly partial in the verdict (exit status 2). Only a completely
+// unreadable target — nothing loaded, or the root path itself missing —
+// is an error.
 func loadTarget(p string, exts []string) (core.Target, error) {
 	accept := make(map[string]bool, len(exts)+1)
 	for _, e := range exts {
@@ -271,6 +320,15 @@ func loadTarget(p string, exts []string) (core.Target, error) {
 	accept[".inc"] = true
 
 	sources := map[string]string{}
+	var loadFailures []core.Failure
+	fail := func(path string, err error) {
+		loadFailures = append(loadFailures, core.Failure{
+			Root:  path,
+			Stage: core.StageLoad,
+			Class: core.FailParse,
+			Err:   err.Error(),
+		})
+	}
 	name := filepath.Base(p)
 	if ext := filepath.Ext(name); accept[strings.ToLower(ext)] {
 		name = strings.TrimSuffix(name, ext)
@@ -289,14 +347,23 @@ func loadTarget(p string, exts []string) (core.Target, error) {
 	}
 	err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
-			return err
+			// Unreadable directory (or a vanished entry): record and
+			// keep walking the rest of the tree.
+			fail(path, err)
+			if d != nil && d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
 		}
 		if d.IsDir() || !accept[strings.ToLower(filepath.Ext(path))] {
 			return nil
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			// Permission denied, ELOOP from a self-referential
+			// symlink, etc: skip the file, keep the target.
+			fail(path, err)
+			return nil
 		}
 		sources[path] = string(data)
 		return nil
@@ -304,10 +371,10 @@ func loadTarget(p string, exts []string) (core.Target, error) {
 	if err != nil {
 		return core.Target{}, err
 	}
-	if len(sources) == 0 {
+	if len(sources) == 0 && len(loadFailures) == 0 {
 		return core.Target{}, fmt.Errorf("no source files with extensions %v under %s", append(exts, ".inc"), p)
 	}
-	return core.Target{Name: name, Sources: sources}, nil
+	return core.Target{Name: name, Sources: sources, LoadFailures: loadFailures}, nil
 }
 
 func printReport(w io.Writer, rep *core.AppReport, verbose, smtOut bool) {

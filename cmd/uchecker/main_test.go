@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -272,6 +273,122 @@ func TestExitCode(t *testing.T) {
 		if got := exitCode(tt.ctxErr, tt.reps); got != tt.want {
 			t.Errorf("%s: exitCode = %d, want %d", tt.name, got, tt.want)
 		}
+	}
+}
+
+// TestLoadTargetUnreadable is the loader-robustness regression: an
+// unreadable file (permission denied) and a self-referential symlink
+// (ELOOP) inside a target directory must not abort the load. The target
+// comes back with every readable source plus one typed load-stage
+// failure per broken entry, so the report is visibly partial instead of
+// the whole scan dying.
+func TestLoadTargetUnreadable(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "good.php"), []byte("<?php echo 1;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Self-referential symlink with an accepted extension: ReadFile hits
+	// ELOOP for every caller, including root.
+	loop := filepath.Join(dir, "loop.php")
+	if err := os.Symlink("loop.php", loop); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	// Permission-denied file: only enforceable for non-root callers
+	// (root reads through mode 0).
+	denied := filepath.Join(dir, "secret.php")
+	if err := os.WriteFile(denied, []byte("<?php echo 2;"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+
+	tgt, err := loadTarget(dir, []string{".php"})
+	if err != nil {
+		t.Fatalf("unreadable entries must not abort the target: %v", err)
+	}
+	if _, ok := tgt.Sources[filepath.Join(dir, "good.php")]; !ok {
+		t.Error("readable file lost")
+	}
+	wantFailures := 1 // the symlink loop
+	if os.Getuid() != 0 {
+		wantFailures = 2 // plus the permission-denied file
+	} else {
+		// Root reads mode-0 files; the content must then be present.
+		if _, ok := tgt.Sources[denied]; !ok {
+			t.Error("mode-0 file neither read nor recorded as a failure (running as root)")
+		}
+	}
+	if len(tgt.LoadFailures) != wantFailures {
+		t.Fatalf("LoadFailures = %+v, want %d entries", tgt.LoadFailures, wantFailures)
+	}
+	seen := map[string]bool{}
+	for _, fl := range tgt.LoadFailures {
+		if fl.Stage != core.StageLoad || fl.Class != core.FailParse || fl.Err == "" {
+			t.Errorf("malformed load failure: %+v", fl)
+		}
+		seen[fl.Root] = true
+	}
+	if !seen[loop] {
+		t.Errorf("symlink loop not recorded: %+v", tgt.LoadFailures)
+	}
+
+	// The failures flow through to the report and force exit status 2.
+	rep, err := core.NewScanner(core.Options{}).Scan(context.Background(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailureCounts[core.FailParse] != wantFailures {
+		t.Errorf("FailureCounts[parse] = %d, want %d", rep.FailureCounts[core.FailParse], wantFailures)
+	}
+	if got := exitCode(nil, []*core.AppReport{rep}); got != 2 {
+		t.Errorf("exitCode = %d, want 2 for a partially loaded target", got)
+	}
+
+	// A directory that is nothing but broken entries still loads (with
+	// failures) rather than erroring as "no source files".
+	broken := t.TempDir()
+	if err := os.Symlink("self.php", filepath.Join(broken, "self.php")); err != nil {
+		t.Fatal(err)
+	}
+	onlyBad, err := loadTarget(broken, []string{".php"})
+	if err != nil {
+		t.Fatalf("all-broken dir must load with failures: %v", err)
+	}
+	if len(onlyBad.Sources) != 0 || len(onlyBad.LoadFailures) != 1 {
+		t.Errorf("all-broken dir: %d sources, %+v", len(onlyBad.Sources), onlyBad.LoadFailures)
+	}
+}
+
+// TestWriteToAtomic: a failed -trace/-metrics export must leave the
+// previous file byte-identical and no temp litter (satellite regression
+// for the atomic-export path).
+func TestWriteToAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.prom")
+	if err := writeTo(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "old\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("export exploded")
+	if err := writeTo(path, func(w io.Writer) error {
+		io.WriteString(w, "half-written")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the export failure", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old\n" {
+		t.Fatalf("previous export clobbered: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp litter: %v", entries)
 	}
 }
 

@@ -25,7 +25,10 @@
 package core
 
 import (
+	"io"
+
 	"repro/internal/obs"
+	"repro/internal/scanjournal"
 	"repro/internal/uchecker"
 )
 
@@ -62,15 +65,51 @@ type FailureClass = uchecker.FailureClass
 
 // Failure classes. See the uchecker package for semantics.
 const (
-	FailParse        = uchecker.FailParse
-	FailPathBudget   = uchecker.FailPathBudget
-	FailObjectBudget = uchecker.FailObjectBudget
-	FailSolverBudget = uchecker.FailSolverBudget
-	FailRootTimeout  = uchecker.FailRootTimeout
-	FailCancelled    = uchecker.FailCancelled
-	FailPanic        = uchecker.FailPanic
-	FailInternal     = uchecker.FailInternal
+	FailParse          = uchecker.FailParse
+	FailPathBudget     = uchecker.FailPathBudget
+	FailObjectBudget   = uchecker.FailObjectBudget
+	FailSolverBudget   = uchecker.FailSolverBudget
+	FailRootTimeout    = uchecker.FailRootTimeout
+	FailCancelled      = uchecker.FailCancelled
+	FailPanic          = uchecker.FailPanic
+	FailInternal       = uchecker.FailInternal
+	FailJournalCorrupt = uchecker.FailJournalCorrupt
 )
+
+// Pipeline stages recorded on Failure.Stage.
+const (
+	StageParse    = uchecker.StageParse
+	StageSymExec  = uchecker.StageSymExec
+	StageVerify   = uchecker.StageVerify
+	StageFallback = uchecker.StageFallback
+	StageSchedule = uchecker.StageSchedule
+	StageLoad     = uchecker.StageLoad
+	StageJournal  = uchecker.StageJournal
+)
+
+// BatchStats carries the batch-level crash-safety counters produced by
+// Scanner.ScanBatchJournaled: replay/cache-hit tallies, salvaged journal
+// records and batch-stage failures. Kept separate from AppReport so
+// replayed and cached per-app reports stay byte-identical across runs.
+type BatchStats = uchecker.BatchStats
+
+// AtomicWrite streams an export through a temp file in the destination
+// directory and renames it into place, so a mid-write failure leaves any
+// previous file byte-identical and no partial file behind.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	return scanjournal.AtomicWrite(path, write)
+}
+
+// VerifyCache re-checksums every entry of a result cache directory,
+// returning how many entries verified clean and how many are corrupt.
+// With remove set, corrupt entries are pruned.
+func VerifyCache(dir string, remove bool) (ok, bad int, err error) {
+	c, err := scanjournal.OpenCache(dir, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.Verify(remove)
+}
 
 // DefaultMaxRetries is the degradation-ladder retry count selected when
 // Options.MaxRetries is zero.

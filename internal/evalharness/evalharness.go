@@ -119,20 +119,49 @@ func (p *PhaseTimes) Render() string {
 	return sb.String()
 }
 
-// TableIII runs the detector over the named Table III applications: the
-// 13 known-vulnerable, the 2 admin-gated false-positive plugins, and the
-// 3 newly found ones — 18 rows in the paper's order.
+// TableIIIApps lists the Table III applications in the paper's order:
+// the 13 known-vulnerable, the 2 admin-gated false-positive plugins, and
+// the 3 newly found ones — 18 rows.
+func TableIIIApps() []corpus.App {
+	apps := append([]corpus.App(nil), corpus.KnownVulnerableApps()...)
+	apps = append(apps,
+		mustApp("Event Registration Pro Calendar 1.0.2"),
+		mustApp("Tumult Hype Animations 1.7.1"))
+	apps = append(apps, corpus.NewVulnApps()...)
+	return apps
+}
+
+// TableIII runs the detector over the Table III applications one at a
+// time (solo scans carry the MemoryMB measurement the table prints).
 func TableIII(opts uchecker.Options) []Row {
 	var rows []Row
-	for _, app := range corpus.KnownVulnerableApps() {
-		rows = append(rows, RunApp(app, opts))
-	}
-	rows = append(rows, RunApp(mustApp("Event Registration Pro Calendar 1.0.2"), opts))
-	rows = append(rows, RunApp(mustApp("Tumult Hype Animations 1.7.1"), opts))
-	for _, app := range corpus.NewVulnApps() {
+	for _, app := range TableIIIApps() {
 		rows = append(rows, RunApp(app, opts))
 	}
 	return rows
+}
+
+// TableIIIBatch runs the Table III sweep through the crash-safe batch
+// path: with Options.Journal/ResumeFrom set, a killed sweep resumes
+// where it stopped (completed apps replay from the journal), and with
+// Options.CacheDir set, unchanged apps replay from the result cache.
+// Verdicts and work counters are identical to TableIII's; only the
+// MemoryMB column is unmeasured (0) on the batch path, because replayed
+// reports must be byte-identical across runs and a live RSS sample is
+// not. The returned error reports a journal/cache I/O abort — partial
+// rows are still valid.
+func TableIIIBatch(opts uchecker.Options) ([]Row, *uchecker.BatchStats, error) {
+	apps := TableIIIApps()
+	targets := make([]uchecker.Target, len(apps))
+	for i, app := range apps {
+		targets[i] = corpusTarget(app)
+	}
+	reps, stats, err := uchecker.NewScanner(opts).ScanBatchJournaled(context.Background(), targets)
+	rows := make([]Row, len(apps))
+	for i, app := range apps {
+		rows[i] = Row{App: app, Report: reps[i]}
+	}
+	return rows, stats, err
 }
 
 func mustApp(name string) corpus.App {

@@ -292,3 +292,38 @@ func TestTableIIIFailureTally(t *testing.T) {
 		t.Errorf("tally = %v, want a path-budget entry (Cimy abort)", tally)
 	}
 }
+
+// TestTableIIIApps pins the sweep's row order: 13 known-vulnerable apps,
+// the 2 admin-gated false positives, then the 3 newly found ones — the
+// order TableIII and TableIIIBatch both scan, which is what makes a
+// journaled sweep resumable across bench invocations.
+func TestTableIIIApps(t *testing.T) {
+	apps := TableIIIApps()
+	if len(apps) != 18 {
+		t.Fatalf("apps = %d, want 18", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, app := range apps {
+		if seen[app.Name] {
+			t.Errorf("duplicate app %q", app.Name)
+		}
+		seen[app.Name] = true
+	}
+	if !apps[13].AdminGated || !apps[14].AdminGated {
+		t.Errorf("rows 14-15 must be the admin-gated false positives: %q, %q",
+			apps[13].Name, apps[14].Name)
+	}
+	// TableIII rows align 1:1 with the app list.
+	rows := cachedTableIII(t)
+	if len(rows) != len(apps) {
+		t.Fatalf("TableIII rows = %d, apps = %d", len(rows), len(apps))
+	}
+	for i, r := range rows {
+		if r.App.Name != apps[i].Name {
+			t.Errorf("row %d = %q, want %q", i, r.App.Name, apps[i].Name)
+		}
+		if r.Report.Name != apps[i].Name {
+			t.Errorf("report %d = %q, want %q", i, r.Report.Name, apps[i].Name)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,21 @@ const (
 	// root. Detail is the root's name. A panicking hook proves the last
 	// ladder rung is itself contained.
 	Fallback Point = "fallback"
+	// JournalWrite fires before each scan-journal record is written.
+	// Detail is "<type>:<target>". A returned error simulates a crash at
+	// that write boundary: the record (and everything after it) never
+	// reaches disk, and the batch aborts — the crash-matrix resume tests
+	// kill the pipeline here after every N.
+	JournalWrite Point = "journal-write"
+	// JournalSync fires after a journal record is written but before it
+	// is fsynced. A returned error simulates a crash between write and
+	// sync (the record may or may not survive; recovery must salvage
+	// either way).
+	JournalSync Point = "journal-sync"
+	// CacheRead fires before each result-cache lookup. Detail is the
+	// content-address key. A returned error forces a cache miss, proving
+	// a broken cache degrades to a re-scan, never to a wrong report.
+	CacheRead Point = "cache-read"
 )
 
 // Hook receives fault-injection callbacks. Hooks may panic, sleep, or
@@ -87,6 +103,23 @@ func ErrorOn(p Point, target string) Hook {
 	return func(point Point, detail string) error {
 		if point == p && matches(target, detail) {
 			return fmt.Errorf("%w at %s (%s)", ErrInjected, point, detail)
+		}
+		return nil
+	}
+}
+
+// FailAfter returns a Hook that lets the first n matching calls succeed
+// and returns an ErrInjected-wrapped error from the (n+1)th on — the
+// "crash after N records" knob of the crash-matrix resume tests. Safe
+// for concurrent use.
+func FailAfter(p Point, target string, n int) Hook {
+	var calls atomic.Int64
+	return func(point Point, detail string) error {
+		if point != p || !matches(target, detail) {
+			return nil
+		}
+		if calls.Add(1) > int64(n) {
+			return fmt.Errorf("%w: crash after %d records at %s (%s)", ErrInjected, n, point, detail)
 		}
 		return nil
 	}

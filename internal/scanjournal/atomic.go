@@ -1,0 +1,44 @@
+// Atomic file replacement: the shared write-side primitive behind
+// journal compaction, cache entries and the CLI's -trace/-metrics
+// exports. A crash (or a failing writer) anywhere before the final
+// rename leaves the previous file byte-identical; readers never observe
+// a partially written file.
+package scanjournal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWrite writes a file via temp-file + fsync + rename. The write
+// callback streams the content; if it (or any syscall) fails, the
+// temporary file is removed and the destination — if it existed — is
+// left untouched. The temp file is created in the destination's
+// directory so the rename never crosses filesystems.
+func AtomicWrite(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return nil
+}

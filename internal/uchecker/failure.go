@@ -44,6 +44,12 @@ const (
 	// FailPanic: a pipeline stage panicked; the panic was recovered, the
 	// stack captured, and the batch kept running.
 	FailPanic FailureClass = "panic"
+	// FailJournalCorrupt: a resume journal (or one of its records) was
+	// corrupt — torn tail, checksum mismatch, version skew, duplicate
+	// finish record, empty file. Recovery salvaged every valid prefix
+	// record and re-scans the rest; the class exists so the loss is
+	// visible, never silent.
+	FailJournalCorrupt FailureClass = "journal-corrupt"
 	// FailInternal: any other unexpected error.
 	FailInternal FailureClass = "internal"
 )
@@ -55,6 +61,8 @@ const (
 	StageVerify   = "verify"   // modeling + translation + solving
 	StageFallback = "fallback" // degraded taint-only rung
 	StageSchedule = "schedule" // root never started (cancelled / abort limit)
+	StageLoad     = "load"     // target materialization (unreadable files)
+	StageJournal  = "journal"  // batch journal recovery / append
 )
 
 // Failure is one structured failure record: which root (or file), which

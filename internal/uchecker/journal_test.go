@@ -1,0 +1,489 @@
+package uchecker
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/interp"
+	"repro/internal/scanjournal"
+)
+
+// batchTargets is the 4-app corpus sweep the crash-safety acceptance
+// criteria run over.
+func batchTargets(t *testing.T) []Target {
+	t.Helper()
+	names := []string{
+		"Uploadify 1.0.0",
+		"Adblock Blocker 0.0.1",
+		"MailCWP 1.100",
+		"Avatar Uploader 6.x-1.2",
+	}
+	var targets []Target
+	for _, n := range names {
+		app, ok := corpus.ByName(n)
+		if !ok {
+			t.Fatalf("missing corpus app %q", n)
+		}
+		targets = append(targets, Target{Name: app.Name, Sources: app.Sources})
+	}
+	return targets
+}
+
+func batchOpts(workers int) Options {
+	return Options{Workers: workers, Interp: interp.Options{MaxPaths: 20000}}
+}
+
+// batchFingerprints is the deterministic identity of a batch result.
+func batchFingerprints(t *testing.T, reps []*AppReport) []string {
+	t.Helper()
+	out := make([]string, len(reps))
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+		out[i] = reportFingerprint(t, rep)
+	}
+	return out
+}
+
+// TestCrashResumeMatrix is the tentpole acceptance test: kill the batch
+// (via the faultinject JournalWrite seam) after each of the N journal
+// write boundaries, resume from the crashed journal, and require the
+// merged reports to be byte-identical to an uninterrupted run — at
+// Workers=1 and Workers=4.
+func TestCrashResumeMatrix(t *testing.T) {
+	targets := batchTargets(t)
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4} {
+		opts := batchOpts(workers)
+
+		// Uninterrupted baseline (journaled, to learn the record count).
+		baseDir := t.TempDir()
+		baseOpts := opts
+		baseOpts.Journal = filepath.Join(baseDir, "base.journal")
+		baseReps, baseStats, err := NewScanner(baseOpts).ScanBatchJournaled(ctx, targets)
+		if err != nil {
+			t.Fatalf("workers=%d: uninterrupted run: %v", workers, err)
+		}
+		if baseStats.Scanned != len(targets) {
+			t.Fatalf("workers=%d: scanned = %d, want %d", workers, baseStats.Scanned, len(targets))
+		}
+		want := batchFingerprints(t, baseReps)
+		rec, err := scanjournal.Read(baseOpts.Journal)
+		if err != nil || rec.Corrupt != nil {
+			t.Fatalf("workers=%d: baseline journal unreadable: %v / %v", workers, err, rec.Corrupt)
+		}
+		records := len(rec.Records) // 1 manifest + start/finish per target
+		if wantRecords := 1 + 2*len(targets); records != wantRecords {
+			t.Fatalf("workers=%d: baseline journal has %d records, want %d", workers, records, wantRecords)
+		}
+
+		for n := 0; n < records; n++ {
+			dir := t.TempDir()
+			journal := filepath.Join(dir, "scan.journal")
+
+			// Crash run: the journal write seam kills the pipeline after
+			// n successful records.
+			crashOpts := opts
+			crashOpts.Journal = journal
+			crashOpts.FaultHook = faultinject.FailAfter(faultinject.JournalWrite, "", n)
+			crashReps, _, crashErr := NewScanner(crashOpts).ScanBatchJournaled(ctx, targets)
+			if !errors.Is(crashErr, faultinject.ErrInjected) {
+				t.Fatalf("workers=%d n=%d: crash run err = %v, want injected crash", workers, n, crashErr)
+			}
+			if len(crashReps) != len(targets) {
+				t.Fatalf("workers=%d n=%d: crash run returned %d reports", workers, n, len(crashReps))
+			}
+			for i, rep := range crashReps {
+				if rep == nil {
+					t.Fatalf("workers=%d n=%d: crash run dropped report %d", workers, n, i)
+				}
+			}
+			// Snapshot the crashed journal before the resume mutates it.
+			crashJournal, err := scanjournal.Read(journal)
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: reading crashed journal: %v", workers, n, err)
+			}
+
+			// Resume run: same journal as both source and sink — the
+			// production idiom.
+			resumeOpts := opts
+			resumeOpts.Journal = journal
+			resumeOpts.ResumeFrom = journal
+			resumeReps, stats, err := NewScanner(resumeOpts).ScanBatchJournaled(ctx, targets)
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: resume: %v", workers, n, err)
+			}
+			if got := batchFingerprints(t, resumeReps); !equalStrings(got, want) {
+				t.Errorf("workers=%d n=%d: resumed reports differ from uninterrupted run", workers, n)
+			}
+			if stats.Replayed+stats.Scanned != len(targets) {
+				t.Errorf("workers=%d n=%d: replayed %d + scanned %d != %d targets",
+					workers, n, stats.Replayed, stats.Scanned, len(targets))
+			}
+			// Every complete finish record that made it to disk must be
+			// replayed, not re-scanned. With Workers=4 the start/finish
+			// interleaving varies, so count the actual finish records in
+			// the crashed journal rather than assuming sequential order.
+			finishOnDisk := finishRecords(t, crashJournal)
+			if stats.Replayed != finishOnDisk {
+				t.Errorf("workers=%d n=%d: replayed = %d, want %d (finish records on disk)",
+					workers, n, stats.Replayed, finishOnDisk)
+			}
+
+			// A second resume replays everything: the resumed journal is
+			// itself a complete, healthy sweep record.
+			again, stats2, err := NewScanner(resumeOpts).ScanBatchJournaled(ctx, targets)
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: second resume: %v", workers, n, err)
+			}
+			if stats2.Replayed != len(targets) || stats2.Scanned != 0 {
+				t.Errorf("workers=%d n=%d: second resume replayed %d / scanned %d, want %d / 0",
+					workers, n, stats2.Replayed, stats2.Scanned, len(targets))
+			}
+			if got := batchFingerprints(t, again); !equalStrings(got, want) {
+				t.Errorf("workers=%d n=%d: second resume drifted", workers, n)
+			}
+		}
+	}
+}
+
+// finishRecords counts the complete finish records salvaged from a
+// crashed journal — the exact set a resume must replay.
+func finishRecords(t *testing.T, rec *scanjournal.Recovery) int {
+	t.Helper()
+	n := 0
+	for _, r := range rec.Records {
+		if r.Type == scanjournal.TypeFinish {
+			n++
+		}
+	}
+	return n
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchJournalCorruptionRecovery: a resumed sweep whose journal is
+// corrupt salvages every valid prefix record, surfaces exactly one
+// FailJournalCorrupt, re-scans the lost tail, and still merges to the
+// uninterrupted result. The corrupt tail is compacted away, so the next
+// resume is fully replayed and clean.
+func TestBatchJournalCorruptionRecovery(t *testing.T) {
+	targets := batchTargets(t)
+	ctx := context.Background()
+	opts := batchOpts(1)
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "scan.journal")
+	jopts := opts
+	jopts.Journal = journal
+	baseReps, _, err := NewScanner(jopts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchFingerprints(t, baseReps)
+
+	// Tear the final record (the last target's finish).
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := jopts
+	ropts.ResumeFrom = journal
+	reps, stats, err := NewScanner(ropts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatalf("corrupt resume must not fail: %v", err)
+	}
+	corrupt := 0
+	for _, fl := range stats.Failures {
+		if fl.Class == FailJournalCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt != 1 {
+		t.Fatalf("FailJournalCorrupt count = %d, want exactly 1 (failures: %v)", corrupt, stats.Failures)
+	}
+	if stats.Replayed != len(targets)-1 || stats.Scanned != 1 {
+		t.Errorf("replayed %d / scanned %d, want %d / 1", stats.Replayed, stats.Scanned, len(targets)-1)
+	}
+	if stats.Metrics["journal_records_corrupt"] != 1 {
+		t.Errorf("journal_records_corrupt = %d, want 1", stats.Metrics["journal_records_corrupt"])
+	}
+	if got := batchFingerprints(t, reps); !equalStrings(got, want) {
+		t.Error("corrupt-resume reports differ from uninterrupted run")
+	}
+
+	// Compaction healed the journal: the next resume is clean and fully
+	// replayed.
+	reps2, stats2, err := NewScanner(ropts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fl := range stats2.Failures {
+		if fl.Class == FailJournalCorrupt {
+			t.Fatalf("journal still corrupt after compacting resume: %v", fl)
+		}
+	}
+	if stats2.Replayed != len(targets) {
+		t.Errorf("post-heal replayed = %d, want %d", stats2.Replayed, len(targets))
+	}
+	if got := batchFingerprints(t, reps2); !equalStrings(got, want) {
+		t.Error("post-heal reports drifted")
+	}
+}
+
+// TestBatchCacheCorrectness is the cache acceptance criterion: a second
+// run over an unchanged corpus hits for every target with byte-identical
+// reports; touching one file invalidates exactly that target; changing
+// any budget option invalidates everything.
+func TestBatchCacheCorrectness(t *testing.T) {
+	targets := batchTargets(t)
+	ctx := context.Background()
+	opts := batchOpts(2)
+	opts.CacheDir = filepath.Join(t.TempDir(), "cache")
+
+	reps1, stats1, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.CacheHits != 0 || stats1.CacheMisses != len(targets) || stats1.Scanned != len(targets) {
+		t.Fatalf("cold run: hits=%d misses=%d scanned=%d", stats1.CacheHits, stats1.CacheMisses, stats1.Scanned)
+	}
+	want := batchFingerprints(t, reps1)
+
+	reps2, stats2, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.CacheHits != len(targets) || stats2.Scanned != 0 {
+		t.Fatalf("warm run: hits=%d scanned=%d, want %d/0", stats2.CacheHits, stats2.Scanned, len(targets))
+	}
+	if stats2.Metrics["cache_hits"] != int64(len(targets)) {
+		t.Errorf("cache_hits counter = %d, want %d", stats2.Metrics["cache_hits"], len(targets))
+	}
+	if got := batchFingerprints(t, reps2); !equalStrings(got, want) {
+		t.Error("cached reports not byte-identical")
+	}
+
+	// Touch one file of one target: exactly that target misses.
+	touched := make([]Target, len(targets))
+	copy(touched, targets)
+	srcs := make(map[string]string, len(targets[2].Sources))
+	for k, v := range targets[2].Sources {
+		srcs[k] = v
+	}
+	for k := range srcs {
+		srcs[k] += "\n"
+		break
+	}
+	touched[2] = Target{Name: targets[2].Name, Sources: srcs}
+	_, stats3, err := NewScanner(opts).ScanBatchJournaled(ctx, touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.CacheHits != len(targets)-1 || stats3.CacheMisses != 1 || stats3.Scanned != 1 {
+		t.Errorf("touched run: hits=%d misses=%d scanned=%d, want %d/1/1",
+			stats3.CacheHits, stats3.CacheMisses, stats3.Scanned, len(targets)-1)
+	}
+
+	// Change a budget option: the fingerprint shifts, everything misses.
+	bopts := opts
+	bopts.Interp.MaxPaths = 19999
+	_, stats4, err := NewScanner(bopts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats4.CacheHits != 0 || stats4.Scanned != len(targets) {
+		t.Errorf("budget-change run: hits=%d scanned=%d, want 0/%d", stats4.CacheHits, stats4.Scanned, len(targets))
+	}
+}
+
+// TestBatchCacheReadFault: a broken cache (injected read fault) degrades
+// to re-scans with correct reports — never to wrong ones.
+func TestBatchCacheReadFault(t *testing.T) {
+	targets := batchTargets(t)
+	ctx := context.Background()
+	opts := batchOpts(2)
+	opts.CacheDir = filepath.Join(t.TempDir(), "cache")
+
+	reps1, _, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchFingerprints(t, reps1)
+
+	fopts := opts
+	fopts.FaultHook = faultinject.ErrorOn(faultinject.CacheRead, "")
+	reps, stats, err := NewScanner(fopts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 || stats.Scanned != len(targets) {
+		t.Errorf("faulted cache: hits=%d scanned=%d, want 0/%d", stats.CacheHits, stats.Scanned, len(targets))
+	}
+	if got := batchFingerprints(t, reps); !equalStrings(got, want) {
+		t.Error("faulted-cache reports drifted")
+	}
+}
+
+// TestScanBatchCancelledTargets is the cancellation satellite: an
+// already-cancelled or mid-batch-cancelled context must yield a
+// FailCancelled report for every unstarted target — never a silently
+// dropped or nil slice entry — at Workers=1 and Workers=4.
+func TestScanBatchCancelledTargets(t *testing.T) {
+	targets := batchTargets(t)
+
+	for _, workers := range []int{1, 4} {
+		// Already-cancelled context: every target is schedule-cancelled.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		reps := NewScanner(batchOpts(workers)).ScanBatch(ctx, targets)
+		if len(reps) != len(targets) {
+			t.Fatalf("workers=%d: %d reports for %d targets", workers, len(reps), len(targets))
+		}
+		for i, rep := range reps {
+			if rep == nil {
+				t.Fatalf("workers=%d: nil report %d under cancellation", workers, i)
+			}
+			if rep.Name != targets[i].Name {
+				t.Errorf("workers=%d: report %d = %q, want %q", workers, i, rep.Name, targets[i].Name)
+			}
+			if !hasFailureClass(rep, FailCancelled) {
+				t.Errorf("workers=%d: report %d lacks a FailCancelled failure: %+v", workers, i, rep.Failures)
+			}
+			if len(rep.FailureCounts) != 0 {
+				t.Errorf("workers=%d: cancellation polluted FailureCounts: %v", workers, rep.FailureCounts)
+			}
+		}
+	}
+
+	// Mid-batch cancellation at Workers=1: the first target completes,
+	// the context dies, and every remaining target still appears in the
+	// slice with a typed schedule cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := batchOpts(1)
+	first := targets[0].Name
+	opts.OnPhase = func(app, phase string, d time.Duration) {
+		if app == first && phase == PhaseTotal {
+			cancel()
+		}
+	}
+	reps := NewScanner(opts).ScanBatch(ctx, targets)
+	if hasFailureClass(reps[0], FailCancelled) {
+		t.Errorf("first target was cancelled; want it complete: %+v", reps[0].Failures)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i] == nil {
+			t.Fatalf("mid-batch cancel dropped report %d", i)
+		}
+		if !hasFailureClass(reps[i], FailCancelled) {
+			t.Errorf("unstarted target %d lacks FailCancelled: %+v", i, reps[i].Failures)
+		}
+		if len(reps[i].Roots) != 0 {
+			t.Errorf("unstarted target %d was partially scanned (%d roots)", i, len(reps[i].Roots))
+		}
+	}
+
+	// Mid-batch cancellation at Workers=4: all targets may already be in
+	// flight; the contract is weaker (no silent drops, cancellation
+	// typed) but must still hold.
+	ctx4, cancel4 := context.WithCancel(context.Background())
+	opts4 := batchOpts(4)
+	opts4.OnPhase = func(app, phase string, d time.Duration) {
+		if phase == PhaseParse {
+			cancel4() // die while scans are mid-flight
+		}
+	}
+	reps4 := NewScanner(opts4).ScanBatch(ctx4, targets)
+	cancel4()
+	for i, rep := range reps4 {
+		if rep == nil {
+			t.Fatalf("workers=4 mid-batch cancel: nil report %d", i)
+		}
+	}
+}
+
+func hasFailureClass(rep *AppReport, class FailureClass) bool {
+	for _, fl := range rep.Failures {
+		if fl.Class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOptionsFingerprint: worker count and hooks must not shift the
+// fingerprint (reports are worker-independent), while any budget knob
+// must.
+func TestOptionsFingerprint(t *testing.T) {
+	base := NewScanner(Options{Workers: 1}).optionsFingerprint()
+	if got := NewScanner(Options{Workers: 8}).optionsFingerprint(); got != base {
+		t.Error("worker count shifted the fingerprint")
+	}
+	diffs := []Options{
+		{Interp: interp.Options{MaxPaths: 7}},
+		{Interp: interp.Options{LoopUnroll: 5}},
+		{MaxRetries: 3},
+		{MaxRetries: -1},
+		{Extensions: []string{".php", ".phtml"}},
+		{DisableDegraded: true},
+		{DisableLocality: true},
+		{ModelAdminGating: true},
+		{RootTimeout: time.Second},
+		{MaxRootFailures: 9},
+	}
+	seen := map[string]bool{base: true}
+	for i, o := range diffs {
+		fp := NewScanner(o).optionsFingerprint()
+		if seen[fp] {
+			t.Errorf("option set %d does not discriminate the fingerprint: %s", i, fp)
+		}
+		seen[fp] = true
+	}
+}
+
+// TestTargetLoadFailures: loader-stage failures attached to a Target
+// surface on the report and in FailureCounts — a partially loaded app is
+// visibly partial.
+func TestTargetLoadFailures(t *testing.T) {
+	tgt := Target{
+		Name:    "partial",
+		Sources: map[string]string{"ok.php": "<?php echo 1;"},
+		LoadFailures: []Failure{{
+			Root: "secrets.php", Stage: StageLoad, Class: FailParse,
+			Err: "unreadable: permission denied",
+		}},
+	}
+	rep, err := NewScanner(Options{}).Scan(context.Background(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFailureClass(rep, FailParse) {
+		t.Fatalf("load failure lost: %+v", rep.Failures)
+	}
+	if rep.FailureCounts[FailParse] != 1 {
+		t.Errorf("FailureCounts[parse] = %d, want 1", rep.FailureCounts[FailParse])
+	}
+}

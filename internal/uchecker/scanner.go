@@ -64,6 +64,13 @@ const (
 type Target struct {
 	Name    string
 	Sources map[string]string
+	// LoadFailures carries typed failures encountered while materializing
+	// the target from disk (unreadable files, symlink loops): the loader
+	// skips the offending file and records it here instead of aborting
+	// the whole target. The scanner folds them into AppReport.Failures
+	// (and FailureCounts), so a partially loaded target is visibly
+	// partial, never silently smaller.
+	LoadFailures []Failure
 }
 
 // Scanner runs the six-phase detection pipeline. A Scanner is safe for
@@ -219,6 +226,9 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 
 	rep := &AppReport{Name: t.Name}
 	rep.Metrics = obs.NewMetrics()
+	// Loader-stage failures (unreadable files, symlink loops) come first:
+	// they predate parsing and participate in FailureCounts below.
+	rep.Failures = append(rep.Failures, t.LoadFailures...)
 
 	tr := s.newScanTrace()
 	scanSpan := tr.start(0, "scan", obs.A("app", t.Name))
@@ -422,43 +432,27 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 // workload of Section IV-B. Up to Options.Workers apps are in flight at
 // once (each app additionally parallelizes its own roots over the same
 // worker budget). The returned slice is aligned with targets; every entry
-// is non-nil even under cancellation (partial reports, with ctx errors
-// recorded in RootErrors). Hooks (OnPhase, OnSpan) fire for every app in
-// the batch; the Scanner serializes each hook behind an internal mutex,
-// so the callbacks themselves never observe concurrency.
+// is non-nil even under cancellation: targets that never started because
+// the context died (or the journal crashed) carry a FailCancelled
+// schedule failure instead of being silently dropped or half-scanned.
+// Hooks (OnPhase, OnSpan) fire for every app in the batch; the Scanner
+// serializes each hook behind an internal mutex, so the callbacks
+// themselves never observe concurrency.
+//
+// When Options.Journal / ResumeFrom / CacheDir are set, the batch runs
+// through the crash-safety layer (see ScanBatchJournaled, which this
+// method delegates to): completed reports are journaled durably,
+// resumed sweeps replay them, and unchanged targets are served from the
+// content-addressed cache. ScanBatch discards the layer's summary and
+// error; callers that need them — the CLI, ucheck-bench — use
+// ScanBatchJournaled directly.
 //
 // Batched reports leave MemoryMB at zero: per-app heap deltas are
 // meaningless when many apps share the heap, and skipping the forced-GC
 // measurement keeps the sweep fast. Use Scan for Table III-style memory
 // numbers.
 func (s *Scanner) ScanBatch(ctx context.Context, targets []Target) []*AppReport {
-	reports := make([]*AppReport, len(targets))
-	if len(targets) == 0 {
-		return reports
-	}
-	workers := s.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(targets) {
-		workers = len(targets)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				reports[i], _ = s.scan(ctx, targets[i], false)
-			}
-		}()
-	}
-	for i := range targets {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	reports, _, _ := s.ScanBatchJournaled(ctx, targets)
 	return reports
 }
 

@@ -113,6 +113,35 @@ type Options struct {
 	// of the pipeline. Tests use it to inject panics, slow roots and
 	// forced solver failures; production scans leave it nil.
 	FaultHook faultinject.Hook
+	// Journal, when non-empty, makes ScanBatch crash-safe: an append-only,
+	// per-record-checksummed journal (see internal/scanjournal) records
+	// the batch manifest, each target's start, and each completed
+	// target's full report, fsynced record by record. A journal append
+	// failure aborts the batch with crash semantics — unstarted targets
+	// get FailCancelled reports and the error surfaces from
+	// ScanBatchJournaled.
+	Journal string
+	// ResumeFrom, when non-empty, recovers a previous sweep's journal
+	// before scanning: targets with a salvaged finish record written
+	// under the same options fingerprint are replayed byte-identically
+	// without re-scanning; in-flight (started-but-unfinished) and
+	// never-started targets are scanned normally. Corruption anywhere in
+	// the journal — torn tail, bad checksum, version skew, duplicate
+	// finish — salvages every valid prefix record and surfaces one
+	// FailJournalCorrupt in BatchStats; it never aborts the resume.
+	// Pointing Journal and ResumeFrom at the same file is the intended
+	// idiom (the journal is compacted first when its tail is corrupt). A
+	// missing ResumeFrom file is a fresh sweep, not an error.
+	ResumeFrom string
+	// CacheDir, when non-empty, enables the content-addressed result
+	// cache for ScanBatch: each target is keyed by a SHA-256 over its
+	// sorted file contents, the options fingerprint (budgets, retries,
+	// extensions, …) and the cache format version, so an unchanged
+	// target on an unchanged configuration is served the byte-identical
+	// cached report without re-scanning. Corrupt or unreadable entries
+	// are misses (pruned and re-written), never errors. Reports from
+	// scans interrupted by ctx cancellation are not cached.
+	CacheDir string
 }
 
 // DefaultMaxRetries is the degradation-ladder retry count selected when
