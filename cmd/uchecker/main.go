@@ -325,7 +325,7 @@ func loadTarget(p string, exts []string) (core.Target, error) {
 		loadFailures = append(loadFailures, core.Failure{
 			Root:  path,
 			Stage: core.StageLoad,
-			Class: core.FailParse,
+			Class: core.FailLoad, // an I/O failure, not a parser failure
 			Err:   err.Error(),
 		})
 	}

@@ -321,7 +321,7 @@ func TestLoadTargetUnreadable(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, fl := range tgt.LoadFailures {
-		if fl.Stage != core.StageLoad || fl.Class != core.FailParse || fl.Err == "" {
+		if fl.Stage != core.StageLoad || fl.Class != core.FailLoad || fl.Err == "" {
 			t.Errorf("malformed load failure: %+v", fl)
 		}
 		seen[fl.Root] = true
@@ -335,8 +335,11 @@ func TestLoadTargetUnreadable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.FailureCounts[core.FailParse] != wantFailures {
-		t.Errorf("FailureCounts[parse] = %d, want %d", rep.FailureCounts[core.FailParse], wantFailures)
+	if rep.FailureCounts[core.FailLoad] != wantFailures {
+		t.Errorf("FailureCounts[load] = %d, want %d", rep.FailureCounts[core.FailLoad], wantFailures)
+	}
+	if rep.FailureCounts[core.FailParse] != 0 {
+		t.Errorf("I/O load failures leaked into FailureCounts[parse]: %v", rep.FailureCounts)
 	}
 	if got := exitCode(nil, []*core.AppReport{rep}); got != 2 {
 		t.Errorf("exitCode = %d, want 2 for a partially loaded target", got)

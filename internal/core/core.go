@@ -66,6 +66,7 @@ type FailureClass = uchecker.FailureClass
 // Failure classes. See the uchecker package for semantics.
 const (
 	FailParse          = uchecker.FailParse
+	FailLoad           = uchecker.FailLoad
 	FailPathBudget     = uchecker.FailPathBudget
 	FailObjectBudget   = uchecker.FailObjectBudget
 	FailSolverBudget   = uchecker.FailSolverBudget

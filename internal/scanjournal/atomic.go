@@ -11,11 +11,15 @@ import (
 	"path/filepath"
 )
 
-// AtomicWrite writes a file via temp-file + fsync + rename. The write
-// callback streams the content; if it (or any syscall) fails, the
-// temporary file is removed and the destination — if it existed — is
-// left untouched. The temp file is created in the destination's
-// directory so the rename never crosses filesystems.
+// AtomicWrite writes a file via temp-file + fsync + rename + directory
+// fsync. The write callback streams the content; if it (or any syscall)
+// fails, the temporary file is removed and the destination — if it
+// existed — is left untouched. The temp file is created in the
+// destination's directory so the rename never crosses filesystems, and
+// the directory itself is fsynced after the rename so the *replacement*
+// is as durable as the bytes: without it, power loss after a journal
+// compaction could revert the file to its corrupt pre-compaction
+// content, and a freshly written cache entry could silently vanish.
 func AtomicWrite(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
@@ -25,7 +29,7 @@ func AtomicWrite(path string, write func(io.Writer) error) (err error) {
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			os.Remove(tmp.Name()) // no-op once the rename has happened
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -40,5 +44,24 @@ func AtomicWrite(path string, write func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
+	if err = syncDir(dir); err != nil {
+		return err
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames into it and files created
+// inside it durable. Crash-safety requires it after every rename (the
+// rename itself lives in the directory, not the file) and after
+// creating a brand-new journal file.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }

@@ -41,6 +41,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -62,7 +63,9 @@ const maxRecordSize = 64 << 20
 const (
 	// TypeManifest opens a sweep: the options fingerprint and the target
 	// list. Written first; a resumed sweep appending to the same journal
-	// writes another manifest (the latest fingerprint wins on replay).
+	// writes another manifest, which opens a new epoch — the latest
+	// fingerprint wins on replay, and a fingerprint change discards the
+	// finishes recorded under the previous options (see Fold).
 	TypeManifest = "manifest"
 	// TypeStart marks one target as in-flight. A start without a matching
 	// finish means the process died mid-scan: the target is re-scanned on
@@ -114,6 +117,14 @@ func OpenWriter(path string, hook faultinject.Hook) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("scanjournal: open %s: %w", path, err)
+	}
+	// The journal file's *existence* must be as durable as its records:
+	// fsync the containing directory so a freshly created journal cannot
+	// vanish after power loss (the per-record fsync only covers the
+	// file's contents, not the directory entry pointing at it).
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("scanjournal: sync dir of %s: %w", path, err)
 	}
 	return &Writer{f: f, hook: hook}, nil
 }
@@ -302,17 +313,31 @@ func Compact(path string, records []Record) error {
 	})
 }
 
+// TargetKey is the identity of one batch slot in Replay's Finished and
+// Started maps: (index, name), not name alone. Two targets that happen
+// to share a name (easy when names are derived from file base names —
+// a/foo.php and b/foo.php both load as "foo") occupy distinct batch
+// slots, so they must neither replay each other's report nor trip the
+// duplicate-finish corruption check.
+func TargetKey(index int, name string) string {
+	return fmt.Sprintf("%d\x00%s", index, name)
+}
+
 // Replay is the resume state folded out of salvaged journal records.
 type Replay struct {
 	// Fingerprint is the latest manifest's options fingerprint.
 	Fingerprint string
 	// Targets is the latest manifest's target list.
 	Targets []string
-	// Finished maps target name → its serialized report (first finish
-	// record wins). Targets present here are replayed, not re-scanned.
+	// Finished maps TargetKey(index, name) → the slot's serialized
+	// report. Within one manifest epoch the first finish record wins; a
+	// manifest whose fingerprint differs from the previous one opens a
+	// fresh epoch (see Fold). Slots present here are replayed, not
+	// re-scanned.
 	Finished map[string]json.RawMessage
-	// Started marks targets with a start record (finished or not). A
-	// started-but-unfinished target was in flight at the crash.
+	// Started marks slots (TargetKey-keyed) with a start record,
+	// finished or not. A started-but-unfinished slot was in flight at
+	// the crash.
 	Started map[string]bool
 	// Salvaged is the number of records folded in.
 	Salvaged int
@@ -325,9 +350,20 @@ type Replay struct {
 
 // Fold validates and folds a Recovery into resume state. Semantic
 // corruption (no records at all, a first record that is not a manifest,
-// or a duplicate finish for the same target) stops the fold at the
-// offending record, salvaging everything before it — mirroring the
-// byte-level prefix-salvage semantics.
+// or a duplicate finish for the same batch slot within one manifest
+// epoch) stops the fold at the offending record, salvaging everything
+// before it — mirroring the byte-level prefix-salvage semantics.
+//
+// Manifest records delimit epochs: a resumed sweep appending to the
+// same journal writes a fresh manifest, and when its fingerprint
+// differs from the previous manifest's the accumulated Finished/Started
+// state is discarded. Finishes recorded under the old options are not
+// this configuration's reports — replaying them would silently answer
+// the wrong question — and a legitimate re-finish of the same slot
+// under the new options must not be misread as duplicate-finish
+// corruption. Same-fingerprint manifests keep accumulating, so the
+// documented same-file journal/resume idiom replays earlier epochs'
+// finishes as long as the options are unchanged.
 func Fold(rec *Recovery) *Replay {
 	rp := &Replay{
 		Finished: map[string]json.RawMessage{},
@@ -345,19 +381,26 @@ func Fold(rec *Recovery) *Replay {
 		}
 		switch r.Type {
 		case TypeManifest:
+			if i > 0 && r.Fingerprint != rp.Fingerprint {
+				// New epoch under different options: drop state folded
+				// under the previous fingerprint (see the Fold doc).
+				rp.Finished = map[string]json.RawMessage{}
+				rp.Started = map[string]bool{}
+			}
 			rp.Fingerprint = r.Fingerprint
 			rp.Targets = r.Targets
 		case TypeStart:
-			rp.Started[r.Name] = true
+			rp.Started[TargetKey(r.Index, r.Name)] = true
 		case TypeFinish:
-			if _, dup := rp.Finished[r.Name]; dup {
+			key := TargetKey(r.Index, r.Name)
+			if _, dup := rp.Finished[key]; dup {
 				// Keep the first finish; everything from the duplicate on
 				// is untrusted.
-				rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("duplicate finish record for target %q", r.Name)}
+				rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("duplicate finish record for target %d %q", r.Index, r.Name)}
 				return rp
 			}
-			rp.Started[r.Name] = true
-			rp.Finished[r.Name] = r.Report
+			rp.Started[key] = true
+			rp.Finished[key] = r.Report
 		default:
 			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("unknown record type %q", r.Type)}
 			return rp

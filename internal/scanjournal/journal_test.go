@@ -65,7 +65,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Errorf("finished=%d salvaged=%d, want 3/7", len(rp.Finished), rp.Salvaged)
 	}
 	for i := 0; i < 3; i++ {
-		raw, ok := rp.Finished[target(i)]
+		raw, ok := rp.Finished[TargetKey(i, target(i))]
 		if !ok {
 			t.Fatalf("missing finish for %s", target(i))
 		}
@@ -177,13 +177,115 @@ func TestJournalCorruptionMatrix(t *testing.T) {
 			}
 			// The first finish always wins: a duplicate can never overwrite
 			// a salvaged report.
-			if raw, ok := rp.Finished[target(0)]; ok {
+			if raw, ok := rp.Finished[TargetKey(0, target(0))]; ok {
 				var rep struct{ Name string }
 				if json.Unmarshal(raw, &rep) == nil && rep.Name != target(0) {
 					t.Errorf("duplicate finish overwrote the salvaged report: %q", rep.Name)
 				}
 			}
 		})
+	}
+}
+
+// TestFoldManifestEpochReset is the regression for the options-change
+// resume bug: manifest(fpA)+finish(T) followed by
+// manifest(fpB)+start/finish(T) — the documented same-file -journal/
+// -resume idiom after an options change. Fold must open a new epoch at
+// the fpB manifest: the fpA finish is discarded (its report answers a
+// different configuration's question), the fpB finish is NOT a
+// duplicate, and replay yields the fpB report.
+func TestFoldManifestEpochReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	w, err := OpenWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []Record{
+		{Type: TypeManifest, Fingerprint: "fpA", Targets: []string{"t"}},
+		{Type: TypeStart, Name: "t", Index: 0},
+		{Type: TypeFinish, Name: "t", Index: 0, Report: json.RawMessage(`{"Name":"t","fp":"A"}`)},
+		{Type: TypeManifest, Fingerprint: "fpB", Targets: []string{"t"}},
+		{Type: TypeStart, Name: "t", Index: 0},
+		{Type: TypeFinish, Name: "t", Index: 0, Report: json.RawMessage(`{"Name":"t","fp":"B"}`)},
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := Fold(rec)
+	if rp.Corrupt != nil {
+		t.Fatalf("legitimate re-run after options change folded corrupt: %v", rp.Corrupt)
+	}
+	if rp.Salvaged != len(records) {
+		t.Errorf("salvaged = %d, want %d", rp.Salvaged, len(records))
+	}
+	if rp.Fingerprint != "fpB" {
+		t.Errorf("fingerprint = %q, want fpB", rp.Fingerprint)
+	}
+	if len(rp.Finished) != 1 {
+		t.Fatalf("finished = %d, want 1 (the fpB epoch only)", len(rp.Finished))
+	}
+	var rep struct {
+		Fp string `json:"fp"`
+	}
+	if err := json.Unmarshal(rp.Finished[TargetKey(0, "t")], &rep); err != nil || rep.Fp != "B" {
+		t.Errorf("replayed the stale fpA report: fp=%q err=%v", rep.Fp, err)
+	}
+
+	// Same-fingerprint manifests do NOT reset the epoch: the same-file
+	// resume idiom keeps replaying earlier finishes when options are
+	// unchanged.
+	sameFP := &Recovery{Records: []Record{
+		{V: FormatVersion, Type: TypeManifest, Fingerprint: "fp", Targets: []string{"t", "u"}},
+		{V: FormatVersion, Type: TypeFinish, Name: "t", Index: 0, Report: json.RawMessage(`{"Name":"t"}`)},
+		{V: FormatVersion, Type: TypeManifest, Fingerprint: "fp", Targets: []string{"t", "u"}},
+		{V: FormatVersion, Type: TypeFinish, Name: "u", Index: 1, Report: json.RawMessage(`{"Name":"u"}`)},
+	}}
+	rp2 := Fold(sameFP)
+	if rp2.Corrupt != nil || len(rp2.Finished) != 2 {
+		t.Errorf("same-fingerprint resume lost finishes: %d kept, corrupt=%v", len(rp2.Finished), rp2.Corrupt)
+	}
+}
+
+// TestFoldDuplicateTargetNames: two batch slots sharing a name (distinct
+// indexes) are distinct replay slots — both reports survive, and the
+// second finish must not be misread as duplicate-finish corruption.
+func TestFoldDuplicateTargetNames(t *testing.T) {
+	rec := &Recovery{Records: []Record{
+		{V: FormatVersion, Type: TypeManifest, Fingerprint: "fp", Targets: []string{"foo", "foo"}},
+		{V: FormatVersion, Type: TypeStart, Name: "foo", Index: 0},
+		{V: FormatVersion, Type: TypeFinish, Name: "foo", Index: 0, Report: json.RawMessage(`{"slot":0}`)},
+		{V: FormatVersion, Type: TypeStart, Name: "foo", Index: 1},
+		{V: FormatVersion, Type: TypeFinish, Name: "foo", Index: 1, Report: json.RawMessage(`{"slot":1}`)},
+	}}
+	rp := Fold(rec)
+	if rp.Corrupt != nil {
+		t.Fatalf("same-name targets misread as corruption: %v", rp.Corrupt)
+	}
+	if len(rp.Finished) != 2 {
+		t.Fatalf("finished = %d, want 2", len(rp.Finished))
+	}
+	for i := 0; i < 2; i++ {
+		var rep struct {
+			Slot int `json:"slot"`
+		}
+		if err := json.Unmarshal(rp.Finished[TargetKey(i, "foo")], &rep); err != nil || rep.Slot != i {
+			t.Errorf("slot %d replayed slot %d's report (err=%v)", i, rep.Slot, err)
+		}
+	}
+	// A true duplicate — same index AND name — is still corruption.
+	dup := &Recovery{Records: append(rec.Records,
+		Record{V: FormatVersion, Type: TypeFinish, Name: "foo", Index: 1, Report: json.RawMessage(`{"slot":9}`)})}
+	rpd := Fold(dup)
+	if rpd.Corrupt == nil {
+		t.Error("true duplicate finish (same slot) not surfaced as corruption")
 	}
 }
 

@@ -381,7 +381,7 @@ func TestMaxRootFailuresAbort(t *testing.T) {
 // AppReport JSON round trip — classes, counts, stacks and attempts intact.
 func TestFailureClassesRoundTrip(t *testing.T) {
 	classes := []FailureClass{
-		FailParse, FailPathBudget, FailObjectBudget, FailSolverBudget,
+		FailParse, FailLoad, FailPathBudget, FailObjectBudget, FailSolverBudget,
 		FailRootTimeout, FailCancelled, FailPanic, FailInternal,
 	}
 	rep := &AppReport{Name: "round-trip"}
@@ -441,6 +441,7 @@ func TestFailureClassesRoundTrip(t *testing.T) {
 func TestRetryableMatrix(t *testing.T) {
 	want := map[FailureClass]bool{
 		FailParse:        false,
+		FailLoad:         false,
 		FailPathBudget:   true,
 		FailObjectBudget: true,
 		FailSolverBudget: true,

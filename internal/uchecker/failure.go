@@ -26,6 +26,13 @@ const (
 	// FailParse: a source file could not be parsed at all (beyond the
 	// tolerated, recovered syntax errors counted by AppReport.ParseErrors).
 	FailParse FailureClass = "parse"
+	// FailLoad: a source file or directory entry could not be *read*
+	// while materializing the target — permission denied, symlink loop,
+	// file vanished mid-walk. These are I/O failures, not parser
+	// failures: keeping them out of FailParse keeps the per-class
+	// accounting honest (a corpus on flaky storage must not look like a
+	// corpus full of unparseable PHP).
+	FailLoad FailureClass = "load"
 	// FailPathBudget: symbolic execution outgrew Options.Interp.MaxPaths.
 	FailPathBudget FailureClass = "path-budget"
 	// FailObjectBudget: the heap graph outgrew Options.Interp.MaxObjects.

@@ -151,7 +151,7 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 	// --- Recovery: salvage the resume journal, if any ---
 	var replayed map[string]json.RawMessage
 	var salvaged []scanjournal.Record
-	byteCorrupt := false
+	resumeCorrupt := false
 	if s.opts.ResumeFrom != "" {
 		rec, err := scanjournal.Read(s.opts.ResumeFrom)
 		switch {
@@ -162,7 +162,14 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 		default:
 			rp := scanjournal.Fold(rec)
 			salvaged = rec.Records[:rp.Salvaged]
-			byteCorrupt = rec.Corrupt != nil
+			// Byte-level (torn tail, bad checksum) and semantic
+			// (duplicate finish, unknown type, missing manifest)
+			// corruption are handled identically: both leave an
+			// untrusted region that same-file resume must compact away —
+			// otherwise every later resume's Fold stops at the same
+			// offending record and all subsequently appended work stays
+			// permanently invisible.
+			resumeCorrupt = rp.Corrupt != nil
 			stats.SalvagedRecords = rp.Salvaged
 			stats.Metrics.Add("journal_records_salvaged", int64(rp.Salvaged))
 			if rp.Corrupt != nil {
@@ -202,9 +209,10 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 	var jw *scanjournal.Writer
 	sameFile := s.opts.Journal != "" && s.opts.Journal == s.opts.ResumeFrom
 	if s.opts.Journal != "" {
-		if sameFile && byteCorrupt {
-			// New appends must not land after garbage: atomically compact
-			// the journal down to its salvaged prefix first. A crash
+		if sameFile && resumeCorrupt {
+			// New appends must not land after garbage — byte-level OR
+			// semantic: atomically compact the journal down to its
+			// salvaged (semantically valid) prefix first. A crash
 			// mid-compaction leaves the original file intact (temp-file +
 			// rename).
 			if err := scanjournal.Compact(s.opts.Journal, salvaged); err != nil {
@@ -254,8 +262,11 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 			return
 		}
 		// 1. Journal replay: a finish record from the resumed sweep is
-		// the report, byte-identical.
-		if raw, ok := replayed[name]; ok {
+		// the report, byte-identical. Replay is keyed by (index, name)
+		// — never name alone — so two batch targets that share a name
+		// (loadTarget derives names from base names) each replay their
+		// own slot's report.
+		if raw, ok := replayed[scanjournal.TargetKey(i, name)]; ok {
 			if rep, err := decodeReport(raw); err == nil {
 				reports[i] = rep
 				mu.Lock()

@@ -2,6 +2,7 @@ package uchecker
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -253,6 +254,178 @@ func TestBatchJournalCorruptionRecovery(t *testing.T) {
 	}
 }
 
+// TestBatchResumeAfterOptionsChange is the regression for the
+// options-change resume bug: the same-file -journal/-resume idiom,
+// re-run with different budgets, must re-scan under the new options and
+// then — on the *next* resume — replay the new-options reports, not the
+// stale ones, and must not misread the legitimate re-finishes as
+// duplicate-finish corruption.
+func TestBatchResumeAfterOptionsChange(t *testing.T) {
+	targets := batchTargets(t)[:2]
+	ctx := context.Background()
+	journal := filepath.Join(t.TempDir(), "scan.journal")
+
+	optsA := batchOpts(1)
+	optsA.Journal = journal
+	optsA.ResumeFrom = journal
+	if _, statsA, err := NewScanner(optsA).ScanBatchJournaled(ctx, targets); err != nil {
+		t.Fatal(err)
+	} else if statsA.Scanned != len(targets) {
+		t.Fatalf("first run scanned %d, want %d", statsA.Scanned, len(targets))
+	}
+
+	// Options change: fingerprint shifts, everything re-scans.
+	optsB := optsA
+	optsB.Interp.MaxPaths = 19999
+	repsB, statsB, err := NewScanner(optsB).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsB.Scanned != len(targets) || statsB.Replayed != 0 {
+		t.Fatalf("options-change run: scanned %d / replayed %d, want %d / 0",
+			statsB.Scanned, statsB.Replayed, len(targets))
+	}
+	wantB := batchFingerprints(t, repsB)
+
+	// Resume under the new options: the fpB epoch's reports replay; the
+	// fpA-epoch finishes are neither replayed nor mistaken for
+	// duplicate-finish corruption.
+	repsC, statsC, err := NewScanner(optsB).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fl := range statsC.Failures {
+		if fl.Class == FailJournalCorrupt {
+			t.Fatalf("legitimate options-change resume reported corruption: %v", fl)
+		}
+	}
+	if statsC.Replayed != len(targets) || statsC.Scanned != 0 {
+		t.Errorf("post-change resume: replayed %d / scanned %d, want %d / 0",
+			statsC.Replayed, statsC.Scanned, len(targets))
+	}
+	if got := batchFingerprints(t, repsC); !equalStrings(got, wantB) {
+		t.Error("post-change resume replayed stale-options reports")
+	}
+}
+
+// TestBatchSemanticCorruptionCompaction is the regression for the
+// compact-only-on-byte-corruption bug: semantic corruption (here a
+// well-framed duplicate finish record) must also be compacted away on a
+// same-file resume, so the *next* resume folds clean instead of
+// stopping at the same offending record forever.
+func TestBatchSemanticCorruptionCompaction(t *testing.T) {
+	targets := batchTargets(t)[:2]
+	ctx := context.Background()
+	journal := filepath.Join(t.TempDir(), "scan.journal")
+	opts := batchOpts(1)
+	opts.Journal = journal
+	opts.ResumeFrom = journal
+
+	reps1, _, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchFingerprints(t, reps1)
+
+	// Append a byte-valid but semantically corrupt duplicate finish.
+	payload, err := json.Marshal(scanjournal.Record{
+		V: scanjournal.FormatVersion, Type: scanjournal.TypeFinish,
+		Name: targets[0].Name, Index: 0, Report: json.RawMessage(`{"Name":"evil-twin"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(scanjournal.Frame(payload)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First resume: exactly one FailJournalCorrupt, full salvage.
+	reps2, stats2, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := 0
+	for _, fl := range stats2.Failures {
+		if fl.Class == FailJournalCorrupt {
+			corrupt++
+		}
+	}
+	if corrupt != 1 {
+		t.Fatalf("FailJournalCorrupt count = %d, want 1 (failures: %v)", corrupt, stats2.Failures)
+	}
+	if stats2.Replayed != len(targets) {
+		t.Errorf("replayed = %d, want %d (all finishes precede the corruption)", stats2.Replayed, len(targets))
+	}
+	if got := batchFingerprints(t, reps2); !equalStrings(got, want) {
+		t.Error("corrupt-resume reports drifted")
+	}
+
+	// Second resume: compaction removed the semantic damage — no
+	// recurring corruption, everything replays.
+	reps3, stats3, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fl := range stats3.Failures {
+		if fl.Class == FailJournalCorrupt {
+			t.Fatalf("semantic corruption survived the compacting resume: %v", fl)
+		}
+	}
+	if stats3.Replayed != len(targets) || stats3.Scanned != 0 {
+		t.Errorf("post-heal resume: replayed %d / scanned %d, want %d / 0",
+			stats3.Replayed, stats3.Scanned, len(targets))
+	}
+	if got := batchFingerprints(t, reps3); !equalStrings(got, want) {
+		t.Error("post-heal reports drifted")
+	}
+}
+
+// TestBatchDuplicateTargetNames: two batch targets sharing a name (as
+// loadTarget produces for a/foo.php and b/foo.php) journal and resume
+// as distinct slots — each replays its own report, and the two finish
+// records are not misread as duplicate-finish corruption.
+func TestBatchDuplicateTargetNames(t *testing.T) {
+	targets := []Target{
+		{Name: "foo", Sources: map[string]string{"a/foo.php": "<?php move_uploaded_file($_FILES['f']['tmp_name'], 'up/' . $_FILES['f']['name']);"}},
+		{Name: "foo", Sources: map[string]string{"b/foo.php": "<?php echo 1;"}},
+	}
+	ctx := context.Background()
+	journal := filepath.Join(t.TempDir(), "scan.journal")
+	opts := batchOpts(1)
+	opts.Journal = journal
+	opts.ResumeFrom = journal
+
+	reps1, _, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batchFingerprints(t, reps1)
+	if want[0] == want[1] {
+		t.Fatal("test targets must produce distinguishable reports")
+	}
+
+	reps2, stats2, err := NewScanner(opts).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fl := range stats2.Failures {
+		if fl.Class == FailJournalCorrupt {
+			t.Fatalf("same-name targets misread as journal corruption: %v", fl)
+		}
+	}
+	if stats2.Replayed != len(targets) || stats2.Scanned != 0 {
+		t.Errorf("resume: replayed %d / scanned %d, want %d / 0", stats2.Replayed, stats2.Scanned, len(targets))
+	}
+	if got := batchFingerprints(t, reps2); !equalStrings(got, want) {
+		t.Errorf("same-name slots cross-replayed: got %v, want %v", got, want)
+	}
+}
+
 // TestBatchCacheCorrectness is the cache acceptance criterion: a second
 // run over an unchanged corpus hits for every target with byte-identical
 // reports; touching one file invalidates exactly that target; changing
@@ -472,7 +645,7 @@ func TestTargetLoadFailures(t *testing.T) {
 		Name:    "partial",
 		Sources: map[string]string{"ok.php": "<?php echo 1;"},
 		LoadFailures: []Failure{{
-			Root: "secrets.php", Stage: StageLoad, Class: FailParse,
+			Root: "secrets.php", Stage: StageLoad, Class: FailLoad,
 			Err: "unreadable: permission denied",
 		}},
 	}
@@ -480,10 +653,13 @@ func TestTargetLoadFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hasFailureClass(rep, FailParse) {
+	if !hasFailureClass(rep, FailLoad) {
 		t.Fatalf("load failure lost: %+v", rep.Failures)
 	}
-	if rep.FailureCounts[FailParse] != 1 {
-		t.Errorf("FailureCounts[parse] = %d, want 1", rep.FailureCounts[FailParse])
+	if rep.FailureCounts[FailLoad] != 1 {
+		t.Errorf("FailureCounts[load] = %d, want 1", rep.FailureCounts[FailLoad])
+	}
+	if rep.FailureCounts[FailParse] != 0 {
+		t.Errorf("I/O load failure accounted as a parse failure: %v", rep.FailureCounts)
 	}
 }
