@@ -7,9 +7,9 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix bench bench-scan
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix bench bench-scan bench-smt bench-smoke
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race fuzz-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -56,3 +56,17 @@ bench:
 # The Scanner v2 serial-vs-parallel pair.
 bench-scan:
 	$(GO) test -run '^$$' -bench 'BenchmarkScan(Serial|Parallel|Roots)' .
+
+# Shared-structure constraint-engine micro-benchmarks (interned vs the
+# -no-intern ablation), archived as JSON for cross-commit comparison.
+bench-smt:
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkSimplifyShared|BenchmarkSolverIncremental|BenchmarkInternConstruction' -benchtime 2s -benchmem ./internal/smt; \
+	   $(GO) test -run '^$$' -bench 'BenchmarkPathForkDeep' -benchtime 2s -benchmem ./internal/heapgraph; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_smt.json
+	@echo "wrote BENCH_smt.json"
+
+# One-iteration smoke over the constraint-engine benchmarks: keeps the
+# benchmark harnesses compiling and running inside `make check` without
+# paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimplifyShared|BenchmarkSolverIncremental|BenchmarkInternConstruction' -benchtime 1x ./internal/smt
+	$(GO) test -run '^$$' -bench 'BenchmarkPathForkDeep' -benchtime 1x ./internal/heapgraph

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so benchmark numbers can be archived and
+// diffed across commits (e.g. make bench-smt > BENCH_smt.json).
+//
+//	go test -run '^$' -bench . -benchmem ./internal/smt | go run ./cmd/benchjson
+//
+// The output is an object with the benchmarking environment (goos,
+// goarch, cpu, pkg lines as emitted by the test binary) and one entry per
+// benchmark result line: name, iterations, and every "value unit" metric
+// pair (ns/op, B/op, allocs/op, custom ReportMetric units, …).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Env     map[string]string `json:"env"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := doc{Env: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+			out.Env["pkg"] = appendPkg(out.Env["pkg"], pkg)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseResult(line, pkg); ok {
+				out.Results = append(out.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func appendPkg(cur, pkg string) string {
+	if cur == "" {
+		return pkg
+	}
+	return cur + " " + pkg
+}
+
+// parseResult parses one benchmark line:
+//
+//	BenchmarkName/sub-8   100  11111 ns/op  2222 B/op  33 allocs/op
+func parseResult(line, pkg string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		Name:       fields[0],
+		Package:    pkg,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}

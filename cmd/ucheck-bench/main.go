@@ -56,6 +56,7 @@ func main() {
 		journal  = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
 		resume   = flag.String("resume", "", "resume the Table III sweep from this journal")
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory")
+		noIntern = flag.Bool("no-intern", false, "disable SMT term interning/memoization (ablation; findings are identical)")
 	)
 	flag.Parse()
 	if !*table && !*compare && !*all && *screen == 0 && !*failures && !*counters {
@@ -63,11 +64,12 @@ func main() {
 	}
 
 	opts := uchecker.Options{
-		Interp:     interp.Options{MaxPaths: *maxPaths},
-		Workers:    *workers,
-		Journal:    *journal,
-		ResumeFrom: *resume,
-		CacheDir:   *cacheDir,
+		Interp:        interp.Options{MaxPaths: *maxPaths},
+		Workers:       *workers,
+		Journal:       *journal,
+		ResumeFrom:    *resume,
+		CacheDir:      *cacheDir,
+		DisableIntern: *noIntern,
 	}
 	crashSafe := *journal != "" || *resume != "" || *cacheDir != ""
 	var times *evalharness.PhaseTimes

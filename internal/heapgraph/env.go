@@ -8,12 +8,22 @@ import (
 
 // frame is one variable scope. The bottom frame is the file-level (global)
 // scope; each inlined function call pushes a frame.
+//
+// Frames are copy-on-write: Clone marks both the original's and the
+// clone's frames shared without copying the maps, and every mutator
+// materializes a private copy (via Env.own) only when it actually writes
+// to a shared frame. Forking a path is therefore O(scope depth) instead
+// of O(total bindings) — the persistent shared-tail representation that
+// makes deep symbolic forks cheap.
 type frame struct {
 	vars map[string]Label
 	// globalImports records names aliased into this frame via PHP's
 	// `global` statement; their final values are written back to the
 	// global frame when the scope pops.
 	globalImports map[string]bool
+	// shared marks the maps as referenced by more than one Env; they must
+	// be copied before mutation.
+	shared bool
 }
 
 func newFrame() frame {
@@ -71,6 +81,19 @@ func NewEnv() *Env {
 
 func (e *Env) top() *frame { return &e.frames[len(e.frames)-1] }
 
+// own returns frame i ready for mutation, materializing a private copy of
+// its maps first if they are shared with another Env (copy-on-write).
+func (e *Env) own(i int) *frame {
+	f := &e.frames[i]
+	if f.shared {
+		*f = f.clone()
+	}
+	return f
+}
+
+// ownTop is own for the current scope.
+func (e *Env) ownTop() *frame { return e.own(len(e.frames) - 1) }
+
 // Suspended reports whether the path is currently not executing statements
 // (terminated or unwinding a break/continue).
 func (e *Env) Suspended() bool {
@@ -89,10 +112,10 @@ func (e *Env) Has(name string) bool {
 
 // Bind associates a variable with an object label in the current scope
 // (the paper's Add_Var + Add_Map).
-func (e *Env) Bind(name string, l Label) { e.top().vars[name] = l }
+func (e *Env) Bind(name string, l Label) { e.ownTop().vars[name] = l }
 
 // Unbind removes a variable binding (PHP unset()).
-func (e *Env) Unbind(name string) { delete(e.top().vars, name) }
+func (e *Env) Unbind(name string) { delete(e.ownTop().vars, name) }
 
 // VarNames returns the bound variable names of the current scope, sorted.
 func (e *Env) VarNames() []string {
@@ -114,7 +137,7 @@ func (e *Env) PushScope() {
 func (e *Env) PopScope() {
 	top := e.top()
 	if len(e.frames) > 1 && top.globalImports != nil {
-		g := &e.frames[0]
+		g := e.own(0)
 		for name := range top.globalImports {
 			if l, ok := top.vars[name]; ok {
 				g.vars[name] = l
@@ -137,9 +160,9 @@ func (e *Env) ImportGlobal(name string, mk func() Label) {
 	l, ok := g.vars[name]
 	if !ok {
 		l = mk()
-		g.vars[name] = l
+		e.own(0).vars[name] = l
 	}
-	top := e.top()
+	top := e.ownTop()
 	top.vars[name] = l
 	if top.globalImports == nil {
 		top.globalImports = map[string]bool{}
@@ -147,10 +170,16 @@ func (e *Env) ImportGlobal(name string, mk func() Label) {
 	top.globalImports[name] = true
 }
 
-// Clone returns a deep copy of the environment. Cloning is how the
-// interpreter forks paths at conditionals; object labels are shared with
-// the original, which is the memory-sharing design the paper credits for
-// the small per-path object counts.
+// Clone forks the environment. Cloning is how the interpreter forks paths
+// at conditionals; object labels are shared with the original, which is
+// the memory-sharing design the paper credits for the small per-path
+// object counts.
+//
+// Scope frames are shared copy-on-write: both sides keep referencing the
+// same variable maps, marked shared, and whichever path writes first pays
+// for the copy of just the frame it writes to. The path condition (Cur)
+// is a heap-graph label, so the condition prefix is a shared tail by
+// construction. Forking is therefore O(scope depth), not O(bindings).
 func (e *Env) Clone() *Env {
 	n := &Env{
 		frames:     make([]frame, len(e.frames)),
@@ -161,10 +190,25 @@ func (e *Env) Clone() *Env {
 		ContinueN:  e.ContinueN,
 	}
 	for i := range e.frames {
-		n.frames[i] = e.frames[i].clone()
+		e.frames[i].shared = true
+		n.frames[i] = e.frames[i]
 	}
 	if len(e.Tmp) > 0 {
 		n.Tmp = append([]Label(nil), e.Tmp...)
+	}
+	return n
+}
+
+// SharedFrames returns the number of scope frames currently borrowed
+// copy-on-write (shared with at least one other Env at the time of the
+// last fork). The interpreter samples it at fork sites to report how much
+// structure forking shared instead of copied.
+func (e *Env) SharedFrames() int {
+	n := 0
+	for i := range e.frames {
+		if e.frames[i].shared {
+			n++
+		}
 	}
 	return n
 }

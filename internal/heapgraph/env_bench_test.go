@@ -1,0 +1,77 @@
+package heapgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+// deepCloneEnv reproduces the pre-COW Clone: every frame's maps are
+// copied eagerly. Kept here as the benchmark baseline the persistent
+// shared-tail representation is measured against.
+func deepCloneEnv(e *Env) *Env {
+	n := &Env{
+		frames:     make([]frame, len(e.frames)),
+		Cur:        e.Cur,
+		Returned:   e.Returned,
+		Terminated: e.Terminated,
+		BreakN:     e.BreakN,
+		ContinueN:  e.ContinueN,
+	}
+	for i := range e.frames {
+		n.frames[i] = e.frames[i].clone()
+	}
+	if len(e.Tmp) > 0 {
+		n.Tmp = append([]Label(nil), e.Tmp...)
+	}
+	return n
+}
+
+// benchEnv builds an environment with the given scope depth and bindings
+// per frame — the shape of a deeply inlined call chain at a fork site.
+func benchEnv(g *Graph, depth, bindings int) *Env {
+	e := NewEnv()
+	for d := 0; d < depth; d++ {
+		for i := 0; i < bindings; i++ {
+			e.Bind(fmt.Sprintf("v%d_%d", d, i), g.NewConcrete(sexpr.IntVal(int64(i)), d+1))
+		}
+		if d < depth-1 {
+			e.PushScope()
+		}
+	}
+	return e
+}
+
+// BenchmarkPathForkDeep measures one symbolic fork (clone + one write on
+// the forked path, the interpreter's pattern at every conditional) on a
+// deep, well-populated environment. "deepcopy" is the old eager clone;
+// "cow" the persistent shared-tail clone.
+func BenchmarkPathForkDeep(b *testing.B) {
+	for _, shape := range []struct{ depth, bindings int }{
+		{4, 16},
+		{16, 32},
+		{32, 64},
+	} {
+		name := fmt.Sprintf("d%d_b%d", shape.depth, shape.bindings)
+		g := New()
+		l := g.NewConcrete(sexpr.IntVal(42), 1)
+
+		b.Run("deepcopy/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			e := benchEnv(g, shape.depth, shape.bindings)
+			for i := 0; i < b.N; i++ {
+				c := deepCloneEnv(e)
+				c.Bind("forked", l)
+			}
+		})
+		b.Run("cow/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			e := benchEnv(g, shape.depth, shape.bindings)
+			for i := 0; i < b.N; i++ {
+				c := e.Clone()
+				c.Bind("forked", l)
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package heapgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+// These tests pin the copy-on-write frame semantics: Clone shares every
+// scope frame between both environments, and any mutation on either side
+// materializes a private copy of exactly the frame it writes — never
+// leaking into the sibling path.
+
+func TestCloneCOWSharesUntilWrite(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	a := g.NewConcrete(sexpr.IntVal(1), 1)
+	b := g.NewConcrete(sexpr.IntVal(2), 2)
+	e.Bind("x", a)
+
+	c := e.Clone()
+	// Both sides report the frame as shared until someone writes.
+	if e.SharedFrames() != 1 || c.SharedFrames() != 1 {
+		t.Fatalf("shared frames: orig %d clone %d, want 1/1", e.SharedFrames(), c.SharedFrames())
+	}
+	// Reads do not unshare.
+	_ = c.Get("x")
+	_ = c.Has("x")
+	_ = c.VarNames()
+	if c.SharedFrames() != 1 {
+		t.Fatal("read unshared a frame")
+	}
+	// A write on the clone unshares only the clone's frame.
+	c.Bind("x", b)
+	if c.SharedFrames() != 0 {
+		t.Fatalf("clone still shared after write: %d", c.SharedFrames())
+	}
+	if e.Get("x") != a {
+		t.Fatal("clone write leaked into original")
+	}
+	// A write on the original (whose frame is still marked shared from the
+	// fork) must not touch the clone either.
+	c2 := g.NewConcrete(sexpr.IntVal(3), 3)
+	e.Bind("y", c2)
+	if c.Has("y") {
+		t.Fatal("original write leaked into clone")
+	}
+	if c.Get("x") != b {
+		t.Fatal("clone binding lost after original write")
+	}
+}
+
+func TestCloneCOWUnbindIsolation(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	e.Bind("x", g.NewConcrete(sexpr.IntVal(1), 1))
+	c := e.Clone()
+	c.Unbind("x")
+	if !e.Has("x") {
+		t.Fatal("Unbind on clone removed the original's binding")
+	}
+	if c.Has("x") {
+		t.Fatal("Unbind on clone had no effect")
+	}
+}
+
+func TestCloneCOWChainedForks(t *testing.T) {
+	g := New()
+	base := NewEnv()
+	v0 := g.NewConcrete(sexpr.StrVal("base"), 1)
+	base.Bind("v", v0)
+
+	// Fork a chain base → c1 → c2; all three then diverge.
+	c1 := base.Clone()
+	c2 := c1.Clone()
+	l1 := g.NewConcrete(sexpr.StrVal("one"), 2)
+	l2 := g.NewConcrete(sexpr.StrVal("two"), 3)
+	c1.Bind("v", l1)
+	c2.Bind("v", l2)
+	if base.Get("v") != v0 || c1.Get("v") != l1 || c2.Get("v") != l2 {
+		t.Fatalf("chained forks not isolated: base=%v c1=%v c2=%v",
+			base.Get("v"), c1.Get("v"), c2.Get("v"))
+	}
+}
+
+func TestCloneCOWScopeStackIndependence(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	e.Bind("g", g.NewConcrete(sexpr.IntVal(0), 1))
+	e.PushScope()
+	e.Bind("local", g.NewConcrete(sexpr.IntVal(1), 2))
+
+	c := e.Clone()
+	// Pushing/popping scopes on one side must not disturb the other.
+	c.PushScope()
+	c.Bind("inner", g.NewConcrete(sexpr.IntVal(2), 3))
+	if e.Depth() != 2 {
+		t.Fatalf("original depth changed: %d", e.Depth())
+	}
+	c.PopScope()
+	c.PopScope()
+	if c.Depth() != 1 || e.Depth() != 2 {
+		t.Fatalf("depths: clone %d (want 1) orig %d (want 2)", c.Depth(), e.Depth())
+	}
+	if !e.Has("local") {
+		t.Fatal("original lost its local after clone popped scopes")
+	}
+}
+
+func TestCloneCOWGlobalWriteback(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	orig := g.NewConcrete(sexpr.StrVal("/uploads"), 1)
+	e.Bind("dir", orig)
+	e.PushScope()
+	e.ImportGlobal("dir", func() Label { return Null })
+
+	// Fork inside the function scope; each side writes a different value
+	// back to its own global frame on pop.
+	c := e.Clone()
+	eVal := g.NewConcrete(sexpr.StrVal("/tmp/e"), 2)
+	cVal := g.NewConcrete(sexpr.StrVal("/tmp/c"), 3)
+	e.Bind("dir", eVal)
+	c.Bind("dir", cVal)
+	e.PopScope()
+	c.PopScope()
+	if e.Get("dir") != eVal {
+		t.Fatalf("original write-back = %v, want %v", e.Get("dir"), eVal)
+	}
+	if c.Get("dir") != cVal {
+		t.Fatalf("clone write-back = %v, want %v", c.Get("dir"), cVal)
+	}
+}
+
+func TestCloneCOWDeepScopes(t *testing.T) {
+	// A deep scope stack forked many times: every path stays isolated and
+	// SharedFrames reflects the untouched tail.
+	g := New()
+	e := NewEnv()
+	const depth = 16
+	for i := 0; i < depth; i++ {
+		e.Bind(fmt.Sprintf("v%d", i), g.NewConcrete(sexpr.IntVal(int64(i)), i+1))
+		e.PushScope()
+	}
+	clones := make([]*Env, 8)
+	for i := range clones {
+		clones[i] = e.Clone()
+	}
+	for i, c := range clones {
+		if c.SharedFrames() != depth+1 {
+			t.Fatalf("clone %d: shared %d frames, want %d", i, c.SharedFrames(), depth+1)
+		}
+		c.Bind("mine", g.NewConcrete(sexpr.IntVal(int64(100+i)), 100))
+		// Exactly the written (top) frame unshared.
+		if c.SharedFrames() != depth {
+			t.Fatalf("clone %d: shared %d frames after write, want %d", i, c.SharedFrames(), depth)
+		}
+	}
+	for i, c := range clones {
+		for j, other := range clones {
+			if i != j && other.Get("mine") == c.Get("mine") {
+				t.Fatalf("clones %d and %d share a binding", i, j)
+			}
+		}
+	}
+	if e.Has("mine") {
+		t.Fatal("clone write leaked into the forked-from env")
+	}
+}
+
+func TestCloneCOWTmpStackIsolation(t *testing.T) {
+	g := New()
+	e := NewEnv()
+	l := g.NewConcrete(sexpr.IntVal(1), 1)
+	e.PushTmp(l)
+	c := e.Clone()
+	c.PushTmp(g.NewConcrete(sexpr.IntVal(2), 2))
+	if len(e.Tmp) != 1 {
+		t.Fatalf("original Tmp grew to %d", len(e.Tmp))
+	}
+	if got := c.PopTmp(); got == l {
+		t.Fatal("clone popped the original's operand")
+	}
+	if e.PopTmp() != l {
+		t.Fatal("original operand lost")
+	}
+}

@@ -58,6 +58,13 @@ type Stats struct {
 	// LiveEnvsPeak is the maximum number of live paths observed at any
 	// checkpoint — the high-water mark MaxPaths guards.
 	LiveEnvsPeak int64
+	// PathCondSharedNodes counts the structure each symbolic fork shared
+	// with its sibling instead of copying: the copy-on-write scope frames
+	// plus the path-condition tail label (see heapgraph.Env.Clone). It is
+	// the interpreter-side measure of the shared-tail representation —
+	// forking is O(scope depth), and this counter grows with depth per
+	// fork rather than with total bindings.
+	PathCondSharedNodes int64
 }
 
 // Options configures the engine. The zero value selects defaults.
@@ -431,6 +438,9 @@ func (in *Interp) execStmt(s phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSe
 			catchEnvs := envs.CloneAll()
 			in.stats.PathsForked += int64(len(catchEnvs))
 			for _, e := range catchEnvs {
+				in.stats.PathCondSharedNodes += int64(e.SharedFrames()) + 1
+			}
+			for _, e := range catchEnvs {
 				if c.Var != "" {
 					e.Bind(c.Var, in.g.NewSymbol("s_exc_"+c.Var, sexpr.Unknown, c.P.Line))
 				}
@@ -482,6 +492,7 @@ func (in *Interp) execIf(x *phpast.If, envs heapgraph.EnvSet) heapgraph.EnvSet {
 		}
 		in.stats.PathsForked++
 		te := e.Clone()
+		in.stats.PathCondSharedNodes += int64(te.SharedFrames()) + 1
 		fe := e
 		forkT = append(forkT, te)
 		forkTLabels = append(forkTLabels, condLabels[i])
@@ -675,6 +686,7 @@ func (in *Interp) execCondLoop(cond phpast.Expr, body []phpast.Stmt, post []phpa
 			}
 			in.stats.PathsForked++
 			te := e.Clone()
+			in.stats.PathCondSharedNodes += int64(te.SharedFrames()) + 1
 			te.ER(in.g, condLabels[j], line)
 			cont = append(cont, te)
 			not, ok := notShared[condLabels[j]]

@@ -1,0 +1,224 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSessionMatchesMonolithic: for random constraint pairs, the staged
+// Assert/Assert/Check must produce exactly the verdict, model, and work
+// counters of a monolithic Check on the conjunction.
+func TestSessionMatchesMonolithic(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	g := &formulaGen{r: r}
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		a, b := g.boolExpr(2), g.boolExpr(2)
+
+		mono := NewSolverWithFactory(Options{}, NewFactory())
+		mStatus, mModel, mStats, mErr := mono.Check(And(a, b))
+
+		inc := NewSolverWithFactory(Options{}, NewFactory())
+		sess := inc.NewSession()
+		sess.Assert(a)
+		sess.Assert(b)
+		sStatus, sModel, sStats, sErr := sess.Check()
+
+		if mStatus != sStatus || (mErr == nil) != (sErr == nil) {
+			t.Fatalf("round %d: verdict mismatch: mono (%v,%v) session (%v,%v)\n a=%s\n b=%s",
+				i, mStatus, mErr, sStatus, sErr, a, b)
+		}
+		if mStats != sStats {
+			t.Fatalf("round %d: stats mismatch: mono %+v session %+v", i, mStats, sStats)
+		}
+		if len(mModel) != len(sModel) {
+			t.Fatalf("round %d: model mismatch: %v vs %v", i, mModel, sModel)
+		}
+		for k, v := range mModel {
+			if sModel[k] != v {
+				t.Fatalf("round %d: model mismatch at %s: %v vs %v", i, k, v, sModel[k])
+			}
+		}
+	}
+}
+
+// TestSessionQuickUnsatSound: whenever QuickUnsat answers true for an
+// assertion set, a full Check of that set — and of any superset — must
+// answer Unsat, in both interned and direct modes.
+func TestSessionQuickUnsatSound(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	g := &formulaGen{r: r}
+	quick := 0
+	for _, withFactory := range []bool{true, false} {
+		for i := 0; i < 300; i++ {
+			var fac *Factory
+			if withFactory {
+				fac = NewFactory()
+			}
+			a := g.boolExpr(2)
+			contradiction := And(a, Not(a))
+			extra := g.boolExpr(1)
+
+			s := NewSolverWithFactory(Options{}, fac)
+			sess := s.NewSession()
+			sess.Assert(contradiction)
+			var st Stats
+			if !sess.QuickUnsat(&st) {
+				continue // simplifier may not fold every shape; soundness only claims the true case
+			}
+			quick++
+			// The same stack must fully check Unsat…
+			status, _, _, err := sess.Check()
+			if err != nil || status != Unsat {
+				t.Fatalf("QuickUnsat true but Check = (%v,%v) on %s", status, err, contradiction)
+			}
+			// …and so must any superset.
+			sess.Assert(extra)
+			status, _, _, err = sess.Check()
+			if err != nil || status != Unsat {
+				t.Fatalf("QuickUnsat true but superset Check = (%v,%v)", status, err)
+			}
+		}
+	}
+	if quick == 0 {
+		t.Fatal("QuickUnsat never fired; test is vacuous")
+	}
+}
+
+// TestSessionPushPop: Pop restores the assertion stack frame by frame and
+// the verdict follows the live assertions.
+func TestSessionPushPop(t *testing.T) {
+	x := Var("x", SortString)
+	s := NewSolverWithFactory(Options{}, NewFactory())
+	sess := s.NewSession()
+
+	sess.Assert(Eq(x, Str("a")))
+	if sess.Assertions() != 1 {
+		t.Fatalf("assertions = %d, want 1", sess.Assertions())
+	}
+	sess.Push()
+	sess.Assert(Eq(x, Str("b"))) // contradicts the base frame
+	if status, _, _, err := sess.Check(); err != nil || status != Unsat {
+		t.Fatalf("contradictory frames: status %v err %v, want unsat", status, err)
+	}
+	sess.Pop()
+	if sess.Assertions() != 1 {
+		t.Fatalf("after pop: assertions = %d, want 1", sess.Assertions())
+	}
+	status, m, _, err := sess.Check()
+	if err != nil || status != Sat {
+		t.Fatalf("base frame: status %v err %v, want sat", status, err)
+	}
+	if m["x"] != StrValue("a") {
+		t.Fatalf("witness %v, want x=a", m)
+	}
+	// Pop with no open frame clears the stack; the empty conjunction is true.
+	sess.Pop()
+	if sess.Assertions() != 0 {
+		t.Fatalf("after clearing pop: %d assertions", sess.Assertions())
+	}
+	if status, _, _, err := sess.Check(); err != nil || status != Sat {
+		t.Fatalf("empty stack: status %v err %v, want sat", status, err)
+	}
+}
+
+// TestSessionIncrementalReuse: re-asserting a constraint whose simplified
+// form is memoized counts toward IncrementalReuse — the counter the
+// scanner exports as smt_incremental_reuse.
+func TestSessionIncrementalReuse(t *testing.T) {
+	fac := NewFactory()
+	s := NewSolverWithFactory(Options{}, fac)
+	ext := fac.Or(
+		fac.SuffixOf(fac.Str(".php"), fac.Var("dst", SortString)),
+		fac.SuffixOf(fac.Str(".php5"), fac.Var("dst", SortString)),
+	)
+	sess := s.NewSession()
+	sess.Push()
+	sess.Assert(ext)
+	sess.Pop()
+	if got := fac.Stats().IncrementalReuse; got != 0 {
+		t.Fatalf("first assertion counted as reuse: %d", got)
+	}
+	sess.Push()
+	sess.Assert(ext) // second sink, same extension constraint
+	sess.Pop()
+	if got := fac.Stats().IncrementalReuse; got != 1 {
+		t.Fatalf("IncrementalReuse = %d, want 1", got)
+	}
+	// A structurally equal foreign tree is recognized via interning.
+	foreign := Or(
+		SuffixOf(Str(".php"), Var("dst", SortString)),
+		SuffixOf(Str(".php5"), Var("dst", SortString)),
+	)
+	sess.Push()
+	sess.Assert(foreign)
+	sess.Pop()
+	if got := fac.Stats().IncrementalReuse; got != 2 {
+		t.Fatalf("IncrementalReuse after foreign re-assert = %d, want 2", got)
+	}
+	// Without a factory the counter stays zero (ablation invariant).
+	s2 := NewSolver(Options{})
+	sess2 := s2.NewSession()
+	sess2.Assert(foreign)
+	sess2.Assert(foreign)
+	if got := s2.Factory().Stats().IncrementalReuse; got != 0 {
+		t.Fatalf("nil-factory IncrementalReuse = %d, want 0", got)
+	}
+}
+
+// TestSessionStagedExtensionReach mirrors the scanner's exact staging
+// (push; assert extension; quick-check; assert reach; check; pop) and
+// cross-checks it against the monolithic conjunction on formulas shaped
+// like real vulnerability models.
+func TestSessionStagedExtensionReach(t *testing.T) {
+	dst := Var("dst", SortString)
+	cond := Var("c", SortString)
+	cases := []struct {
+		ext, reach *Term
+		want       Status
+	}{
+		{ // satisfiable: .php suffix with a reachable path
+			Or(SuffixOf(Str(".php"), dst), SuffixOf(Str(".php5"), dst)),
+			Eq(cond, Str("go")),
+			Sat,
+		},
+		{ // extension contradicts a concrete destination
+			And(SuffixOf(Str(".php"), dst), Eq(dst, Str("img.png"))),
+			True(),
+			Unsat,
+		},
+		{ // reachability contradicts itself
+			SuffixOf(Str(".php"), dst),
+			And(Eq(cond, Str("a")), Eq(cond, Str("b"))),
+			Unsat,
+		},
+	}
+	for i, tc := range cases {
+		mono := NewSolverWithFactory(Options{}, NewFactory())
+		mStatus, _, _, mErr := mono.Check(And(tc.ext, tc.reach))
+
+		s := NewSolverWithFactory(Options{}, NewFactory())
+		sess := s.NewSession()
+		sess.Push()
+		sess.Assert(tc.ext)
+		var st Stats
+		status := Unknown
+		if sess.QuickUnsat(&st) {
+			status = Unsat
+		} else {
+			sess.Assert(tc.reach)
+			var err error
+			status, _, _, err = sess.Check()
+			if err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+		}
+		sess.Pop()
+		if mErr != nil {
+			t.Fatalf("case %d: monolithic error %v", i, mErr)
+		}
+		if status != mStatus || status != tc.want {
+			t.Fatalf("case %d: staged %v monolithic %v want %v", i, status, mStatus, tc.want)
+		}
+	}
+}

@@ -12,56 +12,116 @@ import "strings"
 // here without any search.
 func Simplify(t *Term) *Term {
 	var st Stats
-	return simplifyCounted(t, &st)
+	return (*Factory)(nil).simplifyCounted(t, &st)
+}
+
+// Simplify is the factory-routed Simplify: rewriting runs through the
+// factory's per-node memo tables (when f is non-nil), so shared subterms —
+// in particular the path-condition prefix common to sibling paths — are
+// rewritten once. The result is structurally identical to the package
+// Simplify; only the work differs.
+func (f *Factory) Simplify(t *Term) *Term {
+	var st Stats
+	return f.simplifyCounted(t, &st)
 }
 
 // simplifyCounted is Simplify with rewrite accounting: every pass that
 // changed the term increments st.Rewrites, so the solver's Stats report
 // how much cheap deduction the simplifier performed.
-func simplifyCounted(t *Term, st *Stats) *Term {
-	cur := t
-	for i := 0; i < 8; i++ {
-		next := simplify1(cur)
-		if Equal(next, cur) {
-			return next
+//
+// The fixpoint is memoized per input node: a repeat query replays the
+// recorded pass count into st, keeping Stats byte-identical whether the
+// result was computed or recalled.
+func (f *Factory) simplifyCounted(t *Term, st *Stats) *Term {
+	if f != nil {
+		if r, ok := f.fixMemo[t]; ok {
+			f.stats.SimplifyMemoHits++
+			st.Rewrites += f.fixCost[t]
+			return r
 		}
-		st.Rewrites++
+	}
+	cur := t
+	rewrites := 0
+	converged := false
+	for i := 0; i < 8; i++ {
+		next := f.simplify1(cur)
+		if next == cur || Equal(next, cur) {
+			cur = next
+			converged = true
+			break
+		}
+		rewrites++
 		cur = next
+	}
+	st.Rewrites += rewrites
+	if f != nil {
+		f.fixMemo[t] = cur
+		f.fixCost[t] = rewrites
+		if converged && cur != t {
+			// A converged result is itself a fixpoint: querying it again
+			// costs zero passes.
+			if _, ok := f.fixMemo[cur]; !ok {
+				f.fixMemo[cur] = cur
+				f.fixCost[cur] = 0
+			}
+		}
 	}
 	return cur
 }
 
-// simplify1 is one bottom-up rewriting pass.
-func simplify1(t *Term) *Term {
+// simplifyCounted is the non-interned entry point kept for the solver's
+// nil-factory path and tests.
+func simplifyCounted(t *Term, st *Stats) *Term {
+	return (*Factory)(nil).simplifyCounted(t, st)
+}
+
+// simplify1 is one bottom-up rewriting pass, memoized per node when f is
+// non-nil. Results are structurally identical to the historical
+// non-factory pass; interning only canonicalizes the pointers.
+func (f *Factory) simplify1(t *Term) *Term {
 	if t == nil || t.IsConst() || t.Op == OpVar {
 		return t
 	}
+	if f != nil {
+		if r, ok := f.simp1Memo[t]; ok {
+			f.stats.SimplifyMemoHits++
+			return r
+		}
+	}
+	r := f.simplify1Work(t)
+	if f != nil {
+		f.simp1Memo[t] = r
+	}
+	return r
+}
+
+func (f *Factory) simplify1Work(t *Term) *Term {
 	args := make([]*Term, len(t.Args))
 	ground := true
 	for i, a := range t.Args {
-		args[i] = simplify1(a)
+		args[i] = f.simplify1(a)
 		if !args[i].IsConst() {
 			ground = false
 		}
 	}
-	n := &Term{Op: t.Op, sort: t.sort, B: t.B, I: t.I, S: t.S, Args: args}
+	n := f.mk(t.Op, t.sort, t.B, t.I, t.S, args)
 
 	// Ground term: fold through the evaluator.
 	if ground && t.Op != OpVar {
 		if v, err := Eval(n, nil); err == nil {
-			return constOf(v)
+			return f.constOf(v)
 		}
 	}
 
 	switch n.Op {
 	case OpNot:
-		return simplifyNot(n)
+		return f.simplifyNot(n)
 	case OpAnd:
-		return simplifyAndOr(n, true)
+		return f.simplifyAndOr(n, true)
 	case OpOr:
-		return simplifyAndOr(n, false)
+		return f.simplifyAndOr(n, false)
 	case OpEq:
-		return simplifyEq(n)
+		return f.simplifyEq(n)
 	case OpIte:
 		if args[0].Op == OpBoolConst {
 			if args[0].B {
@@ -74,36 +134,36 @@ func simplify1(t *Term) *Term {
 		}
 		return n
 	case OpConcat:
-		return simplifyConcat(n)
+		return f.simplifyConcat(n)
 	case OpLen:
-		return simplifyLen(n)
+		return f.simplifyLen(n)
 	case OpSuffixOf:
-		return simplifySuffixOf(n)
+		return f.simplifySuffixOf(n)
 	case OpPrefixOf:
-		return simplifyPrefixOf(n)
+		return f.simplifyPrefixOf(n)
 	case OpContains:
-		return simplifyContains(n)
+		return f.simplifyContains(n)
 	case OpAdd:
-		return simplifyAdd(n)
+		return f.simplifyAdd(n)
 	case OpLt, OpLe, OpGt, OpGe:
-		return simplifyCmp(n)
+		return f.simplifyCmp(n)
 	default:
 		return n
 	}
 }
 
-func constOf(v Value) *Term {
+func (f *Factory) constOf(v Value) *Term {
 	switch v.Sort {
 	case SortBool:
 		return Bool(v.B)
 	case SortInt:
-		return Int(v.I)
+		return f.Int(v.I)
 	default:
-		return Str(v.S)
+		return f.Str(v.S)
 	}
 }
 
-func simplifyNot(n *Term) *Term {
+func (f *Factory) simplifyNot(n *Term) *Term {
 	x := n.Args[0]
 	switch x.Op {
 	case OpBoolConst:
@@ -114,7 +174,7 @@ func simplifyNot(n *Term) *Term {
 	return n
 }
 
-func simplifyAndOr(n *Term, isAnd bool) *Term {
+func (f *Factory) simplifyAndOr(n *Term, isAnd bool) *Term {
 	unit := isAnd      // true is the unit of and, false of or
 	absorber := !isAnd // false absorbs and, true absorbs or
 	var flat []*Term
@@ -161,10 +221,10 @@ func simplifyAndOr(n *Term, isAnd bool) *Term {
 	case 1:
 		return kept[0]
 	}
-	return &Term{Op: n.Op, sort: SortBool, Args: kept}
+	return f.mk(n.Op, SortBool, false, 0, "", kept)
 }
 
-func simplifyEq(n *Term) *Term {
+func (f *Factory) simplifyEq(n *Term) *Term {
 	a, b := n.Args[0], n.Args[1]
 	if Equal(a, b) {
 		return True()
@@ -177,21 +237,21 @@ func simplifyEq(n *Term) *Term {
 	// NNF later expands the boolean ite into a disjunction, so guard
 	// patterns like (= (ite match 1 0) 0) reduce to ¬match.
 	if a.Op == OpIte {
-		return simplify1(Ite(a.Args[0], Eq(a.Args[1], b), Eq(a.Args[2], b)))
+		return f.simplify1(f.Ite(a.Args[0], f.Eq(a.Args[1], b), f.Eq(a.Args[2], b)))
 	}
 	if b.Op == OpIte {
-		return simplify1(Ite(b.Args[0], Eq(a, b.Args[1]), Eq(a, b.Args[2])))
+		return f.simplify1(f.Ite(b.Args[0], f.Eq(a, b.Args[1]), f.Eq(a, b.Args[2])))
 	}
 	if a.Sort() == SortString {
-		return simplifyStrEq(n, a, b)
+		return f.simplifyStrEq(n, a, b)
 	}
 	return n
 }
 
 // simplifyStrEq strips common constant prefixes and suffixes from string
 // equalities over concatenations and detects constant mismatches.
-func simplifyStrEq(n *Term, a, b *Term) *Term {
-	la, lb := concatParts(a), concatParts(b)
+func (f *Factory) simplifyStrEq(n *Term, a, b *Term) *Term {
+	la, lb := f.concatParts(a), f.concatParts(b)
 	// Strip common constant prefix.
 	for len(la) > 0 && len(lb) > 0 {
 		x, y := la[0], lb[0]
@@ -200,7 +260,7 @@ func simplifyStrEq(n *Term, a, b *Term) *Term {
 			if p == 0 {
 				return False()
 			}
-			la[0], lb[0] = Str(x.S[p:]), Str(y.S[p:])
+			la[0], lb[0] = f.Str(x.S[p:]), f.Str(y.S[p:])
 			if la[0].S == "" {
 				la = la[1:]
 			}
@@ -223,8 +283,8 @@ func simplifyStrEq(n *Term, a, b *Term) *Term {
 			if p == 0 {
 				return False()
 			}
-			la[len(la)-1] = Str(x.S[:len(x.S)-p])
-			lb[len(lb)-1] = Str(y.S[:len(y.S)-p])
+			la[len(la)-1] = f.Str(x.S[:len(x.S)-p])
+			lb[len(lb)-1] = f.Str(y.S[:len(y.S)-p])
 			if la[len(la)-1].S == "" {
 				la = la[:len(la)-1]
 			}
@@ -239,7 +299,7 @@ func simplifyStrEq(n *Term, a, b *Term) *Term {
 		}
 		break
 	}
-	na, nb := Concat(la...), Concat(lb...)
+	na, nb := f.Concat(la...), f.Concat(lb...)
 	if Equal(na, nb) {
 		return True()
 	}
@@ -250,26 +310,26 @@ func simplifyStrEq(n *Term, a, b *Term) *Term {
 	if na.Op == OpStrConst && na.S == "" && nb.Op == OpConcat {
 		parts := make([]*Term, 0, len(nb.Args))
 		for _, p := range nb.Args {
-			parts = append(parts, Eq(p, Str("")))
+			parts = append(parts, f.Eq(p, f.Str("")))
 		}
-		return simplifyAndOr(And(parts...), true)
+		return f.simplifyAndOr(f.And(parts...), true)
 	}
 	if nb.Op == OpStrConst && nb.S == "" && na.Op == OpConcat {
 		parts := make([]*Term, 0, len(na.Args))
 		for _, p := range na.Args {
-			parts = append(parts, Eq(p, Str("")))
+			parts = append(parts, f.Eq(p, f.Str("")))
 		}
-		return simplifyAndOr(And(parts...), true)
+		return f.simplifyAndOr(f.And(parts...), true)
 	}
 	if Equal(na, n.Args[0]) && Equal(nb, n.Args[1]) {
 		return n
 	}
-	return Eq(na, nb)
+	return f.Eq(na, nb)
 }
 
 // concatParts returns the flattened concatenation parts of a string term
 // (a copy safe to mutate), merging adjacent constants.
-func concatParts(t *Term) []*Term {
+func (f *Factory) concatParts(t *Term) []*Term {
 	var parts []*Term
 	var walk func(*Term)
 	walk = func(x *Term) {
@@ -282,17 +342,17 @@ func concatParts(t *Term) []*Term {
 		parts = append(parts, x)
 	}
 	walk(t)
-	return mergeConstParts(parts)
+	return f.mergeConstParts(parts)
 }
 
-func mergeConstParts(parts []*Term) []*Term {
+func (f *Factory) mergeConstParts(parts []*Term) []*Term {
 	var out []*Term
 	for _, p := range parts {
 		if p.Op == OpStrConst && p.S == "" {
 			continue
 		}
 		if len(out) > 0 && out[len(out)-1].Op == OpStrConst && p.Op == OpStrConst {
-			out[len(out)-1] = Str(out[len(out)-1].S + p.S)
+			out[len(out)-1] = f.Str(out[len(out)-1].S + p.S)
 			continue
 		}
 		out = append(out, p)
@@ -316,16 +376,16 @@ func commonSuffix(a, b string) int {
 	return i
 }
 
-func simplifyConcat(n *Term) *Term {
-	parts := concatParts(n)
-	return Concat(parts...)
+func (f *Factory) simplifyConcat(n *Term) *Term {
+	parts := f.concatParts(n)
+	return f.Concat(parts...)
 }
 
-func simplifyLen(n *Term) *Term {
+func (f *Factory) simplifyLen(n *Term) *Term {
 	x := n.Args[0]
 	switch x.Op {
 	case OpStrConst:
-		return Int(int64(len(x.S)))
+		return f.Int(int64(len(x.S)))
 	case OpConcat:
 		// len(a ++ b) = len a + len b, folding constant parts.
 		var constSum int64
@@ -335,25 +395,25 @@ func simplifyLen(n *Term) *Term {
 				constSum += int64(len(p.S))
 				continue
 			}
-			terms = append(terms, Len(p))
+			terms = append(terms, f.Len(p))
 		}
 		if constSum != 0 || len(terms) == 0 {
-			terms = append(terms, Int(constSum))
+			terms = append(terms, f.Int(constSum))
 		}
-		return simplifyAdd(Add(terms...))
+		return f.simplifyAdd(f.Add(terms...))
 	case OpFromInt:
 		return n
 	}
 	return n
 }
 
-func simplifySuffixOf(n *Term) *Term {
+func (f *Factory) simplifySuffixOf(n *Term) *Term {
 	suffix, s := n.Args[0], n.Args[1]
 	if suffix.Op == OpStrConst {
 		if suffix.S == "" {
 			return True()
 		}
-		parts := concatParts(s)
+		parts := f.concatParts(s)
 		suf := suffix.S
 		// Peel constant tail parts.
 		for len(parts) > 0 {
@@ -373,7 +433,7 @@ func simplifySuffixOf(n *Term) *Term {
 		if len(parts) == 0 {
 			return Bool(suf == "")
 		}
-		return SuffixOf(Str(suf), Concat(parts...))
+		return f.SuffixOf(f.Str(suf), f.Concat(parts...))
 	}
 	if Equal(suffix, s) {
 		return True()
@@ -381,13 +441,13 @@ func simplifySuffixOf(n *Term) *Term {
 	return n
 }
 
-func simplifyPrefixOf(n *Term) *Term {
+func (f *Factory) simplifyPrefixOf(n *Term) *Term {
 	prefix, s := n.Args[0], n.Args[1]
 	if prefix.Op == OpStrConst {
 		if prefix.S == "" {
 			return True()
 		}
-		parts := concatParts(s)
+		parts := f.concatParts(s)
 		pre := prefix.S
 		for len(parts) > 0 {
 			first := parts[0]
@@ -406,7 +466,7 @@ func simplifyPrefixOf(n *Term) *Term {
 		if len(parts) == 0 {
 			return Bool(pre == "")
 		}
-		return PrefixOf(Str(pre), Concat(parts...))
+		return f.PrefixOf(f.Str(pre), f.Concat(parts...))
 	}
 	if Equal(prefix, s) {
 		return True()
@@ -414,7 +474,7 @@ func simplifyPrefixOf(n *Term) *Term {
 	return n
 }
 
-func simplifyContains(n *Term) *Term {
+func (f *Factory) simplifyContains(n *Term) *Term {
 	s, sub := n.Args[0], n.Args[1]
 	if sub.Op == OpStrConst {
 		if sub.S == "" {
@@ -435,7 +495,7 @@ func simplifyContains(n *Term) *Term {
 	return n
 }
 
-func simplifyAdd(n *Term) *Term {
+func (f *Factory) simplifyAdd(n *Term) *Term {
 	var flat []*Term
 	var walk func(*Term)
 	walk = func(x *Term) {
@@ -458,18 +518,18 @@ func simplifyAdd(n *Term) *Term {
 		terms = append(terms, p)
 	}
 	if constSum != 0 || len(terms) == 0 {
-		terms = append(terms, Int(constSum))
+		terms = append(terms, f.Int(constSum))
 	}
 	if len(terms) == 1 {
 		return terms[0]
 	}
-	return &Term{Op: OpAdd, sort: SortInt, Args: terms}
+	return f.mk(OpAdd, SortInt, false, 0, "", terms)
 }
 
 // simplifyCmp normalizes comparisons whose sides share constant offsets,
 // e.g. (> (+ x 4) 10) → (> x 6), and evaluates len-vs-negative bounds:
 // str.len is always >= 0, so (>= (str.len e) 0) is true.
-func simplifyCmp(n *Term) *Term {
+func (f *Factory) simplifyCmp(n *Term) *Term {
 	a, b := n.Args[0], n.Args[1]
 	// Canonicalize: constant offsets live only on the right-hand side, so
 	// bounds like (> (+ n -2) (str.len s)) normalize to
@@ -477,10 +537,10 @@ func simplifyCmp(n *Term) *Term {
 	// candidate seeding. Moving in one direction only keeps this
 	// terminating.
 	if hasConstPart(a) {
-		rest, c := splitConst(a)
+		rest, c := f.splitConst(a)
 		if c != 0 && rest != nil {
-			return simplifyCmp(&Term{Op: n.Op, sort: SortBool,
-				Args: []*Term{rest, simplifyAdd(Add(b, Int(-c)))}})
+			return f.simplifyCmp(f.mk(n.Op, SortBool, false, 0, "",
+				[]*Term{rest, f.simplifyAdd(f.Add(b, f.Int(-c)))}))
 		}
 	}
 	// Nonnegativity of lengths.
@@ -528,7 +588,7 @@ func hasConstPart(t *Term) bool {
 
 // splitConst separates an Add into its non-constant remainder and the
 // summed constant part. rest is nil when everything was constant.
-func splitConst(t *Term) (rest *Term, c int64) {
+func (f *Factory) splitConst(t *Term) (rest *Term, c int64) {
 	if t.Op != OpAdd {
 		return t, 0
 	}
@@ -543,7 +603,7 @@ func splitConst(t *Term) (rest *Term, c int64) {
 	if len(parts) == 0 {
 		return nil, c
 	}
-	return Add(parts...), c
+	return f.Add(parts...), c
 }
 
 // isNonNegative reports terms that are always >= 0.

@@ -20,16 +20,39 @@ var smtlibOpNames = map[Op]string{
 func ToSMTLIB2(f *Term) string {
 	var sb strings.Builder
 	sb.WriteString("(set-logic QF_SLIA)\n")
+	names := renameVars(Vars(f))
 	for _, v := range Vars(f) {
-		fmt.Fprintf(&sb, "(declare-const %s %s)\n", sanitizeName(v.S), v.Sort())
+		fmt.Fprintf(&sb, "(declare-const %s %s)\n", names[v.S], v.Sort())
 	}
 	sb.WriteString("(assert ")
-	writeSMTLIB(&sb, f)
+	writeSMTLIB(&sb, f, names)
 	sb.WriteString(")\n(check-sat)\n(get-model)\n")
 	return sb.String()
 }
 
-func writeSMTLIB(sb *strings.Builder, t *Term) {
+// renameVars maps every distinct internal variable name onto a distinct
+// valid SMT-LIB symbol. sanitizeName alone is not injective — distinct
+// internal names such as "a[b]" and "a_b_" both sanitize to "a_b_" —
+// which would silently merge variables in the emitted script and change
+// its meaning. Collisions are resolved deterministically in
+// first-occurrence order by appending a "_2", "_3", … suffix (itself
+// collision-checked) to every name after the first.
+func renameVars(vars []*Term) map[string]string {
+	names := make(map[string]string, len(vars))
+	taken := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		base := sanitizeName(v.S)
+		out := base
+		for n := 2; taken[out]; n++ {
+			out = fmt.Sprintf("%s_%d", base, n)
+		}
+		names[v.S] = out
+		taken[out] = true
+	}
+	return names
+}
+
+func writeSMTLIB(sb *strings.Builder, t *Term, names map[string]string) {
 	switch t.Op {
 	case OpBoolConst:
 		if t.B {
@@ -46,7 +69,11 @@ func writeSMTLIB(sb *strings.Builder, t *Term) {
 	case OpStrConst:
 		sb.WriteString(quoteSMT(t.S))
 	case OpVar:
-		sb.WriteString(sanitizeName(t.S))
+		if name, ok := names[t.S]; ok {
+			sb.WriteString(name)
+		} else {
+			sb.WriteString(sanitizeName(t.S))
+		}
 	default:
 		name, ok := smtlibOpNames[t.Op]
 		if !ok {
@@ -56,7 +83,7 @@ func writeSMTLIB(sb *strings.Builder, t *Term) {
 		sb.WriteString(name)
 		for _, a := range t.Args {
 			sb.WriteByte(' ')
-			writeSMTLIB(sb, a)
+			writeSMTLIB(sb, a, names)
 		}
 		sb.WriteByte(')')
 	}

@@ -1,0 +1,102 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestToSMTLIB2CollidingNames is the regression test for the sanitization
+// collision: distinct internal variable names that sanitize to the same
+// SMT-LIB symbol (e.g. "a[b]" and "a_b_" both sanitize to "a_b_") must be
+// declared as distinct symbols, or the emitted script silently merges two
+// different variables and changes the formula's meaning.
+func TestToSMTLIB2CollidingNames(t *testing.T) {
+	f := And(
+		Eq(Var("a[b]", SortString), Str("x")),
+		Eq(Var("a_b_", SortString), Str("y")),
+		Eq(Var("a{b}", SortString), Str("z")),
+	)
+	out := ToSMTLIB2(f)
+	// Three distinct declarations.
+	if n := strings.Count(out, "declare-const"); n != 3 {
+		t.Fatalf("declared %d symbols, want 3:\n%s", n, out)
+	}
+	decls := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "(declare-const ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		name := fields[1]
+		if decls[name] {
+			t.Fatalf("duplicate declaration of %q — collision not resolved:\n%s", name, out)
+		}
+		decls[name] = true
+	}
+	// First occurrence keeps the plain sanitized name; later collisions
+	// get deterministic suffixes.
+	for _, want := range []string{"a_b_", "a_b__2", "a_b__3"} {
+		if !decls[want] {
+			t.Fatalf("missing expected symbol %q in %v:\n%s", want, decls, out)
+		}
+	}
+	// Each constant must be equated to a different symbol in the body.
+	for sym, c := range map[string]string{"a_b_": `"x"`, "a_b__2": `"y"`, "a_b__3": `"z"`} {
+		if !strings.Contains(out, fmt.Sprintf("(= %s %s)", sym, c)) {
+			t.Fatalf("body does not bind %s to %s:\n%s", sym, c, out)
+		}
+	}
+}
+
+// TestToSMTLIB2SuffixCollision: the uniquifying suffix itself must not
+// collide with a later variable that already carries it.
+func TestToSMTLIB2SuffixCollision(t *testing.T) {
+	f := And(
+		Eq(Var("v[", SortString), Str("x")), // sanitizes to "v_"
+		Eq(Var("v]", SortString), Str("y")), // also "v_" → "v__2"
+		Eq(Var("v__2", SortString), Str("z")),
+	)
+	out := ToSMTLIB2(f)
+	decls := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "(declare-const ") {
+			name := strings.Fields(line)[1]
+			if decls[name] {
+				t.Fatalf("duplicate declaration of %q:\n%s", name, out)
+			}
+			decls[name] = true
+		}
+	}
+	if len(decls) != 3 {
+		t.Fatalf("declared %d distinct symbols, want 3: %v\n%s", len(decls), decls, out)
+	}
+}
+
+// TestRenameVarsDeterministic: the rename map depends only on
+// first-occurrence order, so repeated renders are byte-identical.
+func TestRenameVarsDeterministic(t *testing.T) {
+	f := And(
+		Eq(Var("a[b]", SortString), Var("a_b_", SortString)),
+		Contains(Var("a(b)", SortString), Str("q")),
+	)
+	first := ToSMTLIB2(f)
+	for i := 0; i < 5; i++ {
+		if got := ToSMTLIB2(f); got != first {
+			t.Fatalf("render %d differs:\n%s\n---\n%s", i, first, got)
+		}
+	}
+}
+
+// TestToSMTLIB2NonCollidingUnchanged: names that do not collide keep the
+// plain sanitized form — no spurious suffixes on the common path.
+func TestToSMTLIB2NonCollidingUnchanged(t *testing.T) {
+	f := Eq(Var("$_FILES[name]", SortString), Str("a.php"))
+	out := ToSMTLIB2(f)
+	if !strings.Contains(out, "(declare-const $_FILES_name_ String)") {
+		t.Fatalf("expected plain sanitized declaration:\n%s", out)
+	}
+	if strings.Contains(out, "_2 ") {
+		t.Fatalf("spurious suffix on non-colliding name:\n%s", out)
+	}
+}

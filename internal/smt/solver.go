@@ -54,6 +54,17 @@ type Stats struct {
 	Rewrites int
 }
 
+// Accum adds b's work counters into a. Simplified is overwritten (it is a
+// measurement of the latest formula, not a running total).
+func (a *Stats) Accum(b Stats) {
+	a.Cubes += b.Cubes
+	a.Assignments += b.Assignments
+	a.Simplified = b.Simplified
+	a.Candidates += b.Candidates
+	a.VerifyEvals += b.VerifyEvals
+	a.Rewrites += b.Rewrites
+}
+
 // Options configures a Solver. The zero value selects defaults suitable for
 // UChecker's constraints.
 type Options struct {
@@ -103,12 +114,31 @@ func (o Options) Halved() Options {
 // to use with default options.
 type Solver struct {
 	opts Options
+	// f is the hash-consing factory the solver routes term construction,
+	// simplification, and candidate-pool seeding through. nil means no
+	// interning (direct construction) — semantics are identical either
+	// way, only the amount of recomputation differs.
+	f *Factory
 }
 
 // NewSolver returns a Solver with the given options.
 func NewSolver(opts Options) *Solver {
 	return &Solver{opts: opts.withDefaults()}
 }
+
+// NewSolverWithFactory returns a Solver that interns and memoizes through
+// f. A nil f behaves exactly like NewSolver.
+func NewSolverWithFactory(opts Options, f *Factory) *Solver {
+	return &Solver{opts: opts.withDefaults(), f: f}
+}
+
+// SetFactory installs (or clears, with nil) the solver's hash-consing
+// factory. Formulas passed to Check are interned against it, so results
+// and Stats are unchanged; only shared work is skipped.
+func (s *Solver) SetFactory(f *Factory) { s.f = f }
+
+// Factory returns the solver's factory (possibly nil).
+func (s *Solver) Factory() *Factory { return s.f }
 
 // ErrBudget is returned (wrapped) when a budget was exhausted; the
 // accompanying status is Unknown.
@@ -136,12 +166,17 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 	if f.Sort() != SortBool {
 		return Unknown, nil, st, fmt.Errorf("smt: Check on non-boolean term of sort %v", f.Sort())
 	}
-	g := simplifyCounted(f, &st)
-	st.Simplified = Size(g)
+	// Canonicalize the formula against the factory so repeat checks of
+	// structurally equal formulas (and shared subterms of fresh ones) hit
+	// the memo tables. Identity when the factory is nil or f was already
+	// built through it.
+	f = s.f.Intern(f)
+	g := s.f.simplifyCounted(f, &st)
+	st.Simplified = s.f.Size(g)
 	if g.Op == OpBoolConst {
 		if g.B {
 			m := Model{}
-			for _, v := range Vars(f) {
+			for _, v := range s.f.Vars(f) {
 				m[v.S] = defaultValue(v.Sort())
 			}
 			return Sat, m, st, nil
@@ -149,7 +184,7 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 		return Unsat, nil, st, nil
 	}
 
-	cubes, ok := dnf(nnf(g, false), opts.MaxCubes)
+	cubes, ok := s.f.dnfOf(s.f.nnf(g, false), opts.MaxCubes)
 	if !ok {
 		// DNF blowup: whole-formula enumeration, Sat-only.
 		model, tried := s.search(ctx, g, g, opts.MaxAssignments, opts, &st)
@@ -170,17 +205,17 @@ func (s *Solver) CheckCtx(ctx context.Context, f *Term) (Status, Model, Stats, e
 			return Unknown, nil, st, err
 		}
 		st.Cubes++
-		conj := simplifyCounted(And(cube...), &st)
+		conj := s.f.simplifyCounted(s.f.And(cube...), &st)
 		if conj.Op == OpBoolConst {
 			if conj.B {
 				// A cube with no residual constraints: any assignment works;
 				// produce the empty model extended for f's variables.
 				m := Model{}
-				for _, v := range Vars(f) {
+				for _, v := range s.f.Vars(f) {
 					m[v.S] = defaultValue(v.Sort())
 				}
 				st.VerifyEvals++
-				if verify(f, m) {
+				if s.verify(f, m) {
 					return Sat, m, st, nil
 				}
 				continue
@@ -222,9 +257,12 @@ func defaultValue(s Sort) Value {
 }
 
 // verify confirms a model satisfies the original formula, extending it with
-// defaults for variables the cube never mentioned.
-func verify(f *Term, m Model) bool {
-	for _, v := range Vars(f) {
+// defaults for variables the cube never mentioned. The free-variable set is
+// memoized through the solver's factory: verification runs once per
+// would-be model, so the repeated Vars walk is one of the hottest paths in
+// the search.
+func (s *Solver) verify(f *Term, m Model) bool {
+	for _, v := range s.f.Vars(f) {
 		if _, ok := m[v.S]; !ok {
 			m[v.S] = defaultValue(v.Sort())
 		}
@@ -240,13 +278,13 @@ func verify(f *Term, m Model) bool {
 // cancellation aborts the enumeration (returning nil, like exhaustion —
 // the caller distinguishes via ctx.Err()).
 func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Options, st *Stats) (Model, int) {
-	vars := Vars(conj)
+	vars := s.f.Vars(conj)
 	if len(vars) == 0 {
 		v, err := Eval(conj, nil)
 		if err == nil && v.B {
 			m := Model{}
 			st.VerifyEvals++
-			if verify(f, m) {
+			if s.verify(f, m) {
 				return m, 1
 			}
 		}
@@ -256,7 +294,7 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 	// Order variables: strings last tend to have bigger domains; put
 	// smaller domains first for better pruning.
 	cands := make([][]Value, len(vars))
-	pool := newCandidatePool(conj, opts)
+	pool := s.pool(conj, opts)
 	for i, v := range vars {
 		cands[i] = pool.forVar(v)
 		st.Candidates += len(cands[i])
@@ -276,7 +314,7 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 	}
 	litVars := make([][]string, len(lits))
 	for i, l := range lits {
-		for _, v := range Vars(l) {
+		for _, v := range s.f.Vars(l) {
 			litVars[i] = append(litVars[i], v.S)
 		}
 	}
@@ -299,7 +337,7 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 			// the cube never constrained; return that completed model.
 			full := cloneModel(m)
 			st.VerifyEvals++
-			if verify(f, full) {
+			if s.verify(f, full) {
 				return full
 			}
 			return nil
@@ -338,6 +376,24 @@ func (s *Solver) search(ctx context.Context, conj, f *Term, budget int, opts Opt
 	return res, tried
 }
 
+// pool returns the candidate pool for conj, cached per (conjunction,
+// options) through the factory. Pools are pure functions of the
+// conjunction's structure, so canonical pointers make the cache exact;
+// sinks sharing a path prefix (and the staged three-constraint checks)
+// re-seed nothing.
+func (s *Solver) pool(conj *Term, opts Options) *candidatePool {
+	if s.f == nil {
+		return newCandidatePool(conj, opts)
+	}
+	key := poolCacheKey{conj: conj, opts: opts}
+	if p, ok := s.f.poolMemo[key]; ok {
+		return p
+	}
+	p := newCandidatePool(conj, opts)
+	s.f.poolMemo[key] = p
+	return p
+}
+
 func allBound(names []string, m Model) bool {
 	for _, n := range names {
 		if _, ok := m[n]; !ok {
@@ -359,65 +415,105 @@ func cloneModel(m Model) Model {
 
 // nnf converts a boolean term to negation normal form. neg indicates the
 // polarity. Non-boolean-structured atoms (equalities, string predicates)
-// are kept as literals, negated with Not.
-func nnf(t *Term, neg bool) *Term {
+// are kept as literals, negated with Not. Construction routes through the
+// factory (nil-safe) so NNF of shared subtrees yields shared results.
+// nnf converts t to negation normal form. Like every factory rewrite it
+// is a pure function of term structure, so interned nodes memoize their
+// NNF per (node, polarity) — shared path-condition prefixes and repeat
+// checks of structurally equal formulas convert once.
+func (f *Factory) nnf(t *Term, neg bool) *Term {
+	if f == nil {
+		return nnfWork(f, t, neg)
+	}
+	k := nnfKey{t: t, neg: neg}
+	if r, ok := f.nnfMemo[k]; ok {
+		return r
+	}
+	r := nnfWork(f, t, neg)
+	f.nnfMemo[k] = r
+	return r
+}
+
+func nnfWork(f *Factory, t *Term, neg bool) *Term {
 	switch t.Op {
 	case OpBoolConst:
 		return Bool(t.B != neg)
 	case OpNot:
-		return nnf(t.Args[0], !neg)
+		return f.nnf(t.Args[0], !neg)
 	case OpAnd:
 		args := make([]*Term, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = nnf(a, neg)
+			args[i] = f.nnf(a, neg)
 		}
 		if neg {
-			return Or(args...)
+			return f.Or(args...)
 		}
-		return And(args...)
+		return f.And(args...)
 	case OpOr:
 		args := make([]*Term, len(t.Args))
 		for i, a := range t.Args {
-			args[i] = nnf(a, neg)
+			args[i] = f.nnf(a, neg)
 		}
 		if neg {
-			return And(args...)
+			return f.And(args...)
 		}
-		return Or(args...)
+		return f.Or(args...)
 	case OpIte:
 		if t.Sort() == SortBool {
 			c, a, b := t.Args[0], t.Args[1], t.Args[2]
 			// ite(c,a,b) == (c∧a) ∨ (¬c∧b)
-			e := Or(And(c, a), And(Not(c), b))
-			return nnf(e, neg)
+			e := f.Or(f.And(c, a), f.And(f.Not(c), b))
+			return f.nnf(e, neg)
 		}
 		fallthrough
 	case OpLt:
 		if neg {
-			return Ge(t.Args[0], t.Args[1])
+			return f.Ge(t.Args[0], t.Args[1])
 		}
 		return t
 	case OpLe:
 		if neg {
-			return Gt(t.Args[0], t.Args[1])
+			return f.Gt(t.Args[0], t.Args[1])
 		}
 		return t
 	case OpGt:
 		if neg {
-			return Le(t.Args[0], t.Args[1])
+			return f.Le(t.Args[0], t.Args[1])
 		}
 		return t
 	case OpGe:
 		if neg {
-			return Lt(t.Args[0], t.Args[1])
+			return f.Lt(t.Args[0], t.Args[1])
 		}
 		return t
 	default:
 		if neg {
-			return Not(t)
+			return f.Not(t)
 		}
 		return t
 	}
+}
+
+// nnf is the non-interned NNF entry point, kept for tests and the
+// nil-factory path.
+func nnf(t *Term, neg bool) *Term { return (*Factory)(nil).nnf(t, neg) }
+
+// dnfOf converts an NNF term to cubes, memoizing whole results per
+// (root, budget) on the factory. Cube slices are immutable after
+// construction (CheckCtx only reads them and conjoins their elements),
+// so sharing the cached slices across checks is safe; repeat checks of
+// pointer-equal formulas skip the expansion entirely.
+func (f *Factory) dnfOf(t *Term, maxCubes int) ([][]*Term, bool) {
+	if f == nil {
+		return dnf(t, maxCubes)
+	}
+	k := dnfKey{t: t, maxCubes: maxCubes}
+	if r, ok := f.dnfMemo[k]; ok {
+		return r.cubes, r.ok
+	}
+	cubes, ok := dnf(t, maxCubes)
+	f.dnfMemo[k] = dnfResult{cubes: cubes, ok: ok}
+	return cubes, ok
 }
 
 // dnf converts an NNF term to a list of cubes (conjunctions of literals).

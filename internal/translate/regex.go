@@ -156,7 +156,7 @@ func unescapeRegexLiteral(s string) (string, bool) {
 // pregMatchTerm translates preg_match(pattern, subject) for a concrete
 // pattern into a boolean term, or ok=false when the pattern is outside
 // the fragment.
-func pregMatchTerm(pattern string, subject *smt.Term) (*smt.Term, bool) {
+func pregMatchTerm(f *smt.Factory, pattern string, subject *smt.Term) (*smt.Term, bool) {
 	sh, ok := parseRegexLiteral(pattern)
 	if !ok || len(sh.alternatives) == 0 {
 		return nil, false
@@ -179,14 +179,14 @@ func pregMatchTerm(pattern string, subject *smt.Term) (*smt.Term, bool) {
 	for _, a := range alts {
 		switch {
 		case sh.anchoredStart && sh.anchoredEnd:
-			opts = append(opts, smt.Eq(subject, smt.Str(a)))
+			opts = append(opts, f.Eq(subject, f.Str(a)))
 		case sh.anchoredEnd:
-			opts = append(opts, smt.SuffixOf(smt.Str(a), subject))
+			opts = append(opts, f.SuffixOf(f.Str(a), subject))
 		case sh.anchoredStart:
-			opts = append(opts, smt.PrefixOf(smt.Str(a), subject))
+			opts = append(opts, f.PrefixOf(f.Str(a), subject))
 		default:
-			opts = append(opts, smt.Contains(subject, smt.Str(a)))
+			opts = append(opts, f.Contains(subject, f.Str(a)))
 		}
 	}
-	return smt.Or(opts...), true
+	return f.Or(opts...), true
 }

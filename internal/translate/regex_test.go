@@ -54,7 +54,7 @@ func TestParseRegexLiteral(t *testing.T) {
 
 func TestPregMatchTermSuffix(t *testing.T) {
 	subj := smt.Var("s", smt.SortString)
-	term, ok := pregMatchTerm(`/\.(jpg|png)$/`, subj)
+	term, ok := pregMatchTerm(nil, `/\.(jpg|png)$/`, subj)
 	if !ok {
 		t.Fatal("pattern should be modelable")
 	}
@@ -69,7 +69,7 @@ func TestPregMatchTermSuffix(t *testing.T) {
 
 func TestPregMatchTermCaseInsensitive(t *testing.T) {
 	subj := smt.Var("s", smt.SortString)
-	term, ok := pregMatchTerm(`/\.php$/i`, subj)
+	term, ok := pregMatchTerm(nil, `/\.php$/i`, subj)
 	if !ok {
 		t.Fatal("modelable")
 	}

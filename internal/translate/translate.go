@@ -43,6 +43,9 @@ type Translator struct {
 	fresh    int
 	memo     map[memoKey]*smt.Term
 	symSorts map[string]smt.Sort
+	// f is the hash-consing factory all term construction routes through.
+	// nil disables interning (direct construction) with identical output.
+	f *smt.Factory
 }
 
 type memoKey struct {
@@ -50,20 +53,34 @@ type memoKey struct {
 	sort  smt.Sort
 }
 
-// New returns a Translator over the given heap graph.
+// New returns a Translator over the given heap graph, without interning.
 func New(g *heapgraph.Graph) *Translator {
+	return NewWithFactory(g, nil)
+}
+
+// NewWithFactory returns a Translator whose term construction is interned
+// through f (nil means no interning). Emitted terms are structurally
+// identical either way; with a factory, structurally equal results are
+// also pointer-equal, which downstream memoization keys on.
+func NewWithFactory(g *heapgraph.Graph, f *smt.Factory) *Translator {
 	return &Translator{
 		g:        g,
 		memo:     map[memoKey]*smt.Term{},
 		symSorts: map[string]smt.Sort{},
+		f:        f,
 	}
 }
+
+// Factory returns the translator's term factory (possibly nil), so the
+// verdict layer can build its constraint conjunctions in the same interned
+// universe the translated terms live in.
+func (t *Translator) Factory() *smt.Factory { return t.f }
 
 // Label translates the value rooted at a heap-graph label into a term of
 // the wanted sort.
 func (t *Translator) Label(l heapgraph.Label, want smt.Sort) *smt.Term {
 	if l == heapgraph.Null {
-		return defaultTerm(want)
+		return t.defaultTerm(want)
 	}
 	if cached, ok := t.memo[memoKey{l, want}]; ok {
 		return cached
@@ -74,14 +91,14 @@ func (t *Translator) Label(l heapgraph.Label, want smt.Sort) *smt.Term {
 	return term
 }
 
-func defaultTerm(want smt.Sort) *smt.Term {
+func (t *Translator) defaultTerm(want smt.Sort) *smt.Term {
 	switch want {
 	case smt.SortBool:
-		return smt.True()
+		return t.f.True()
 	case smt.SortInt:
-		return smt.Int(0)
+		return t.f.Int(0)
 	default:
-		return smt.Str("")
+		return t.f.Str("")
 	}
 }
 
@@ -93,7 +110,7 @@ func (t *Translator) freshSym(l heapgraph.Label, hint string, want smt.Sort) *sm
 	}
 	t.fresh++
 	name := fmt.Sprintf("s_%s_%d", sanitize(hint), t.fresh)
-	v := smt.Var(name, want)
+	v := t.f.Var(name, want)
 	t.memo[key] = v
 	return v
 }
@@ -134,7 +151,7 @@ func (t *Translator) symVar(name string, declared sexpr.Type, want smt.Sort) *sm
 		}
 		t.symSorts[name] = sort
 	}
-	return smt.Var(name, sort)
+	return t.f.Var(name, sort)
 }
 
 // coerce converts a term between sorts using PHP's coercion semantics:
@@ -146,17 +163,17 @@ func (t *Translator) coerce(term *smt.Term, want smt.Sort) *smt.Term {
 	}
 	switch {
 	case have == smt.SortInt && want == smt.SortString:
-		return smt.FromInt(term)
+		return t.f.FromInt(term)
 	case have == smt.SortString && want == smt.SortInt:
-		return smt.ToInt(term)
+		return t.f.ToInt(term)
 	case have == smt.SortInt && want == smt.SortBool:
-		return smt.Not(smt.Eq(term, smt.Int(0)))
+		return t.f.Not(t.f.Eq(term, t.f.Int(0)))
 	case have == smt.SortString && want == smt.SortBool:
-		return smt.Gt(smt.Len(term), smt.Int(0))
+		return t.f.Gt(t.f.Len(term), t.f.Int(0))
 	case have == smt.SortBool && want == smt.SortInt:
-		return smt.Ite(term, smt.Int(1), smt.Int(0))
+		return t.f.Ite(term, t.f.Int(1), t.f.Int(0))
 	case have == smt.SortBool && want == smt.SortString:
-		return smt.Ite(term, smt.Str("1"), smt.Str(""))
+		return t.f.Ite(term, t.f.Str("1"), t.f.Str(""))
 	}
 	return term
 }
@@ -165,11 +182,11 @@ func (t *Translator) coerce(term *smt.Term, want smt.Sort) *smt.Term {
 func (t *Translator) translate(l heapgraph.Label, want smt.Sort) *smt.Term {
 	o := t.g.Find(l)
 	if o == nil {
-		return defaultTerm(want)
+		return t.defaultTerm(want)
 	}
 	switch o.Kind {
 	case heapgraph.KindConcrete:
-		return constTerm(o.Val, want)
+		return t.constTerm(o.Val, want)
 	case heapgraph.KindSymbol:
 		return t.symVar(o.Name, o.Type, want)
 	case heapgraph.KindArray:
@@ -180,20 +197,20 @@ func (t *Translator) translate(l heapgraph.Label, want smt.Sort) *smt.Term {
 	}
 }
 
-func constTerm(v sexpr.Expr, want smt.Sort) *smt.Term {
+func (t *Translator) constTerm(v sexpr.Expr, want smt.Sort) *smt.Term {
 	switch x := v.(type) {
 	case sexpr.StrVal:
-		return smt.Str(string(x))
+		return t.f.Str(string(x))
 	case sexpr.IntVal:
-		return smt.Int(int64(x))
+		return t.f.Int(int64(x))
 	case sexpr.BoolVal:
-		return smt.Bool(bool(x))
+		return t.f.Bool(bool(x))
 	case sexpr.FloatVal:
-		return smt.Int(int64(x))
+		return t.f.Int(int64(x))
 	case sexpr.NullVal:
-		return defaultTerm(want)
+		return t.defaultTerm(want)
 	default:
-		return defaultTerm(want)
+		return t.defaultTerm(want)
 	}
 }
 
@@ -220,32 +237,32 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 	switch o.Name {
 	// --- String concat: (str.++ e1 e2) ---
 	case ".":
-		return smt.Concat(arg(0, smt.SortString), arg(1, smt.SortString))
+		return t.f.Concat(arg(0, smt.SortString), arg(1, smt.SortString))
 
 	// --- String replace: parameter reorder per Table II ---
 	case "str_replace", "str_ireplace":
 		// PHP: str_replace($search, $replace, $subject)
 		// SMT: (str.replace subject search replace)
-		return smt.Replace(arg(2, smt.SortString), arg(0, smt.SortString), arg(1, smt.SortString))
+		return t.f.Replace(arg(2, smt.SortString), arg(0, smt.SortString), arg(1, smt.SortString))
 
 	// --- String to int ---
 	case "intval", "cast_int":
 		if argSort(0) == sexpr.Int {
 			return arg(0, smt.SortInt)
 		}
-		return smt.ToInt(arg(0, smt.SortString))
+		return t.f.ToInt(arg(0, smt.SortString))
 
 	// --- Index of string ---
 	case "strpos":
-		from := smt.Int(0)
+		from := t.f.Int(0)
 		if len(edges) >= 3 {
 			from = arg(2, smt.SortInt)
 		}
-		return smt.IndexOf(arg(0, smt.SortString), arg(1, smt.SortString), from)
+		return t.f.IndexOf(arg(0, smt.SortString), arg(1, smt.SortString), from)
 
 	// --- String length ---
 	case "strlen":
-		return smt.Len(arg(0, smt.SortString))
+		return t.f.Len(arg(0, smt.SortString))
 
 	// --- Logical not (and empty(), which is !truthy) ---
 	case "!", "NOT", "not", "empty":
@@ -253,39 +270,39 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 
 	// --- Logical and/or with dynamic-type coercions ---
 	case "And", "&&", "and":
-		return smt.And(t.truthy(edges, 0, l, o), t.truthy(edges, 1, l, o))
+		return t.f.And(t.truthy(edges, 0, l, o), t.truthy(edges, 1, l, o))
 	case "Or", "||", "or":
-		return smt.Or(t.truthy(edges, 0, l, o), t.truthy(edges, 1, l, o))
+		return t.f.Or(t.truthy(edges, 0, l, o), t.truthy(edges, 1, l, o))
 	case "xor":
 		a, b := t.truthy(edges, 0, l, o), t.truthy(edges, 1, l, o)
-		return smt.Not(smt.Eq(a, b))
+		return t.f.Not(t.f.Eq(a, b))
 
 	// --- Equality with dynamic-type case analysis ---
 	case "==", "===":
 		return t.logicalEqual(edges, l, o, o.Name == "===")
 	case "!=", "!==", "<>":
-		return smt.Not(t.logicalEqual(edges, l, o, o.Name == "!=="))
+		return t.f.Not(t.logicalEqual(edges, l, o, o.Name == "!=="))
 
 	// --- Integer comparisons (strings coerced via str.to.int) ---
 	case "<":
-		return smt.Lt(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Lt(arg(0, smt.SortInt), arg(1, smt.SortInt))
 	case ">":
-		return smt.Gt(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Gt(arg(0, smt.SortInt), arg(1, smt.SortInt))
 	case "<=":
-		return smt.Le(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Le(arg(0, smt.SortInt), arg(1, smt.SortInt))
 	case ">=":
-		return smt.Ge(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Ge(arg(0, smt.SortInt), arg(1, smt.SortInt))
 
 	// --- Arithmetic ---
 	case "+":
-		return smt.Add(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Add(arg(0, smt.SortInt), arg(1, smt.SortInt))
 	case "-":
 		if len(edges) == 1 {
-			return smt.Neg(arg(0, smt.SortInt))
+			return t.f.Neg(arg(0, smt.SortInt))
 		}
-		return smt.Sub(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Sub(arg(0, smt.SortInt), arg(1, smt.SortInt))
 	case "*":
-		return smt.Mul(arg(0, smt.SortInt), arg(1, smt.SortInt))
+		return t.f.Mul(arg(0, smt.SortInt), arg(1, smt.SortInt))
 
 	// --- Array membership: expand over recognized arrays ---
 	case "in_array":
@@ -295,7 +312,7 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 	case "substr":
 		s := arg(0, smt.SortString)
 		start := arg(1, smt.SortInt)
-		length := smt.Len(s)
+		length := t.f.Len(s)
 		if len(edges) >= 3 {
 			length = arg(2, smt.SortInt)
 		}
@@ -303,12 +320,12 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 		// substr($s, -n) idiom.
 		if start.Op == smt.OpIntConst && start.I < 0 {
 			offset := start.I
-			start = smt.Add(smt.Len(s), smt.Int(offset))
+			start = t.f.Add(t.f.Len(s), t.f.Int(offset))
 			if len(edges) < 3 {
-				length = smt.Int(-offset)
+				length = t.f.Int(-offset)
 			}
 		}
-		return smt.Substr(s, start, length)
+		return t.f.Substr(s, start, length)
 
 	// --- Tail element of a recognized array ---
 	case "end", "array_pop":
@@ -341,8 +358,8 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 			if po := t.g.Find(edges[0]); po != nil && po.Kind == heapgraph.KindConcrete {
 				if pat, isStr := po.Val.(sexpr.StrVal); isStr {
 					subj := t.Label(edges[1], smt.SortString)
-					if match, ok := pregMatchTerm(string(pat), subj); ok {
-						return smt.Ite(match, smt.Int(1), smt.Int(0))
+					if match, ok := pregMatchTerm(t.f, string(pat), subj); ok {
+						return t.f.Ite(match, t.f.Int(1), t.f.Int(0))
 					}
 				}
 			}
@@ -352,7 +369,7 @@ func (t *Translator) translateApp(l heapgraph.Label, o *heapgraph.Object, want s
 	// --- Ternary ---
 	case "ite":
 		c := t.truthy(edges, 0, l, o)
-		return smt.Ite(c, arg(1, want), arg(2, want))
+		return t.f.Ite(c, arg(1, want), arg(2, want))
 
 	// --- Casts ---
 	case "cast_string":
@@ -401,9 +418,9 @@ func (t *Translator) truthy(edges []heapgraph.Label, i int, l heapgraph.Label, o
 	case smt.SortBool:
 		return term
 	case smt.SortInt:
-		return smt.Not(smt.Eq(term, smt.Int(0)))
+		return t.f.Not(t.f.Eq(term, t.f.Int(0)))
 	default:
-		return smt.Gt(smt.Len(term), smt.Int(0))
+		return t.f.Gt(t.f.Len(term), t.f.Int(0))
 	}
 }
 
@@ -420,11 +437,11 @@ func (t *Translator) truthyNot(edges []heapgraph.Label, l heapgraph.Label, o *he
 	term := t.Label(edges[0], t.naturalSort(edges[0]))
 	switch term.Sort() {
 	case smt.SortBool:
-		return smt.Not(term)
+		return t.f.Not(term)
 	case smt.SortInt:
-		return smt.Eq(term, smt.Int(0))
+		return t.f.Eq(term, t.f.Int(0))
 	default:
-		return smt.Eq(smt.Len(term), smt.Int(0))
+		return t.f.Eq(t.f.Len(term), t.f.Int(0))
 	}
 }
 
@@ -473,24 +490,24 @@ func (t *Translator) logicalEqual(edges []heapgraph.Label, l heapgraph.Label, o 
 	sa, sb = a.Sort(), b.Sort()
 	switch {
 	case sa == sb:
-		return smt.Eq(a, b)
+		return t.f.Eq(a, b)
 	case strict:
 		// Different types are never identical under ===.
-		return smt.False()
+		return t.f.False()
 	case sa == smt.SortBool && sb == smt.SortInt:
-		return smt.Eq(a, smt.Gt(b, smt.Int(0)))
+		return t.f.Eq(a, t.f.Gt(b, t.f.Int(0)))
 	case sa == smt.SortInt && sb == smt.SortBool:
-		return smt.Eq(b, smt.Gt(a, smt.Int(0)))
+		return t.f.Eq(b, t.f.Gt(a, t.f.Int(0)))
 	case sa == smt.SortBool && sb == smt.SortString:
-		return smt.Eq(a, smt.Gt(smt.Len(b), smt.Int(0)))
+		return t.f.Eq(a, t.f.Gt(t.f.Len(b), t.f.Int(0)))
 	case sa == smt.SortString && sb == smt.SortBool:
-		return smt.Eq(b, smt.Gt(smt.Len(a), smt.Int(0)))
+		return t.f.Eq(b, t.f.Gt(t.f.Len(a), t.f.Int(0)))
 	case sa == smt.SortInt && sb == smt.SortString:
-		return smt.Eq(a, smt.ToInt(b))
+		return t.f.Eq(a, t.f.ToInt(b))
 	case sa == smt.SortString && sb == smt.SortInt:
-		return smt.Eq(b, smt.ToInt(a))
+		return t.f.Eq(b, t.f.ToInt(a))
 	default:
-		return smt.Eq(a, t.coerce(b, sa))
+		return t.f.Eq(a, t.coerce(b, sa))
 	}
 }
 
@@ -501,15 +518,15 @@ func (t *Translator) inArray(edges []heapgraph.Label, l heapgraph.Label, o *heap
 	if len(edges) >= 2 {
 		if info := t.g.Array(edges[1]); info != nil {
 			if len(info.Keys) == 0 {
-				return smt.False()
+				return t.f.False()
 			}
 			needle := t.Label(edges[0], smt.SortString)
 			var opts []*smt.Term
 			for _, k := range info.Keys {
 				elem := t.Label(info.Elems[k], smt.SortString)
-				opts = append(opts, smt.Eq(needle, elem))
+				opts = append(opts, t.f.Eq(needle, elem))
 			}
-			return smt.Or(opts...)
+			return t.f.Or(opts...)
 		}
 	}
 	return t.freshSym(l, "in_array", smt.SortBool)
@@ -529,7 +546,7 @@ func (t *Translator) basename(edges []heapgraph.Label, l heapgraph.Label, o *hea
 		if i := strings.LastIndexByte(s, '/'); i >= 0 {
 			s = s[i+1:]
 		}
-		return smt.Str(s)
+		return t.f.Str(s)
 	}
 	if noSeparator(term) {
 		return term

@@ -73,10 +73,10 @@ type BatchStats struct {
 // included so a format bump invalidates everything at once.
 func (s *Scanner) optionsFingerprint() string {
 	o := s.opts
-	return fmt.Sprintf("v%d ext=%v interp=%+v solver=%+v noloc=%t admin=%t keepsmt=%t retries=%d root-timeout=%v max-root-failures=%d nodeg=%t",
+	return fmt.Sprintf("v%d ext=%v interp=%+v solver=%+v noloc=%t admin=%t keepsmt=%t retries=%d root-timeout=%v max-root-failures=%d nodeg=%t nointern=%t",
 		scanjournal.FormatVersion, o.Extensions, o.Interp, o.Solver,
 		o.DisableLocality, o.ModelAdminGating, o.KeepSMT, o.MaxRetries,
-		o.RootTimeout, o.MaxRootFailures, o.DisableDegraded)
+		o.RootTimeout, o.MaxRootFailures, o.DisableDegraded, o.DisableIntern)
 }
 
 // decodeReport unmarshals a journaled/cached report. The JSON round trip

@@ -613,6 +613,7 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 	ar.metrics.Add("interp_budget_checks", res.Stats.BudgetChecks)
 	ar.metrics.SetMax("interp_live_envs_peak", res.Stats.LiveEnvsPeak)
 	ar.metrics.Add("interp_paths_total", int64(res.Paths))
+	ar.metrics.Add("interp_pathcond_shared_nodes", res.Stats.PathCondSharedNodes)
 	ar.metrics.Add("interp_objects_allocated", int64(res.Graph.NumObjects()))
 	if res.Err != nil {
 		class := classifyRootErr(res.Err, ctx, rctx)
@@ -704,8 +705,25 @@ func (s *Scanner) fallbackRoot(rr *rootResult, root *callgraph.Node, files []*ph
 // findings are marked Degraded.
 func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root *callgraph.Node, res interp.Result, adminCallbacks map[string]bool, g *callgraph.Graph, sopts smt.Options, degraded bool, attempt int, strace *scanTrace, verifySpan obs.SpanID) {
 	rootName := root.String()
-	solver := smt.NewSolver(sopts)
-	tr := translate.New(res.Graph)
+	// One hash-consing factory per root attempt: construction order within
+	// a root is deterministic and single-goroutine, so the factory's
+	// counters — like every other per-root metric — are byte-identical
+	// across worker counts once merged in canonical root order. With
+	// DisableIntern the factory is nil and every layer falls back to
+	// direct construction (the -no-intern ablation).
+	var fac *smt.Factory
+	if !s.opts.DisableIntern {
+		fac = smt.NewFactory()
+	}
+	solver := smt.NewSolverWithFactory(sopts, fac)
+	tr := translate.NewWithFactory(res.Graph, fac)
+	// Incremental three-constraint staging: taint is decided structurally
+	// per sink below; the extension constraint is asserted and quick-checked
+	// on its own (an extension that folds to false soundly short-circuits
+	// the sink with no model search); reachability is then pushed on top,
+	// reusing the simplified extension prefix and — across sinks sharing a
+	// path prefix — the memoized reachability rewrites.
+	sess := solver.NewSession()
 	seen := map[string]bool{}       // dedupe per (file,line,witness-free)
 	solverBudgetNoted := false      // one FailSolverBudget per attempt
 	for _, hit := range res.Sinks { //nolint:gocritic // value copy is fine
@@ -750,7 +768,27 @@ func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root
 			}
 		}
 		solveSpan := strace.start(verifySpan, "solve", obs.A("sink", key))
-		status, model, sstats, cerr := solver.CheckCtx(vctx, cand.Combined)
+		var (
+			status smt.Status
+			model  smt.Model
+			sstats smt.Stats
+			cerr   error
+		)
+		sess.Push()
+		sess.Assert(cand.Extension)
+		if sess.QuickUnsat(&sstats) {
+			// Constraint-2 alone is contradictory (the simplifier folded it
+			// to false): the conjunction with reachability is false too, so
+			// this is a sound Unsat that skips building, simplifying, and
+			// searching the reachability constraint entirely.
+			status = smt.Unsat
+		} else {
+			sess.Assert(cand.Reach)
+			var cst smt.Stats
+			status, model, cst, cerr = sess.CheckCtx(vctx)
+			sstats.Accum(cst)
+		}
+		sess.Pop()
 		strace.end(solveSpan, obs.A("status", status.String()))
 		ar.metrics.Add("smt_checks", 1)
 		ar.metrics.Add("smt_cubes_examined", int64(sstats.Cubes))
@@ -791,6 +829,16 @@ func (s *Scanner) verifySinks(parent, vctx context.Context, ar *rootResult, root
 			f.AdminGated = true
 		}
 		ar.findings = append(ar.findings, f)
+	}
+	// Factory counters: how much structure the root's constraint terms
+	// shared. Per-root and single-goroutine, so — merged in canonical root
+	// order like every other metric — they are identical for any Workers.
+	if fac != nil {
+		fst := fac.Stats()
+		ar.metrics.Add("smt_intern_hits", fst.InternHits)
+		ar.metrics.Add("smt_intern_misses", fst.InternMisses)
+		ar.metrics.Add("smt_simplify_memo_hits", fst.SimplifyMemoHits)
+		ar.metrics.Add("smt_incremental_reuse", fst.IncrementalReuse)
 	}
 }
 

@@ -103,6 +103,14 @@ type Options struct {
 	// roots are skipped depends on worker scheduling, so reports of an
 	// aborted scan are not deterministic across worker counts.
 	MaxRootFailures int
+	// DisableIntern turns off the hash-consing term factory of the SMT
+	// layer: every constraint term is heap-allocated directly (no intern
+	// table, no memoized simplification, no incremental-session reuse),
+	// exactly the pre-interning pipeline. Findings are byte-identical
+	// either way — this flag exists for the `-no-intern` ablation
+	// benchmark, and as a bisection lever should interning ever be
+	// suspected of a miscompare.
+	DisableIntern bool
 	// DisableDegraded switches the degradation ladder off wholesale: no
 	// halved-budget retries, no degraded verification of partial
 	// explorations, no taint-only fallback. Failed roots then surface

@@ -93,13 +93,18 @@ func Model(g *heapgraph.Graph, tr *translate.Translator, s Sink, extensions []st
 	}
 
 	// Constraint-2: the destination ends with an executable extension.
+	// Construction routes through the translator's factory (nil-safe), so
+	// sinks sharing a destination — and every sink of a root sharing the
+	// same extension list — produce pointer-equal constraint terms the
+	// solver's memo tables key on.
+	f := tr.Factory()
 	dst := tr.Label(s.Dst, smt.SortString)
 	c.DstTerm = dst
 	var opts []*smt.Term
 	for _, ext := range extensions {
-		opts = append(opts, smt.SuffixOf(smt.Str(ext), dst))
+		opts = append(opts, f.SuffixOf(f.Str(ext), dst))
 	}
-	c.Extension = smt.Or(opts...)
+	c.Extension = f.Or(opts...)
 
 	// Constraint-3: path reachability.
 	if s.Cur != heapgraph.Null {
@@ -108,7 +113,7 @@ func Model(g *heapgraph.Graph, tr *translate.Translator, s Sink, extensions []st
 		c.Reach = smt.True()
 	}
 
-	c.Combined = smt.And(c.Extension, c.Reach)
+	c.Combined = f.And(c.Extension, c.Reach)
 
 	// Source lines involved in either constraint.
 	seen := map[int]bool{}
