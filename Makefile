@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix bench bench-scan bench-smt bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix engine-diff bench bench-scan bench-smt bench-interp bench-smoke
 
 check: fmt vet build race fuzz-smoke bench-smoke
 
@@ -42,12 +42,23 @@ crash-matrix:
 
 # Bounded coverage-guided fuzzing of the robustness frontier: the lexer
 # and parser must never panic on malformed PHP (the scanner's parse-stage
-# fault containment assumes it). Seed corpora live under each package's
-# testdata/fuzz/.
+# fault containment assumes it), and the tree walker and bytecode VM must
+# agree on arbitrary programs (the engine-equivalence invariant). Seed
+# corpora live under each package's testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/phplex
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/phpparser
+	$(GO) test -run '^$$' -fuzz '^FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) ./internal/interp
+
+# Engine-differential acceptance suite under the race detector: tree vs
+# VM byte-identical findings on every corpus app at Workers=1/4, the
+# Table III verdict sweep (including the Cimy miss) under the VM, the
+# deterministic counter table, and the unit-level equivalence matrix.
+engine-diff:
+	$(GO) test -race -run 'TestEngineDifferentialCorpus|TestEngineVM' ./internal/uchecker
+	$(GO) test -race -run 'TestEngineEquivalence|TestEngineFactoryCounters' ./internal/interp
+	$(GO) test -race -run 'TestTableIIIVerdictsVMEngine|TestCounterTableVMDeterministic' ./internal/evalharness
 
 # Paper-evaluation benchmarks (bench_test.go).
 bench:
@@ -64,9 +75,18 @@ bench-smt:
 	   $(GO) test -run '^$$' -bench 'BenchmarkPathForkDeep' -benchtime 2s -benchmem ./internal/heapgraph; } | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_smt.json
 	@echo "wrote BENCH_smt.json"
 
-# One-iteration smoke over the constraint-engine benchmarks: keeps the
-# benchmark harnesses compiling and running inside `make check` without
-# paying for a real measurement.
+# Execution-engine benchmarks: bytecode compilation, the tree-vs-VM
+# symbolic-execution pair, compile-once amortization across a 32-root
+# app, and the full-corpus sweep — archived as JSON for cross-commit
+# comparison.
+bench-interp:
+	@$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 2s -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_interp.json
+	@echo "wrote BENCH_interp.json"
+
+# One-iteration smoke over the constraint-engine and execution-engine
+# benchmarks: keeps the benchmark harnesses compiling and running inside
+# `make check` without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimplifyShared|BenchmarkSolverIncremental|BenchmarkInternConstruction' -benchtime 1x ./internal/smt
 	$(GO) test -run '^$$' -bench 'BenchmarkPathForkDeep' -benchtime 1x ./internal/heapgraph
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine(Compile|SymbolicExecution|ScanRoots)' -benchtime 1x .

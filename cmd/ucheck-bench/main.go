@@ -9,6 +9,7 @@
 //	ucheck-bench -phases      # per-app, per-phase timing breakdown
 //	ucheck-bench -failures    # per-class failure tally of the Table III sweep
 //	ucheck-bench -counters    # deterministic work-counter table of the sweep
+//	ucheck-bench -engine vm   # run symbolic execution on the bytecode VM
 //	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
 //	ucheck-bench -journal F   # journal the Table III sweep to F (crash-safe)
 //	ucheck-bench -resume F    # resume a killed sweep from journal F
@@ -25,8 +26,12 @@
 // small machines: 20000 still reproduces every verdict including the Cimy
 // false negative, at a fraction of the memory). The -phases breakdown is
 // the CLI face of bench_test.go's BenchmarkScanSerial/BenchmarkScanParallel
-// pair: symexec+verify are summed per-root CPU seconds, execute is
+// pair: interp+verify are summed per-root CPU seconds, scan is
 // wall-clock, and their ratio is the per-root parallel speedup.
+//
+// -engine vm selects the bytecode-VM execution engine (findings and
+// counters are byte-identical to the default tree walker; the VM
+// additionally reports ir_*/vm_* counters under -counters).
 package main
 
 import (
@@ -52,6 +57,7 @@ func main() {
 		failures = flag.Bool("failures", false, "print the per-class failure tally of the Table III sweep")
 		counters = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
 		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
 		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
 		journal  = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
 		resume   = flag.String("resume", "", "resume the Table III sweep from this journal")
@@ -63,8 +69,14 @@ func main() {
 		*table = true
 	}
 
+	engineKind, err := interp.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucheck-bench: %v\n", err)
+		os.Exit(2)
+	}
 	opts := uchecker.Options{
-		Interp:        interp.Options{MaxPaths: *maxPaths},
+		Budgets:       uchecker.Budgets{MaxPaths: *maxPaths},
+		Engine:        engineKind,
 		Workers:       *workers,
 		Journal:       *journal,
 		ResumeFrom:    *resume,
@@ -75,7 +87,7 @@ func main() {
 	var times *evalharness.PhaseTimes
 	if *phases {
 		times = evalharness.NewPhaseTimes()
-		opts.OnPhase = times.Hook()
+		opts.OnSpan = times.SpanHook()
 	}
 
 	if *table || *all || *failures || *counters {

@@ -18,6 +18,10 @@
 //	-ext LIST            comma-separated executable extensions (default ".php,.php5")
 //	-admin-gating        model add_action('admin_menu', ...) gating (Section VI)
 //	-max-paths N         symbolic execution path budget
+//	-engine NAME         symbolic-execution engine: "tree" (the recursive
+//	                     AST walker, default) or "vm" (compile each
+//	                     function once to bytecode, dispatch a VM);
+//	                     findings are byte-identical either way
 //	-workers N           worker pool size for per-root and per-app parallelism
 //	                     (default: GOMAXPROCS)
 //	-timeout D           abort the scan after D (e.g. 30s, 5m); partial
@@ -92,6 +96,7 @@ func run() int {
 		exts        = flag.String("ext", ".php,.php5", "comma-separated executable extensions")
 		adminGating = flag.Bool("admin-gating", false, "model admin_menu gating (Section VI extension)")
 		maxPaths    = flag.Int("max-paths", 0, "symbolic execution path budget (0 = default)")
+		engine      = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration (0 = none)")
 		rootTimeout = flag.Duration("root-timeout", 0, "per-root wall-clock budget (0 = none)")
@@ -133,6 +138,11 @@ func run() int {
 	}
 
 	extList := splitExts(*exts)
+	engineKind, err := interp.ParseEngineKind(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+		return 2
+	}
 	var rec *core.TraceRecorder
 	if *traceOut != "" {
 		rec = core.NewTraceRecorder()
@@ -143,7 +153,8 @@ func run() int {
 		ModelAdminGating: *adminGating,
 		KeepSMT:          *smtOut,
 		Workers:          *workers,
-		Interp:           interp.Options{MaxPaths: *maxPaths},
+		Budgets:          core.Budgets{MaxPaths: *maxPaths},
+		Engine:           engineKind,
 		RootTimeout:      *rootTimeout,
 		MaxRetries:       *retries,
 		MaxRootFailures:  *maxFailures,

@@ -207,11 +207,17 @@ move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
 }
 
 func TestPrintReport(t *testing.T) {
-	rep := core.New(core.Options{KeepSMT: true}).CheckSources("demo", map[string]string{
-		"demo.php": `<?php
+	rep, err := core.NewScanner(core.Options{KeepSMT: true}).Scan(context.Background(), core.Target{
+		Name: "demo",
+		Sources: map[string]string{
+			"demo.php": `<?php
 move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
 `,
+		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	printReport(&sb, rep, true, true)
 	out := sb.String()
@@ -231,9 +237,13 @@ move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
 }
 
 func TestPrintReportBenign(t *testing.T) {
-	rep := core.New(core.Options{}).CheckSources("safe", map[string]string{
-		"safe.php": `<?php echo "hello";`,
+	rep, err := core.NewScanner(core.Options{}).Scan(context.Background(), core.Target{
+		Name:    "safe",
+		Sources: map[string]string{"safe.php": `<?php echo "hello";`},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	printReport(&sb, rep, false, false)
 	if !strings.Contains(sb.String(), "NOT VULNERABLE") {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -38,24 +39,29 @@ function csv_import_page() {
 `
 
 func main() {
+	ctx := context.Background()
+	scan := func(s *core.Scanner, name string, sources map[string]string) *core.AppReport {
+		rep, _ := s.Scan(ctx, core.Target{Name: name, Sources: sources})
+		return rep
+	}
 	files := map[string]string{"phtml.php": phtmlUploader}
 
-	stock := core.New(core.Options{})
+	stock := core.NewScanner(core.Options{})
 	fmt.Printf(".phtml uploader, stock extensions:    vulnerable=%v\n",
-		stock.CheckSources("phtml", files).Vulnerable)
+		scan(stock, "phtml", files).Vulnerable)
 
-	widened := core.New(core.Options{
+	widened := core.NewScanner(core.Options{
 		Extensions: []string{".php", ".php5", ".phtml", ".asa", ".swf"},
 	})
 	fmt.Printf(".phtml uploader, widened extensions:  vulnerable=%v\n",
-		widened.CheckSources("phtml", files).Vulnerable)
+		scan(widened, "phtml", files).Vulnerable)
 
 	adminFiles := map[string]string{"admin.php": adminUploader}
 	fmt.Printf("\nadmin uploader, paper configuration:  vulnerable=%v (the documented FP)\n",
-		stock.CheckSources("admin", adminFiles).Vulnerable)
+		scan(stock, "admin", adminFiles).Vulnerable)
 
-	gated := core.New(core.Options{ModelAdminGating: true})
-	gatedRep := gated.CheckSources("admin", adminFiles)
+	gated := core.NewScanner(core.Options{ModelAdminGating: true})
+	gatedRep := scan(gated, "admin", adminFiles)
 	fmt.Printf("admin uploader, admin gating modeled: vulnerable=%v", gatedRep.Vulnerable)
 	if len(gatedRep.Findings) > 0 && gatedRep.Findings[0].AdminGated {
 		fmt.Printf(" (finding recorded but marked admin-gated)")

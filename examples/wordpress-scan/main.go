@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,9 +19,9 @@ import (
 )
 
 func main() {
-	checker := core.New(core.Options{})
+	scanner := core.NewScanner(core.Options{})
 	for _, app := range corpus.NewVulnApps() {
-		report := checker.CheckSources(app.Name, app.Sources)
+		report, _ := scanner.Scan(context.Background(), core.Target{Name: app.Name, Sources: app.Sources})
 		fmt.Printf("=== %s ===\n", app.Name)
 		fmt.Printf("verdict: vulnerable=%v  (%d LoC, %.2f%% analyzed, %d paths, %.3fs)\n",
 			report.Vulnerable, report.TotalLoC, report.PercentAnalyzed,

@@ -12,8 +12,6 @@
 //
 //	reports := scanner.ScanBatch(ctx, targets) // corpus sweep, one report per target
 //
-// The v1 Checker/CheckSources API remains as a deprecated shim over Scan.
-//
 // The full pipeline (Figure 2 of the paper) lives in the sibling packages:
 //
 //	phplex, phpparser   parsing (phase 1)
@@ -43,10 +41,9 @@ type Scanner = uchecker.Scanner
 // as file-name → source-text.
 type Target = uchecker.Target
 
-// Checker is the deprecated v1 façade over Scanner.
-//
-// Deprecated: use Scanner.
-type Checker = uchecker.Checker
+// Budgets bounds per-root symbolic execution and SMT model search; the
+// degradation ladder halves the whole set per rung.
+type Budgets = uchecker.Budgets
 
 // AppReport is a scan result carrying the verdict, findings and Table III
 // measurements.
@@ -116,16 +113,6 @@ func VerifyCache(dir string, remove bool) (ok, bad int, err error) {
 // Options.MaxRetries is zero.
 const DefaultMaxRetries = uchecker.DefaultMaxRetries
 
-// Phase names delivered to Options.OnPhase.
-const (
-	PhaseParse    = uchecker.PhaseParse
-	PhaseLocality = uchecker.PhaseLocality
-	PhaseExecute  = uchecker.PhaseExecute
-	PhaseSymExec  = uchecker.PhaseSymExec
-	PhaseVerify   = uchecker.PhaseVerify
-	PhaseTotal    = uchecker.PhaseTotal
-)
-
 // Observability re-exports (see internal/obs): install a TraceRecorder
 // via Options.Trace to capture the scan's span tree, and read the
 // deterministic work counters from AppReport.Metrics.
@@ -155,8 +142,3 @@ var WritePrometheus = obs.WritePrometheus
 
 // NewScanner returns a Scanner with normalized options.
 func NewScanner(opts Options) *Scanner { return uchecker.NewScanner(opts) }
-
-// New returns a Checker.
-//
-// Deprecated: use NewScanner.
-func New(opts Options) *Checker { return uchecker.New(opts) }

@@ -46,9 +46,11 @@ func corpusTarget(app corpus.App) uchecker.Target {
 	return uchecker.Target{Name: app.Name, Sources: app.Sources}
 }
 
-// PhaseTimes aggregates Options.OnPhase callbacks across one or more
-// scans, keyed by (app, phase). Safe for concurrent use — install Hook()
-// before a ScanBatch sweep and Render() afterwards.
+// PhaseTimes aggregates the scanner's trace spans across one or more
+// scans into a per-app, per-phase timing table, keyed by (app,
+// span-name). Safe for concurrent use — install SpanHook() as
+// uchecker.Options.OnSpan before a scan or ScanBatch sweep and Render()
+// afterwards.
 type PhaseTimes struct {
 	mu    sync.Mutex
 	total map[string]map[string]time.Duration
@@ -60,35 +62,39 @@ func NewPhaseTimes() *PhaseTimes {
 	return &PhaseTimes{total: map[string]map[string]time.Duration{}}
 }
 
-// Hook returns a callback suitable for uchecker.Options.OnPhase.
-func (p *PhaseTimes) Hook() func(app, phase string, d time.Duration) {
-	return func(app, phase string, d time.Duration) {
+// SpanHook returns a callback suitable for uchecker.Options.OnSpan. Every
+// scanner span carries an "app" attribute, so per-root spans attribute
+// correctly even in a concurrent batch. Durations accumulate per (app,
+// span name); the taint-only "fallback" rung counts toward verify.
+func (p *PhaseTimes) SpanHook() func(obs.Span) {
+	return func(sp obs.Span) {
+		name := sp.Name
+		if name == "fallback" {
+			name = "verify"
+		}
 		p.mu.Lock()
 		defer p.mu.Unlock()
+		app := sp.Attr("app")
 		m, ok := p.total[app]
 		if !ok {
 			m = map[string]time.Duration{}
 			p.total[app] = m
 			p.order = append(p.order, app)
 		}
-		m[phase] += d
+		m[name] += sp.Dur()
 	}
 }
 
-// phaseColumns is the rendering order for the per-phase breakdown.
-var phaseColumns = []string{
-	uchecker.PhaseParse,
-	uchecker.PhaseLocality,
-	uchecker.PhaseExecute,
-	uchecker.PhaseSymExec,
-	uchecker.PhaseVerify,
-	uchecker.PhaseTotal,
-}
+// phaseColumns is the rendering order for the per-phase breakdown: the
+// scanner's span names, pipeline order. "root" is phases 3–6 summed over
+// roots; "interp" and "verify" split it into symbolic execution and
+// modeling+translation+solving; "scan" is the whole-scan wall clock.
+var phaseColumns = []string{"parse", "locality", "root", "interp", "verify", "scan"}
 
 // Render formats the per-app, per-phase breakdown as a table (seconds).
-// Apps appear in first-callback order; a TOTAL row sums each column.
-// symexec/verify are summed per-root CPU time, so with Workers>1 they can
-// exceed the execute wall-clock column — that surplus is the speedup.
+// A TOTAL row sums each column. root/interp/verify are summed per-root
+// time, so with Workers>1 they can exceed the scan wall-clock column —
+// that surplus is the speedup.
 func (p *PhaseTimes) Render() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,10 +1,12 @@
 package evalharness
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/interp"
 	"repro/internal/uchecker"
 )
@@ -31,7 +33,7 @@ func cachedTableIII(t *testing.T) []Row {
 func testOptions(t *testing.T) uchecker.Options {
 	t.Helper()
 	if testing.Short() {
-		return uchecker.Options{Interp: interp.Options{MaxPaths: 20000}}
+		return uchecker.Options{Budgets: uchecker.Budgets{MaxPaths: 20000}}
 	}
 	return uchecker.Options{}
 }
@@ -133,6 +135,132 @@ func TestRenderTableIII(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestPhaseTimesSpanHook covers the -phases aggregation: spans from a
+// concurrent two-app batch attribute to the right app via the "app"
+// span attribute, and Render emits one row per app plus every phase
+// column and a TOTAL row.
+func TestPhaseTimesSpanHook(t *testing.T) {
+	names := []string{"Uploadify 1.0.0", "Adblock Blocker 0.0.1"}
+	var targets []uchecker.Target
+	for _, n := range names {
+		app, ok := corpus.ByName(n)
+		if !ok {
+			t.Fatalf("missing corpus app %q", n)
+		}
+		targets = append(targets, corpusTarget(app))
+	}
+	times := NewPhaseTimes()
+	reps := uchecker.NewScanner(uchecker.Options{
+		Workers: 4,
+		OnSpan:  times.SpanHook(),
+	}).ScanBatch(context.Background(), targets)
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+	}
+	out := times.Render()
+	for _, want := range append([]string{"parse", "locality", "root", "interp", "verify", "scan", "TOTAL"}, names...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("phase table missing %q:\n%s", want, out)
+		}
+	}
+	// Per-app attribution: each app accumulated its own nonzero scan time.
+	for _, n := range names {
+		if d := times.total[n]["scan"]; d <= 0 {
+			t.Errorf("%s: scan time = %v, want > 0", n, d)
+		}
+	}
+}
+
+// TestTableIIIVerdictsVMEngine re-runs the Table III sweep under the
+// bytecode VM and checks every verdict against the paper — including the
+// Cimy path-budget miss, which must reproduce identically because the VM
+// counts paths and objects through the same heap graph and budget checks
+// as the tree walker.
+func TestTableIIIVerdictsVMEngine(t *testing.T) {
+	opts := uchecker.Options{
+		Budgets: uchecker.Budgets{MaxPaths: 20000},
+		Engine:  interp.EngineVM,
+	}
+	rows := TableIII(opts)
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	cimySeen := false
+	for _, r := range rows {
+		if got, want := r.Detected(), r.App.Paper.Detected; got != want {
+			t.Errorf("%s: vm detected = %v, paper says %v", r.App.Name, got, want)
+		}
+		if strings.HasPrefix(r.App.Name, "Cimy") {
+			cimySeen = true
+			if !r.Report.BudgetExceeded || r.Report.Vulnerable {
+				t.Errorf("Cimy under vm: budget=%v vulnerable=%v, want abort and no verdict",
+					r.Report.BudgetExceeded, r.Report.Vulnerable)
+			}
+		}
+	}
+	if !cimySeen {
+		t.Fatal("Cimy row missing")
+	}
+}
+
+// TestCounterTableVMDeterministic asserts the ucheck-bench -counters
+// rendering path — CounterTally + RenderCounterTable — is byte-identical
+// for Workers=1,2,8 under the VM engine, includes the ir_*/vm_* execution
+// counters, and lists metric names in sorted order.
+func TestCounterTableVMDeterministic(t *testing.T) {
+	// A multi-root app (so ir_compile_cache_hits is nonzero) plus two
+	// corpus apps to exercise the batch merge.
+	sources := map[string]string{}
+	for _, f := range []string{"a", "b", "c"} {
+		sources[f+".php"] = `<?php
+move_uploaded_file($_FILES['` + f + `']['tmp_name'], "/up/" . $_FILES['` + f + `']['name']);
+`
+	}
+	targets := []uchecker.Target{{Name: "counters-app", Sources: sources}}
+	for _, n := range []string{"Uploadify 1.0.0", "Avatar Uploader 6.x-1.2"} {
+		app, ok := corpus.ByName(n)
+		if !ok {
+			t.Fatalf("missing corpus app %q", n)
+		}
+		targets = append(targets, uchecker.Target{Name: app.Name, Sources: app.Sources})
+	}
+
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		reps := uchecker.NewScanner(uchecker.Options{
+			Engine:  interp.EngineVM,
+			Workers: workers,
+		}).ScanBatch(context.Background(), targets)
+		out := RenderCounterTable(CounterTally(reps))
+		if want == "" {
+			want = out
+			continue
+		}
+		if out != want {
+			t.Errorf("Workers=%d counter table differs:\n got:\n%s\nwant:\n%s", workers, out, want)
+		}
+	}
+	for _, counter := range []string{
+		"ir_functions_compiled", "ir_instructions_executed",
+		"ir_compile_cache_hits", "vm_dispatch_loops",
+	} {
+		if !strings.Contains(want, counter) {
+			t.Errorf("counter table missing %s:\n%s", counter, want)
+		}
+	}
+	// Rows are sorted by metric name (the header line excepted).
+	lines := strings.Split(strings.TrimSpace(want), "\n")[1:]
+	for i := 1; i < len(lines); i++ {
+		prev := strings.Fields(lines[i-1])[0]
+		cur := strings.Fields(lines[i])[0]
+		if prev >= cur {
+			t.Errorf("counter table not sorted: %q before %q", prev, cur)
 		}
 	}
 }

@@ -122,54 +122,8 @@ func (in *Interp) recordSink(name string, args []heapgraph.Label, e *heapgraph.E
 // naturally, because the callee's environments are the callers' with one
 // extra scope frame.
 func (in *Interp) inlineCall(decl *phpast.FuncDecl, argMatrix [][]heapgraph.Label, envs heapgraph.EnvSet, thisLabel heapgraph.Label, line int) (heapgraph.EnvSet, []heapgraph.Label) {
-	lname := strings.ToLower(decl.Name)
-	// Recursion or depth cut: opaque symbolic result.
-	cut := len(in.callStack) >= in.opts.MaxCallDepth
-	for _, f := range in.callStack {
-		if f == lname {
-			cut = true
-			break
-		}
-	}
-	if cut {
-		l := in.g.NewSymbol("s_ret_"+lname, sexpr.Unknown, line)
-		return envs, sameLabel(envs, l)
-	}
-	in.callStack = append(in.callStack, lname)
-	defer func() { in.callStack = in.callStack[:len(in.callStack)-1] }()
-
-	for i, e := range envs {
-		args := argMatrix[i]
-		e.PushScope()
-		if thisLabel != heapgraph.Null {
-			e.Bind("this", thisLabel)
-		}
-		for j, p := range decl.Params {
-			var l heapgraph.Label
-			if j < len(args) && args[j] != heapgraph.Null {
-				l = args[j]
-			} else if p.Default != nil {
-				// Defaults are constant expressions; evaluate on a singleton
-				// set (cannot fork).
-				_, ls := in.eval(p.Default, heapgraph.EnvSet{e})
-				l = ls[0]
-			} else {
-				l = in.g.NewSymbol("s_param_"+p.Name, sexpr.Unknown, decl.P.Line)
-			}
-			e.Bind(p.Name, l)
-		}
-	}
-	envs = in.execStmts(decl.Body, envs)
-	labels := make([]heapgraph.Label, len(envs))
-	for i, e := range envs {
-		if e.Returned != heapgraph.Null {
-			labels[i] = e.Returned
-		} else {
-			labels[i] = in.g.NewConcrete(sexpr.NullVal{}, decl.EndLine)
-		}
-		e.PopScope()
-	}
-	return envs, labels
+	return in.inlineFrame(strings.ToLower(decl.Name), decl.Params, decl.P.Line, decl.EndLine, line, argMatrix, envs, thisLabel,
+		func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execStmts(decl.Body, es) })
 }
 
 // inlineCallWithThis evaluates constructor arguments then inlines the

@@ -1,0 +1,172 @@
+package interp
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/callgraph"
+	"repro/internal/heapgraph"
+	"repro/internal/ir"
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// EngineKind selects a symbolic-execution engine implementation.
+type EngineKind string
+
+const (
+	// EngineTree is the recursive AST walker (the default).
+	EngineTree EngineKind = "tree"
+	// EngineVM dispatches compiled ir bytecode.
+	EngineVM EngineKind = "vm"
+)
+
+// ParseEngineKind parses a -engine flag value. The empty string selects
+// the tree walker.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "", string(EngineTree):
+		return EngineTree, nil
+	case string(EngineVM):
+		return EngineVM, nil
+	default:
+		return "", fmt.Errorf("unknown engine %q (want tree or vm)", s)
+	}
+}
+
+// Engine executes one analysis root symbolically. Implementations are
+// single-use and not safe for concurrent Run calls; create one per root
+// via EngineFactory.New.
+type Engine interface {
+	Run(ctx context.Context, root *callgraph.Node) Result
+}
+
+// EngineFactory builds per-root engines over a shared file set. For the
+// VM engine the bytecode program is compiled exactly once here and shared
+// (read-only) by every root and every retry rung, which is what the
+// ir_compile_cache_hits counter measures.
+type EngineFactory struct {
+	kind  EngineKind
+	files []*phpast.File
+	prog  *ir.Program
+	news  atomic.Int64
+}
+
+// NewEngineFactory compiles the program (for the VM engine) and returns
+// the factory. An empty kind means EngineTree.
+func NewEngineFactory(kind EngineKind, files []*phpast.File) *EngineFactory {
+	if kind == "" {
+		kind = EngineTree
+	}
+	f := &EngineFactory{kind: kind, files: files}
+	if kind == EngineVM {
+		f.prog = ir.Compile(files)
+	}
+	return f
+}
+
+// Kind reports the engine implementation this factory builds.
+func (f *EngineFactory) Kind() EngineKind { return f.kind }
+
+// FunctionsCompiled reports the number of compiled bytecode units
+// (functions plus file top-levels); zero for the tree engine.
+func (f *EngineFactory) FunctionsCompiled() int {
+	if f.prog == nil {
+		return 0
+	}
+	return f.prog.FunctionsCompiled
+}
+
+// CacheHits reports how many engine instantiations reused the shared
+// compiled program instead of recompiling (every New call after the
+// first); zero for the tree engine.
+func (f *EngineFactory) CacheHits() int64 {
+	n := f.news.Load()
+	if f.prog == nil || n == 0 {
+		return 0
+	}
+	return n - 1
+}
+
+// New builds a fresh engine (fresh heap graph and statistics) for one
+// root execution.
+func (f *EngineFactory) New(opts Options) Engine {
+	f.news.Add(1)
+	in := New(f.files, opts)
+	if f.kind == EngineVM {
+		return &vmEngine{in: in, prog: f.prog}
+	}
+	return treeEngine{in: in}
+}
+
+// treeEngine adapts the recursive AST walker to the Engine interface.
+type treeEngine struct{ in *Interp }
+
+func (t treeEngine) Run(ctx context.Context, root *callgraph.Node) Result {
+	return t.in.RunRootCtx(ctx, root)
+}
+
+// vmEngine executes roots by dispatching the shared compiled program.
+// Rare constructs escape to the embedded tree walker per instruction, so
+// the two engines share every heap-graph allocation path.
+type vmEngine struct {
+	in   *Interp
+	prog *ir.Program
+}
+
+func (ve *vmEngine) Run(ctx context.Context, root *callgraph.Node) Result {
+	in := ve.in
+	in.ctx = ctx
+	v := &vmRun{in: in, prog: ve.prog}
+	envs := heapgraph.EnvSet{heapgraph.NewEnv()}
+	in.curFile = root.File
+	switch root.Kind {
+	case callgraph.FileNode:
+		if f := in.files[root.Name]; f != nil {
+			in.curFile = f.Name
+			envs = v.runCode(ve.prog.Files[f.Name], envs)
+		}
+	case callgraph.FuncNode:
+		if root.Func != nil {
+			env := envs[0]
+			for _, p := range root.Func.Params {
+				t := sexpr.Unknown
+				if p.Type == "array" {
+					t = sexpr.Array
+				}
+				env.Bind(p.Name, in.g.NewSymbol("s_param_"+p.Name, t, root.Func.P.Line))
+			}
+			if body := ve.bodyCode(root.Func.Body); body != nil {
+				envs = v.runCode(body, envs)
+			} else {
+				// Empty or unregistered body: the tree path is a no-op-safe
+				// fallback with identical semantics.
+				envs = in.execStmts(root.Func.Body, envs)
+			}
+		}
+	}
+	in.stats.IRInstructionsExecuted += v.instrs
+	in.stats.VMDispatchLoops += v.spans
+	return Result{
+		Graph: in.g,
+		Envs:  envs,
+		Sinks: in.sinks,
+		Paths: len(envs),
+		Stats: in.stats,
+		Err:   in.budgetErr,
+	}
+}
+
+// bodyCode resolves a root function body to its compiled code. Roots for
+// class methods reference synthesized FuncDecl wrappers, but those share
+// the method's body slice, so the first-statement address lookup matches.
+func (ve *vmEngine) bodyCode(body []phpast.Stmt) *ir.Code {
+	if len(body) == 0 {
+		return nil
+	}
+	if fn := ve.prog.ByBody[&body[0]]; fn != nil {
+		return fn.Body
+	}
+	return nil
+}

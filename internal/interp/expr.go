@@ -191,23 +191,29 @@ func (in *Interp) symbolShared(name string, t sexpr.Type, line int) heapgraph.La
 func (in *Interp) evalVar(x *phpast.Var, envs heapgraph.EnvSet) []heapgraph.Label {
 	labels := make([]heapgraph.Label, len(envs))
 	for i, e := range envs {
-		if l := e.Get(x.Name); l != heapgraph.Null {
-			labels[i] = l
-			continue
-		}
-		var l heapgraph.Label
-		switch x.Name {
-		case "_FILES":
-			l = in.filesArray(x.P.Line)
-		case "_POST", "_GET", "_REQUEST", "_COOKIE", "_SERVER", "_SESSION", "GLOBALS", "_ENV":
-			l = in.symbolShared("$_"+strings.TrimPrefix(x.Name, "_"), sexpr.Array, x.P.Line)
-		default:
-			l = in.g.NewSymbol("s_$"+x.Name, sexpr.Unknown, x.P.Line)
-		}
-		e.Bind(x.Name, l)
-		labels[i] = l
+		labels[i] = in.varLabel(e, x.Name, x.P.Line)
 	}
 	return labels
+}
+
+// varLabel reads one variable on one path, binding a fresh symbol (or a
+// superglobal's shared pre-structured object) when unbound. Shared with
+// the VM's OpVar handler.
+func (in *Interp) varLabel(e *heapgraph.Env, name string, line int) heapgraph.Label {
+	if l := e.Get(name); l != heapgraph.Null {
+		return l
+	}
+	var l heapgraph.Label
+	switch name {
+	case "_FILES":
+		l = in.filesArray(line)
+	case "_POST", "_GET", "_REQUEST", "_COOKIE", "_SERVER", "_SESSION", "GLOBALS", "_ENV":
+		l = in.symbolShared("$_"+strings.TrimPrefix(name, "_"), sexpr.Array, line)
+	default:
+		l = in.g.NewSymbol("s_$"+name, sexpr.Unknown, line)
+	}
+	e.Bind(name, l)
+	return l
 }
 
 func (in *Interp) evalInterpString(x *phpast.InterpString, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
@@ -727,29 +733,35 @@ func (in *Interp) evalCast(x *phpast.Cast, envs heapgraph.EnvSet) (heapgraph.Env
 }
 
 func (in *Interp) evalConst(x *phpast.ConstFetch) heapgraph.Label {
-	switch strings.ToUpper(x.Name) {
+	return in.constLabel(x.Name, x.P.Line)
+}
+
+// constLabel resolves a PHP constant by name. Shared with the VM's
+// OpConstFetch handler.
+func (in *Interp) constLabel(name string, line int) heapgraph.Label {
+	switch strings.ToUpper(name) {
 	case "PATHINFO_EXTENSION":
-		return in.symbolSharedConcrete("PATHINFO_EXTENSION", sexpr.IntVal(4), x.P.Line)
+		return in.symbolSharedConcrete("PATHINFO_EXTENSION", sexpr.IntVal(4), line)
 	case "PATHINFO_BASENAME":
-		return in.symbolSharedConcrete("PATHINFO_BASENAME", sexpr.IntVal(2), x.P.Line)
+		return in.symbolSharedConcrete("PATHINFO_BASENAME", sexpr.IntVal(2), line)
 	case "PATHINFO_DIRNAME":
-		return in.symbolSharedConcrete("PATHINFO_DIRNAME", sexpr.IntVal(1), x.P.Line)
+		return in.symbolSharedConcrete("PATHINFO_DIRNAME", sexpr.IntVal(1), line)
 	case "PATHINFO_FILENAME":
-		return in.symbolSharedConcrete("PATHINFO_FILENAME", sexpr.IntVal(8), x.P.Line)
+		return in.symbolSharedConcrete("PATHINFO_FILENAME", sexpr.IntVal(8), line)
 	case "PHP_EOL":
-		return in.symbolSharedConcrete("PHP_EOL", sexpr.StrVal("\n"), x.P.Line)
+		return in.symbolSharedConcrete("PHP_EOL", sexpr.StrVal("\n"), line)
 	case "DIRECTORY_SEPARATOR":
-		return in.symbolSharedConcrete("DIRECTORY_SEPARATOR", sexpr.StrVal("/"), x.P.Line)
+		return in.symbolSharedConcrete("DIRECTORY_SEPARATOR", sexpr.StrVal("/"), line)
 	case "UPLOAD_ERR_OK":
-		return in.symbolSharedConcrete("UPLOAD_ERR_OK", sexpr.IntVal(0), x.P.Line)
+		return in.symbolSharedConcrete("UPLOAD_ERR_OK", sexpr.IntVal(0), line)
 	case "__FILE__":
-		return in.g.NewConcrete(sexpr.StrVal(in.curFile), x.P.Line)
+		return in.g.NewConcrete(sexpr.StrVal(in.curFile), line)
 	case "__DIR__":
-		return in.g.NewConcrete(sexpr.StrVal(dirOf(in.curFile)), x.P.Line)
+		return in.g.NewConcrete(sexpr.StrVal(dirOf(in.curFile)), line)
 	case "ABSPATH", "WP_CONTENT_DIR", "WP_PLUGIN_DIR":
-		return in.symbolShared("s_const_"+x.Name, sexpr.String, x.P.Line)
+		return in.symbolShared("s_const_"+name, sexpr.String, line)
 	default:
-		return in.symbolShared("s_const_"+x.Name, sexpr.Unknown, x.P.Line)
+		return in.symbolShared("s_const_"+name, sexpr.Unknown, line)
 	}
 }
 

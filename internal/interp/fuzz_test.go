@@ -1,0 +1,58 @@
+package interp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+)
+
+// FuzzEngineEquivalence feeds arbitrary PHP sources through both
+// execution engines and requires byte-identical results: same paths, same
+// heap-graph object count and allocation order, same statistics, same
+// sink hits. Tight budgets keep pathological inputs bounded.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add(`<?php
+$n = $_FILES["f"]["name"];
+if (strpos($n, ".php") === false) { move_uploaded_file($_FILES["f"]["tmp_name"], "up/" . $n); }
+`)
+	f.Add(`<?php
+function ext($p) { $x = explode(".", $p); return end($x); }
+for ($i = 0; $i < $k; $i++) { $s = $s . ext($names[$i]); }
+`)
+	f.Add(`<?php
+foreach ($_POST as $k => $v) { $data[$k] = $v; }
+switch ($data["mode"]) { case "w": file_put_contents($f, $data["body"]); break; default: exit; }
+`)
+	f.Add(`<?php
+try { $r = $a ?: ($b ? 1 : 2); throw $e; } catch (E $x) { $r = -1; } finally { $done = true; }
+while ($r > 0) { $r--; continue; }
+`)
+	f.Add(`<?php
+class C { function m($v) { return $v . "!"; } }
+$o = new C();
+echo $o->m((string)(int)$q), "done $q";
+`)
+
+	opts := Options{MaxPaths: 200, MaxObjects: 20000, MaxCallDepth: 8}
+	f.Fuzz(func(t *testing.T, src string) {
+		run := func(kind EngineKind) (Result, bool) {
+			file, errs := phpparser.Parse("fuzz.php", src)
+			if len(errs) > 0 || file == nil {
+				return Result{}, false
+			}
+			root := &callgraph.Node{Kind: callgraph.FileNode, Name: "fuzz.php", File: "fuzz.php"}
+			return NewEngineFactory(kind, []*phpast.File{file}).New(opts).Run(context.Background(), root), true
+		}
+		tree, ok := run(EngineTree)
+		if !ok {
+			t.Skip("parse errors")
+		}
+		vm, _ := run(EngineVM)
+		if tf, vf := engineFingerprint(tree), engineFingerprint(vm); tf != vf {
+			t.Errorf("engines disagree on %q:\n--- tree ---\n%s--- vm ---\n%s", src, tf, vf)
+		}
+	})
+}

@@ -65,6 +65,21 @@ type Stats struct {
 	// forking is O(scope depth), and this counter grows with depth per
 	// fork rather than with total bindings.
 	PathCondSharedNodes int64
+	// IRInstructionsExecuted counts bytecode instructions dispatched by
+	// the VM engine (zero under the tree engine).
+	IRInstructionsExecuted int64
+	// VMDispatchLoops counts VM dispatch-loop entries — one per
+	// statement span executed (zero under the tree engine).
+	VMDispatchLoops int64
+}
+
+// EngineInvariant returns the stats with engine-mechanical counters
+// (instruction/dispatch counts, which only the VM engine produces) zeroed,
+// leaving exactly the fields the two engines must agree on.
+func (s Stats) EngineInvariant() Stats {
+	s.IRInstructionsExecuted = 0
+	s.VMDispatchLoops = 0
+	return s
 }
 
 // Options configures the engine. The zero value selects defaults.
@@ -93,20 +108,6 @@ func (o Options) withDefaults() Options {
 	if o.MaxCallDepth == 0 {
 		o.MaxCallDepth = 24
 	}
-	return o
-}
-
-// Halved returns the options with every budget cut in half (floored at 1)
-// — one rung of the scanner's degradation ladder. Besides the raw
-// path/object budgets, the loop-unroll bound and call-inlining depth are
-// halved too, so a retry explores a coarser (and therefore cheaper) model
-// rather than just aborting earlier on the same explosion.
-func (o Options) Halved() Options {
-	o = o.withDefaults()
-	o.MaxPaths = max(1, o.MaxPaths/2)
-	o.MaxObjects = max(1, o.MaxObjects/2)
-	o.LoopUnroll = max(1, o.LoopUnroll/2)
-	o.MaxCallDepth = max(1, o.MaxCallDepth/2)
 	return o
 }
 
@@ -429,28 +430,20 @@ func (in *Interp) execStmt(s phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSe
 		}
 		return envs
 	case *phpast.Try:
-		// The try body executes; catch bodies are alternate paths joined
-		// afterwards (any statement may throw, so catches are reachable);
-		// finally runs on every path.
-		bodyEnvs := in.execStmts(x.Body.Stmts, envs)
-		all := bodyEnvs
-		for _, c := range x.Catches {
-			catchEnvs := envs.CloneAll()
-			in.stats.PathsForked += int64(len(catchEnvs))
-			for _, e := range catchEnvs {
-				in.stats.PathCondSharedNodes += int64(e.SharedFrames()) + 1
-			}
-			for _, e := range catchEnvs {
-				if c.Var != "" {
-					e.Bind(c.Var, in.g.NewSymbol("s_exc_"+c.Var, sexpr.Unknown, c.P.Line))
-				}
-			}
-			all = append(all, in.execStmts(c.Body.Stmts, catchEnvs)...)
+		catches := make([]catchClause, len(x.Catches))
+		for i, c := range x.Catches {
+			body := c.Body.Stmts
+			catches[i] = catchClause{varName: c.Var, line: c.P.Line, run: func(es heapgraph.EnvSet) heapgraph.EnvSet {
+				return in.execStmts(body, es)
+			}}
 		}
+		var fin bodyFn
 		if x.Finally != nil {
-			all = in.execStmts(x.Finally.Stmts, all)
+			fin = func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execStmts(x.Finally.Stmts, es) }
 		}
-		return all
+		return in.tryJoin(envs, func(es heapgraph.EnvSet) heapgraph.EnvSet {
+			return in.execStmts(x.Body.Stmts, es)
+		}, catches, fin)
 	case *phpast.Throw:
 		envs, _ = in.eval(x.X, envs)
 		for _, e := range envs {
@@ -464,68 +457,17 @@ func (in *Interp) execStmt(s phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSe
 	}
 }
 
-// execIf implements the paper's eval(if e then S1 else S2, G, ℰ): evaluate
-// the condition once, copy ℰ for the two branches, extend reachability with
-// the condition (negated for the false branch), execute both, and join.
-// Conditions that evaluate to concrete booleans do not fork.
+// execIf evaluates the condition once and delegates the fork/join to the
+// shared branch core (controlflow.go).
 func (in *Interp) execIf(x *phpast.If, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	envs, condLabels := in.eval(x.Cond, envs)
-
-	var out heapgraph.EnvSet
-	var forkT heapgraph.EnvSet
-	var forkTLabels []heapgraph.Label
-	var forkF heapgraph.EnvSet
-	var forkFLabels []heapgraph.Label
-
-	for i, e := range envs {
-		// Concrete condition: single branch, no fork.
-		if c, ok := in.concreteBool(condLabels[i]); ok {
-			in.stats.PathsPruned++
-			if c {
-				forkT = append(forkT, e)
-				forkTLabels = append(forkTLabels, heapgraph.Null)
-			} else {
-				forkF = append(forkF, e)
-				forkFLabels = append(forkFLabels, heapgraph.Null)
-			}
-			continue
-		}
-		in.stats.PathsForked++
-		te := e.Clone()
-		in.stats.PathCondSharedNodes += int64(te.SharedFrames()) + 1
-		fe := e
-		forkT = append(forkT, te)
-		forkTLabels = append(forkTLabels, condLabels[i])
-		forkF = append(forkF, fe)
-		forkFLabels = append(forkFLabels, condLabels[i])
+	var runElse bodyFn
+	if x.Else != nil {
+		runElse = func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execStmt(x.Else, es) }
 	}
-
-	if len(forkT) > 0 {
-		for i, e := range forkT {
-			e.ER(in.g, forkTLabels[i], x.P.Line)
-		}
-		out = append(out, in.execStmts(x.Then.Stmts, forkT)...)
-	}
-	if len(forkF) > 0 {
-		notShared := map[heapgraph.Label]heapgraph.Label{}
-		for i, e := range forkF {
-			if forkFLabels[i] != heapgraph.Null {
-				not, ok := notShared[forkFLabels[i]]
-				if !ok {
-					not = in.g.NewOp("!", sexpr.Bool, x.P.Line)
-					in.g.AddEdge(not, forkFLabels[i])
-					notShared[forkFLabels[i]] = not
-				}
-				e.ER(in.g, not, x.P.Line)
-			}
-		}
-		if x.Else != nil {
-			out = append(out, in.execStmt(x.Else, forkF)...)
-		} else {
-			out = append(out, forkF...)
-		}
-	}
-	return out
+	return in.branch(envs, condLabels, x.P.Line, func(es heapgraph.EnvSet) heapgraph.EnvSet {
+		return in.execStmts(x.Then.Stmts, es)
+	}, runElse)
 }
 
 // concreteBool reports whether the object is a concrete value with a known
@@ -628,85 +570,15 @@ func (in *Interp) execFor(x *phpast.For, envs heapgraph.EnvSet) heapgraph.EnvSet
 	return in.execCondLoop(cond, body, x.Post, x.P.Line, envs, false)
 }
 
-// execCondLoop unrolls a condition-guarded loop. Paths that take the
-// condition's false branch exit the loop and are not re-forked on later
-// iterations; paths still active after the unroll bound simply exit (the
-// paper: "UChecker does not precisely model loops"). post holds for-loop
-// post expressions, which run at every iteration boundary even after a
-// `continue`. bodyFirst selects do-while semantics.
+// execCondLoop adapts the AST loop shape to the shared condLoop core
+// (controlflow.go), which owns unrolling, break/continue accounting, and
+// the per-iteration condition fork.
 func (in *Interp) execCondLoop(cond phpast.Expr, body []phpast.Stmt, post []phpast.Expr, line int, envs heapgraph.EnvSet, bodyFirst bool) heapgraph.EnvSet {
-	var exited heapgraph.EnvSet // took the false branch or broke out
-	active := envs
-
-	if bodyFirst && len(active) > 0 {
-		active = in.execStmts(body, active)
-		active = in.execLoopPost(post, active)
-	}
-
-	for i := 0; i < in.opts.LoopUnroll; i++ {
-		if in.overBudget(active) || len(active) == 0 {
-			break
-		}
-		clearContinues(active)
-		var live, held heapgraph.EnvSet
-		for _, e := range active {
-			if e.BreakN > 0 {
-				e.BreakN--
-				if e.BreakN > 0 {
-					held = append(held, e) // outer levels still unwinding
-				} else {
-					exited = append(exited, e)
-				}
-				continue
-			}
-			if e.Suspended() {
-				held = append(held, e) // returned/thrown: carries through
-				continue
-			}
-			live = append(live, e)
-		}
-		exited = append(exited, held...)
-		if len(live) == 0 {
-			active = nil
-			break
-		}
-		var condLabels []heapgraph.Label
-		live, condLabels = in.eval(cond, live)
-		notShared := map[heapgraph.Label]heapgraph.Label{}
-		var cont heapgraph.EnvSet
-		for j, e := range live {
-			if b, ok := in.concreteBool(condLabels[j]); ok {
-				in.stats.PathsPruned++
-				if b {
-					cont = append(cont, e)
-				} else {
-					exited = append(exited, e)
-				}
-				continue
-			}
-			in.stats.PathsForked++
-			te := e.Clone()
-			in.stats.PathCondSharedNodes += int64(te.SharedFrames()) + 1
-			te.ER(in.g, condLabels[j], line)
-			cont = append(cont, te)
-			not, ok := notShared[condLabels[j]]
-			if !ok {
-				not = in.g.NewOp("!", sexpr.Bool, line)
-				in.g.AddEdge(not, condLabels[j])
-				notShared[condLabels[j]] = not
-			}
-			e.ER(in.g, not, line)
-			exited = append(exited, e)
-		}
-		cont = in.execStmts(body, cont)
-		cont = in.execLoopPost(post, cont)
-		active = cont
-	}
-	// Paths still active after the unroll bound exit without a constraint.
-	// Only they still carry unconsumed break/continue flags — paths in
-	// `exited` consumed theirs when the iteration split saw them.
-	consumeLoopControl(active)
-	return append(exited, active...)
+	return in.condLoop(
+		func(es heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) { return in.eval(cond, es) },
+		func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execStmts(body, es) },
+		func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execLoopPost(post, es) },
+		line, envs, bodyFirst)
 }
 
 func andAll(conds []phpast.Expr) phpast.Expr {
@@ -723,78 +595,18 @@ func andAll(conds []phpast.Expr) phpast.Expr {
 func (in *Interp) execForeach(x *phpast.Foreach, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	var arrLabels []heapgraph.Label
 	envs, arrLabels = in.eval(x.Arr, envs)
-	// Park the array label on each path's operand stack so body forks keep
-	// their copy aligned.
-	pushTmp(envs, arrLabels)
-
-	// When the array object is known, iterate its elements (bounded by the
-	// unroll limit); otherwise bind fresh symbols and run the body once.
-	for iter := 0; iter < in.opts.LoopUnroll; iter++ {
-		if in.overBudget(envs) {
-			break
+	keyName := ""
+	hasKey := false
+	if x.Key != nil {
+		if kv, ok := x.Key.(*phpast.Var); ok {
+			keyName, hasKey = kv.Name, true
 		}
-		clearContinues(envs)
-		var live, held heapgraph.EnvSet
-		for _, e := range envs {
-			if e.Suspended() {
-				held = append(held, e)
-			} else {
-				live = append(live, e)
-			}
-		}
-		if len(live) == 0 {
-			break
-		}
-		anyBound := false
-		var iterating heapgraph.EnvSet
-		for _, e := range live {
-			arr := e.Tmp[len(e.Tmp)-1] // peek parked array label
-			info := in.g.Array(arr)
-			var keyLabel, valLabel heapgraph.Label
-			switch {
-			case arr == in.filesArr && in.filesArr != heapgraph.Null:
-				// foreach over $_FILES (multi-file upload forms): one
-				// symbolic iteration binding the shared pre-structured
-				// upload family, keeping taint and the structured name.
-				if iter > 0 {
-					held = append(held, e)
-					continue
-				}
-				keyLabel = in.g.NewSymbol("", sexpr.String, x.P.Line)
-				valLabel = in.filesField("*", x.P.Line)
-			case info != nil && iter < len(info.Keys):
-				k := info.Keys[iter]
-				keyLabel = in.g.NewConcrete(sexpr.StrVal(k), x.P.Line)
-				valLabel = info.Elems[k]
-			case info != nil:
-				held = append(held, e) // array exhausted for this path
-				continue
-			default:
-				if iter > 0 {
-					held = append(held, e) // symbolic arrays iterate once
-					continue
-				}
-				keyLabel = in.g.NewSymbol("", sexpr.Unknown, x.P.Line)
-				valLabel = in.g.NewSymbol("", sexpr.Unknown, x.P.Line)
-			}
-			anyBound = true
-			if x.Key != nil {
-				if kv, ok := x.Key.(*phpast.Var); ok {
-					e.Bind(kv.Name, keyLabel)
-				}
-			}
-			iterating = append(in.assignTo(x.Val, heapgraph.EnvSet{e}, []heapgraph.Label{valLabel}), iterating...)
-		}
-		if !anyBound {
-			envs = append(iterating, held...)
-			break
-		}
-		iterating = in.execStmts(x.Body.Stmts, iterating)
-		envs = append(iterating, held...)
 	}
-	popTmp(envs)
-	consumeLoopControl(envs)
-	return envs
+	return in.foreachLoop(envs, arrLabels, x.P.Line, keyName, hasKey,
+		func(e *heapgraph.Env, val heapgraph.Label) heapgraph.EnvSet {
+			return in.assignTo(x.Val, heapgraph.EnvSet{e}, []heapgraph.Label{val})
+		},
+		func(es heapgraph.EnvSet) heapgraph.EnvSet { return in.execStmts(x.Body.Stmts, es) })
 }
 
 // execSwitch desugars a switch into an if/elseif chain on equality with the

@@ -1,0 +1,597 @@
+package interp
+
+import (
+	"repro/internal/heapgraph"
+	"repro/internal/ir"
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// vmRun dispatches compiled ir bytecode over the same heap graph,
+// environments and statistics as the tree walker. Expression instructions
+// maintain a value register of one label per live path; sub-expression
+// results that must survive a fork are parked on the per-environment
+// operand stack (exactly the tree walker's pushTmp/popTmp discipline, so
+// labels stay aligned when environments clone). Control-flow instructions
+// delegate to the shared fork/loop/try core in controlflow.go with
+// bytecode body runners, which makes the two engines byte-for-byte
+// equivalent on the heap graph they build.
+type vmRun struct {
+	in   *Interp
+	prog *ir.Program
+
+	// instrs / spans mirror Stats.IRInstructionsExecuted and
+	// Stats.VMDispatchLoops.
+	instrs int64
+	spans  int64
+}
+
+var castTypes = map[string]sexpr.Type{
+	"int": sexpr.Int, "float": sexpr.Float, "string": sexpr.String,
+	"bool": sexpr.Bool, "array": sexpr.Array,
+}
+
+// runCode executes one compiled statement list with the tree walker's
+// per-statement budget checkpoint and suspended-path partition.
+func (v *vmRun) runCode(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	in := v.in
+	for _, sp := range c.Spans {
+		if in.overBudget(envs) {
+			return envs
+		}
+		var live, held heapgraph.EnvSet
+		for _, e := range envs {
+			if e.Suspended() {
+				held = append(held, e)
+			} else {
+				live = append(live, e)
+			}
+		}
+		in.stats.PathsHeld += int64(len(held))
+		if len(live) == 0 {
+			return envs
+		}
+		live, _ = v.exec(c, sp, live)
+		envs = append(live, held...)
+	}
+	return envs
+}
+
+// runOne executes a single-statement Code without a budget checkpoint
+// (execStmt semantics — used for else branches so elseif chains do not
+// double-count checkpoints).
+func (v *vmRun) runOne(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	envs, _ = v.exec(c, c.Spans[0], envs)
+	return envs
+}
+
+// runExpr executes an expression Code (no spans) and returns the value
+// register.
+func (v *vmRun) runExpr(c *ir.Code, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
+	return v.exec(c, ir.Span{Off: 0, N: int32(len(c.Instrs))}, envs)
+}
+
+// loopPost mirrors Interp.execLoopPost over compiled post-expression
+// codes.
+func (v *vmRun) loopPost(post []*ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	if len(post) == 0 {
+		return envs
+	}
+	clearContinues(envs)
+	var live, held heapgraph.EnvSet
+	for _, e := range envs {
+		if e.Suspended() {
+			held = append(held, e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for _, p := range post {
+		if len(live) == 0 {
+			break
+		}
+		live, _ = v.runExpr(p, live)
+	}
+	return append(live, held...)
+}
+
+// popArgs pops n parked argument labels off one path's operand stack,
+// restoring source order.
+func popArgs(e *heapgraph.Env, n int) []heapgraph.Label {
+	args := make([]heapgraph.Label, n)
+	for j := n - 1; j >= 0; j-- {
+		args[j] = e.PopTmp()
+	}
+	return args
+}
+
+// exec dispatches one statement span. The returned label slice is the
+// value register after the last instruction (the statement's expression
+// value, if any).
+func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
+	in, g, p := v.in, v.in.g, v.prog
+	v.spans++
+	v.instrs += int64(sp.N)
+	var vals []heapgraph.Label
+	end := int(sp.Off + sp.N)
+	for pc := int(sp.Off); pc < end; pc++ {
+		ins := &c.Instrs[pc]
+		line := int(ins.Line)
+		switch ins.Op {
+		case ir.OpConst:
+			vals = sameLabel(envs, g.NewConcrete(p.Consts[ins.A], line))
+
+		case ir.OpVar:
+			name := p.Strings[ins.A]
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				vals[i] = in.varLabel(e, name, line)
+			}
+
+		case ir.OpPark:
+			pushTmp(envs, vals)
+
+		case ir.OpPeekTmp:
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				vals[i] = e.Tmp[len(e.Tmp)-1]
+			}
+
+		case ir.OpFreshSym:
+			vals = sameLabel(envs, g.NewSymbol(p.Strings[ins.A], sexpr.Type(ins.B), line))
+
+		case ir.OpSharedSym:
+			vals = sameLabel(envs, in.symbolShared(p.Strings[ins.A], sexpr.Type(ins.B), line))
+
+		case ir.OpConstFetch:
+			vals = sameLabel(envs, in.constLabel(p.Strings[ins.A], line))
+
+		case ir.OpInterpString:
+			n := int(ins.A)
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				parts := popArgs(e, n)
+				cur := parts[0]
+				for j := 1; j < n; j++ {
+					op := g.NewOp(".", sexpr.String, line)
+					g.AddEdge(op, cur)
+					g.AddEdge(op, parts[j])
+					cur = op
+				}
+				vals[i] = cur
+			}
+
+		case ir.OpIndex:
+			arrs := popTmp(envs)
+			idxs := vals
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				vals[i] = in.readElem(arrs[i], idxs[i], line)
+			}
+
+		case ir.OpArrayLit:
+			desc := p.ArrayDescs[ins.A]
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				type kv struct {
+					key    heapgraph.Label
+					hasKey bool
+					val    heapgraph.Label
+				}
+				items := make([]kv, len(desc))
+				for j := len(desc) - 1; j >= 0; j-- {
+					items[j].val = e.PopTmp()
+					if desc[j] {
+						items[j].key = e.PopTmp()
+						items[j].hasKey = true
+					}
+				}
+				arr := g.NewArray(line)
+				for _, it := range items {
+					if it.hasKey {
+						if k, ok := in.concreteKey(it.key); ok {
+							g.SetElem(arr, k, it.val)
+							continue
+						}
+					}
+					g.PushElem(arr, it.val)
+				}
+				vals[i] = arr
+			}
+
+		case ir.OpUnary:
+			op := p.Strings[ins.A]
+			ls := vals
+			shared := map[heapgraph.Label]heapgraph.Label{}
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				if folded, ok := in.foldUnary(op, ls[i], line); ok {
+					vals[i] = folded
+					continue
+				}
+				if l, ok := shared[ls[i]]; ok {
+					vals[i] = l
+					continue
+				}
+				t := sexpr.Bool
+				if op == "-" || op == "+" || op == "~" {
+					t = sexpr.Int
+				}
+				o := g.NewOp(op, t, line)
+				g.AddEdge(o, ls[i])
+				shared[ls[i]] = o
+				vals[i] = o
+			}
+
+		case ir.OpBinary:
+			op := p.Strings[ins.A]
+			lls := popTmp(envs)
+			rls := vals
+			type operands struct{ l, r heapgraph.Label }
+			shared := map[operands]heapgraph.Label{}
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				key := operands{lls[i], rls[i]}
+				if l, ok := shared[key]; ok {
+					vals[i] = l
+					continue
+				}
+				if folded, ok := in.foldBinary(op, lls[i], rls[i], line); ok {
+					shared[key] = folded
+					vals[i] = folded
+					continue
+				}
+				o := g.NewOp(op, binaryResultType(op), line)
+				g.AddEdge(o, lls[i])
+				g.AddEdge(o, rls[i])
+				shared[key] = o
+				vals[i] = o
+			}
+
+		case ir.OpIsset:
+			n := int(ins.A)
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				op := g.NewOp("isset", sexpr.Bool, line)
+				var ops []heapgraph.Label
+				for j := 0; j < n; j++ {
+					ops = append(ops, e.PopTmp())
+				}
+				for j := len(ops) - 1; j >= 0; j-- {
+					g.AddEdge(op, ops[j])
+				}
+				vals[i] = op
+			}
+
+		case ir.OpEmpty:
+			ls := vals
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				op := g.NewOp("empty", sexpr.Bool, line)
+				g.AddEdge(op, ls[i])
+				vals[i] = op
+			}
+
+		case ir.OpTernary:
+			els := vals
+			tls := popTmp(envs)
+			cls := popTmp(envs)
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				if b, ok := in.concreteBool(cls[i]); ok {
+					if b {
+						vals[i] = tls[i]
+					} else {
+						vals[i] = els[i]
+					}
+					continue
+				}
+				to := g.Find(tls[i])
+				t := sexpr.Unknown
+				if to != nil {
+					t = to.Type
+				}
+				op := g.NewOp("ite", t, line)
+				g.AddEdge(op, cls[i])
+				g.AddEdge(op, tls[i])
+				g.AddEdge(op, els[i])
+				vals[i] = op
+			}
+
+		case ir.OpCast:
+			castType := p.Strings[ins.A]
+			ls := vals
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				o := g.Find(ls[i])
+				if o != nil && o.Kind == heapgraph.KindConcrete {
+					switch castType {
+					case "int":
+						if iv, ok := concreteInt(o.Val); ok {
+							vals[i] = g.NewConcrete(sexpr.IntVal(iv), line)
+							continue
+						}
+					case "string":
+						if sv, ok := concreteString(o.Val); ok {
+							vals[i] = g.NewConcrete(sexpr.StrVal(sv), line)
+							continue
+						}
+					case "bool":
+						if bv, ok := in.concreteBool(ls[i]); ok {
+							vals[i] = g.NewConcrete(sexpr.BoolVal(bv), line)
+							continue
+						}
+					}
+				}
+				op := g.NewOp("cast_"+castType, castTypes[castType], line)
+				g.AddEdge(op, ls[i])
+				vals[i] = op
+			}
+
+		case ir.OpBindVar:
+			name := p.Strings[ins.A]
+			for i, e := range envs {
+				e.Bind(name, vals[i])
+			}
+
+		case ir.OpAssignTo:
+			// The register is left as the assigned values (assignments are
+			// expressions); like evalAssign, it is not re-aligned if the
+			// target's own evaluation forks.
+			envs = in.assignTo(p.Exprs[ins.A], envs, vals)
+
+		case ir.OpIncDecVar:
+			name := p.Strings[ins.A]
+			olds := vals
+			one := g.NewConcrete(sexpr.IntVal(1), line)
+			news := make([]heapgraph.Label, len(envs))
+			opName := "+"
+			if ins.B&1 != 0 {
+				opName = "-"
+			}
+			for i := range envs {
+				if folded, ok := in.foldBinary(opName, olds[i], one, line); ok {
+					news[i] = folded
+					continue
+				}
+				op := g.NewOp(opName, sexpr.Int, line)
+				g.AddEdge(op, olds[i])
+				g.AddEdge(op, one)
+				news[i] = op
+			}
+			for i, e := range envs {
+				e.Bind(name, news[i])
+			}
+			if ins.B&2 != 0 {
+				vals = news
+			} else {
+				vals = olds
+			}
+
+		case ir.OpPropFetch:
+			prop := p.Strings[ins.A]
+			ols := vals
+			vals = make([]heapgraph.Label, len(envs))
+			for i := range envs {
+				if info := g.Array(ols[i]); info != nil {
+					if l, ok := g.Elem(ols[i], prop); ok {
+						vals[i] = l
+						continue
+					}
+					l := g.NewSymbol("", sexpr.Unknown, line)
+					g.SetElem(ols[i], prop, l)
+					vals[i] = l
+					continue
+				}
+				op := g.NewOp("prop_fetch", sexpr.Unknown, line)
+				key := g.NewConcrete(sexpr.StrVal(prop), line)
+				g.AddEdge(op, ols[i])
+				g.AddEdge(op, key)
+				vals[i] = op
+			}
+
+		case ir.OpCallDynamic:
+			n := int(ins.B)
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				args := popArgs(e, n)
+				fn := g.NewFunc("call_dynamic", sexpr.Unknown, line)
+				for _, a := range args {
+					g.AddEdge(fn, a)
+				}
+				vals[i] = fn
+			}
+
+		case ir.OpCallSink:
+			name := p.Strings[ins.A]
+			n := int(ins.B)
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				vals[i] = in.recordSink(name, popArgs(e, n), e, line)
+			}
+
+		case ir.OpCallBuiltin:
+			name := p.Strings[ins.A]
+			n := int(ins.B)
+			vals = make([]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				vals[i] = in.builtinCall(name, popArgs(e, n), e, line)
+			}
+
+		case ir.OpCallUser:
+			f := p.Funcs[ins.A]
+			n := int(ins.B)
+			argMatrix := make([][]heapgraph.Label, len(envs))
+			for i, e := range envs {
+				argMatrix[i] = popArgs(e, n)
+			}
+			envs, vals = in.inlineFrame(f.LName, f.Params, f.DeclLine, f.EndLine, line, argMatrix, envs, heapgraph.Null,
+				func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.runCode(f.Body, es) })
+
+		case ir.OpInclude:
+			x := p.Exprs[ins.A].(*phpast.Include)
+			target := in.resolveIncludeFile(x)
+			done := g.NewConcrete(sexpr.BoolVal(true), line)
+			run := target != nil
+			if run {
+				for _, f := range in.fileStack {
+					if f == target.Name {
+						run = false // include cycle
+						break
+					}
+				}
+			}
+			if run {
+				in.fileStack = append(in.fileStack, target.Name)
+				prev := in.curFile
+				in.curFile = target.Name
+				envs = v.runCode(p.Files[target.Name], envs)
+				in.curFile = prev
+				in.fileStack = in.fileStack[:len(in.fileStack)-1]
+			}
+			vals = sameLabel(envs, done)
+
+		case ir.OpExit:
+			for _, e := range envs {
+				e.Terminated = true
+			}
+			vals = sameLabel(envs, g.NewConcrete(sexpr.NullVal{}, line))
+
+		case ir.OpPrint:
+			vals = sameLabel(envs, g.NewConcrete(sexpr.IntVal(1), line))
+
+		case ir.OpEvalExpr:
+			envs, vals = in.eval(p.Exprs[ins.A], envs)
+
+		case ir.OpBlock:
+			envs = v.runCode(p.Blocks[ins.A], envs)
+			vals = nil
+
+		case ir.OpIf:
+			d := &p.Ifs[ins.A]
+			var runElse bodyFn
+			if d.Else != nil {
+				els := d.Else
+				runElse = func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.runOne(els, es) }
+			}
+			then := d.Then
+			envs = in.branch(envs, vals, line, func(es heapgraph.EnvSet) heapgraph.EnvSet {
+				return v.runCode(then, es)
+			}, runElse)
+			vals = nil
+
+		case ir.OpLoop:
+			d := &p.Loops[ins.A]
+			envs = in.condLoop(
+				func(es heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) { return v.runExpr(d.Cond, es) },
+				func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.runCode(d.Body, es) },
+				func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.loopPost(d.Post, es) },
+				line, envs, d.BodyFirst)
+			vals = nil
+
+		case ir.OpForeach:
+			d := &p.Foreachs[ins.A]
+			valExpr := p.Exprs[d.Val]
+			keyName := ""
+			hasKey := d.KeyName >= 0
+			if hasKey {
+				keyName = p.Strings[d.KeyName]
+			}
+			envs = in.foreachLoop(envs, vals, line, keyName, hasKey,
+				func(e *heapgraph.Env, val heapgraph.Label) heapgraph.EnvSet {
+					return in.assignTo(valExpr, heapgraph.EnvSet{e}, []heapgraph.Label{val})
+				},
+				func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.runCode(d.Body, es) })
+			vals = nil
+
+		case ir.OpTry:
+			d := &p.Trys[ins.A]
+			catches := make([]catchClause, len(d.Catches))
+			for ci, cd := range d.Catches {
+				body := cd.Body
+				name := ""
+				if cd.VarName >= 0 {
+					name = p.Strings[cd.VarName]
+				}
+				catches[ci] = catchClause{varName: name, line: int(cd.Line), run: func(es heapgraph.EnvSet) heapgraph.EnvSet {
+					return v.runCode(body, es)
+				}}
+			}
+			var fin bodyFn
+			if d.Finally != nil {
+				f := d.Finally
+				fin = func(es heapgraph.EnvSet) heapgraph.EnvSet { return v.runCode(f, es) }
+			}
+			body := d.Body
+			envs = in.tryJoin(envs, func(es heapgraph.EnvSet) heapgraph.EnvSet {
+				return v.runCode(body, es)
+			}, catches, fin)
+			vals = nil
+
+		case ir.OpReturn:
+			if ins.B == 1 {
+				for i, e := range envs {
+					e.Returned = vals[i]
+					e.Terminated = true
+				}
+			} else {
+				for _, e := range envs {
+					e.Returned = g.NewConcrete(sexpr.NullVal{}, line)
+					e.Terminated = true
+				}
+			}
+			vals = nil
+
+		case ir.OpBreak:
+			for _, e := range envs {
+				e.BreakN = int(ins.A)
+			}
+			vals = nil
+
+		case ir.OpContinue:
+			for _, e := range envs {
+				e.ContinueN = int(ins.A)
+			}
+			vals = nil
+
+		case ir.OpThrow:
+			for _, e := range envs {
+				e.Terminated = true
+			}
+			vals = nil
+
+		case ir.OpGlobal:
+			for _, e := range envs {
+				for _, name := range p.Names[ins.A] {
+					n := name
+					e.ImportGlobal(n, func() heapgraph.Label {
+						return g.NewSymbol("s_global_"+n, sexpr.Unknown, line)
+					})
+				}
+			}
+			vals = nil
+
+		case ir.OpStaticSym:
+			name := p.Strings[ins.A]
+			for _, e := range envs {
+				e.Bind(name, g.NewSymbol("s_static_"+name, sexpr.Unknown, line))
+			}
+			vals = nil
+
+		case ir.OpUnset:
+			for _, name := range p.Names[ins.A] {
+				for _, e := range envs {
+					e.Unbind(name)
+				}
+			}
+			vals = nil
+
+		case ir.OpConsumeLoop:
+			consumeLoopControl(envs)
+
+		default:
+			panic("interp: vm: invalid opcode " + ins.Op.String())
+		}
+	}
+	return envs, vals
+}

@@ -1,0 +1,361 @@
+package interp
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/heapgraph"
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+	"repro/internal/sexpr"
+)
+
+// engineFingerprint renders everything observable about a Result into a
+// deterministic string: path count, object count, stats, per-path
+// condition labels and s-expressions, and every sink hit. Labels are
+// included verbatim — the two engines must allocate heap-graph nodes in
+// the same order, not merely produce isomorphic graphs.
+func engineFingerprint(res Result) string {
+	s := fmt.Sprintf("paths=%d objects=%d stats=%+v err=%v\n",
+		res.Paths, res.Graph.NumObjects(), res.Stats.EngineInvariant(), res.Err)
+	for _, e := range res.Envs {
+		s += fmt.Sprintf("env cur=%d cond=%s tmp=%v ret=%d term=%t\n",
+			e.Cur, sexpr.Format(res.Graph.ToSexpr(e.Cur)), e.Tmp, e.Returned, e.Terminated)
+	}
+	for _, h := range res.Sinks {
+		s += fmt.Sprintf("sink %s@%s:%d src=%d:%s dst=%d:%s cond=%s\n",
+			h.Sink, h.File, h.Line,
+			h.Src, sexpr.Format(res.Graph.ToSexpr(h.Src)),
+			h.Dst, sexpr.Format(res.Graph.ToSexpr(h.Dst)),
+			sexpr.Format(res.Graph.ToSexpr(h.Env.Cur)))
+	}
+	return s
+}
+
+// runEngines executes the same root under both engines over independently
+// parsed copies of the sources and returns both results.
+func runEngines(t *testing.T, srcs map[string]string, mkRoot func([]*phpast.File) *callgraph.Node, opts Options) (tree, vm Result) {
+	t.Helper()
+	parse := func() []*phpast.File {
+		var files []*phpast.File
+		// Parse in deterministic name order so declaration precedence
+		// matches between the two engine runs.
+		for _, name := range sortedKeys(srcs) {
+			f, errs := phpparser.Parse(name, srcs[name])
+			if len(errs) > 0 {
+				t.Fatalf("parse %s: %v", name, errs)
+			}
+			files = append(files, f)
+		}
+		return files
+	}
+	treeFiles := parse()
+	vmFiles := parse()
+	tree = NewEngineFactory(EngineTree, treeFiles).New(opts).Run(context.Background(), mkRoot(treeFiles))
+	vm = NewEngineFactory(EngineVM, vmFiles).New(opts).Run(context.Background(), mkRoot(vmFiles))
+	return tree, vm
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fileRoot(name string) func([]*phpast.File) *callgraph.Node {
+	return func([]*phpast.File) *callgraph.Node {
+		return &callgraph.Node{Kind: callgraph.FileNode, Name: name, File: name}
+	}
+}
+
+// assertEnginesAgree runs a single file-level root under both engines and
+// compares the full fingerprint.
+func assertEnginesAgree(t *testing.T, src string, opts Options) {
+	t.Helper()
+	assertEnginesAgreeMulti(t, map[string]string{"test.php": src}, fileRoot("test.php"), opts)
+}
+
+func assertEnginesAgreeMulti(t *testing.T, srcs map[string]string, mkRoot func([]*phpast.File) *callgraph.Node, opts Options) {
+	t.Helper()
+	tree, vm := runEngines(t, srcs, mkRoot, opts)
+	tf, vf := engineFingerprint(tree), engineFingerprint(vm)
+	if tf != vf {
+		t.Errorf("engines disagree:\n--- tree ---\n%s--- vm ---\n%s", tf, vf)
+	}
+	if vm.Stats.IRInstructionsExecuted == 0 {
+		t.Errorf("vm executed zero instructions — root did not dispatch bytecode")
+	}
+}
+
+func TestEngineEquivalenceBranching(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+$a = 55;
+$a = $b + $a;
+if ($a > 10) {
+	$a = 22 - $b;
+} elseif ($a < -4) {
+	$a = 1;
+} else {
+	$a = 88;
+}
+if (true) { $c = 1; } else { $c = 2; }
+if ($c) { $d = 3; }
+`, Options{})
+}
+
+func TestEngineEquivalenceLoops(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+$i = 0;
+while ($i < $n) {
+	$i++;
+	if ($i == $m) { continue; }
+	if ($i > 100) { break; }
+	$sum = $sum + $i;
+}
+do { $j = $j . "x"; } while ($cond);
+for ($k = 0; $k < 3; $k++) { $acc = $acc + $k; }
+for (;;) { break; }
+`, Options{})
+}
+
+func TestEngineEquivalenceForeachSwitch(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+$arr = array("a" => 1, "b" => 2, 7);
+foreach ($arr as $k => $v) { $t = $t + $v; }
+foreach ($unknown as $x) { $u = $x; }
+foreach ($_FILES as $file) { $n = $file["name"]; }
+switch ($mode) {
+case "a": $r = 1; break;
+case "b": $r = 2; break;
+default: $r = 3;
+}
+switch ($x) { default: $q = 9; }
+`, Options{})
+}
+
+func TestEngineEquivalenceCallsAndSinks(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+function ext($name, $sep = ".") {
+	$parts = explode($sep, $name);
+	return end($parts);
+}
+function recurse($n) { return recurse($n - 1); }
+class Up {
+	function dest($d) { return $d . "/up"; }
+}
+$name = $_FILES["f"]["name"];
+$tmp = $_FILES["f"]["tmp_name"];
+$e = ext($name);
+$r = recurse(3);
+$o = new Up();
+$d = $o->dest($dir) . "/" . $name;
+if ($e != "php") {
+	move_uploaded_file($tmp, $d);
+	copy($tmp, $d);
+	file_put_contents($d, $body);
+}
+$fn = $cb;
+$fn($name);
+call_user_func("ext", $name);
+Up::dest($base);
+`, Options{})
+}
+
+func TestEngineEquivalenceExprForms(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+$s = "pre $mid post";
+$s2 = "";
+$neg = -$v;
+$not = !$v;
+$t = $c ? $a : $b;
+$t2 = $c ?: $b;
+$n = (int)$raw;
+$str = (string)5;
+$pre = ++$i;
+$post = $j--;
+$iss = isset($a, $b["k"]);
+$emp = empty($a);
+$pf = $obj->prop;
+$sp = Cls::$sprop;
+$cc = Cls::CONSTVAL;
+$kf = PATHINFO_EXTENSION;
+$uk = SOME_CONST;
+$dir = __DIR__;
+$lst = pathinfo($path);
+list($x, $y) = $pair;
+$arr["k"]["j"] = 5;
+$arr[] = 6;
+$obj2->field = 7;
+$cl = function ($z) { return $z; };
+print "x";
+$glob = $GLOBALS;
+`, Options{})
+}
+
+func TestEngineEquivalenceStmtForms(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+function f() {
+	global $gv, $gw;
+	static $sv;
+	static $si = 4;
+	$gv = $gv + $sv + $si;
+	unset($gv);
+	try {
+		$a = risky();
+		throw $e;
+	} catch (Exception $ex) {
+		$a = $ex;
+	} finally {
+		$done = 1;
+	}
+	return;
+}
+$r = f();
+echo $r, "done";
+exit;
+`, Options{})
+}
+
+func TestEngineEquivalenceInclude(t *testing.T) {
+	assertEnginesAgreeMulti(t, map[string]string{
+		"lib/util.php": `<?php $util = 1; function helper($x) { return $x + 1; }`,
+		"main.php": `<?php
+include "lib/util.php";
+require_once "lib/util.php";
+include $dynamic;
+$v = helper(2);
+`,
+	}, fileRoot("main.php"), Options{})
+}
+
+// TestEngineEquivalenceFuncRoot exercises FuncNode roots, including the
+// synthesized method wrapper shape the callgraph produces (shared body
+// slice, fresh FuncDecl pointer).
+func TestEngineEquivalenceFuncRoot(t *testing.T) {
+	srcs := map[string]string{"test.php": `<?php
+function handler($input, array $opts) {
+	$dst = $opts["dir"] . "/" . $input;
+	if (strlen($input) > 0) {
+		move_uploaded_file($_FILES["f"]["tmp_name"], $dst);
+	}
+	return $dst;
+}
+`}
+	mkRoot := func(files []*phpast.File) *callgraph.Node {
+		for _, s := range files[0].Stmts {
+			if d, ok := s.(*phpast.FuncDecl); ok {
+				// Fresh wrapper sharing the body slice, like callgraph method
+				// roots.
+				decl := &phpast.FuncDecl{P: d.P, Name: d.Name, Params: d.Params, Body: d.Body, EndLine: d.EndLine}
+				return &callgraph.Node{Kind: callgraph.FuncNode, Name: d.Name, File: "test.php", Func: decl}
+			}
+		}
+		t.Fatal("no function found")
+		return nil
+	}
+	assertEnginesAgreeMulti(t, srcs, mkRoot, Options{})
+}
+
+// TestEngineEquivalenceBudgets checks the engines agree even when a
+// budget aborts execution mid-way (identical checkpoint placement).
+func TestEngineEquivalenceBudgets(t *testing.T) {
+	src := `<?php
+for ($i = 0; $i < $n; $i++) {
+	if ($a) { $x = 1; } else { $x = 2; }
+	if ($b) { $y = 1; } else { $y = 2; }
+	if ($c) { $z = 1; } else { $z = 2; }
+}
+`
+	assertEnginesAgree(t, src, Options{MaxPaths: 8})
+	assertEnginesAgree(t, src, Options{MaxObjects: 40})
+}
+
+func TestParseEngineKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want EngineKind
+		ok   bool
+	}{
+		{"", EngineTree, true},
+		{"tree", EngineTree, true},
+		{"vm", EngineVM, true},
+		{"jit", "", false},
+	} {
+		got, err := ParseEngineKind(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngineKind(%q) = %v, %v; want %v ok=%t", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestEngineFactoryCounters(t *testing.T) {
+	f, errs := phpparser.Parse("a.php", `<?php function g() { return 1; } $x = g();`)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	files := []*phpast.File{f}
+
+	vmf := NewEngineFactory(EngineVM, files)
+	if vmf.FunctionsCompiled() != 2 { // g + file top-level
+		t.Errorf("FunctionsCompiled = %d, want 2", vmf.FunctionsCompiled())
+	}
+	if vmf.CacheHits() != 0 {
+		t.Errorf("CacheHits before New = %d, want 0", vmf.CacheHits())
+	}
+	root := &callgraph.Node{Kind: callgraph.FileNode, Name: "a.php", File: "a.php"}
+	for i := 0; i < 3; i++ {
+		res := vmf.New(Options{}).Run(context.Background(), root)
+		if res.Err != nil {
+			t.Fatalf("run %d: %v", i, res.Err)
+		}
+		if res.Stats.IRInstructionsExecuted == 0 || res.Stats.VMDispatchLoops == 0 {
+			t.Errorf("run %d: missing vm counters: %+v", i, res.Stats)
+		}
+	}
+	if vmf.CacheHits() != 2 {
+		t.Errorf("CacheHits after 3 News = %d, want 2", vmf.CacheHits())
+	}
+
+	tf := NewEngineFactory(EngineTree, files)
+	if tf.FunctionsCompiled() != 0 || tf.CacheHits() != 0 {
+		t.Errorf("tree factory reports compile counters: %d, %d", tf.FunctionsCompiled(), tf.CacheHits())
+	}
+	res := tf.New(Options{}).Run(context.Background(), root)
+	if res.Stats.IRInstructionsExecuted != 0 || res.Stats.VMDispatchLoops != 0 {
+		t.Errorf("tree engine reported vm counters: %+v", res.Stats)
+	}
+
+	var _ Engine = treeEngine{}
+	var _ Engine = (*vmEngine)(nil)
+}
+
+func TestEngineEquivalenceCancellation(t *testing.T) {
+	srcs := map[string]string{"test.php": `<?php
+while ($x) { $y = $y + 1; if ($z) { $w = 2; } }
+`}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	parseRun := func(kind EngineKind) Result {
+		f, errs := phpparser.Parse("test.php", srcs["test.php"])
+		if len(errs) > 0 {
+			t.Fatalf("parse: %v", errs)
+		}
+		return NewEngineFactory(kind, []*phpast.File{f}).New(Options{}).
+			Run(ctx, &callgraph.Node{Kind: callgraph.FileNode, Name: "test.php", File: "test.php"})
+	}
+	tree, vm := parseRun(EngineTree), parseRun(EngineVM)
+	if tf, vf := engineFingerprint(tree), engineFingerprint(vm); tf != vf {
+		t.Errorf("engines disagree under cancellation:\n--- tree ---\n%s--- vm ---\n%s", tf, vf)
+	}
+}
+
+var _ = heapgraph.Null // keep import if fingerprint changes

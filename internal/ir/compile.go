@@ -1,0 +1,574 @@
+package ir
+
+import (
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// Compile translates parsed files into a Program. Compilation is total:
+// every function body and file top-level gets bytecode, with rare AST
+// forms lowered to escape-hatch instructions, so the VM never needs the
+// compiler at run time.
+//
+// The function table is built with exactly the tree walker's declaration
+// rules (lower-cased names, first declaration wins, class methods
+// registered under both Class::method and the bare method name) so that
+// compile-time call resolution agrees with the tree walker's run-time
+// lookup.
+func Compile(files []*phpast.File) *Program {
+	c := &compiler{
+		p: &Program{
+			FuncsByName: map[string]*Func{},
+			ByBody:      map[*phpast.Stmt]*Func{},
+			Files:       map[string]*Code{},
+		},
+		strIdx:   map[string]int32{},
+		constIdx: map[sexpr.Expr]int32{},
+		funcIdx:  map[*Func]int32{},
+	}
+	// Pass 1: declare every function so call sites compile against the
+	// complete table regardless of declaration order.
+	for _, f := range files {
+		c.declare(f.Stmts)
+	}
+	// Pass 2: compile function bodies, then file top-levels (declarations
+	// execute only when called, so they are filtered from the top-level
+	// statement list — mirroring interp.topLevel).
+	for _, fn := range c.p.Funcs {
+		fn.Body = c.compileStmts(fn.bodyAST)
+		fn.bodyAST = nil
+	}
+	for _, f := range files {
+		c.p.Files[f.Name] = c.compileStmts(topLevel(f.Stmts))
+	}
+	c.link()
+	c.p.FunctionsCompiled = len(c.p.Funcs) + len(c.p.Files)
+	return c.p
+}
+
+type compiler struct {
+	p        *Program
+	strIdx   map[string]int32
+	constIdx map[sexpr.Expr]int32
+	funcIdx  map[*Func]int32
+	codes    []*Code
+}
+
+// declare mirrors interp.(*Interp).declare: walk every statement,
+// registering function declarations and class methods first-wins.
+func (c *compiler) declare(stmts []phpast.Stmt) {
+	for _, s := range stmts {
+		phpast.Walk(s, func(n phpast.Node) bool {
+			switch d := n.(type) {
+			case *phpast.FuncDecl:
+				fn := c.funcFor(d.Name, d.Params, d.Body, d.P.Line, d.EndLine)
+				c.register(strings.ToLower(d.Name), fn)
+			case *phpast.ClassDecl:
+				for _, m := range d.Methods {
+					fn := c.funcFor(d.Name+"::"+m.Name, m.Params, m.Body, m.P.Line, m.EndLine)
+					c.register(strings.ToLower(d.Name+"::"+m.Name), fn)
+					c.register(strings.ToLower(m.Name), fn)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *compiler) funcFor(name string, params []phpast.Param, body []phpast.Stmt, declLine, endLine int) *Func {
+	var key *phpast.Stmt
+	if len(body) > 0 {
+		key = &body[0]
+		if fn, ok := c.p.ByBody[key]; ok {
+			return fn
+		}
+	}
+	fn := &Func{
+		Name:     name,
+		LName:    strings.ToLower(name),
+		Params:   params,
+		DeclLine: declLine,
+		EndLine:  endLine,
+		bodyAST:  body,
+	}
+	c.funcIdx[fn] = int32(len(c.p.Funcs))
+	c.p.Funcs = append(c.p.Funcs, fn)
+	if key != nil {
+		c.p.ByBody[key] = fn
+	}
+	return fn
+}
+
+func (c *compiler) register(name string, fn *Func) {
+	if _, ok := c.p.FuncsByName[name]; !ok {
+		c.p.FuncsByName[name] = fn
+	}
+}
+
+// topLevel mirrors interp.topLevel: declarations execute only when called.
+func topLevel(stmts []phpast.Stmt) []phpast.Stmt {
+	out := make([]phpast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s.(type) {
+		case *phpast.FuncDecl, *phpast.ClassDecl:
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- pools ----
+
+func (c *compiler) str(s string) int32 {
+	if i, ok := c.strIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.p.Strings))
+	c.p.Strings = append(c.p.Strings, s)
+	c.strIdx[s] = i
+	return i
+}
+
+func (c *compiler) cst(v sexpr.Expr) int32 {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := int32(len(c.p.Consts))
+	c.p.Consts = append(c.p.Consts, v)
+	c.constIdx[v] = i
+	return i
+}
+
+func (c *compiler) expr(e phpast.Expr) int32 {
+	i := int32(len(c.p.Exprs))
+	c.p.Exprs = append(c.p.Exprs, e)
+	return i
+}
+
+func (c *compiler) names(ns []string) int32 {
+	i := int32(len(c.p.Names))
+	c.p.Names = append(c.p.Names, ns)
+	return i
+}
+
+func (c *compiler) block(code *Code) int32 {
+	i := int32(len(c.p.Blocks))
+	c.p.Blocks = append(c.p.Blocks, code)
+	return i
+}
+
+// ---- code builders ----
+
+type builder struct {
+	instrs []Instr
+	spans  []Span
+}
+
+func (b *builder) emit(i Instr) { b.instrs = append(b.instrs, i) }
+
+func (c *compiler) finish(b *builder) *Code {
+	code := &Code{Instrs: b.instrs, Spans: b.spans}
+	c.codes = append(c.codes, code)
+	return code
+}
+
+// compileStmts compiles a statement list, one span per statement (each
+// span boundary is a VM budget checkpoint, like execStmts).
+func (c *compiler) compileStmts(stmts []phpast.Stmt) *Code {
+	b := &builder{}
+	for _, s := range stmts {
+		off := int32(len(b.instrs))
+		c.compileStmt(b, s)
+		b.spans = append(b.spans, Span{Off: off, N: int32(len(b.instrs)) - off})
+	}
+	return c.finish(b)
+}
+
+// compileStmtCode compiles a single statement as a one-span Code that the
+// VM dispatches without a fresh checkpoint (execStmt semantics — used for
+// else branches, where `elseif` chains would otherwise double-count).
+func (c *compiler) compileStmtCode(s phpast.Stmt) *Code {
+	b := &builder{}
+	c.compileStmt(b, s)
+	b.spans = []Span{{Off: 0, N: int32(len(b.instrs))}}
+	return c.finish(b)
+}
+
+// compileExprCode compiles a standalone expression (loop conditions, for
+// posts).
+func (c *compiler) compileExprCode(e phpast.Expr) *Code {
+	b := &builder{}
+	c.compileExpr(b, e)
+	return c.finish(b)
+}
+
+// ---- statements ----
+
+func (c *compiler) compileStmt(b *builder, s phpast.Stmt) {
+	switch x := s.(type) {
+	case *phpast.ExprStmt:
+		c.compileExpr(b, x.X)
+	case *phpast.Echo:
+		for _, a := range x.Args {
+			c.compileExpr(b, a)
+		}
+	case *phpast.Block:
+		b.emit(Instr{Op: OpBlock, A: c.block(c.compileStmts(x.Stmts))})
+	case *phpast.If:
+		c.compileExpr(b, x.Cond)
+		d := IfDesc{Then: c.compileStmts(x.Then.Stmts)}
+		if x.Else != nil {
+			d.Else = c.compileStmtCode(x.Else)
+		}
+		idx := int32(len(c.p.Ifs))
+		c.p.Ifs = append(c.p.Ifs, d)
+		b.emit(Instr{Op: OpIf, A: idx, Line: int32(x.P.Line)})
+	case *phpast.While:
+		c.emitLoop(b, LoopDesc{Cond: c.compileExprCode(x.Cond), Body: c.compileStmts(x.Body.Stmts)}, x.P.Line)
+	case *phpast.DoWhile:
+		c.emitLoop(b, LoopDesc{Cond: c.compileExprCode(x.Cond), Body: c.compileStmts(x.Body.Stmts), BodyFirst: true}, x.P.Line)
+	case *phpast.For:
+		for _, e := range x.Init {
+			c.compileExpr(b, e) // value discarded
+		}
+		var body []phpast.Stmt
+		if x.Body != nil {
+			body = x.Body.Stmts
+		}
+		post := make([]*Code, len(x.Post))
+		for i, p := range x.Post {
+			post[i] = c.compileExprCode(p)
+		}
+		c.emitLoop(b, LoopDesc{Cond: c.compileExprCode(andAll(x.Cond)), Body: c.compileStmts(body), Post: post}, x.P.Line)
+	case *phpast.Foreach:
+		c.compileExpr(b, x.Arr)
+		keyName := int32(-1)
+		if x.Key != nil {
+			if kv, ok := x.Key.(*phpast.Var); ok {
+				keyName = c.str(kv.Name)
+			}
+		}
+		d := ForeachDesc{Body: c.compileStmts(x.Body.Stmts), KeyName: keyName, Val: c.expr(x.Val)}
+		idx := int32(len(c.p.Foreachs))
+		c.p.Foreachs = append(c.p.Foreachs, d)
+		b.emit(Instr{Op: OpForeach, A: idx, Line: int32(x.P.Line)})
+	case *phpast.Switch:
+		c.compileSwitch(b, x)
+	case *phpast.Return:
+		if x.X != nil {
+			c.compileExpr(b, x.X)
+			b.emit(Instr{Op: OpReturn, B: 1, Line: int32(x.P.Line)})
+		} else {
+			b.emit(Instr{Op: OpReturn, Line: int32(x.P.Line)})
+		}
+	case *phpast.Break:
+		lvl := x.Level
+		if lvl == 0 {
+			lvl = 1
+		}
+		b.emit(Instr{Op: OpBreak, A: int32(lvl)})
+	case *phpast.Continue:
+		lvl := x.Level
+		if lvl == 0 {
+			lvl = 1
+		}
+		b.emit(Instr{Op: OpContinue, A: int32(lvl)})
+	case *phpast.Global:
+		b.emit(Instr{Op: OpGlobal, A: c.names(x.Names), Line: int32(x.P.Line)})
+	case *phpast.StaticVars:
+		for i, name := range x.Names {
+			if x.Inits[i] != nil {
+				c.compileExpr(b, x.Inits[i])
+				b.emit(Instr{Op: OpBindVar, A: c.str(name)})
+			} else {
+				b.emit(Instr{Op: OpStaticSym, A: c.str(name), Line: int32(x.P.Line)})
+			}
+		}
+	case *phpast.Unset:
+		var names []string
+		for _, v := range x.Vars {
+			if vv, ok := v.(*phpast.Var); ok {
+				names = append(names, vv.Name)
+			}
+		}
+		if len(names) > 0 {
+			b.emit(Instr{Op: OpUnset, A: c.names(names)})
+		}
+	case *phpast.Try:
+		d := TryDesc{Body: c.compileStmts(x.Body.Stmts)}
+		for _, ct := range x.Catches {
+			v := int32(-1)
+			if ct.Var != "" {
+				v = c.str(ct.Var)
+			}
+			d.Catches = append(d.Catches, CatchDesc{VarName: v, Line: int32(ct.P.Line), Body: c.compileStmts(ct.Body.Stmts)})
+		}
+		if x.Finally != nil {
+			d.Finally = c.compileStmts(x.Finally.Stmts)
+		}
+		idx := int32(len(c.p.Trys))
+		c.p.Trys = append(c.p.Trys, d)
+		b.emit(Instr{Op: OpTry, A: idx})
+	case *phpast.Throw:
+		c.compileExpr(b, x.X)
+		b.emit(Instr{Op: OpThrow})
+	case *phpast.FuncDecl, *phpast.ClassDecl, *phpast.InlineHTML, *phpast.Nop:
+		// Declarations execute only when called; empty span keeps the VM's
+		// checkpoint count aligned with the tree walker's.
+	default:
+	}
+}
+
+func (c *compiler) emitLoop(b *builder, d LoopDesc, line int) {
+	idx := int32(len(c.p.Loops))
+	c.p.Loops = append(c.p.Loops, d)
+	b.emit(Instr{Op: OpLoop, A: idx, Line: int32(line)})
+}
+
+// compileSwitch mirrors execSwitch's desugaring into an if/elseif chain
+// on equality with the subject, then compiles the chain inline (the tree
+// walker dispatches the chain via execStmt, without a fresh checkpoint).
+func (c *compiler) compileSwitch(b *builder, x *phpast.Switch) {
+	var defaultBody *phpast.Block
+	for _, cs := range x.Cases {
+		if cs.Cond == nil {
+			defaultBody = &phpast.Block{P: cs.P, Stmts: cs.Stmts}
+		}
+	}
+	var elseStmt phpast.Stmt
+	if defaultBody != nil {
+		elseStmt = defaultBody
+	}
+	var chain phpast.Stmt
+	for i := len(x.Cases) - 1; i >= 0; i-- {
+		cs := x.Cases[i]
+		if cs.Cond == nil {
+			continue
+		}
+		cond := &phpast.Binary{P: cs.P, Op: "==", L: x.Subject, R: cs.Cond}
+		chain = &phpast.If{P: cs.P, Cond: cond, Then: &phpast.Block{P: cs.P, Stmts: cs.Stmts}, Else: elseStmt}
+		elseStmt = chain
+	}
+	if chain == nil {
+		if defaultBody != nil {
+			b.emit(Instr{Op: OpBlock, A: c.block(c.compileStmts(defaultBody.Stmts))})
+		}
+		b.emit(Instr{Op: OpConsumeLoop})
+		return
+	}
+	c.compileStmt(b, chain)
+	b.emit(Instr{Op: OpConsumeLoop})
+}
+
+func andAll(conds []phpast.Expr) phpast.Expr {
+	if len(conds) == 0 {
+		return &phpast.BoolLit{Value: true}
+	}
+	e := conds[0]
+	for _, cond := range conds[1:] {
+		e = &phpast.Binary{P: e.Pos(), Op: "&&", L: e, R: cond}
+	}
+	return e
+}
+
+// ---- expressions ----
+
+func (c *compiler) compileExpr(b *builder, e phpast.Expr) {
+	if e == nil {
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.NullVal{})}) // eval(nil): null at line 0
+		return
+	}
+	switch x := e.(type) {
+	case *phpast.IntLit:
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.IntVal(x.Value)), Line: int32(x.P.Line)})
+	case *phpast.FloatLit:
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.FloatVal(x.Value)), Line: int32(x.P.Line)})
+	case *phpast.StringLit:
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.StrVal(x.Value)), Line: int32(x.P.Line)})
+	case *phpast.BoolLit:
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.BoolVal(x.Value)), Line: int32(x.P.Line)})
+	case *phpast.NullLit:
+		b.emit(Instr{Op: OpConst, A: c.cst(sexpr.NullVal{}), Line: int32(x.P.Line)})
+	case *phpast.Var:
+		b.emit(Instr{Op: OpVar, A: c.str(x.Name), Line: int32(x.P.Line)})
+	case *phpast.InterpString:
+		if len(x.Parts) == 0 {
+			b.emit(Instr{Op: OpConst, A: c.cst(sexpr.StrVal("")), Line: int32(x.P.Line)})
+			return
+		}
+		for _, p := range x.Parts {
+			c.compileExpr(b, p)
+			b.emit(Instr{Op: OpPark})
+		}
+		b.emit(Instr{Op: OpInterpString, A: int32(len(x.Parts)), Line: int32(x.P.Line)})
+	case *phpast.ArrayDim:
+		c.compileExpr(b, x.Arr)
+		b.emit(Instr{Op: OpPark})
+		if x.Index != nil {
+			c.compileExpr(b, x.Index)
+		} else {
+			b.emit(Instr{Op: OpFreshSym, A: c.str(""), B: int32(sexpr.Unknown), Line: int32(x.P.Line)})
+		}
+		b.emit(Instr{Op: OpIndex, Line: int32(x.P.Line)})
+	case *phpast.ArrayLit:
+		desc := make([]bool, len(x.Items))
+		for i, it := range x.Items {
+			if it.Key != nil {
+				desc[i] = true
+				c.compileExpr(b, it.Key)
+				b.emit(Instr{Op: OpPark})
+			}
+			c.compileExpr(b, it.Value)
+			b.emit(Instr{Op: OpPark})
+		}
+		idx := int32(len(c.p.ArrayDescs))
+		c.p.ArrayDescs = append(c.p.ArrayDescs, desc)
+		b.emit(Instr{Op: OpArrayLit, A: idx, Line: int32(x.P.Line)})
+	case *phpast.Unary:
+		c.compileExpr(b, x.X)
+		b.emit(Instr{Op: OpUnary, A: c.str(x.Op), Line: int32(x.P.Line)})
+	case *phpast.Binary:
+		c.compileExpr(b, x.L)
+		b.emit(Instr{Op: OpPark})
+		c.compileExpr(b, x.R)
+		b.emit(Instr{Op: OpBinary, A: c.str(x.Op), Line: int32(x.P.Line)})
+	case *phpast.Assign:
+		if x.Op == "" {
+			c.compileExpr(b, x.Value)
+		} else {
+			// Compound assignment: target = target op value.
+			c.compileExpr(b, x.Target)
+			b.emit(Instr{Op: OpPark})
+			c.compileExpr(b, x.Value)
+			b.emit(Instr{Op: OpBinary, A: c.str(x.Op), Line: int32(x.P.Line)})
+		}
+		if tv, ok := x.Target.(*phpast.Var); ok {
+			b.emit(Instr{Op: OpBindVar, A: c.str(tv.Name)})
+		} else {
+			b.emit(Instr{Op: OpAssignTo, A: c.expr(x.Target)})
+		}
+	case *phpast.IncDec:
+		if tv, ok := x.X.(*phpast.Var); ok {
+			c.compileExpr(b, x.X)
+			var flags int32
+			if x.Op == "--" {
+				flags |= 1
+			}
+			if x.Pre {
+				flags |= 2
+			}
+			b.emit(Instr{Op: OpIncDecVar, A: c.str(tv.Name), B: flags, Line: int32(x.P.Line)})
+		} else {
+			b.emit(Instr{Op: OpEvalExpr, A: c.expr(x)})
+		}
+	case *phpast.Ternary:
+		c.compileExpr(b, x.Cond)
+		b.emit(Instr{Op: OpPark})
+		if x.Then != nil {
+			c.compileExpr(b, x.Then)
+		} else {
+			b.emit(Instr{Op: OpPeekTmp}) // short form reuses the condition value
+		}
+		b.emit(Instr{Op: OpPark})
+		c.compileExpr(b, x.Else)
+		b.emit(Instr{Op: OpTernary, Line: int32(x.P.Line)})
+	case *phpast.Cast:
+		c.compileExpr(b, x.X)
+		b.emit(Instr{Op: OpCast, A: c.str(x.Type), Line: int32(x.P.Line)})
+	case *phpast.ErrorSuppress:
+		c.compileExpr(b, x.X)
+	case *phpast.Call:
+		c.compileCall(b, x)
+	case *phpast.PropFetch:
+		c.compileExpr(b, x.Obj)
+		b.emit(Instr{Op: OpPropFetch, A: c.str(x.Prop), Line: int32(x.P.Line)})
+	case *phpast.StaticPropFetch:
+		b.emit(Instr{Op: OpSharedSym, A: c.str("s_sprop_" + x.Class + "_" + x.Prop), B: int32(sexpr.Unknown), Line: int32(x.P.Line)})
+	case *phpast.ClassConstFetch:
+		b.emit(Instr{Op: OpSharedSym, A: c.str("s_cconst_" + x.Class + "_" + x.Const), B: int32(sexpr.Unknown), Line: int32(x.P.Line)})
+	case *phpast.ConstFetch:
+		b.emit(Instr{Op: OpConstFetch, A: c.str(x.Name), Line: int32(x.P.Line)})
+	case *phpast.Isset:
+		for _, v := range x.Vars {
+			c.compileExpr(b, v)
+			b.emit(Instr{Op: OpPark})
+		}
+		b.emit(Instr{Op: OpIsset, A: int32(len(x.Vars)), Line: int32(x.P.Line)})
+	case *phpast.Empty:
+		c.compileExpr(b, x.X)
+		b.emit(Instr{Op: OpEmpty, Line: int32(x.P.Line)})
+	case *phpast.Exit:
+		if x.X != nil {
+			c.compileExpr(b, x.X)
+		}
+		b.emit(Instr{Op: OpExit, Line: int32(x.P.Line)})
+	case *phpast.Print:
+		c.compileExpr(b, x.X)
+		b.emit(Instr{Op: OpPrint, Line: int32(x.P.Line)})
+	case *phpast.Include:
+		c.compileExpr(b, x.X) // path value evaluated, then discarded
+		b.emit(Instr{Op: OpInclude, A: c.expr(x), Line: int32(x.P.Line)})
+	case *phpast.Closure:
+		b.emit(Instr{Op: OpFreshSym, A: c.str("s_closure"), B: int32(sexpr.Unknown), Line: int32(x.P.Line)})
+	case *phpast.ListExpr:
+		b.emit(Instr{Op: OpFreshSym, A: c.str(""), B: int32(sexpr.Array), Line: int32(x.P.Line)})
+	case *phpast.Name:
+		b.emit(Instr{Op: OpSharedSym, A: c.str("s_name_" + x.Value), B: int32(sexpr.String), Line: int32(x.P.Line)})
+	case *phpast.MethodCall, *phpast.StaticCall, *phpast.New:
+		b.emit(Instr{Op: OpEvalExpr, A: c.expr(x)})
+	default:
+		b.emit(Instr{Op: OpFreshSym, A: c.str(""), B: int32(sexpr.Unknown), Line: int32(e.Pos().Line)})
+	}
+}
+
+// compileCall resolves the callee at compile time in the same order the
+// tree walker resolves it at run time: dynamic callee → sink → declared
+// user function → built-in model. The call_user_func('fn', ...) string
+// indirection is rewritten to a direct call, like evalCall.
+func (c *compiler) compileCall(b *builder, x *phpast.Call) {
+	name, named := phpast.CalleeName(x)
+	if named && (name == "call_user_func" || name == "call_user_func_array") && len(x.Args) > 0 {
+		if lit, ok := x.Args[0].(*phpast.StringLit); ok {
+			inner := &phpast.Call{P: x.P, Func: &phpast.Name{P: x.P, Value: lit.Value}, Args: x.Args[1:]}
+			c.compileCall(b, inner)
+			return
+		}
+	}
+	for _, a := range x.Args {
+		c.compileExpr(b, a)
+		b.emit(Instr{Op: OpPark})
+	}
+	line := int32(x.P.Line)
+	n := int32(len(x.Args))
+	switch {
+	case !named:
+		b.emit(Instr{Op: OpCallDynamic, B: n, Line: line})
+	case callgraph.Sinks[name]:
+		b.emit(Instr{Op: OpCallSink, A: c.str(name), B: n, Line: line})
+	case c.p.FuncsByName[name] != nil:
+		b.emit(Instr{Op: OpCallUser, A: c.funcIdx[c.p.FuncsByName[name]], B: n, Line: line})
+	default:
+		b.emit(Instr{Op: OpCallBuiltin, A: c.str(name), B: n, Line: line})
+	}
+}
+
+// link copies every Code's instructions into one arena and re-points the
+// codes at sub-slices, so a compiled program is a handful of contiguous
+// allocations instead of thousands of small ones.
+func (c *compiler) link() {
+	total := 0
+	for _, code := range c.codes {
+		total += len(code.Instrs)
+	}
+	arena := make([]Instr, 0, total)
+	for _, code := range c.codes {
+		off := len(arena)
+		arena = append(arena, code.Instrs...)
+		code.Instrs = arena[off:len(arena):len(arena)]
+	}
+	c.p.Arena = arena
+}

@@ -1,0 +1,315 @@
+// Package ir defines UChecker's opcode intermediate representation: each
+// PHP function (and each file's top-level statement list) is compiled once
+// into a compact, arena-allocated, string-interned bytecode that the
+// interp package's VM engine dispatches linearly over the heap-graph
+// environments.
+//
+// The instruction set deliberately mirrors the tree-walking evaluator's
+// recursion structure (see internal/interp): expressions leave one label
+// per live path in the VM's value register, sub-expressions whose labels
+// must survive a potential path fork are parked on the per-environment
+// operand stack (OpPark), and structured control flow (if / loops /
+// foreach / try) is kept as single instructions referencing sub-Code
+// blocks rather than lowered to jumps — path forking duplicates
+// environments, not program counters, so a fork-free linear dispatch with
+// structured recursion is both simpler and byte-for-byte equivalent to
+// the tree walker.
+//
+// A handful of rare constructs (method calls, object construction,
+// non-variable increment targets, complex assignment targets) escape to
+// the tree evaluator through OpEvalExpr / OpAssignTo, which reference the
+// original AST node. This keeps the instruction set small while
+// guaranteeing identical semantics on the long tail.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/phpast"
+	"repro/internal/sexpr"
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Expression opcodes leave one heap-graph label per live path in the VM's
+// value register; statement opcodes only transform the environment set.
+const (
+	// OpInvalid is the zero Op; executing it is a bug.
+	OpInvalid Op = iota
+
+	// OpConst allocates a fresh concrete object from Consts[A], shared by
+	// all paths (literals allocate one node per evaluation).
+	OpConst
+	// OpVar reads variable Strings[A] per path, binding a fresh symbol (or
+	// a superglobal's shared pre-structured object) when unbound.
+	OpVar
+	// OpPark pushes the value register onto each path's operand stack so
+	// the labels stay aligned across forks in a later sub-expression.
+	OpPark
+	// OpPeekTmp loads the top of the operand stack without popping
+	// (short-form ternary reuses the parked condition value).
+	OpPeekTmp
+	// OpFreshSym allocates one fresh symbol named Strings[A] (empty for an
+	// auto-generated name) of type sexpr.Type(B), shared by all paths.
+	OpFreshSym
+	// OpSharedSym resolves the memoized process-wide symbol Strings[A] of
+	// type sexpr.Type(B) (superglobal fields, platform constants).
+	OpSharedSym
+	// OpConstFetch resolves the PHP constant Strings[A] (PATHINFO_*,
+	// __FILE__, platform constants, ...).
+	OpConstFetch
+	// OpInterpString concatenates A parked parts with "." operation nodes.
+	OpInterpString
+	// OpIndex reads an array element: array parked, index in the value
+	// register.
+	OpIndex
+	// OpArrayLit builds one array per path from parked keys/values as
+	// described by ArrayDescs[A].
+	OpArrayLit
+	// OpUnary applies unary operator Strings[A] to the value register.
+	OpUnary
+	// OpBinary applies binary operator Strings[A]: left parked, right in
+	// the value register.
+	OpBinary
+	// OpIsset builds an isset operation node over A parked operands.
+	OpIsset
+	// OpEmpty builds an empty operation node over the value register.
+	OpEmpty
+	// OpTernary folds cond ? then : else — condition and then-value
+	// parked, else-value in the value register.
+	OpTernary
+	// OpCast applies a (Strings[A]) cast to the value register.
+	OpCast
+	// OpBindVar binds variable Strings[A] to the value register on every
+	// path; the register is left unchanged (assignments are expressions).
+	OpBindVar
+	// OpAssignTo writes the value register through the assignment target
+	// Exprs[A] (array dims, property fetches, list()), via the shared
+	// tree-walker write path.
+	OpAssignTo
+	// OpIncDecVar increments/decrements variable Strings[A]; B bit0 set
+	// means decrement, bit1 set means prefix (result is the new value).
+	OpIncDecVar
+	// OpPropFetch reads property Strings[A] from the object in the value
+	// register.
+	OpPropFetch
+	// OpCallDynamic models a variable function call with B parked
+	// arguments (opaque call_dynamic FUNC node).
+	OpCallDynamic
+	// OpCallSink records a sink invocation of Strings[A] with B parked
+	// arguments on every path.
+	OpCallSink
+	// OpCallBuiltin applies the built-in model Strings[A] to B parked
+	// arguments.
+	OpCallBuiltin
+	// OpCallUser inlines user function Funcs[A] with B parked arguments.
+	OpCallUser
+	// OpInclude executes the include target of Exprs[A] (an
+	// *phpast.Include); the path expression's value was evaluated and
+	// discarded beforehand.
+	OpInclude
+	// OpExit terminates every path; the register holds a fresh null.
+	OpExit
+	// OpPrint yields concrete int 1 (its argument was evaluated before).
+	OpPrint
+	// OpEvalExpr escapes to the tree evaluator for Exprs[A] (method
+	// calls, new, and other rare forms).
+	OpEvalExpr
+
+	// OpBlock runs the nested statement list Blocks[A] with per-statement
+	// budget checkpoints.
+	OpBlock
+	// OpIf forks paths on the condition in the value register and runs
+	// Ifs[A]'s branches.
+	OpIf
+	// OpLoop runs the unrolled condition-guarded loop Loops[A].
+	OpLoop
+	// OpForeach iterates Foreachs[A] over the array in the value register.
+	OpForeach
+	// OpTry runs Trys[A]: body, alternate catch paths, finally.
+	OpTry
+	// OpReturn suspends every path with a return value (the value register
+	// when B==1, fresh per-path nulls otherwise).
+	OpReturn
+	// OpBreak sets every path's break level to A.
+	OpBreak
+	// OpContinue sets every path's continue level to A.
+	OpContinue
+	// OpThrow terminates every path (the thrown value was evaluated).
+	OpThrow
+	// OpGlobal imports Names[A] from the global frame on every path.
+	OpGlobal
+	// OpStaticSym binds variable Strings[A] to a per-path fresh
+	// s_static_* symbol (static declaration without initializer).
+	OpStaticSym
+	// OpUnset unbinds Names[A] on every path.
+	OpUnset
+	// OpConsumeLoop consumes one break/continue level (switch statements).
+	OpConsumeLoop
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpConst: "const", OpVar: "var", OpPark: "park",
+	OpPeekTmp: "peektmp", OpFreshSym: "freshsym", OpSharedSym: "sharedsym",
+	OpConstFetch: "constfetch", OpInterpString: "interpstring",
+	OpIndex: "index", OpArrayLit: "arraylit", OpUnary: "unary",
+	OpBinary: "binary", OpIsset: "isset", OpEmpty: "empty",
+	OpTernary: "ternary", OpCast: "cast", OpBindVar: "bindvar",
+	OpAssignTo: "assignto", OpIncDecVar: "incdecvar", OpPropFetch: "propfetch",
+	OpCallDynamic: "calldynamic", OpCallSink: "callsink",
+	OpCallBuiltin: "callbuiltin", OpCallUser: "calluser",
+	OpInclude: "include", OpExit: "exit", OpPrint: "print",
+	OpEvalExpr: "evalexpr", OpBlock: "block", OpIf: "if", OpLoop: "loop",
+	OpForeach: "foreach", OpTry: "try", OpReturn: "return",
+	OpBreak: "break", OpContinue: "continue", OpThrow: "throw",
+	OpGlobal: "global", OpStaticSym: "staticsym", OpUnset: "unset",
+	OpConsumeLoop: "consumeloop",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one instruction. A and B index the Program pools (which pool
+// depends on the opcode); Line is the source line for heap-graph nodes.
+type Instr struct {
+	Op   Op
+	A    int32
+	B    int32
+	Line int32
+}
+
+// Span is one statement's instruction range inside a Code: the VM places a
+// budget checkpoint and a suspended-path partition at every span boundary,
+// exactly like the tree walker's execStmts. Declarations compile to empty
+// spans (N==0) so checkpoint counts agree between engines.
+type Span struct {
+	Off, N int32
+}
+
+// Code is one compiled statement list (a function body, a file top-level,
+// a branch arm, ...). Instrs is a sub-slice of the program arena.
+type Code struct {
+	Instrs []Instr
+	Spans  []Span
+}
+
+// IfDesc describes an OpIf. Else is nil when there is no else branch;
+// when present it holds exactly one statement span, dispatched without a
+// fresh budget checkpoint (mirroring execStmt on the else statement, which
+// is how `elseif` chains avoid double-counting checkpoints).
+type IfDesc struct {
+	Then *Code
+	Else *Code
+}
+
+// LoopDesc describes an OpLoop (while / do-while / for after init
+// lowering).
+type LoopDesc struct {
+	Cond      *Code   // condition expression code
+	Body      *Code   // statement code
+	Post      []*Code // for-loop post expression codes, run at iteration boundaries
+	BodyFirst bool    // do-while
+}
+
+// ForeachDesc describes an OpForeach. KeyName is a Strings index, or -1
+// when the key is absent or not a simple variable. Val indexes Exprs: the
+// value target is assigned through the shared tree-walker write path.
+type ForeachDesc struct {
+	Body    *Code
+	KeyName int32
+	Val     int32
+}
+
+// CatchDesc is one catch clause of a TryDesc. VarName is a Strings index
+// or -1.
+type CatchDesc struct {
+	VarName int32
+	Line    int32
+	Body    *Code
+}
+
+// TryDesc describes an OpTry. Finally is nil when absent.
+type TryDesc struct {
+	Body    *Code
+	Catches []CatchDesc
+	Finally *Code
+}
+
+// Func is one compiled user function or method.
+type Func struct {
+	// Name is the declared name (methods: "Class::method"); LName is its
+	// lower-case form used on the inlining call stack.
+	Name  string
+	LName string
+	// Params are the declaration's parameters; default expressions are
+	// constant and evaluated by the shared tree path when a call site
+	// omits them.
+	Params []phpast.Param
+	Body   *Code
+	// DeclLine/EndLine anchor fresh parameter symbols and implicit null
+	// returns, mirroring the tree walker.
+	DeclLine int
+	EndLine  int
+
+	// bodyAST holds the declaration body between the declare and compile
+	// passes; cleared after compilation.
+	bodyAST []phpast.Stmt
+}
+
+// Program is the compiled form of one application: every function body
+// and file top-level as bytecode plus the interned pools instructions
+// index into. A Program is immutable after Compile and safe for
+// concurrent VMs.
+type Program struct {
+	// Strings interns every name an instruction references.
+	Strings []string
+	// Consts holds literal values (one fresh heap node is still allocated
+	// per evaluation; the pool only interns the value).
+	Consts []sexpr.Expr
+	// Exprs holds AST references for escape-hatch opcodes.
+	Exprs []phpast.Expr
+	// ArrayDescs: for OpArrayLit, per-item has-explicit-key flags.
+	ArrayDescs [][]bool
+	// Names holds name lists for OpGlobal / OpUnset.
+	Names [][]string
+
+	Ifs      []IfDesc
+	Loops    []LoopDesc
+	Foreachs []ForeachDesc
+	Trys     []TryDesc
+	// Blocks are OpBlock targets.
+	Blocks []*Code
+
+	// Funcs lists every compiled function; FuncsByName resolves
+	// lower-cased call names with the same first-declaration-wins rule as
+	// the tree walker's table. ByBody resolves a function body to its
+	// compiled form, keyed by the address of the body's first statement:
+	// callgraph roots reference synthesized FuncDecl wrappers for class
+	// methods, but those share the method's body slice, so the pointer
+	// matches. Empty bodies are not keyed (running them is a no-op).
+	Funcs       []*Func
+	FuncsByName map[string]*Func
+	ByBody      map[*phpast.Stmt]*Func
+
+	// Files maps file name to its compiled top-level statement code.
+	Files map[string]*Code
+
+	// Arena is the flat instruction backing store every Code slices into.
+	Arena []Instr
+
+	// FunctionsCompiled counts compiled units (functions + file
+	// top-levels) for the ir_functions_compiled metric.
+	FunctionsCompiled int
+}
+
+// Stats summarizes a program for logs and tests.
+func (p *Program) Stats() (funcs, files, instrs int) {
+	return len(p.Funcs), len(p.Files), len(p.Arena)
+}

@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+)
+
+func parse(t *testing.T, name, src string) *phpast.File {
+	t.Helper()
+	f, errs := phpparser.Parse(name, src)
+	if len(errs) > 0 {
+		t.Fatalf("parse %s: %v", name, errs)
+	}
+	return f
+}
+
+func TestCompileBasics(t *testing.T) {
+	f := parse(t, "a.php", `<?php
+function dest($d, $n = "x") { return $d . "/" . $n; }
+class Up { function move($t) { return move_uploaded_file($t, dest("u")); } }
+$p = dest($_FILES["f"]["name"]);
+if ($p) { echo $p; } else { exit; }
+while ($i < 3) { $i++; }
+foreach ($a as $k => $v) { unset($v); }
+`)
+	p := Compile([]*phpast.File{f})
+
+	// dest + Up::move compiled, plus the file top-level.
+	funcs, files, instrs := p.Stats()
+	if funcs != 2 || files != 1 {
+		t.Fatalf("Stats funcs=%d files=%d, want 2, 1", funcs, files)
+	}
+	if instrs == 0 {
+		t.Fatal("empty arena")
+	}
+	if p.FunctionsCompiled != funcs+files {
+		t.Errorf("FunctionsCompiled = %d, want %d", p.FunctionsCompiled, funcs+files)
+	}
+
+	// Name resolution mirrors the tree walker's table: lower-cased,
+	// qualified and bare method names.
+	for _, name := range []string{"dest", "up::move", "move"} {
+		if p.FuncsByName[name] == nil {
+			t.Errorf("FuncsByName[%q] missing", name)
+		}
+	}
+
+	// Every compiled Code must slice into the shared arena.
+	inArena := func(c *Code) bool {
+		if len(c.Instrs) == 0 {
+			return true
+		}
+		for i := range p.Arena {
+			if &p.Arena[i] == &c.Instrs[0] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fn := range p.Funcs {
+		if !inArena(fn.Body) {
+			t.Errorf("func %s body not arena-backed", fn.Name)
+		}
+		if fn.bodyAST != nil {
+			t.Errorf("func %s kept its AST after compile", fn.Name)
+		}
+	}
+	for name, c := range p.Files {
+		if !inArena(c) {
+			t.Errorf("file %s top-level not arena-backed", name)
+		}
+	}
+
+	// ByBody keys the original body slice so callgraph method wrappers
+	// (which share the slice) resolve.
+	var decl *phpast.FuncDecl
+	for _, s := range f.Stmts {
+		if d, ok := s.(*phpast.FuncDecl); ok {
+			decl = d
+		}
+	}
+	if decl == nil || p.ByBody[&decl.Body[0]] == nil {
+		t.Error("ByBody lookup by first body statement failed")
+	}
+}
+
+func TestCompileDeclPrecedenceFirstWins(t *testing.T) {
+	a := parse(t, "a.php", `<?php function f() { return 1; }`)
+	b := parse(t, "b.php", `<?php function f() { return 2; }`)
+	p := Compile([]*phpast.File{a, b})
+	if got := p.FuncsByName["f"]; got == nil || got.DeclLine != 1 {
+		t.Fatalf("FuncsByName[f] = %+v, want first declaration", got)
+	}
+	if len(p.Funcs) != 2 {
+		t.Errorf("both declarations should still compile, got %d", len(p.Funcs))
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := OpInvalid; op < opCount; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate opcode name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Op(250).String(); got != "op(250)" {
+		t.Errorf("unknown op String = %q", got)
+	}
+}
+
+func TestCompileStringInterning(t *testing.T) {
+	f := parse(t, "a.php", `<?php $x = $y; $x = $y; $x = $y;`)
+	p := Compile([]*phpast.File{f})
+	count := 0
+	for _, s := range p.Strings {
+		if s == "y" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("string %q interned %d times, want 1", "y", count)
+	}
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -10,7 +11,14 @@ import (
 
 func scan(t *testing.T, sources map[string]string, opts uchecker.Options) *uchecker.AppReport {
 	t.Helper()
-	return uchecker.New(opts).CheckSources("sarif-app", sources)
+	rep, err := uchecker.NewScanner(opts).Scan(context.Background(), uchecker.Target{
+		Name:    "sarif-app",
+		Sources: sources,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 func TestToSARIFVulnerable(t *testing.T) {

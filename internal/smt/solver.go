@@ -98,18 +98,6 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Halved returns the options with every search budget cut in half — one
-// rung of the scanner's degradation ladder. Candidate-set sizes are
-// floored so the small-model search still has literals to work with.
-func (o Options) Halved() Options {
-	o = o.withDefaults()
-	o.MaxCubes = max(1, o.MaxCubes/2)
-	o.MaxAssignments = max(1, o.MaxAssignments/2)
-	o.MaxStrCandidates = max(8, o.MaxStrCandidates/2)
-	o.MaxIntCandidates = max(4, o.MaxIntCandidates/2)
-	return o
-}
-
 // Solver decides formulas in the UChecker fragment. The zero value is ready
 // to use with default options.
 type Solver struct {

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
-	"repro/internal/interp"
 )
 
 // budgetBlowupTarget is a seeded vulnerable app whose path exploration
@@ -140,7 +139,7 @@ func TestPanicIsolation(t *testing.T) {
 // Vulnerable verdict.
 func TestDegradedFallback(t *testing.T) {
 	target := budgetBlowupTarget()
-	opts := Options{Interp: interp.Options{MaxPaths: 4}}
+	opts := Options{Budgets: Budgets{MaxPaths: 4}}
 
 	rep, err := NewScanner(opts).Scan(context.Background(), target)
 	if err != nil {
@@ -314,7 +313,7 @@ move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
 // panic-isolated.
 func TestFallbackPanicContainment(t *testing.T) {
 	rep, err := NewScanner(Options{
-		Interp:    interp.Options{MaxPaths: 4},
+		Budgets:   Budgets{MaxPaths: 4},
 		FaultHook: faultinject.PanicOn(faultinject.Fallback, ""),
 	}).Scan(context.Background(), budgetBlowupTarget())
 	if err != nil {

@@ -1,0 +1,137 @@
+package uchecker
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// engineComparableFingerprint is reportFingerprint minus the VM-only
+// execution counters: the two engines must agree on every finding,
+// verdict, path count, and shared work counter, while the ir_*/vm_*
+// metrics exist only under the VM by design.
+func engineComparableFingerprint(t *testing.T, rep *AppReport) string {
+	t.Helper()
+	clone := *rep
+	if clone.Metrics != nil {
+		m := obs.NewMetrics()
+		for k, v := range clone.Metrics {
+			if strings.HasPrefix(k, "ir_") || strings.HasPrefix(k, "vm_") {
+				continue
+			}
+			m[k] = v
+		}
+		clone.Metrics = m
+	}
+	return reportFingerprint(t, &clone)
+}
+
+// TestEngineDifferentialCorpus is the engine-selection acceptance suite:
+// every corpus application is scanned with the tree walker and the
+// bytecode VM at Workers=1 and Workers=4, and all four reports must agree
+// byte-for-byte (modulo the VM-only ir_*/vm_* counters). This is what
+// makes -engine a pure performance knob.
+func TestEngineDifferentialCorpus(t *testing.T) {
+	// The 20000-path budget keeps the Cimy abort affordable while still
+	// reproducing it (it needs 248832 paths); every verdict is unchanged.
+	budgets := Budgets{MaxPaths: 20000}
+	for _, app := range corpus.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			target := Target{Name: app.Name, Sources: app.Sources}
+			var want string
+			for _, engine := range []interp.EngineKind{interp.EngineTree, interp.EngineVM} {
+				for _, workers := range []int{1, 4} {
+					rep, err := NewScanner(Options{
+						Budgets: budgets,
+						Engine:  engine,
+						Workers: workers,
+					}).Scan(context.Background(), target)
+					if err != nil {
+						t.Fatalf("engine=%s workers=%d: %v", engine, workers, err)
+					}
+					got := engineComparableFingerprint(t, rep)
+					if want == "" {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Errorf("engine=%s workers=%d report differs from tree/1:\n got: %s\nwant: %s",
+							engine, workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineVMCounters asserts the VM engine surfaces its execution
+// counters on the report — compile-once across roots (cache hits = news-1)
+// and a nonzero dispatch tally — while the tree engine leaves the ir_*/vm_*
+// keys out entirely, keeping tree reports byte-identical to the pre-IR
+// format.
+func TestEngineVMCounters(t *testing.T) {
+	target := multiRootTarget("engine-counters", 5)
+
+	vm, err := NewScanner(Options{Engine: interp.EngineVM}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Metrics["ir_functions_compiled"]; got <= 0 {
+		t.Errorf("ir_functions_compiled = %d, want > 0", got)
+	}
+	// 5 roots share one compiled program: 4 of the 5 engine
+	// instantiations are cache hits.
+	if got := vm.Metrics["ir_compile_cache_hits"]; got != 4 {
+		t.Errorf("ir_compile_cache_hits = %d, want 4", got)
+	}
+	if got := vm.Metrics["ir_instructions_executed"]; got <= 0 {
+		t.Errorf("ir_instructions_executed = %d, want > 0", got)
+	}
+	if got := vm.Metrics["vm_dispatch_loops"]; got <= 0 {
+		t.Errorf("vm_dispatch_loops = %d, want > 0", got)
+	}
+
+	tree, err := NewScanner(Options{}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range tree.Metrics {
+		if strings.HasPrefix(k, "ir_") || strings.HasPrefix(k, "vm_") {
+			t.Errorf("tree-engine report carries VM counter %s", k)
+		}
+	}
+	if engineComparableFingerprint(t, tree) != engineComparableFingerprint(t, vm) {
+		t.Error("engines disagree on the comparable report")
+	}
+}
+
+// TestEngineVMDeterministicAcrossWorkers asserts full VM reports —
+// including the ir_*/vm_* counters — are byte-identical for
+// Workers=1,2,8: instruction and dispatch tallies count work, not
+// scheduling.
+func TestEngineVMDeterministicAcrossWorkers(t *testing.T) {
+	target := multiRootTarget("vm-det", 7)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := NewScanner(Options{
+			Engine:  interp.EngineVM,
+			Workers: workers,
+		}).Scan(context.Background(), target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reportFingerprint(t, rep)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("Workers=%d VM report differs:\n got: %s\nwant: %s", workers, got, want)
+		}
+	}
+}

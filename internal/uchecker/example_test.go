@@ -1,6 +1,7 @@
 package uchecker_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/uchecker"
@@ -8,13 +9,16 @@ import (
 
 // The canonical workflow: scan an application's sources and inspect the
 // verdict and the first finding's location and exploit path.
-func ExampleChecker_CheckSources() {
-	checker := uchecker.New(uchecker.Options{})
-	report := checker.CheckSources("demo-plugin", map[string]string{
-		"upload.php": `<?php
+func ExampleScanner_Scan() {
+	scanner := uchecker.NewScanner(uchecker.Options{})
+	report, _ := scanner.Scan(context.Background(), uchecker.Target{
+		Name: "demo-plugin",
+		Sources: map[string]string{
+			"upload.php": `<?php
 $dir = wp_upload_dir();
 move_uploaded_file($_FILES['file']['tmp_name'], $dir['path'] . '/' . $_FILES['file']['name']);
 `,
+		},
 	})
 	fmt.Println("vulnerable:", report.Vulnerable)
 	f := report.Findings[0]
@@ -28,15 +32,18 @@ move_uploaded_file($_FILES['file']['tmp_name'], $dir['path'] . '/' . $_FILES['fi
 
 // Safe uploads produce clean reports: the whitelist guard makes the
 // extension constraint unsatisfiable.
-func ExampleChecker_CheckSources_benign() {
-	checker := uchecker.New(uchecker.Options{})
-	report := checker.CheckSources("safe-plugin", map[string]string{
-		"safe.php": `<?php
+func ExampleScanner_Scan_benign() {
+	scanner := uchecker.NewScanner(uchecker.Options{})
+	report, _ := scanner.Scan(context.Background(), uchecker.Target{
+		Name: "safe-plugin",
+		Sources: map[string]string{
+			"safe.php": `<?php
 $ext = pathinfo($_FILES['pic']['name'], PATHINFO_EXTENSION);
 if (in_array($ext, array('jpg', 'png'))) {
 	move_uploaded_file($_FILES['pic']['tmp_name'], "/up/img." . $ext);
 }
 `,
+		},
 	})
 	fmt.Println("vulnerable:", report.Vulnerable)
 	fmt.Println("sinks examined:", report.SinkCount)

@@ -5,8 +5,8 @@
 // blow-ups (the Cimy failure mode), solver give-ups, wall-clock hangs.
 // One pathological file must degrade one root, never sink the batch —
 // and the operator must be able to see, per class, what went wrong.
-// Failure is that structured record; it replaces the v2 string-based
-// AppReport.RootErrors (kept as a deprecated shim).
+// Failure is that structured record, surfaced on AppReport.Failures and
+// aggregated per class in AppReport.FailureCounts.
 package uchecker
 
 import (
@@ -33,9 +33,9 @@ const (
 	// accounting honest (a corpus on flaky storage must not look like a
 	// corpus full of unparseable PHP).
 	FailLoad FailureClass = "load"
-	// FailPathBudget: symbolic execution outgrew Options.Interp.MaxPaths.
+	// FailPathBudget: symbolic execution outgrew Options.Budgets.MaxPaths.
 	FailPathBudget FailureClass = "path-budget"
-	// FailObjectBudget: the heap graph outgrew Options.Interp.MaxObjects.
+	// FailObjectBudget: the heap graph outgrew Options.Budgets.MaxObjects.
 	FailObjectBudget FailureClass = "object-budget"
 	// FailSolverBudget: the SMT solver returned Unknown after exhausting
 	// its search budget on at least one candidate of the root.
@@ -45,8 +45,7 @@ const (
 	FailRootTimeout FailureClass = "root-timeout"
 	// FailCancelled: the surrounding scan's context was cancelled (or its
 	// deadline expired) — an operator decision, not a root failure.
-	// Cancelled entries are excluded from FailureCounts and from the
-	// deprecated RootErrors shim.
+	// Cancelled entries are excluded from FailureCounts.
 	FailCancelled FailureClass = "cancelled"
 	// FailPanic: a pipeline stage panicked; the panic was recovered, the
 	// stack captured, and the batch kept running.

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/scanjournal"
 )
@@ -73,10 +74,22 @@ type BatchStats struct {
 // included so a format bump invalidates everything at once.
 func (s *Scanner) optionsFingerprint() string {
 	o := s.opts
-	return fmt.Sprintf("v%d ext=%v interp=%+v solver=%+v noloc=%t admin=%t keepsmt=%t retries=%d root-timeout=%v max-root-failures=%d nodeg=%t nointern=%t",
-		scanjournal.FormatVersion, o.Extensions, o.Interp, o.Solver,
+	// The budget set is fingerprinted through the materialized per-layer
+	// option structs, byte-identically to the pre-Budgets format, and the
+	// engine token is appended only when a non-default engine is selected
+	// — so journals and cache entries written before the consolidation
+	// (or by tree-engine scans) stay replayable. The engines themselves
+	// produce byte-identical reports; the token is still part of the
+	// identity so a cross-engine miscompare can never hide behind a
+	// cache hit.
+	fp := fmt.Sprintf("v%d ext=%v interp=%+v solver=%+v noloc=%t admin=%t keepsmt=%t retries=%d root-timeout=%v max-root-failures=%d nodeg=%t nointern=%t",
+		scanjournal.FormatVersion, o.Extensions, o.Budgets.interpOptions(), o.Budgets.solverOptions(),
 		o.DisableLocality, o.ModelAdminGating, o.KeepSMT, o.MaxRetries,
 		o.RootTimeout, o.MaxRootFailures, o.DisableDegraded, o.DisableIntern)
+	if o.Engine != "" && o.Engine != interp.EngineTree {
+		fp += fmt.Sprintf(" engine=%s", o.Engine)
+	}
+	return fp
 }
 
 // decodeReport unmarshals a journaled/cached report. The JSON round trip

@@ -12,6 +12,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/faultinject"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/scanjournal"
 )
 
@@ -37,7 +38,7 @@ func batchTargets(t *testing.T) []Target {
 }
 
 func batchOpts(workers int) Options {
-	return Options{Workers: workers, Interp: interp.Options{MaxPaths: 20000}}
+	return Options{Workers: workers, Budgets: Budgets{MaxPaths: 20000}}
 }
 
 // batchFingerprints is the deterministic identity of a batch result.
@@ -276,7 +277,7 @@ func TestBatchResumeAfterOptionsChange(t *testing.T) {
 
 	// Options change: fingerprint shifts, everything re-scans.
 	optsB := optsA
-	optsB.Interp.MaxPaths = 19999
+	optsB.Budgets.MaxPaths = 19999
 	repsB, statsB, err := NewScanner(optsB).ScanBatchJournaled(ctx, targets)
 	if err != nil {
 		t.Fatal(err)
@@ -482,7 +483,7 @@ func TestBatchCacheCorrectness(t *testing.T) {
 
 	// Change a budget option: the fingerprint shifts, everything misses.
 	bopts := opts
-	bopts.Interp.MaxPaths = 19999
+	bopts.Budgets.MaxPaths = 19999
 	_, stats4, err := NewScanner(bopts).ScanBatchJournaled(ctx, targets)
 	if err != nil {
 		t.Fatal(err)
@@ -558,8 +559,8 @@ func TestScanBatchCancelledTargets(t *testing.T) {
 	defer cancel()
 	opts := batchOpts(1)
 	first := targets[0].Name
-	opts.OnPhase = func(app, phase string, d time.Duration) {
-		if app == first && phase == PhaseTotal {
+	opts.OnSpan = func(sp obs.Span) {
+		if sp.Name == "scan" && sp.Attr("app") == first {
 			cancel()
 		}
 	}
@@ -584,8 +585,8 @@ func TestScanBatchCancelledTargets(t *testing.T) {
 	// typed) but must still hold.
 	ctx4, cancel4 := context.WithCancel(context.Background())
 	opts4 := batchOpts(4)
-	opts4.OnPhase = func(app, phase string, d time.Duration) {
-		if phase == PhaseParse {
+	opts4.OnSpan = func(sp obs.Span) {
+		if sp.Name == "parse" {
 			cancel4() // die while scans are mid-flight
 		}
 	}
@@ -616,8 +617,8 @@ func TestOptionsFingerprint(t *testing.T) {
 		t.Error("worker count shifted the fingerprint")
 	}
 	diffs := []Options{
-		{Interp: interp.Options{MaxPaths: 7}},
-		{Interp: interp.Options{LoopUnroll: 5}},
+		{Budgets: Budgets{MaxPaths: 7}},
+		{Budgets: Budgets{LoopUnroll: 5}},
 		{MaxRetries: 3},
 		{MaxRetries: -1},
 		{Extensions: []string{".php", ".phtml"}},
@@ -634,6 +635,87 @@ func TestOptionsFingerprint(t *testing.T) {
 			t.Errorf("option set %d does not discriminate the fingerprint: %s", i, fp)
 		}
 		seen[fp] = true
+	}
+}
+
+// TestOptionsFingerprintGolden pins the default fingerprint byte-for-byte.
+// The Budgets consolidation deliberately prints the materialized per-layer
+// option structs so journals and cache entries written before the
+// consolidation stay replayable; any drift in this string silently
+// invalidates every cached sweep, so it is a golden value, not a derived
+// one.
+func TestOptionsFingerprintGolden(t *testing.T) {
+	const want = "v1 ext=[.php .php5] " +
+		"interp={MaxPaths:0 MaxObjects:0 LoopUnroll:0 MaxCallDepth:0} " +
+		"solver={MaxCubes:0 MaxAssignments:0 MaxStrCandidates:0 MaxIntCandidates:0} " +
+		"noloc=false admin=false keepsmt=false retries=1 root-timeout=0s " +
+		"max-root-failures=0 nodeg=false nointern=false"
+	if got := NewScanner(Options{}).optionsFingerprint(); got != want {
+		t.Errorf("default fingerprint drifted:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestOptionsFingerprintEngine: selecting the default tree engine (by
+// empty string or by name) must not shift the fingerprint — tree journals
+// predate the Engine option — while the VM appends an explicit token so a
+// cross-engine miscompare can never hide behind a cache hit.
+func TestOptionsFingerprintEngine(t *testing.T) {
+	base := NewScanner(Options{}).optionsFingerprint()
+	if got := NewScanner(Options{Engine: interp.EngineTree}).optionsFingerprint(); got != base {
+		t.Errorf("explicit tree engine shifted the fingerprint:\n got: %s\nwant: %s", got, base)
+	}
+	if got, want := NewScanner(Options{Engine: interp.EngineVM}).optionsFingerprint(), base+" engine=vm"; got != want {
+		t.Errorf("vm fingerprint = %s, want %s", got, want)
+	}
+}
+
+// TestBatchResumeFingerprintStableAcrossDefaults is the resume regression
+// for the Budgets/Engine redesign: a journal written under the implicit
+// defaults must replay — not rescan — under every explicit spelling of
+// those same defaults, and switching to the VM engine must be an identity
+// change (full rescan) even though its findings are byte-identical.
+func TestBatchResumeFingerprintStableAcrossDefaults(t *testing.T) {
+	targets := batchTargets(t)[:2]
+	ctx := context.Background()
+	journal := filepath.Join(t.TempDir(), "scan.journal")
+
+	optsA := batchOpts(1)
+	optsA.Journal = journal
+	optsA.ResumeFrom = journal
+	repsA, statsA, err := NewScanner(optsA).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsA.Scanned != len(targets) {
+		t.Fatalf("first run scanned %d, want %d", statsA.Scanned, len(targets))
+	}
+	want := batchFingerprints(t, repsA)
+
+	// Same defaults, spelled explicitly: pure replay.
+	optsB := optsA
+	optsB.Engine = interp.EngineTree
+	optsB.Budgets = Budgets{MaxPaths: optsA.Budgets.MaxPaths}
+	repsB, statsB, err := NewScanner(optsB).ScanBatchJournaled(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsB.Replayed != len(targets) || statsB.Scanned != 0 {
+		t.Errorf("explicit-defaults resume: replayed %d / scanned %d, want %d / 0",
+			statsB.Replayed, statsB.Scanned, len(targets))
+	}
+	if !equalStrings(batchFingerprints(t, repsB), want) {
+		t.Error("explicit-defaults resume changed the reports")
+	}
+
+	// The VM engine is a different configuration identity: everything
+	// re-scans under its fingerprint.
+	optsC := optsA
+	optsC.Engine = interp.EngineVM
+	if _, statsC, err := NewScanner(optsC).ScanBatchJournaled(ctx, targets); err != nil {
+		t.Fatal(err)
+	} else if statsC.Scanned != len(targets) || statsC.Replayed != 0 {
+		t.Errorf("vm-engine resume: scanned %d / replayed %d, want %d / 0",
+			statsC.Scanned, statsC.Replayed, len(targets))
 	}
 }
 

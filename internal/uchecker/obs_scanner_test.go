@@ -8,23 +8,20 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
-	"repro/internal/interp"
 	"repro/internal/obs"
 )
 
-// TestHookSerialization is the hook-safety regression test: it installs
-// deliberately non-thread-safe OnPhase and OnSpan callbacks (unsynchronized
-// counter increments and slice appends) and scans a 16-root app with
-// Workers=8. Before hook serialization, worker goroutines invoked OnPhase
+// TestHookSerialization is the hook-safety regression test: it installs a
+// deliberately non-thread-safe OnSpan callback (unsynchronized counter
+// increments and slice appends) and scans a 16-root app with Workers=8.
+// Before hook serialization, worker goroutines invoked the hook
 // concurrently and this test failed under -race; the per-Scanner hookMu
-// now guarantees the callbacks never observe concurrency.
+// now guarantees the callback never observes concurrency.
 func TestHookSerialization(t *testing.T) {
 	target := multiRootTarget("hook-race", 16)
 
 	// Plain shared state, intentionally without any synchronization: the
 	// race detector flags any concurrent hook invocation.
-	phaseCalls := 0
-	var phases []string
 	spanCalls := 0
 	var spanNames []string
 
@@ -32,10 +29,6 @@ func TestHookSerialization(t *testing.T) {
 	opts := Options{
 		Workers: 8,
 		Trace:   rec,
-		OnPhase: func(app, phase string, d time.Duration) {
-			phaseCalls++
-			phases = append(phases, phase)
-		},
 		OnSpan: func(sp obs.Span) {
 			spanCalls++
 			spanNames = append(spanNames, sp.Name)
@@ -47,9 +40,6 @@ func TestHookSerialization(t *testing.T) {
 	}
 	if !rep.Vulnerable {
 		t.Fatal("expected vulnerable verdict")
-	}
-	if phaseCalls == 0 || len(phases) != phaseCalls {
-		t.Errorf("OnPhase calls = %d, recorded = %d", phaseCalls, len(phases))
 	}
 	if spanCalls == 0 || len(spanNames) != spanCalls {
 		t.Errorf("OnSpan calls = %d, recorded = %d", spanCalls, len(spanNames))
@@ -71,7 +61,6 @@ func TestScanBatchHookSerialization(t *testing.T) {
 	calls := 0 // unsynchronized on purpose; -race is the assertion
 	opts := Options{
 		Workers: 8,
-		OnPhase: func(app, phase string, d time.Duration) { calls++ },
 		OnSpan:  func(sp obs.Span) { calls++ },
 	}
 	reports := NewScanner(opts).ScanBatch(context.Background(), targets)
@@ -115,7 +104,7 @@ func TestScanMetricsDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // TestInstrumentationDoesNotChangeFindings asserts a fully instrumented
-// scan (Trace + OnSpan + OnPhase) produces a byte-identical report to an
+// scan (Trace + OnSpan) produces a byte-identical report to an
 // uninstrumented one: observability must be a read-only side channel.
 func TestInstrumentationDoesNotChangeFindings(t *testing.T) {
 	target := multiRootTarget("instrument", 5)
@@ -128,7 +117,6 @@ func TestInstrumentationDoesNotChangeFindings(t *testing.T) {
 		Workers: 4,
 		Trace:   obs.NewRecorder(),
 		OnSpan:  func(obs.Span) {},
-		OnPhase: func(string, string, time.Duration) {},
 	}).Scan(context.Background(), target)
 	if err != nil {
 		t.Fatal(err)
@@ -259,7 +247,7 @@ func TestScanMetricsContent(t *testing.T) {
 // agree with FailureCounts.
 func TestScanMetricsFailureClasses(t *testing.T) {
 	rep, err := NewScanner(Options{
-		Interp: interp.Options{MaxPaths: 4},
+		Budgets: Budgets{MaxPaths: 4},
 	}).Scan(context.Background(), budgetBlowupTarget())
 	if err != nil {
 		t.Fatal(err)
@@ -307,7 +295,7 @@ func TestCancelledMidRetryClassification(t *testing.T) {
 	defer cancel()
 
 	rep, err := NewScanner(Options{
-		Interp:     interp.Options{MaxPaths: 4},
+		Budgets:    Budgets{MaxPaths: 4},
 		MaxRetries: 2,
 		FaultHook:  hook,
 	}).Scan(ctx, target)

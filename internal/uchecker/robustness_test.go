@@ -1,12 +1,11 @@
 package uchecker
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
-
-	"repro/internal/interp"
 )
 
 // Failure injection: the pipeline must produce a usable report for broken,
@@ -190,7 +189,7 @@ if ($a) { $x = 1; } else { $x = 2; }
 if ($b) { $y = 1; } else { $y = 2; }
 move_uploaded_file($_FILES['f']['tmp_name'], "/u/" . $_FILES['f']['name']);
 `,
-	}, Options{Interp: interp.Options{MaxPaths: 1}})
+	}, Options{Budgets: Budgets{MaxPaths: 1}})
 	if !rep.BudgetExceeded {
 		t.Error("expected budget exceeded")
 	}
@@ -222,8 +221,9 @@ move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
 // always returns a report.
 func TestScanArbitrarySource(t *testing.T) {
 	f := func(body string) bool {
-		rep := New(Options{Interp: interp.Options{MaxPaths: 200}}).CheckSources("fuzz", map[string]string{
-			"fuzz.php": "<?php " + body,
+		rep, _ := NewScanner(Options{Budgets: Budgets{MaxPaths: 200}}).Scan(context.Background(), Target{
+			Name:    "fuzz",
+			Sources: map[string]string{"fuzz.php": "<?php " + body},
 		})
 		return rep != nil
 	}

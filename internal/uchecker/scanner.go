@@ -49,16 +49,6 @@ import (
 	"repro/internal/vulnmodel"
 )
 
-// Phase names passed to Options.OnPhase, in emission order.
-const (
-	PhaseParse    = "parse"    // phase 1: lexing + parsing
-	PhaseLocality = "locality" // phase 2: call graph + locality analysis
-	PhaseExecute  = "execute"  // phases 3–6 wall-clock across all roots
-	PhaseSymExec  = "symexec"  // per-root symbolic execution, summed CPU time
-	PhaseVerify   = "verify"   // per-root modeling+translation+solving, summed CPU time
-	PhaseTotal    = "total"    // whole-scan wall clock
-)
-
 // Target identifies one application to scan: a name and its PHP sources
 // as file-name → source-text.
 type Target struct {
@@ -77,10 +67,10 @@ type Target struct {
 // concurrent use: all mutable state lives in the per-call Scan frame.
 type Scanner struct {
 	opts Options
-	// hookMu serializes every user-facing callback (OnPhase, OnSpan):
-	// workers and concurrent batch scans invoke hooks from many
-	// goroutines, and the documented contract is that the callback
-	// itself never observes concurrency.
+	// hookMu serializes the user-facing OnSpan callback: workers and
+	// concurrent batch scans invoke it from many goroutines, and the
+	// documented contract is that the callback itself never observes
+	// concurrency.
 	hookMu sync.Mutex
 }
 
@@ -103,18 +93,6 @@ func NewScanner(opts Options) *Scanner {
 	return &Scanner{opts: opts}
 }
 
-// phase reports one finished phase to the OnPhase hook, when installed.
-// Invocations are serialized behind hookMu — see Options.OnPhase for the
-// thread-safety contract.
-func (s *Scanner) phase(app, phase string, d time.Duration) {
-	if s.opts.OnPhase == nil {
-		return
-	}
-	s.hookMu.Lock()
-	defer s.hookMu.Unlock()
-	s.opts.OnPhase(app, phase, d)
-}
-
 // scanTrace wires span recording for one scan: a Recorder (the
 // caller's, or a private one when only OnSpan is installed) plus the
 // serialized OnSpan delivery. A nil *scanTrace disables tracing with
@@ -122,11 +100,12 @@ func (s *Scanner) phase(app, phase string, d time.Duration) {
 type scanTrace struct {
 	s   *Scanner
 	rec *obs.Recorder
+	app string
 }
 
 // newScanTrace returns the scan's trace sink, or nil when neither
 // Options.Trace nor Options.OnSpan is installed.
-func (s *Scanner) newScanTrace() *scanTrace {
+func (s *Scanner) newScanTrace(app string) *scanTrace {
 	if s.opts.Trace == nil && s.opts.OnSpan == nil {
 		return nil
 	}
@@ -134,15 +113,19 @@ func (s *Scanner) newScanTrace() *scanTrace {
 	if rec == nil {
 		rec = obs.NewRecorder()
 	}
-	return &scanTrace{s: s, rec: rec}
+	return &scanTrace{s: s, rec: rec, app: app}
 }
 
-// start opens a span; nil-safe.
+// start opens a span; nil-safe. Every span carries an "app" attribute,
+// so span consumers (evalharness.PhaseTimes, trace exports) can attribute
+// per-root and per-attempt spans without reconstructing the parent chain
+// — span IDs are only unique per Recorder, and OnSpan-only batch scans
+// use one private Recorder per app.
 func (t *scanTrace) start(parent obs.SpanID, name string, attrs ...obs.Attr) *obs.ActiveSpan {
 	if t == nil {
 		return nil
 	}
-	return t.rec.Start(parent, name, attrs...)
+	return t.rec.Start(parent, name, append([]obs.Attr{obs.A("app", t.app)}, attrs...)...)
 }
 
 // end closes a span and delivers it to OnSpan (serialized); nil-safe.
@@ -207,7 +190,7 @@ func (rr *rootResult) countable() int {
 // or deadlines the expensive phases: symbolic-execution path exploration
 // and the SMT candidate search both poll ctx and abort promptly. On
 // cancellation Scan returns the partial report alongside ctx.Err();
-// per-root cancellation details land in AppReport.RootErrors.
+// per-root cancellation details land in AppReport.Failures.
 func (s *Scanner) Scan(ctx context.Context, t Target) (*AppReport, error) {
 	return s.scan(ctx, t, true)
 }
@@ -230,13 +213,12 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	// they predate parsing and participate in FailureCounts below.
 	rep.Failures = append(rep.Failures, t.LoadFailures...)
 
-	tr := s.newScanTrace()
-	scanSpan := tr.start(0, "scan", obs.A("app", t.Name))
+	tr := s.newScanTrace(t.Name)
+	scanSpan := tr.start(0, "scan")
 	defer tr.end(scanSpan)
 
 	// --- Phase 1: parsing (panic-isolated per file) ---
-	phaseStart := time.Now()
-	parseSpan := tr.start(scanSpan.ID(), "parse", obs.A("app", t.Name))
+	parseSpan := tr.start(scanSpan.ID(), "parse")
 	names := make([]string, 0, len(t.Sources))
 	for n := range t.Sources {
 		names = append(names, n)
@@ -256,11 +238,14 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		files = append(files, f)
 	}
 	tr.end(parseSpan, obs.A("files", strconv.Itoa(len(files))))
-	s.phase(t.Name, PhaseParse, time.Since(phaseStart))
+
+	// The engine factory is built once per scan: for the VM engine this
+	// compiles every function to bytecode exactly once, shared read-only
+	// by all roots, workers and degradation-ladder rungs.
+	engines := interp.NewEngineFactory(s.opts.Engine, files)
 
 	// --- Phase 2: locality analysis ---
-	phaseStart = time.Now()
-	locSpan := tr.start(scanSpan.ID(), "locality", obs.A("app", t.Name))
+	locSpan := tr.start(scanSpan.ID(), "locality")
 	g := callgraph.Build(files)
 	loc := locality.Analyze(g, files, t.Sources)
 	rep.TotalLoC = loc.TotalLoC
@@ -288,10 +273,8 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	rep.Metrics.Add("locality_files_total", int64(loc.FilesTotal))
 	rep.Metrics.Add("locality_files_pruned", int64(loc.FilesPruned))
 	tr.end(locSpan, obs.A("roots", strconv.Itoa(len(roots))))
-	s.phase(t.Name, PhaseLocality, time.Since(phaseStart))
 
 	// --- Phases 3–6 per root, fanned out to the worker pool ---
-	phaseStart = time.Now()
 	results := make([]rootResult, len(roots))
 	// failTally accumulates countable failures across workers for the
 	// MaxRootFailures early-abort check.
@@ -314,7 +297,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		// pprof labels attribute CPU-profile samples to the app and root
 		// being executed, so `go tool pprof` can slice a scan by root.
 		pprof.Do(ctx, pprof.Labels("uchecker_app", t.Name, "uchecker_root", rootName), func(ctx context.Context) {
-			results[i] = s.scanRoot(ctx, files, roots[i].Node, adminCallbacks, g, tr, rootSpan.ID())
+			results[i] = s.scanRoot(ctx, engines, files, roots[i].Node, adminCallbacks, g, tr, rootSpan.ID())
 		})
 		tr.end(rootSpan,
 			obs.A("findings", strconv.Itoa(len(results[i].findings))),
@@ -352,10 +335,8 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		close(idx)
 		wg.Wait()
 	}
-	s.phase(t.Name, PhaseExecute, time.Since(phaseStart))
 
 	// --- Deterministic merge, in canonical root order ---
-	var symExec, verify time.Duration
 	for i, root := range roots {
 		rr := &results[i]
 		rep.Roots = append(rep.Roots, root.Node.String())
@@ -372,8 +353,6 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		rep.Failures = append(rep.Failures, rr.failures...)
 		rep.Findings = append(rep.Findings, rr.findings...)
 		rep.Metrics.Merge(rr.metrics)
-		symExec += rr.symExec
-		verify += rr.verify
 	}
 	rep.Findings = dedupeDegraded(rep.Findings)
 	sortFindings(rep.Findings)
@@ -395,13 +374,13 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	for class, n := range rep.FailureCounts {
 		rep.Metrics.Add("scan_failures_"+strings.ReplaceAll(string(class), "-", "_"), int64(n))
 	}
-	for _, fl := range rep.Failures {
-		if fl.Countable() {
-			rep.RootErrors = append(rep.RootErrors, fmt.Sprintf("%s: %s", fl.Root, fl.Err))
-		}
-	}
-	s.phase(t.Name, PhaseSymExec, symExec)
-	s.phase(t.Name, PhaseVerify, verify)
+	// Compile-once economics of the VM engine, at scan scope: how many
+	// bytecode units the factory compiled (once) and how many per-root /
+	// per-rung engine instantiations reused them. Zero — and therefore
+	// absent (Metrics.Add skips zero deltas) — under the tree engine, so
+	// tree reports are byte-identical to pre-IR ones.
+	rep.Metrics.Add("ir_functions_compiled", int64(engines.FunctionsCompiled()))
+	rep.Metrics.Add("ir_compile_cache_hits", engines.CacheHits())
 
 	if rep.Paths > 0 {
 		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
@@ -424,7 +403,6 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		}
 	}
 	rep.Seconds = time.Since(start).Seconds()
-	s.phase(t.Name, PhaseTotal, time.Since(start))
 	return rep, ctx.Err()
 }
 
@@ -435,9 +413,9 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 // is non-nil even under cancellation: targets that never started because
 // the context died (or the journal crashed) carry a FailCancelled
 // schedule failure instead of being silently dropped or half-scanned.
-// Hooks (OnPhase, OnSpan) fire for every app in the batch; the Scanner
-// serializes each hook behind an internal mutex, so the callbacks
-// themselves never observe concurrency.
+// The OnSpan hook fires for every app in the batch; the Scanner
+// serializes it behind an internal mutex, so the callback itself never
+// observes concurrency.
 //
 // When Options.Journal / ResumeFrom / CacheDir are set, the batch runs
 // through the crash-safety layer (see ScanBatchJournaled, which this
@@ -505,16 +483,16 @@ func scheduleFailure(root string, class FailureClass, msg string, skipped bool) 
 //
 // Every rung is panic-isolated; the ladder is deterministic except under
 // Options.RootTimeout (wall clock) — see DESIGN.md "Failure model".
-func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, tr *scanTrace, rootSpan obs.SpanID) rootResult {
+func (s *Scanner) scanRoot(ctx context.Context, engines *interp.EngineFactory, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, tr *scanTrace, rootSpan obs.SpanID) rootResult {
 	var rr rootResult
-	iopts, sopts := s.opts.Interp, s.opts.Solver
+	budgets := s.opts.Budgets
 	maxRetries := s.opts.MaxRetries
 	if s.opts.DisableDegraded {
 		maxRetries = 0
 	}
 	for attempt := 0; ; attempt++ {
 		attemptSpan := tr.start(rootSpan, "attempt", obs.A("rung", strconv.Itoa(attempt)))
-		ar := s.runRootAttempt(ctx, files, root, adminCallbacks, g, iopts, sopts, attempt, tr, attemptSpan.ID())
+		ar := s.runRootAttempt(ctx, engines, files, root, adminCallbacks, g, budgets, attempt, tr, attemptSpan.ID())
 		tr.end(attemptSpan, obs.A("findings", strconv.Itoa(len(ar.findings))))
 		rr.symExec += ar.symExec
 		rr.verify += ar.verify
@@ -546,7 +524,7 @@ func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *call
 			return rr // clean, or failed with partial findings already
 		}
 		if retryable && attempt < maxRetries {
-			iopts, sopts = iopts.Halved(), sopts.Halved()
+			budgets = budgets.Halve()
 			continue
 		}
 		// Final rung: the root failed on every attempt and produced
@@ -561,11 +539,12 @@ func (s *Scanner) scanRoot(ctx context.Context, files []*phpast.File, root *call
 }
 
 // runRootAttempt executes one ladder rung for one root with a private
-// interpreter and a private solver, touching only shared read-only
-// structures (the parsed files and the call graph). The whole attempt
-// runs under recover(): a panic in interp, translate or smt becomes a
-// FailPanic failure with the captured stack.
-func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, iopts interp.Options, sopts smt.Options, attempt int, tr *scanTrace, attemptSpan obs.SpanID) (ar rootResult) {
+// engine (fresh heap graph) and a private solver, touching only shared
+// read-only structures (the parsed files, the call graph and the VM
+// engine's compiled program). The whole attempt runs under recover(): a
+// panic in interp, translate or smt becomes a FailPanic failure with the
+// captured stack.
+func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFactory, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, budgets Budgets, attempt int, tr *scanTrace, attemptSpan obs.SpanID) (ar rootResult) {
 	rootName := root.String()
 	stage := StageSymExec
 	defer func() {
@@ -600,8 +579,7 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 	degraded := attempt > 0
 	symStart := time.Now()
 	interpSpan := tr.start(attemptSpan, "interp", obs.A("root", rootName))
-	in := interp.New(files, iopts)
-	res := in.RunRootCtx(rctx, root)
+	res := engines.New(budgets.interpOptions()).Run(rctx, root)
 	tr.end(interpSpan, obs.A("paths", strconv.Itoa(res.Paths)))
 	ar.symExec = time.Since(symStart)
 	ar.paths = res.Paths
@@ -615,6 +593,10 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 	ar.metrics.Add("interp_paths_total", int64(res.Paths))
 	ar.metrics.Add("interp_pathcond_shared_nodes", res.Stats.PathCondSharedNodes)
 	ar.metrics.Add("interp_objects_allocated", int64(res.Graph.NumObjects()))
+	// VM-engine dispatch counters; zero (and, since Add skips zero
+	// deltas, absent) under the tree engine.
+	ar.metrics.Add("ir_instructions_executed", res.Stats.IRInstructionsExecuted)
+	ar.metrics.Add("vm_dispatch_loops", res.Stats.VMDispatchLoops)
 	if res.Err != nil {
 		class := classifyRootErr(res.Err, ctx, rctx)
 		if class == FailPathBudget || class == FailObjectBudget {
@@ -642,7 +624,7 @@ func (s *Scanner) runRootAttempt(ctx context.Context, files []*phpast.File, root
 	}
 	verifyStart := time.Now()
 	verifySpan := tr.start(attemptSpan, "verify", obs.A("root", rootName))
-	s.verifySinks(ctx, vctx, &ar, root, res, adminCallbacks, g, sopts, degraded, attempt, tr, verifySpan.ID())
+	s.verifySinks(ctx, vctx, &ar, root, res, adminCallbacks, g, budgets.solverOptions(), degraded, attempt, tr, verifySpan.ID())
 	tr.end(verifySpan, obs.A("sinks", strconv.Itoa(ar.sinkCount)))
 	ar.verify = time.Since(verifyStart)
 	return ar

@@ -5,12 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/corpus"
-	"repro/internal/interp"
+	"repro/internal/obs"
 )
 
 // multiRootTarget builds a synthetic app with n independent upload
@@ -70,7 +69,7 @@ func TestScanDeterministicAcrossWorkers(t *testing.T) {
 		cases = append(cases, tc{
 			name:   name,
 			target: Target{Name: app.Name, Sources: app.Sources},
-			opts:   Options{Interp: interp.Options{MaxPaths: 20000}},
+			opts:   Options{Budgets: Budgets{MaxPaths: 20000}},
 		})
 	}
 	cases = append(cases, tc{
@@ -83,7 +82,7 @@ func TestScanDeterministicAcrossWorkers(t *testing.T) {
 	cases = append(cases, tc{
 		name:    "whole-program-multi-root",
 		target:  Target{Name: foxy.Name, Sources: foxy.Sources},
-		opts:    Options{DisableLocality: true, Interp: interp.Options{MaxPaths: 20000}},
+		opts:    Options{DisableLocality: true, Budgets: Budgets{MaxPaths: 20000}},
 		minRoot: 2,
 	})
 
@@ -191,7 +190,7 @@ func TestScanCancellation(t *testing.T) {
 		t.Fatal("missing Cimy corpus app")
 	}
 	target := Target{Name: app.Name, Sources: app.Sources}
-	opts := Options{Interp: interp.Options{MaxPaths: 100000000, MaxObjects: 1 << 30}}
+	opts := Options{Budgets: Budgets{MaxPaths: 100000000, MaxObjects: 1 << 30}}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -211,9 +210,9 @@ func TestScanCancellation(t *testing.T) {
 		t.Fatal("nil report on cancellation; want partial results")
 	}
 	// Cancellation is classified, not stringly recorded: it must appear
-	// as FailCancelled in Failures, and must NOT pollute the deprecated
-	// RootErrors shim or the per-class failure counts — a timed-out batch
-	// does not report every pending root as errored.
+	// as FailCancelled in Failures, and must NOT pollute the per-class
+	// failure counts — a timed-out batch does not report every pending
+	// root as errored.
 	found := false
 	for _, fl := range rep.Failures {
 		if fl.Class == FailCancelled {
@@ -224,11 +223,6 @@ func TestScanCancellation(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("Failures = %v, want a %s entry", rep.Failures, FailCancelled)
-	}
-	for _, e := range rep.RootErrors {
-		if strings.Contains(e, context.Canceled.Error()) {
-			t.Errorf("RootErrors contains cancellation text %q; cancellation is not a root failure", e)
-		}
 	}
 	if n := rep.FailureCounts[FailCancelled]; n != 0 {
 		t.Errorf("FailureCounts[%s] = %d, want 0 (excluded)", FailCancelled, n)
@@ -245,7 +239,7 @@ func TestScanCancellation(t *testing.T) {
 // TestScanDeadline asserts deadline expiry behaves like cancellation.
 func TestScanDeadline(t *testing.T) {
 	app, _ := corpus.ByName("Cimy User Extra Fields 2.3.8")
-	opts := Options{Interp: interp.Options{MaxPaths: 100000000, MaxObjects: 1 << 30}}
+	opts := Options{Budgets: Budgets{MaxPaths: 100000000, MaxObjects: 1 << 30}}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	_, err := NewScanner(opts).Scan(ctx, Target{Name: app.Name, Sources: app.Sources})
@@ -254,51 +248,28 @@ func TestScanDeadline(t *testing.T) {
 	}
 }
 
-// TestOnPhaseHook asserts the phase callback fires for every phase, in
-// order, with the scanned app's name.
-func TestOnPhaseHook(t *testing.T) {
-	var calls []string
+// TestSpanAppAttribution asserts every span delivered to OnSpan carries
+// the scanned app's name as the "app" attribute — including per-root and
+// per-attempt spans, which is what lets span consumers attribute work in
+// a concurrent batch without reconstructing the parent chain.
+func TestSpanAppAttribution(t *testing.T) {
+	seen := map[string]int{}
 	opts := Options{
 		Workers: 2,
-		OnPhase: func(app, phase string, d time.Duration) {
-			if d < 0 {
-				t.Errorf("negative duration for %s/%s", app, phase)
+		OnSpan: func(sp obs.Span) {
+			if sp.Attr("app") != "phased" {
+				t.Errorf("span %q app attr = %q, want %q", sp.Name, sp.Attr("app"), "phased")
 			}
-			calls = append(calls, app+"/"+phase)
+			seen[sp.Name]++
 		},
 	}
 	target := multiRootTarget("phased", 4)
 	if _, err := NewScanner(opts).Scan(context.Background(), target); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{
-		"phased/" + PhaseParse,
-		"phased/" + PhaseLocality,
-		"phased/" + PhaseExecute,
-		"phased/" + PhaseSymExec,
-		"phased/" + PhaseVerify,
-		"phased/" + PhaseTotal,
-	}
-	if len(calls) != len(want) {
-		t.Fatalf("calls = %v, want %v", calls, want)
-	}
-	for i := range want {
-		if calls[i] != want[i] {
-			t.Errorf("call %d = %s, want %s", i, calls[i], want[i])
+	for _, name := range []string{"parse", "locality", "root", "attempt", "interp", "scan"} {
+		if seen[name] == 0 {
+			t.Errorf("no %q span delivered; got %v", name, seen)
 		}
-	}
-}
-
-// TestCheckSourcesShim asserts the deprecated v1 entry point still
-// produces the same report as Scan.
-func TestCheckSourcesShim(t *testing.T) {
-	app, _ := corpus.ByName("Uploadify 1.0.0")
-	v1 := New(Options{}).CheckSources(app.Name, app.Sources)
-	v2, err := NewScanner(Options{}).Scan(context.Background(), Target{Name: app.Name, Sources: app.Sources})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if reportFingerprint(t, v1) != reportFingerprint(t, v2) {
-		t.Error("CheckSources shim diverges from Scan")
 	}
 }

@@ -10,13 +10,9 @@
 // AppReports carrying the detection verdict, per-finding source lines
 // and witness models, and the measurements Table III reports (LoC, %
 // analyzed, paths, objects, objects/path, memory, time).
-//
-// The v1 entry point, Checker.CheckSources, remains as a deprecated shim
-// delegating to Scan.
 package uchecker
 
 import (
-	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -36,10 +32,18 @@ type Options struct {
 	// Extensions are the executable extensions of Constraint-2.
 	// Default: [".php", ".php5"].
 	Extensions []string
-	// Interp configures the symbolic executor.
-	Interp interp.Options
-	// Solver configures the SMT solver.
-	Solver smt.Options
+	// Budgets bounds the per-root resource consumption of symbolic
+	// execution and SMT model search. The zero value selects the paper's
+	// defaults; the degradation ladder halves the whole set per rung via
+	// Budgets.Halve.
+	Budgets Budgets
+	// Engine selects the symbolic-execution engine: interp.EngineTree
+	// (the recursive AST walker, the default — the empty string selects
+	// it too) or interp.EngineVM (compile each function once to ir
+	// bytecode, dispatch a VM over the same heap-graph machinery).
+	// Findings and metrics are byte-identical across engines; the VM
+	// additionally reports ir_*/vm_* counters.
+	Engine interp.EngineKind
 	// DisableLocality skips the vulnerability-oriented locality analysis
 	// and symbolically executes every file and every function as a root —
 	// the whole-program baseline the paper's locality analysis exists to
@@ -56,19 +60,6 @@ type Options struct {
 	// pool. Zero or negative selects runtime.GOMAXPROCS(0). Workers=1
 	// scans serially; results are byte-identical for every value.
 	Workers int
-	// OnPhase, when non-nil, receives per-phase timings (see the Phase*
-	// constants) as each phase of a scan completes.
-	//
-	// Thread-safety contract: the scanner serializes every OnPhase (and
-	// OnSpan) invocation behind one per-Scanner mutex, so the callback
-	// may touch unsynchronized state even under Workers>1 or ScanBatch.
-	// It must not call back into the Scanner (deadlock) and should be
-	// fast — it runs on the scanning goroutines' critical path.
-	//
-	// Deprecated: use OnSpan (or Trace), which carries the same phase
-	// timings as named spans plus the per-root / per-rung breakdown
-	// OnPhase cannot express.
-	OnPhase func(app, phase string, d time.Duration)
 	// Trace, when non-nil, records the scan's span tree: a "scan" span
 	// per app with "parse" / "locality" children, a "root" span per
 	// locality root with one "attempt" child per degradation-ladder
@@ -77,10 +68,14 @@ type Options struct {
 	// obs.WriteChromeTrace. The Recorder is safe to share across scans
 	// and batches.
 	Trace *obs.Recorder
-	// OnSpan, when non-nil, receives every finished span. Invocations
-	// are serialized behind the same per-Scanner mutex as OnPhase (see
-	// the OnPhase thread-safety contract). When Trace is nil the
-	// scanner still times spans internally to feed OnSpan.
+	// OnSpan, when non-nil, receives every finished span.
+	//
+	// Thread-safety contract: the scanner serializes every OnSpan
+	// invocation behind one per-Scanner mutex, so the callback may touch
+	// unsynchronized state even under Workers>1 or ScanBatch. It must
+	// not call back into the Scanner (deadlock) and should be fast — it
+	// runs on the scanning goroutines' critical path. When Trace is nil
+	// the scanner still times spans internally to feed OnSpan.
 	OnSpan func(obs.Span)
 	// RootTimeout bounds the wall clock of each per-root attempt. A root
 	// that exceeds it fails with a FailRootTimeout failure (and enters the
@@ -220,7 +215,7 @@ type AppReport struct {
 	// Failures are the typed failure records: parse-stage failures first
 	// (in file-name order), then per-root failures in canonical root
 	// order. Cancellation entries are included here for visibility but
-	// excluded from FailureCounts and RootErrors.
+	// excluded from FailureCounts.
 	Failures []Failure `json:",omitempty"`
 	// FailureCounts aggregates countable (non-cancelled) failures per
 	// class. Nil when the scan was failure-free.
@@ -245,37 +240,8 @@ type AppReport struct {
 	// byte-identical for every Options.Workers value. See DESIGN.md
 	// "Observability" for the full counter inventory.
 	Metrics obs.Metrics `json:",omitempty"`
-	// RootErrors lists countable failures formatted "<root>: <error>",
-	// in the same order as Failures. Cancellation is not included:
-	// a timed-out batch does not report every pending root as errored.
-	//
-	// Deprecated: use Failures / FailureCounts.
-	RootErrors []string `json:",omitempty"`
 }
 
-// Checker is the deprecated v1 façade over Scanner.
-//
-// Deprecated: use Scanner (NewScanner, Scan, ScanBatch).
-type Checker = Scanner
-
-// New returns a Checker.
-//
-// Deprecated: use NewScanner.
-func New(opts Options) *Checker { return NewScanner(opts) }
-
-// CheckSources scans one application given as file-name → source-text.
-//
-// Deprecated: use Scan, which adds context cancellation and returns
-// per-root errors; CheckSources delegates to it with
-// context.Background().
-func (s *Scanner) CheckSources(name string, sources map[string]string) *AppReport {
-	rep, _ := s.Scan(context.Background(), Target{Name: name, Sources: sources})
-	return rep
-}
-
-// findAdminCallbacks collects the lower-cased names of callbacks
-// registered with add_action('admin_menu', …) — the WordPress pattern the
-// paper's Section IV-A false positives hinge on (Listing 5).
 // modelWithDefaults extends a model with zero values for any variable of
 // t the solver never constrained.
 func modelWithDefaults(t *smt.Term, m smt.Model) smt.Model {
@@ -298,6 +264,9 @@ func modelWithDefaults(t *smt.Term, m smt.Model) smt.Model {
 	return out
 }
 
+// findAdminCallbacks collects the lower-cased names of callbacks
+// registered with add_action('admin_menu', …) — the WordPress pattern the
+// paper's Section IV-A false positives hinge on (Listing 5).
 func findAdminCallbacks(files []*phpast.File) map[string]bool {
 	out := map[string]bool{}
 	for _, f := range files {

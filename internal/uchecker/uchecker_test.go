@@ -1,15 +1,18 @@
 package uchecker
 
 import (
+	"context"
 	"strings"
 	"testing"
-
-	"repro/internal/interp"
 )
 
 func check(t *testing.T, sources map[string]string, opts Options) *AppReport {
 	t.Helper()
-	return New(opts).CheckSources("test-app", sources)
+	rep, err := NewScanner(opts).Scan(context.Background(), Target{Name: "test-app", Sources: sources})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return rep
 }
 
 // Listing 4 of the paper: the canonical vulnerable upload.
@@ -308,7 +311,7 @@ func TestBudgetExceededVerdict(t *testing.T) {
 	}
 	sb.WriteString("move_uploaded_file($tmp, \"/u/\" . $_FILES['f']['name']);\n")
 	rep := check(t, map[string]string{"cimy.php": sb.String()},
-		Options{Interp: interp.Options{MaxPaths: 2000}})
+		Options{Budgets: Budgets{MaxPaths: 2000}})
 	if !rep.BudgetExceeded {
 		t.Fatal("expected budget exceeded")
 	}
