@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix engine-diff bench bench-scan bench-smt bench-interp bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim engine-diff bench bench-scan bench-smt bench-interp bench-smoke
 
 check: fmt vet build race fuzz-smoke bench-smoke
 
@@ -50,6 +50,22 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 	$(GO) test -run '^$$' -fuzz '^FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) ./internal/interp
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalFold$$' -fuzztime $(FUZZTIME) ./internal/scanjournal
+	$(GO) test -run '^$$' -fuzz '^FuzzCoordFold$$' -fuzztime $(FUZZTIME) ./internal/shardcoord
+
+# Registry-scale distributed-scanning acceptance suite under the race
+# detector: a 4-worker fleet over a 40-target corpus with a victim
+# worker killed (crash semantics) at every lease/journal/publish/fold
+# boundary, a paused-then-resumed zombie writer fenced off by token
+# checks, graceful SIGTERM-style drain, a real kill -9 of a worker
+# subprocess, and the shardcoord lease-protocol suite. The resumed
+# fleet's merged report must be byte-identical to an uninterrupted
+# single-process sweep; a clean run's merged report is archived at
+# REGISTRY_SIM_merged.json.
+registry-sim:
+	REGISTRY_SIM_OUT=$(CURDIR)/REGISTRY_SIM_merged.json $(GO) test -race -run 'TestRegistrySimCrashMatrix|TestWorkerFleetMergesIdentical|TestWorkerZombieFencedEndToEnd|TestWorkerDrainReleasesLease|TestBatchDrainSemantics|TestBatchCancelSemantics|TestBatchTransientAppendRetry|TestSubprocessKillNine' ./internal/uchecker
+	$(GO) test -race ./internal/shardcoord
+	@echo "wrote REGISTRY_SIM_merged.json"
 
 # Engine-differential acceptance suite under the race detector: tree vs
 # VM byte-identical findings on every corpus app at Workers=1/4, the

@@ -14,6 +14,10 @@
 //	ucheck-bench -journal F   # journal the Table III sweep to F (crash-safe)
 //	ucheck-bench -resume F    # resume a killed sweep from journal F
 //	ucheck-bench -cache DIR   # replay unchanged apps from a result cache
+//	ucheck-bench -coord DIR   # join a distributed Table III sweep as one
+//	                          # worker (launch N processes with the same
+//	                          # DIR; lease-based shards, crash reclaim,
+//	                          # deterministic merged table)
 //
 // With -journal/-resume/-cache the Table III sweep runs through the
 // crash-safe batch path: kill it at any point and re-run with
@@ -35,9 +39,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/evalharness"
 	"repro/internal/interp"
@@ -46,23 +53,26 @@ import (
 
 func main() {
 	var (
-		table    = flag.Bool("table", false, "regenerate Table III")
-		compare  = flag.Bool("compare", false, "regenerate the Section IV-C comparison")
-		all      = flag.Bool("all", false, "regenerate everything")
-		screen   = flag.Int("screen", 0, "run a Section IV-B screening sweep over N generated plugins")
-		plant    = flag.Int("plant", 20, "seed one vulnerable plugin every N positions in the sweep")
-		seed     = flag.Int64("seed", 1, "screening generator seed")
-		paper    = flag.Bool("paper", false, "print paper numbers next to measured ones")
-		phases   = flag.Bool("phases", false, "print a per-app, per-phase timing breakdown")
-		failures = flag.Bool("failures", false, "print the per-class failure tally of the Table III sweep")
-		counters = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
-		workers  = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
-		engine   = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
-		maxPaths = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
-		journal  = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
-		resume   = flag.String("resume", "", "resume the Table III sweep from this journal")
-		cacheDir = flag.String("cache", "", "content-addressed result cache directory")
-		noIntern = flag.Bool("no-intern", false, "disable SMT term interning/memoization (ablation; findings are identical)")
+		table     = flag.Bool("table", false, "regenerate Table III")
+		compare   = flag.Bool("compare", false, "regenerate the Section IV-C comparison")
+		all       = flag.Bool("all", false, "regenerate everything")
+		screen    = flag.Int("screen", 0, "run a Section IV-B screening sweep over N generated plugins")
+		plant     = flag.Int("plant", 20, "seed one vulnerable plugin every N positions in the sweep")
+		seed      = flag.Int64("seed", 1, "screening generator seed")
+		paper     = flag.Bool("paper", false, "print paper numbers next to measured ones")
+		phases    = flag.Bool("phases", false, "print a per-app, per-phase timing breakdown")
+		failures  = flag.Bool("failures", false, "print the per-class failure tally of the Table III sweep")
+		counters  = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
+		workers   = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
+		engine    = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
+		maxPaths  = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
+		journal   = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
+		resume    = flag.String("resume", "", "resume the Table III sweep from this journal")
+		cacheDir  = flag.String("cache", "", "content-addressed result cache directory")
+		noIntern  = flag.Bool("no-intern", false, "disable SMT term interning/memoization (ablation; findings are identical)")
+		coordDir  = flag.String("coord", "", "join a distributed Table III sweep as one worker over this coordination directory")
+		workerID  = flag.String("worker-id", "", "worker name in lease records (default: w<pid>)")
+		shardSize = flag.Int("shard-size", 0, "targets per lease shard in -coord mode (0 = default)")
 	)
 	flag.Parse()
 	if !*table && !*compare && !*all && *screen == 0 && !*failures && !*counters {
@@ -88,6 +98,14 @@ func main() {
 	if *phases {
 		times = evalharness.NewPhaseTimes()
 		opts.OnSpan = times.SpanHook()
+	}
+
+	if *coordDir != "" {
+		if crashSafe {
+			fmt.Fprintln(os.Stderr, "ucheck-bench: -coord manages its own shard journals and cache; drop -journal/-resume/-cache")
+			os.Exit(2)
+		}
+		os.Exit(runDistributed(opts, *coordDir, *workerID, *shardSize, *paper))
 	}
 
 	if *table || *all || *failures || *counters {
@@ -147,6 +165,52 @@ func main() {
 		fmt.Print(times.Render())
 	}
 	os.Exit(0)
+}
+
+// runDistributed joins a coordination directory as one worker of a
+// distributed Table III sweep. Launch the same command in N processes
+// (or machines sharing a filesystem): each claims leased shards, dead
+// workers are reclaimed via fencing tokens, and whichever worker folds
+// the merged report prints the table. SIGTERM drains gracefully
+// (finished apps stay journaled for the fleet; exit 2).
+func runDistributed(opts uchecker.Options, coordDir, workerID string, shardSize int, paper bool) int {
+	drain := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		close(drain)
+	}()
+
+	ws, rows, err := evalharness.TableIIIWorker(context.Background(), opts, uchecker.WorkerOptions{
+		CoordDir:  coordDir,
+		WorkerID:  workerID,
+		ShardSize: shardSize,
+		Drain:     drain,
+	})
+	if ws != nil {
+		fmt.Fprintf(os.Stderr, "ucheck-bench: worker %s: %d shards published (%d reclaimed), %d leases lost to reclaim\n",
+			ws.Worker, ws.ShardsScanned, ws.ShardsReclaimed, ws.Fenced)
+	}
+	switch {
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "ucheck-bench: worker aborted: %v (the fleet reclaims this worker's leases; re-run with the same -coord to continue)\n", err)
+		return 2
+	case ws.Drained:
+		fmt.Fprintln(os.Stderr, "ucheck-bench: worker drained: finished apps are journaled; run another worker with the same -coord to complete the sweep")
+		return 2
+	case rows == nil:
+		fmt.Fprintln(os.Stderr, "ucheck-bench: worker exited without a merged report")
+		return 2
+	}
+	fmt.Print(evalharness.RenderTableIII(rows))
+	if paper {
+		fmt.Println()
+		printPaperComparison(rows)
+	}
+	fmt.Println()
+	return 0
 }
 
 func printPaperComparison(rows []evalharness.Row) {

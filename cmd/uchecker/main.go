@@ -6,6 +6,7 @@
 //	uchecker [flags] <dir|file.php> [more targets...]
 //	uchecker [flags] -corpus "<app name>"     # scan a built-in corpus app
 //	uchecker -list-corpus                     # list corpus app names
+//	uchecker -worker -coord DIR <targets...>  # join a distributed scan fleet
 //
 // Each positional path is scanned as its own application; multiple paths
 // run concurrently through Scanner.ScanBatch.
@@ -51,6 +52,20 @@
 //	                     served from DIR instead of re-scanned
 //	-cache-verify        re-checksum every -cache entry, prune corrupt
 //	                     ones, print a summary, and exit
+//	-worker -coord DIR   join DIR as one worker of a distributed fleet:
+//	                     the target list (identical across workers) is
+//	                     partitioned into leased shards; workers claim,
+//	                     scan and publish shards, reclaim leases from
+//	                     crashed workers (fencing tokens keep zombies
+//	                     out), and the last one folds DIR/merged.json —
+//	                     byte-identical to a single-process sweep.
+//	                     SIGTERM drains gracefully: in-flight targets
+//	                     finish and journal, leases are released, exit 2.
+//	-worker-id NAME      worker name in lease records (default: w<pid>)
+//	-shard-size N        targets per lease shard (default: 8)
+//	-lease-renew D       lease heartbeat interval (default: 250ms)
+//	-lease-check D       observation window before presuming a lease
+//	                     holder dead and reclaiming (default: 1s)
 //	-v                   verbose: also print per-phase measurements, the
 //	                     per-class failure summary and the batch
 //	                     replay/cache counters
@@ -59,8 +74,9 @@
 //
 //	0  scan completed cleanly, nothing vulnerable
 //	1  at least one target vulnerable
-//	2  usage/IO error, scan aborted by -timeout, or any root/file failed
-//	   (panic, budget exhaustion, solver give-up, root timeout)
+//	2  usage/IO error, scan aborted by -timeout, any root/file failed
+//	   (panic, budget exhaustion, solver give-up, root timeout), or a
+//	   -worker that drained on SIGTERM before the fleet finished
 //
 // Scan errors take precedence over findings: exit 1 means the verdicts
 // are complete AND something is vulnerable; exit 2 means the verdicts may
@@ -74,9 +90,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -112,6 +130,12 @@ func run() int {
 		resumeFrom  = flag.String("resume", "", "resume from a previous scan journal (replay completed targets)")
 		cacheDir    = flag.String("cache", "", "content-addressed result cache directory")
 		cacheVerify = flag.Bool("cache-verify", false, "verify the -cache directory, prune corrupt entries, and exit")
+		workerMode  = flag.Bool("worker", false, "run as one distributed fleet worker (requires -coord)")
+		coordDir    = flag.String("coord", "", "shared coordination directory for -worker mode")
+		workerID    = flag.String("worker-id", "", "worker name in lease records (default: w<pid>)")
+		shardSize   = flag.Int("shard-size", 0, "targets per lease shard in -worker mode (0 = default)")
+		leaseRenew  = flag.Duration("lease-renew", 0, "lease heartbeat interval in -worker mode (0 = default)")
+		leaseCheck  = flag.Duration("lease-check", 0, "stale-lease observation window in -worker mode (0 = default)")
 		verbose     = flag.Bool("v", false, "verbose measurements")
 	)
 	flag.Parse()
@@ -195,6 +219,24 @@ func run() int {
 		defer cancel()
 	}
 
+	if *workerMode || *coordDir != "" {
+		if !*workerMode || *coordDir == "" {
+			fmt.Fprintln(os.Stderr, "uchecker: -worker and -coord DIR go together")
+			return 2
+		}
+		if opts.Journal != "" || opts.ResumeFrom != "" || opts.CacheDir != "" {
+			fmt.Fprintln(os.Stderr, "uchecker: -worker manages its own shard journals and cache under -coord; drop -journal/-resume/-cache")
+			return 2
+		}
+		return runWorker(ctx, opts, targets, core.WorkerOptions{
+			CoordDir:           *coordDir,
+			WorkerID:           *workerID,
+			ShardSize:          *shardSize,
+			RenewInterval:      *leaseRenew,
+			LeaseCheckInterval: *leaseCheck,
+		}, *jsonOut, *smtOut, *verbose)
+	}
+
 	scanner := core.NewScanner(opts)
 	reps, stats, batchErr := scanner.ScanBatchJournaled(ctx, targets)
 
@@ -267,6 +309,90 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "uchecker: scan completed with failures (see -v for the per-class summary)")
 	}
 	return exitCode(batchErr, reps)
+}
+
+// runWorker runs the process as one member of a distributed scan fleet
+// (-worker -coord DIR). Every worker is launched with the same target
+// list; the coordination directory partitions it into leased shards,
+// crashes are recovered by lease reclaim + fencing, and whichever
+// worker finds every shard finished folds the merged report.
+//
+// SIGTERM drains gracefully: in-flight targets finish and journal, held
+// leases are released for the rest of the fleet, and the worker exits 2
+// (the sweep is incomplete from this process's point of view). When the
+// fleet completes, the exit status is computed from the merged report
+// exactly like a single-process sweep.
+func runWorker(ctx context.Context, opts core.Options, targets []core.Target, wo core.WorkerOptions, jsonOut, smtOut, verbose bool) int {
+	drain := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		close(drain)
+	}()
+	wo.Drain = drain
+
+	scanner := core.NewScanner(opts)
+	ws, err := scanner.RunWorker(ctx, targets, wo)
+	if ws != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: worker %s: %d shards published (%d reclaimed from dead workers), %d leases lost to reclaim\n",
+			ws.Worker, ws.ShardsScanned, ws.ShardsReclaimed, ws.Fenced)
+		if verbose {
+			keys := make([]string, 0, len(ws.Metrics))
+			for k := range ws.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(os.Stderr, "uchecker: worker metric %s=%d\n", k, ws.Metrics[k])
+			}
+		}
+	}
+	switch {
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "uchecker: worker aborted: %v\n", err)
+		return 2
+	case ws.Drained:
+		fmt.Fprintln(os.Stderr, "uchecker: worker drained: finished targets are journaled, leases released; run another worker with the same -coord to complete the sweep")
+		return 2
+	case ws.MergedPath == "":
+		// RunWorker's nil-error exits are drain or merged fold, so this
+		// is unreachable; fail safe instead of claiming completion.
+		fmt.Fprintln(os.Stderr, "uchecker: worker exited without a merged report")
+		return 2
+	}
+
+	reps, err := core.ReadMerged(ws.MergedPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: reading merged report: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "uchecker: sweep complete: %d targets merged into %s\n", len(reps), ws.MergedPath)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, rep := range reps {
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for i, rep := range reps {
+			if i > 0 {
+				fmt.Println()
+			}
+			printReport(os.Stdout, rep, verbose, smtOut)
+		}
+	}
+	if code := exitCode(nil, reps); code != 0 {
+		if code == 2 {
+			fmt.Fprintln(os.Stderr, "uchecker: sweep completed with failures")
+		}
+		return code
+	}
+	return 0
 }
 
 // exitCode maps a batch outcome to the process exit status: 2 when the

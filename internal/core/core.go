@@ -91,6 +91,22 @@ const (
 // replayed and cached per-app reports stay byte-identical across runs.
 type BatchStats = uchecker.BatchStats
 
+// Distributed scanning (see internal/shardcoord): Scanner.RunWorker
+// joins a shared coordination directory as one process of a worker
+// fleet — claim a lease on a shard of targets, scan it through the
+// crash-safe batch path, publish, repeat — and whichever worker finds
+// every shard finished folds the deterministic merged report.
+type WorkerOptions = uchecker.WorkerOptions
+
+// WorkerStats summarizes one RunWorker call: shards scanned and
+// reclaimed, leases lost to fencing, whether the worker drained, and
+// the merged-report path when this worker folded it.
+type WorkerStats = uchecker.WorkerStats
+
+// ReadMerged loads a fleet's merged report back into the in-order
+// per-target report slice (wall-clock fields read zero).
+func ReadMerged(path string) ([]*AppReport, error) { return uchecker.ReadMerged(path) }
+
 // AtomicWrite streams an export through a temp file in the destination
 // directory and renames it into place, so a mid-write failure leaves any
 // previous file byte-identical and no partial file behind.

@@ -170,6 +170,36 @@ func TableIIIBatch(opts uchecker.Options) ([]Row, *uchecker.BatchStats, error) {
 	return rows, stats, err
 }
 
+// TableIIIWorker joins a coordination directory as one worker of a
+// distributed Table III sweep (Scanner.RunWorker over the same app
+// list on every worker). When this worker is the one that folds the
+// merged report, the decoded rows are returned for rendering; a
+// drained or non-folding worker returns nil rows. Merged reports are
+// canonical — the Time(s)/Mem(MB) columns read zero, as in batch mode.
+func TableIIIWorker(ctx context.Context, opts uchecker.Options, wo uchecker.WorkerOptions) (*uchecker.WorkerStats, []Row, error) {
+	apps := TableIIIApps()
+	targets := make([]uchecker.Target, len(apps))
+	for i, app := range apps {
+		targets[i] = corpusTarget(app)
+	}
+	ws, err := uchecker.NewScanner(opts).RunWorker(ctx, targets, wo)
+	if err != nil || ws == nil || ws.MergedPath == "" {
+		return ws, nil, err
+	}
+	reps, err := uchecker.ReadMerged(ws.MergedPath)
+	if err != nil {
+		return ws, nil, err
+	}
+	if len(reps) != len(apps) {
+		return ws, nil, fmt.Errorf("evalharness: merged report has %d targets, want %d", len(reps), len(apps))
+	}
+	rows := make([]Row, len(apps))
+	for i, app := range apps {
+		rows[i] = Row{App: app, Report: reps[i]}
+	}
+	return ws, rows, nil
+}
+
 func mustApp(name string) corpus.App {
 	app, ok := corpus.ByName(name)
 	if !ok {

@@ -55,6 +55,39 @@ const (
 	// content-address key. A returned error forces a cache miss, proving
 	// a broken cache degrades to a re-scan, never to a wrong report.
 	CacheRead Point = "cache-read"
+	// AtomicWriteBody fires inside scanjournal.AtomicWrite after the
+	// temporary file is created, before the payload is streamed into it.
+	// Detail is the destination path. A returned error simulates a write
+	// failure mid-replacement: the destination must stay untouched and
+	// the temp file must not survive.
+	AtomicWriteBody Point = "atomic-write"
+	// AtomicRename fires inside scanjournal.AtomicWrite after the temp
+	// file is written and fsynced, before the rename. Detail is the
+	// destination path. A returned error simulates a rename failure: same
+	// cleanup contract as AtomicWriteBody.
+	AtomicRename Point = "atomic-rename"
+	// LeaseClaim fires before a shard-lease claim record is appended to
+	// the coordination journal. Detail is "shard-<n>.t<token>:<worker>".
+	// A returned error simulates a worker crashing at the claim boundary:
+	// the lease is never recorded and the worker dies without cleanup.
+	LeaseClaim Point = "lease-claim"
+	// LeaseRenew fires before a lease heartbeat record is appended.
+	// Detail is "shard-<n>.t<token>:<worker>". A returned error simulates
+	// a worker crashing mid-heartbeat: the lease goes stale and must be
+	// reclaimed by a surviving worker.
+	LeaseRenew Point = "lease-renew"
+	// ShardPublish fires before a worker publishes a finished shard
+	// (appending the shard-finish record that makes its per-target
+	// reports authoritative). Detail is "shard-<n>.t<token>:<worker>". A
+	// returned error simulates a crash between scanning a shard and
+	// publishing it: the shard's lease goes stale, the work is reclaimed,
+	// and the re-scan must merge byte-identically.
+	ShardPublish Point = "shard-publish"
+	// CoordFold fires before the coordinator folds all finished shards
+	// into the merged report file. Detail is the merged-report path. A
+	// returned error simulates a crash mid-fold: the previous merged
+	// report (if any) must stay intact and a later fold must succeed.
+	CoordFold Point = "coord-fold"
 )
 
 // Hook receives fault-injection callbacks. Hooks may panic, sleep, or
@@ -103,6 +136,24 @@ func ErrorOn(p Point, target string) Hook {
 	return func(point Point, detail string) error {
 		if point == p && matches(target, detail) {
 			return fmt.Errorf("%w at %s (%s)", ErrInjected, point, detail)
+		}
+		return nil
+	}
+}
+
+// ErrorN returns a Hook that returns an ErrInjected-wrapped error for the
+// first n matching calls and succeeds from the (n+1)th on — the
+// "transient fault" complement of FailAfter. Retry layers use it to
+// prove a bounded retry absorbs n transient failures where FailAfter
+// would prove a persistent fault still aborts. Safe for concurrent use.
+func ErrorN(p Point, target string, n int) Hook {
+	var calls atomic.Int64
+	return func(point Point, detail string) error {
+		if point != p || !matches(target, detail) {
+			return nil
+		}
+		if calls.Add(1) <= int64(n) {
+			return fmt.Errorf("%w: transient fault %d at %s (%s)", ErrInjected, n, point, detail)
 		}
 		return nil
 	}

@@ -49,6 +49,26 @@ func TestSleepOn(t *testing.T) {
 	}
 }
 
+func TestErrorN(t *testing.T) {
+	h := ErrorN(JournalWrite, "", 2)
+	for i := 0; i < 2; i++ {
+		if err := h(JournalWrite, "finish:app"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := h(JournalWrite, "finish:app"); err != nil {
+		t.Fatalf("call after the transient window: %v", err)
+	}
+	// Non-matching calls never consume the budget.
+	h2 := ErrorN(LeaseClaim, "shard-3", 1)
+	if err := h2(LeaseClaim, "shard-1.t1:w0"); err != nil {
+		t.Fatalf("non-matching detail: %v", err)
+	}
+	if err := h2(LeaseClaim, "shard-3.t1:w0"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching call must fail: %v", err)
+	}
+}
+
 func TestChain(t *testing.T) {
 	var calls int
 	count := func(Point, string) error { calls++; return nil }

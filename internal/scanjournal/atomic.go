@@ -1,37 +1,62 @@
 // Atomic file replacement: the shared write-side primitive behind
-// journal compaction, cache entries and the CLI's -trace/-metrics
-// exports. A crash (or a failing writer) anywhere before the final
-// rename leaves the previous file byte-identical; readers never observe
-// a partially written file.
+// journal compaction, cache entries, merged-report folding and the CLI's
+// -trace/-metrics exports. A crash (or a failing writer) anywhere before
+// the final rename leaves the previous file byte-identical; readers
+// never observe a partially written file — and a failure never strands a
+// temporary file next to the destination.
 package scanjournal
 
 import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faultinject"
 )
 
 // AtomicWrite writes a file via temp-file + fsync + rename + directory
 // fsync. The write callback streams the content; if it (or any syscall)
-// fails, the temporary file is removed and the destination — if it
-// existed — is left untouched. The temp file is created in the
+// fails — or panics — the temporary file is removed and the destination,
+// if it existed, is left untouched. The temp file is created in the
 // destination's directory so the rename never crosses filesystems, and
 // the directory itself is fsynced after the rename so the *replacement*
 // is as durable as the bytes: without it, power loss after a journal
 // compaction could revert the file to its corrupt pre-compaction
 // content, and a freshly written cache entry could silently vanish.
-func AtomicWrite(path string, write func(io.Writer) error) (err error) {
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	return AtomicWriteHook(path, nil, write)
+}
+
+// AtomicWriteHook is AtomicWrite with fault-injection seams: hook, when
+// non-nil, fires at faultinject.AtomicWriteBody (after the temp file is
+// created, before the payload is streamed) and faultinject.AtomicRename
+// (before the rename). Both error paths must honor the same cleanup
+// contract the regression suite enforces: no temp file survives a failed
+// replacement.
+func AtomicWriteHook(path string, hook faultinject.Hook, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	// Clean up on EVERY non-success exit, panics included. The original
+	// cleanup keyed on the named error alone, so a panicking write
+	// callback (fault-injected crashes routinely panic) unwound straight
+	// past it, stranding an orphaned *.tmp-* file — and its open handle —
+	// next to the destination on every injected crash.
+	done := false
 	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name()) // no-op once the rename has happened
+		if done && err == nil {
+			return
 		}
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op once the rename has happened
 	}()
+	if hook != nil {
+		if err = hook(faultinject.AtomicWriteBody, path); err != nil {
+			return err
+		}
+	}
 	if err = write(tmp); err != nil {
 		return err
 	}
@@ -41,9 +66,15 @@ func AtomicWrite(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
+	if hook != nil {
+		if err = hook(faultinject.AtomicRename, path); err != nil {
+			return err
+		}
+	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
+	done = true
 	if err = syncDir(dir); err != nil {
 		return err
 	}

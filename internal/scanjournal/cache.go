@@ -95,10 +95,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores a payload under key, atomically. Errors are returned for
-// accounting but a failed Put only costs a future re-scan.
+// accounting but a failed Put only costs a future re-scan. The cache's
+// fault hook fires at the AtomicWriteBody/AtomicRename seams, so a Put
+// killed mid-replacement is a crash-matrix boundary like any other.
 func (c *Cache) Put(key string, payload []byte) error {
 	frame := Frame(payload)
-	return AtomicWrite(c.path(key), func(w io.Writer) error {
+	return AtomicWriteHook(c.path(key), c.hook, func(w io.Writer) error {
 		_, err := w.Write(frame)
 		return err
 	})

@@ -1,0 +1,88 @@
+package scanjournal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// frames builds a journal byte stream from records (well-formed framing,
+// arbitrary payloads).
+func frames(recs ...Record) []byte {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if r.V == 0 {
+			r.V = FormatVersion
+		}
+		payload, _ := json.Marshal(r)
+		buf.Write(Frame(payload))
+	}
+	return buf.Bytes()
+}
+
+// FuzzJournalFold drives the salvage path (Read semantics via readFrom,
+// then Fold) over arbitrary journal bytes. The contract under fuzzing is
+// the recovery invariant itself: never panic, salvage a valid prefix,
+// and classify everything else — including the distributed-scanning
+// lease records, which are only meaningful in coordination journals — as
+// exactly one Corruption.
+func FuzzJournalFold(f *testing.F) {
+	// A healthy scan journal and the byte-level corruption classics.
+	healthy := frames(
+		Record{Type: TypeManifest, Fingerprint: "fp", Targets: []string{"a"}},
+		Record{Type: TypeStart, Name: "a"},
+		Record{Type: TypeFinish, Name: "a", Report: json.RawMessage(`{"Name":"a"}`)},
+	)
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+
+	// Lease-record seeds (satellite): coordination records leaking into a
+	// scan journal must fold as corruption, never a panic.
+	// 1. Well-formed lease-claim after a manifest.
+	f.Add(frames(
+		Record{Type: TypeManifest, Fingerprint: "fp", Targets: []string{"a"}},
+		Record{Type: TypeLeaseClaim, Shard: 0, Worker: "w0", Token: 1},
+	))
+	// 2. Lease-renew with absurd negative shard/generation values.
+	f.Add(frames(
+		Record{Type: TypeLeaseRenew, Shard: -7, Worker: "w1", Token: -1, Gen: -9},
+	))
+	// 3. Fencing-token regression sequence: claim at t2, then a zombie's
+	// stale renew at t1 and an unmatched release.
+	f.Add(frames(
+		Record{Type: TypeManifest, Fingerprint: "fp"},
+		Record{Type: TypeLeaseClaim, Shard: 3, Worker: "w0", Token: 2},
+		Record{Type: TypeLeaseRenew, Shard: 3, Worker: "zombie", Token: 1, Gen: 1},
+		Record{Type: TypeLeaseRelease, Shard: 9, Worker: "w9", Token: 5},
+	))
+	// 4. Shard-finish with a torn report payload spliced in raw (valid
+	// frame, JSON field holding garbage-ish content).
+	f.Add(append(frames(
+		Record{Type: TypeShardFinish, Shard: 1, Worker: "w2", Token: 3,
+			Report: json.RawMessage(`{"half":`), ShardSize: 1 << 30},
+	), 0x00, 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := readFrom(bytes.NewReader(data))
+		if rec == nil {
+			t.Fatal("readFrom returned nil")
+		}
+		rp := Fold(rec)
+		if rp == nil {
+			t.Fatal("Fold returned nil")
+		}
+		if rp.Salvaged > len(rec.Records) {
+			t.Fatalf("salvaged %d of %d records", rp.Salvaged, len(rec.Records))
+		}
+		// Lease records are coordination-only: any present in a scan
+		// journal must stop the fold as corruption.
+		for i, r := range rec.Records[:rp.Salvaged] {
+			switch r.Type {
+			case TypeLeaseClaim, TypeLeaseRenew, TypeLeaseRelease, TypeShardFinish:
+				t.Fatalf("lease record %d (%s) folded into scan state", i, r.Type)
+			}
+		}
+	})
+}

@@ -74,6 +74,33 @@ const (
 	// TypeFinish carries one target's complete report. Finish records are
 	// what resume replays.
 	TypeFinish = "finish"
+
+	// Coordination record types (internal/shardcoord). A coordination
+	// journal shares the frame format, the CRC discipline and the epoch
+	// semantics of a scan journal, but records shard leases instead of
+	// per-target reports. These types are *only* valid in a coordination
+	// journal: a scan-journal Fold that meets one classifies it as
+	// corruption (unknown record type) and salvages the prefix — lease
+	// records can never silently masquerade as scan results.
+
+	// TypeLeaseClaim claims one shard for one worker under a fencing
+	// token strictly greater than every token previously issued for that
+	// shard. The token — a logical generation counter, never a wall-clock
+	// timestamp — is what rejects a resurrected zombie's stale writes.
+	TypeLeaseClaim = "lease-claim"
+	// TypeLeaseRenew is a lease heartbeat: the holder bumps the lease's
+	// renew generation. Other workers decide "expired" by observing an
+	// unchanged (token, generation) pair across their own local
+	// observation window — two processes never compare clocks.
+	TypeLeaseRenew = "lease-renew"
+	// TypeLeaseRelease returns an unfinished shard to the pool (graceful
+	// drain): any worker may re-claim it immediately with a fresh token.
+	TypeLeaseRelease = "lease-release"
+	// TypeShardFinish marks one shard's scan complete and its
+	// token-qualified shard journal authoritative for the merge. It is
+	// only appended after a fencing-token check, so a zombie's stale
+	// finish never lands.
+	TypeShardFinish = "shard-finish"
 )
 
 // Record is one journal entry.
@@ -93,9 +120,27 @@ type Record struct {
 	// Targets lists the batch's target names in order (manifest records).
 	Targets []string `json:"targets,omitempty"`
 	// At is the wall-clock write time, for operators reading journals.
+	// It is informational only: no protocol decision ever compares At
+	// values across processes (lease expiry runs on logical generation
+	// counters precisely so clock skew between workers cannot matter).
 	At time.Time `json:"at,omitempty"`
 	// Report is the target's full serialized AppReport (finish records).
 	Report json.RawMessage `json:"report,omitempty"`
+
+	// Coordination fields (lease-claim / lease-renew / lease-release /
+	// shard-finish records; see internal/shardcoord).
+
+	// Shard is the shard index the lease record applies to.
+	Shard int `json:"shard,omitempty"`
+	// Worker identifies the claiming/renewing worker, for operators.
+	Worker string `json:"worker,omitempty"`
+	// Token is the lease's fencing token: strictly increasing per shard
+	// across claims. Writes carrying a stale token are rejected.
+	Token int64 `json:"token,omitempty"`
+	// Gen is the lease's renew generation, bumped by each heartbeat.
+	Gen int64 `json:"gen,omitempty"`
+	// ShardSize is the shard-plan chunk size (coordination manifests).
+	ShardSize int `json:"shardSize,omitempty"`
 }
 
 // Writer appends records to a journal file. It is safe for concurrent
@@ -296,7 +341,17 @@ func corruptAt(rec *Recovery, offset int64, reason string) *Corruption {
 // garbage. The rewrite goes through AtomicWrite, so a crash mid-compact
 // leaves the original journal untouched.
 func Compact(path string, records []Record) error {
-	return AtomicWrite(path, func(w io.Writer) error {
+	return CompactHook(path, nil, records)
+}
+
+// CompactHook is Compact with the AtomicWriteHook fault-injection seams
+// threaded through: hook, when non-nil, fires at
+// faultinject.AtomicWriteBody and faultinject.AtomicRename with the
+// journal path as detail. The crash-matrix tests use it to prove a
+// compaction that dies mid-rewrite neither damages the journal nor
+// strands a temp file.
+func CompactHook(path string, hook faultinject.Hook, records []Record) error {
+	return AtomicWriteHook(path, hook, func(w io.Writer) error {
 		for _, rec := range records {
 			if rec.V == 0 {
 				rec.V = FormatVersion
@@ -401,6 +456,12 @@ func Fold(rec *Recovery) *Replay {
 			}
 			rp.Started[key] = true
 			rp.Finished[key] = r.Report
+		case TypeLeaseClaim, TypeLeaseRenew, TypeLeaseRelease, TypeShardFinish:
+			// Coordination records are only valid in a coordination
+			// journal; one here means a worker appended to the wrong file.
+			// Everything from it on is untrusted.
+			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("coordination record %q in a scan journal", r.Type)}
+			return rp
 		default:
 			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("unknown record type %q", r.Type)}
 			return rp

@@ -1,0 +1,75 @@
+// Bounded deterministic-jitter retry for transient journal and lease
+// I/O. A single failed O_APPEND write used to abort a whole batch with
+// schedule-cancelled reports; distributed workers additionally contend
+// on the coordination journal's lock file. Both paths now absorb
+// transient faults with the same policy: a handful of attempts,
+// exponential backoff, and jitter derived from a hash of the operation
+// key — never from wall clocks or math/rand, so two workers retrying
+// the same contended operation desynchronize identically on every run
+// and the crash-matrix replays stay reproducible.
+package scanjournal
+
+import (
+	"hash/fnv"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy bounds retries of a transient-failure-prone operation.
+// The zero value retries nothing (one attempt, no sleep).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first try included). Values
+	// below 1 behave as 1.
+	Attempts int
+	// Base is the backoff unit: attempt k (0-based) sleeps
+	// Base<<k ± 50% deterministic jitter before retrying. Zero means
+	// retry immediately — tests use that to keep the matrix fast.
+	Base time.Duration
+}
+
+// DefaultRetry is the policy the batch scanner and shard coordinator
+// apply to journal appends and lease transactions: 3 attempts, 2ms
+// base. Persistent faults still abort after ~14ms; a single transient
+// fault costs one jittered sleep instead of the whole batch.
+var DefaultRetry = RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond}
+
+// Do runs op up to p.Attempts times, sleeping between attempts with
+// exponential backoff and deterministic jitter keyed on (key, attempt).
+// It returns the number of retries consumed (0 when the first attempt
+// succeeded — the value feeds the journal_append_retries counter) and
+// the final error (nil on success, the last attempt's error otherwise).
+func (p RetryPolicy) Do(key string, op func() error) (retries int, err error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			retries++
+			if d := p.backoff(key, i-1); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err = op(); err == nil {
+			return retries, nil
+		}
+	}
+	return retries, err
+}
+
+// backoff computes the sleep before retry #attempt (0-based):
+// Base<<attempt scaled by a deterministic jitter factor in [0.5, 1.5)
+// drawn from an FNV hash of the key and attempt number.
+func (p RetryPolicy) backoff(key string, attempt int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	step := p.Base << uint(attempt)
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(attempt)))
+	// Map the hash onto [0.5, 1.5) in 1/1024 steps.
+	frac := h.Sum64() % 1024
+	return step/2 + step*time.Duration(frac)/1024
+}

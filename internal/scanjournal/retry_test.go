@@ -1,0 +1,69 @@
+package scanjournal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyAbsorbsTransients(t *testing.T) {
+	p := RetryPolicy{Attempts: 3}
+	fails := 2
+	retries, err := p.Do("finish:app", func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("2 transients under 3 attempts must succeed: %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+}
+
+func TestRetryPolicyPersistentFaultStillFails(t *testing.T) {
+	p := RetryPolicy{Attempts: 3}
+	want := errors.New("persistent")
+	calls := 0
+	retries, err := p.Do("k", func() error { calls++; return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the persistent fault", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d, want 3/2", calls, retries)
+	}
+}
+
+func TestRetryPolicyZeroValue(t *testing.T) {
+	var p RetryPolicy
+	calls := 0
+	retries, err := p.Do("k", func() error { calls++; return errors.New("x") })
+	if err == nil || calls != 1 || retries != 0 {
+		t.Errorf("zero policy: calls=%d retries=%d err=%v, want 1/0/non-nil", calls, retries, err)
+	}
+}
+
+// TestRetryBackoffDeterministic: the jitter is a pure function of
+// (key, attempt) — identical across runs, different across keys, so two
+// workers contending on the same lock desynchronize reproducibly.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond}
+	a := p.backoff("worker-0", 0)
+	if b := p.backoff("worker-0", 0); a != b {
+		t.Errorf("same key+attempt gave %v then %v", a, b)
+	}
+	if a < time.Millisecond || a >= 3*time.Millisecond {
+		t.Errorf("attempt-0 backoff %v outside [Base/2, 3*Base/2)", a)
+	}
+	// Exponential growth: attempt 1's window is [Base, 3*Base).
+	if c := p.backoff("worker-0", 1); c < 2*time.Millisecond || c >= 6*time.Millisecond {
+		t.Errorf("attempt-1 backoff %v outside [Base, 3*Base)", c)
+	}
+	if p.backoff("worker-0", 0) == p.backoff("worker-1", 0) &&
+		p.backoff("worker-0", 1) == p.backoff("worker-1", 1) {
+		t.Error("distinct keys produced identical jitter on both attempts")
+	}
+}

@@ -228,7 +228,7 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 			// salvaged (semantically valid) prefix first. A crash
 			// mid-compaction leaves the original file intact (temp-file +
 			// rename).
-			if err := scanjournal.Compact(s.opts.Journal, salvaged); err != nil {
+			if err := scanjournal.CompactHook(s.opts.Journal, s.opts.FaultHook, salvaged); err != nil {
 				return abortAll(fmt.Errorf("journal compaction: %w", err))
 			}
 		}
@@ -238,11 +238,29 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 		}
 		jw = w
 		defer jw.Close()
+	}
+	// All appends absorb transient write faults with a bounded
+	// deterministic-jitter retry before declaring crash semantics: a
+	// single flaky O_APPEND no longer costs the whole batch. Persistent
+	// faults still exhaust the budget and abort — the crash matrix
+	// depends on that.
+	appendRec := func(rec scanjournal.Record) error {
+		retries, err := scanjournal.DefaultRetry.Do(rec.Type+":"+rec.Name, func() error {
+			return jw.Append(rec)
+		})
+		if retries > 0 {
+			mu.Lock()
+			stats.Metrics.Add("journal_append_retries", int64(retries))
+			mu.Unlock()
+		}
+		return err
+	}
+	if jw != nil {
 		names := make([]string, len(targets))
 		for i, t := range targets {
 			names[i] = t.Name
 		}
-		if err := jw.Append(scanjournal.Record{
+		if err := appendRec(scanjournal.Record{
 			Type:        scanjournal.TypeManifest,
 			Fingerprint: fp,
 			Targets:     names,
@@ -255,9 +273,23 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 		if jw == nil {
 			return nil
 		}
-		return jw.Append(scanjournal.Record{
+		return appendRec(scanjournal.Record{
 			Type: scanjournal.TypeFinish, Name: name, Index: i, At: time.Now(), Report: raw,
 		})
+	}
+	// drained reports whether the graceful-drain signal has fired. Unlike
+	// ctx cancellation it only gates target admission: in-flight scans
+	// finish and journal.
+	drained := func() bool {
+		if s.opts.Drain == nil {
+			return false
+		}
+		select {
+		case <-s.opts.Drain:
+			return true
+		default:
+			return false
+		}
 	}
 
 	// --- The sweep ---
@@ -272,6 +304,13 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 			// still accounted for — a typed FailCancelled report each,
 			// never a silent drop from the returned slice.
 			reports[i] = scheduleCancelledReport(name, "batch cancelled before target started")
+			return
+		}
+		if drained() {
+			// Graceful drain: this target never started, so it gets a
+			// schedule report and — critically — NO journal record: the
+			// next resume (or the shard's next lease holder) re-scans it.
+			reports[i] = scheduleCancelledReport(name, "batch draining: target not started")
 			return
 		}
 		// 1. Journal replay: a finish record from the resumed sweep is
@@ -322,7 +361,7 @@ func (s *Scanner) ScanBatchJournaled(ctx context.Context, targets []Target) ([]*
 		// 3. Scan. The start record marks the target in-flight: if the
 		// process dies before the finish record lands, resume re-scans it.
 		if jw != nil {
-			if err := jw.Append(scanjournal.Record{
+			if err := appendRec(scanjournal.Record{
 				Type: scanjournal.TypeStart, Name: name, Index: i, At: time.Now(),
 			}); err != nil {
 				abort(err)

@@ -145,6 +145,16 @@ type Options struct {
 	// are misses (pruned and re-written), never errors. Reports from
 	// scans interrupted by ctx cancellation are not cached.
 	CacheDir string
+	// Drain, when non-nil and closed, switches ScanBatchJournaled into
+	// graceful-drain mode: targets not yet started get FailCancelled
+	// schedule reports (never journaled — the next resume re-scans them),
+	// while in-flight scans run to completion and journal their finishes
+	// normally. This is the SIGTERM half of the worker shutdown contract
+	// — distinct from ctx cancellation, which also interrupts in-flight
+	// scans and leaves them un-journaled. Drain does not participate in
+	// the options fingerprint: it changes which targets run, never what
+	// any report contains.
+	Drain <-chan struct{}
 }
 
 // DefaultMaxRetries is the degradation-ladder retry count selected when
