@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim engine-diff bench bench-scan bench-smt bench-interp bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim engine-diff bench bench-scan bench-smt bench-interp bench-interp-diff bench-smoke
 
 check: fmt vet build race fuzz-smoke bench-smoke
 
@@ -98,6 +98,16 @@ bench-smt:
 bench-interp:
 	@$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 2s -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_interp.json
 	@echo "wrote BENCH_interp.json"
+
+# Engine-benchmark regression gate: re-runs bench-interp's suite and
+# fails when ns/op or allocs/op regresses more than 15% against the
+# committed BENCH_interp.json. The fresh run lands in
+# BENCH_interp.new.json — CI archives it as the candidate baseline, and
+# after an intentional perf change it replaces the committed file.
+bench-interp-diff:
+	@$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 2s -benchmem . | tee /dev/stderr | \
+	  $(GO) run ./cmd/benchjson -baseline BENCH_interp.json -max-regress 15 -match '^BenchmarkEngine' -out BENCH_interp.new.json
+	@echo "wrote BENCH_interp.new.json (candidate baseline)"
 
 # One-iteration smoke over the constraint-engine and execution-engine
 # benchmarks: keeps the benchmark harnesses compiling and running inside

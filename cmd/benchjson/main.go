@@ -8,13 +8,25 @@
 // goarch, cpu, pkg lines as emitted by the test binary) and one entry per
 // benchmark result line: name, iterations, and every "value unit" metric
 // pair (ns/op, B/op, allocs/op, custom ReportMetric units, …).
+//
+// With -baseline, benchjson additionally diffs the fresh run against a
+// previously archived JSON document and exits non-zero when ns/op or
+// allocs/op regresses by more than -max-regress percent on any benchmark
+// (optionally filtered by -match). This is the CI regression gate for
+// the engine benchmarks:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem . |
+//	  go run ./cmd/benchjson -baseline BENCH_interp.json -out BENCH_interp.new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -31,10 +43,109 @@ type doc struct {
 	Results []result          `json:"results"`
 }
 
+// gatedMetrics are the metrics the -baseline diff enforces. Wall time
+// and allocation count regress for real reasons; B/op is deliberately
+// left out (it tracks allocs/op and double-reports the same failure).
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
 func main() {
-	out := doc{Env: map[string]string{}}
+	baseline := flag.String("baseline", "", "archived benchjson JSON to diff the fresh run against; exit 1 on regression")
+	maxRegress := flag.Float64("max-regress", 15, "maximum allowed regression in percent for ns/op and allocs/op")
+	match := flag.String("match", "", "regexp restricting which benchmarks the -baseline diff gates (default: all)")
+	out := flag.String("out", "", "write the fresh JSON document to this file instead of stdout")
+	flag.Parse()
+
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fresh); err != nil {
+		fatalf("%v", err)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var base doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baseline, err)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fatalf("bad -match: %v", err)
+	}
+	regressions := diff(&base, fresh, re, *maxRegress, os.Stderr)
+	if regressions > 0 {
+		fatalf("%d benchmark regression(s) beyond %.0f%% vs %s", regressions, *maxRegress, *baseline)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// diff compares every baseline benchmark whose name matches re against
+// the fresh run, writes a per-metric report to w, and returns the number
+// of gated metrics that regressed by more than maxRegress percent. A
+// matching baseline benchmark missing from the fresh run counts as a
+// regression: the gate must not silently pass because a bench was
+// renamed or dropped.
+func diff(base, fresh *doc, re *regexp.Regexp, maxRegress float64, w io.Writer) int {
+	byName := make(map[string]result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		byName[r.Name] = r
+	}
+	regressions := 0
+	for _, b := range base.Results {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		f, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: present in baseline, missing from fresh run\n", b.Name)
+			regressions++
+			continue
+		}
+		for _, m := range gatedMetrics {
+			bv, bok := b.Metrics[m]
+			fv, fok := f.Metrics[m]
+			if !bok || !fok || bv == 0 {
+				continue
+			}
+			pct := (fv - bv) / bv * 100
+			status := "ok  "
+			if pct > maxRegress {
+				status = "FAIL"
+				regressions++
+			}
+			fmt.Fprintf(w, "%s %s %s: %.0f -> %.0f (%+.1f%%)\n", status, b.Name, m, bv, fv, pct)
+		}
+	}
+	return regressions
+}
+
+// parseBench reads `go test -bench` text output into a doc.
+func parseBench(r io.Reader) (*doc, error) {
+	out := &doc{Env: map[string]string{}}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -55,15 +166,9 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return out, nil
 }
 
 func appendPkg(cur, pkg string) string {

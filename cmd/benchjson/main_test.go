@@ -1,0 +1,100 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mkDoc(results ...result) *doc {
+	return &doc{Env: map[string]string{}, Results: results}
+}
+
+func res(name string, ns, allocs float64) result {
+	return result{
+		Name:       name,
+		Iterations: 10,
+		Metrics:    map[string]float64{"ns/op": ns, "allocs/op": allocs, "B/op": 1 << 20},
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: test-cpu
+BenchmarkEngineSymbolicExecution/vm-8   16   129412136 ns/op   74034659 B/op   265257 allocs/op
+PASS
+`
+	d, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(d.Results))
+	}
+	r := d.Results[0]
+	if r.Name != "BenchmarkEngineSymbolicExecution/vm-8" || r.Iterations != 16 {
+		t.Errorf("bad result header: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 129412136 || r.Metrics["allocs/op"] != 265257 {
+		t.Errorf("bad metrics: %v", r.Metrics)
+	}
+	if d.Env["goos"] != "linux" || d.Env["pkg"] != "repro" {
+		t.Errorf("bad env: %v", d.Env)
+	}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	base := mkDoc(res("BenchmarkEngineSymbolicExecution/vm-8", 100, 1000))
+	fresh := mkDoc(res("BenchmarkEngineSymbolicExecution/vm-8", 114, 1000))
+	var sb strings.Builder
+	if n := diff(base, fresh, regexp.MustCompile(""), 15, &sb); n != 0 {
+		t.Fatalf("14%% drift flagged as regression:\n%s", sb.String())
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	base := mkDoc(res("BenchmarkEngineSymbolicExecution/vm-8", 100, 1000))
+	fresh := mkDoc(res("BenchmarkEngineSymbolicExecution/vm-8", 120, 1000))
+	var sb strings.Builder
+	if n := diff(base, fresh, regexp.MustCompile(""), 15, &sb); n != 1 {
+		t.Fatalf("got %d regressions, want 1 (ns/op +20%%):\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Errorf("report lacks FAIL line:\n%s", sb.String())
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	base := mkDoc(res("b", 100, 1000))
+	fresh := mkDoc(res("b", 100, 1200))
+	if n := diff(base, fresh, regexp.MustCompile(""), 15, &strings.Builder{}); n != 1 {
+		t.Fatalf("got %d regressions, want 1 (allocs/op +20%%)", n)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	base := mkDoc(res("b", 100, 1000))
+	fresh := mkDoc(res("b", 50, 500))
+	if n := diff(base, fresh, regexp.MustCompile(""), 15, &strings.Builder{}); n != 0 {
+		t.Fatalf("improvement flagged as regression")
+	}
+}
+
+func TestDiffMissingBenchFails(t *testing.T) {
+	base := mkDoc(res("BenchmarkEngineCompile-8", 100, 1000))
+	fresh := mkDoc()
+	if n := diff(base, fresh, regexp.MustCompile(""), 15, &strings.Builder{}); n != 1 {
+		t.Fatalf("dropped benchmark not flagged")
+	}
+}
+
+func TestDiffMatchFilter(t *testing.T) {
+	base := mkDoc(res("BenchmarkEngineCompile-8", 100, 1000), res("BenchmarkOther-8", 100, 1000))
+	fresh := mkDoc(res("BenchmarkEngineCompile-8", 100, 1000), res("BenchmarkOther-8", 500, 1000))
+	re := regexp.MustCompile("^BenchmarkEngine")
+	if n := diff(base, fresh, re, 15, &strings.Builder{}); n != 0 {
+		t.Fatalf("-match did not exclude non-engine regression")
+	}
+}

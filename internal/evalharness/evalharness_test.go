@@ -222,6 +222,20 @@ func TestCounterTableVMDeterministic(t *testing.T) {
 move_uploaded_file($_FILES['` + f + `']['tmp_name'], "/up/" . $_FILES['` + f + `']['name']);
 `
 	}
+	// A const-foldable run plus a function body inlined at three call
+	// sites — the third call replays from the block cache (first miss
+	// arms the span, second records) — so the fold and block-cache
+	// counters are exercised, not just present-when-zero.
+	sources["loop.php"] = `<?php
+function banner() {
+	$msg = "warn" . "ing";
+	return $msg;
+}
+banner();
+banner();
+banner();
+move_uploaded_file($_FILES['l']['tmp_name'], "/up/" . $_FILES['l']['name']);
+`
 	targets := []uchecker.Target{{Name: "counters-app", Sources: sources}}
 	for _, n := range []string{"Uploadify 1.0.0", "Avatar Uploader 6.x-1.2"} {
 		app, ok := corpus.ByName(n)
@@ -249,6 +263,7 @@ move_uploaded_file($_FILES['` + f + `']['tmp_name'], "/up/" . $_FILES['` + f + `
 	for _, counter := range []string{
 		"ir_functions_compiled", "ir_instructions_executed",
 		"ir_compile_cache_hits", "vm_dispatch_loops",
+		"ir_consts_folded", "vm_block_cache_hits", "vm_block_cache_misses",
 	} {
 		if !strings.Contains(want, counter) {
 			t.Errorf("counter table missing %s:\n%s", counter, want)

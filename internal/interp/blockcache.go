@@ -1,0 +1,434 @@
+package interp
+
+import (
+	"repro/internal/heapgraph"
+	"repro/internal/ir"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+)
+
+// Block-fact cache for the VM engine (DESIGN.md "Block-level fact
+// caching").
+//
+// A statement span flagged ir.Code.Cacheable is straight-line and
+// heap-graph-local: it cannot fork, suspend, or reorder paths, cannot
+// escape to the tree walker's statement machinery, and — by construction
+// of the cacheable opcode set — never reads or extends a path condition
+// (Env.Cur). Its entire observable effect is therefore a sequence of
+// graph allocations/edges/element writes plus environment (un)binds, all
+// of which the heapgraph.Recorder hooks and the interpreter's
+// varLabel/bind sites tape while the span executes once.
+//
+// A recording's validity is established by *validation, not hashing*: at
+// lookup time the recorded read probes are replayed against the live
+// state — every variable read must resolve to the exact label it did at
+// record time, every pre-existing array read must see the exact element
+// table version, and the scalar facts (env count, memo epoch, current
+// file) must match (a cheap smt.Hasher digest of the scalars pre-filters
+// candidates). If every probe matches, re-executing the span could not
+// take any different decision than the recording did, so the taped
+// effects are replayed with fresh labels instead of dispatching.
+//
+// Label remapping: labels the recording allocated (l > startLabel) shift
+// by the replay's own allocation base; labels that existed before the
+// span (l <= startLabel) are absolute and reused as-is. Because the graph
+// allocates labels sequentially and the tape preserves allocation order,
+// the replayed objects receive exactly the labels a real re-execution
+// would have produced — including auto-generated symbol names, which are
+// taped pre-generation so replay re-consumes Graph.symSeq identically.
+//
+// Poisons (the recording is discarded rather than stored): the memo
+// epoch advanced mid-span (a superglobal/constant/$_FILES memo filled),
+// the span mutated an array that predates it, the tape or probe list
+// outgrew its cap, or an environment outside the span's set was touched.
+
+// tape event kinds.
+const (
+	evAlloc = iota
+	evEdge
+	evSetElem
+	evBind
+	evUnbind
+)
+
+// tapeEvent is one recorded effect. Field use depends on kind:
+//
+//	evAlloc:   objKind, name, t, val, line; a is the record-time label
+//	evEdge:    a (from), b (to)
+//	evSetElem: a (array), b (value), name (key)
+//	evBind:    envIdx, name, a (label)
+//	evUnbind:  envIdx, name
+type tapeEvent struct {
+	kind    uint8
+	objKind heapgraph.ObjKind
+	envIdx  int32
+	line    int32
+	a, b    heapgraph.Label
+	name    string
+	t       sexpr.Type
+	val     sexpr.Expr
+}
+
+// varRead is a validation probe: at record time, envs[envIdx].Get(name)
+// returned label (possibly Null). Reads of names the span itself had
+// already (un)bound are not probed — the tape determines them.
+type varRead struct {
+	envIdx int32
+	name   string
+	label  heapgraph.Label
+}
+
+// arrRead is a validation probe: a pre-existing array's element table was
+// read at version ver. In-span-created arrays are not probed — the tape
+// reconstructs them bit-identically.
+type arrRead struct {
+	arr heapgraph.Label
+	ver uint64
+}
+
+// Recording size caps. A span whose tape or probe list outgrows these is
+// simply not cached (typically a per-path-effect span over a very large
+// live set, where replay would buy little over execution anyway).
+const (
+	maxTapeEvents     = 1024
+	maxReadProbes     = 256
+	maxVariants       = 4 // recordings kept per (code, span) key
+	maxRecordFailures = 2 // poisoned attempts before a span stops recording
+)
+
+// blockRecording is one validated-replayable execution of a span.
+type blockRecording struct {
+	fp         uint64 // smt.Hasher digest of (nEnvs, memoEpoch, curFile)
+	nEnvs      int
+	memoEpoch  int64
+	curFile    string
+	startLabel heapgraph.Label
+	varReads   []varRead
+	arrReads   []arrRead
+	tape       []tapeEvent
+}
+
+func scalarFingerprint(nEnvs int, epoch int64, curFile string) uint64 {
+	var h smt.Hasher
+	h.WriteUint64(uint64(nEnvs))
+	h.WriteUint64(uint64(epoch))
+	h.WriteString(curFile)
+	return h.Sum()
+}
+
+// matches replays the recording's read probes against live state.
+func (r *blockRecording) matches(in *Interp, envs heapgraph.EnvSet) bool {
+	if len(envs) != r.nEnvs || in.memoEpoch != r.memoEpoch || in.curFile != r.curFile {
+		return false
+	}
+	for i := range r.varReads {
+		p := &r.varReads[i]
+		if envs[p.envIdx].Get(p.name) != p.label {
+			return false
+		}
+	}
+	for i := range r.arrReads {
+		p := &r.arrReads[i]
+		info := in.g.Array(p.arr)
+		if info == nil || info.Ver != p.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// replay re-applies the taped effects. Labels allocated by the recording
+// shift onto the replay's allocation base; pre-existing labels are
+// absolute. Allocations go through the ordinary Graph constructors, so
+// label assignment, symSeq consumption, and object contents are exactly
+// those of a real re-execution.
+func (r *blockRecording) replay(in *Interp, envs heapgraph.EnvSet) {
+	g := in.g
+	base := g.LastLabel()
+	start := r.startLabel
+	remap := func(l heapgraph.Label) heapgraph.Label {
+		if l > start {
+			return base + (l - start)
+		}
+		return l
+	}
+	for i := range r.tape {
+		ev := &r.tape[i]
+		switch ev.kind {
+		case evAlloc:
+			line := int(ev.line)
+			switch ev.objKind {
+			case heapgraph.KindConcrete:
+				g.NewConcrete(ev.val, line)
+			case heapgraph.KindSymbol:
+				g.NewSymbol(ev.name, ev.t, line)
+			case heapgraph.KindFunc:
+				g.NewFunc(ev.name, ev.t, line)
+			case heapgraph.KindOp:
+				g.NewOp(ev.name, ev.t, line)
+			case heapgraph.KindArray:
+				g.NewArray(line)
+			}
+		case evEdge:
+			g.AddEdge(remap(ev.a), remap(ev.b))
+		case evSetElem:
+			g.SetElem(remap(ev.a), ev.name, remap(ev.b))
+		case evBind:
+			envs[ev.envIdx].Bind(ev.name, remap(ev.a))
+		case evUnbind:
+			envs[ev.envIdx].Unbind(ev.name)
+		}
+	}
+}
+
+// spanKey identifies one statement span of one compiled code.
+type spanKey struct {
+	code *ir.Code
+	span int
+}
+
+// blockCache memoizes span effects for one Interp (one root: recordings
+// reference this root's graph labels and memo epochs, so the cache's
+// scope is exactly the graph's). Per-root scoping also keeps scan results
+// deterministic across worker counts — nothing leaks between roots.
+type blockCache struct {
+	m map[spanKey][]*blockRecording
+	// bad counts poisoned recording attempts per span: a span whose
+	// executions keep poisoning (per-path tapes outgrowing the cap, spans
+	// that always fill a memo or mutate pre-existing arrays) stops paying
+	// the taping overhead after maxRecordFailures attempts.
+	bad map[spanKey]int8
+	// warm marks spans that have missed at least once. Taping starts on
+	// the second miss: most spans execute exactly once per root, and
+	// recording those is pure overhead — only re-executed spans (loop
+	// bodies, re-included files, repeated call sites) can ever hit.
+	warm map[spanKey]bool
+}
+
+func newBlockCache() *blockCache {
+	return &blockCache{
+		m:    map[spanKey][]*blockRecording{},
+		bad:  map[spanKey]int8{},
+		warm: map[spanKey]bool{},
+	}
+}
+
+// lookup returns a recording whose probes validate against live state, or
+// nil.
+func (bc *blockCache) lookup(in *Interp, c *ir.Code, span int, envs heapgraph.EnvSet) *blockRecording {
+	recs := bc.m[spanKey{c, span}]
+	if len(recs) == 0 {
+		return nil
+	}
+	fp := scalarFingerprint(len(envs), in.memoEpoch, in.curFile)
+	for _, r := range recs {
+		if r.fp == fp && r.matches(in, envs) {
+			return r
+		}
+	}
+	return nil
+}
+
+// shouldRecord reports whether a missed span is worth taping: not on its
+// first miss (execute-once spans never pay the recording tax), not once
+// its variant list is at capacity (avoids record/evict thrash on spans
+// whose live-in state is genuinely polymorphic), and not once its
+// attempts keep poisoning.
+func (bc *blockCache) shouldRecord(c *ir.Code, span int) bool {
+	k := spanKey{c, span}
+	if !bc.warm[k] {
+		bc.warm[k] = true
+		return false
+	}
+	return len(bc.m[k]) < maxVariants && bc.bad[k] < maxRecordFailures
+}
+
+func (bc *blockCache) store(c *ir.Code, span int, r *blockRecording) {
+	k := spanKey{c, span}
+	if len(bc.m[k]) >= maxVariants {
+		return
+	}
+	bc.m[k] = append(bc.m[k], r)
+}
+
+// bindKey identifies one (path, variable) pair the span has written.
+type bindKey struct {
+	envIdx int32
+	name   string
+}
+
+// blockRecorder tapes one span execution. It implements
+// heapgraph.Recorder for graph effects; the interpreter's varLabel and
+// the VM's bind/unbind sites feed the env side.
+type blockRecorder struct {
+	in         *Interp
+	envs       heapgraph.EnvSet
+	startLabel heapgraph.Label
+	epoch0     int64
+	poisoned   bool
+
+	varReads []varRead
+	arrReads []arrRead
+	tape     []tapeEvent
+
+	// bound marks (env, name) pairs (un)bound in-span: later reads of
+	// them are tape-determined and must not become validation probes.
+	bound map[bindKey]bool
+	// envIdx memoizes env-pointer → span-slice-index resolution.
+	envIdx map[*heapgraph.Env]int32
+}
+
+func newBlockRecorder(in *Interp, envs heapgraph.EnvSet) *blockRecorder {
+	return &blockRecorder{
+		in:         in,
+		envs:       envs,
+		startLabel: in.g.LastLabel(),
+		epoch0:     in.memoEpoch,
+	}
+}
+
+// index resolves an environment to its position in the span's env set;
+// an env outside the set poisons the recording (no cacheable opcode
+// should ever touch one).
+func (br *blockRecorder) index(e *heapgraph.Env) (int32, bool) {
+	if br.envIdx == nil {
+		br.envIdx = make(map[*heapgraph.Env]int32, len(br.envs))
+	}
+	if i, ok := br.envIdx[e]; ok {
+		return i, true
+	}
+	for i, x := range br.envs {
+		if x == e {
+			br.envIdx[e] = int32(i)
+			return int32(i), true
+		}
+	}
+	br.poisoned = true
+	return 0, false
+}
+
+func (br *blockRecorder) push(ev tapeEvent) {
+	if br.poisoned {
+		return
+	}
+	if len(br.tape) >= maxTapeEvents {
+		br.poisoned = true
+		return
+	}
+	br.tape = append(br.tape, ev)
+}
+
+// --- heapgraph.Recorder ---
+
+func (br *blockRecorder) RecAlloc(kind heapgraph.ObjKind, name string, t sexpr.Type, val sexpr.Expr, line int, result heapgraph.Label) {
+	br.push(tapeEvent{kind: evAlloc, objKind: kind, name: name, t: t, val: val, line: int32(line), a: result})
+}
+
+func (br *blockRecorder) RecEdge(from, to heapgraph.Label) {
+	br.push(tapeEvent{kind: evEdge, a: from, b: to})
+}
+
+func (br *blockRecorder) RecSetElem(arr, val heapgraph.Label, key string) {
+	if arr <= br.startLabel {
+		// Mutating an array that predates the span: the write would have
+		// to be revalidated against arbitrary later state. Don't cache.
+		br.poisoned = true
+		return
+	}
+	br.push(tapeEvent{kind: evSetElem, a: arr, b: val, name: key})
+}
+
+func (br *blockRecorder) RecArrayRead(arr heapgraph.Label, ver uint64) {
+	if br.poisoned || arr > br.startLabel {
+		// In-span arrays are tape-determined.
+		return
+	}
+	for i := range br.arrReads {
+		if br.arrReads[i].arr == arr {
+			// Same array probed twice: versions agree unless the span
+			// mutated it, which RecSetElem already poisons.
+			return
+		}
+	}
+	if len(br.arrReads) >= maxReadProbes {
+		br.poisoned = true
+		return
+	}
+	br.arrReads = append(br.arrReads, arrRead{arr: arr, ver: ver})
+}
+
+// --- env-side hooks (fed by varLabel and the VM's bind sites) ---
+
+func (br *blockRecorder) readVar(e *heapgraph.Env, name string, got heapgraph.Label) {
+	if br.poisoned {
+		return
+	}
+	idx, ok := br.index(e)
+	if !ok {
+		return
+	}
+	if br.bound[bindKey{idx, name}] {
+		return
+	}
+	for i := range br.varReads {
+		if br.varReads[i].envIdx == idx && br.varReads[i].name == name {
+			return // first probe already pins the value
+		}
+	}
+	if len(br.varReads) >= maxReadProbes {
+		br.poisoned = true
+		return
+	}
+	br.varReads = append(br.varReads, varRead{envIdx: idx, name: name, label: got})
+}
+
+func (br *blockRecorder) markBound(idx int32, name string) {
+	if br.bound == nil {
+		br.bound = map[bindKey]bool{}
+	}
+	br.bound[bindKey{idx, name}] = true
+}
+
+func (br *blockRecorder) bindVar(e *heapgraph.Env, name string, l heapgraph.Label) {
+	if br.poisoned {
+		return
+	}
+	idx, ok := br.index(e)
+	if !ok {
+		return
+	}
+	br.push(tapeEvent{kind: evBind, envIdx: idx, name: name, a: l})
+	br.markBound(idx, name)
+}
+
+func (br *blockRecorder) unbindVar(e *heapgraph.Env, name string) {
+	if br.poisoned {
+		return
+	}
+	idx, ok := br.index(e)
+	if !ok {
+		return
+	}
+	br.push(tapeEvent{kind: evUnbind, envIdx: idx, name: name})
+	br.markBound(idx, name)
+}
+
+// finish converts the tape into a stored recording, unless poisoned or
+// the memo epoch advanced mid-span (a shared memo filled: any recorded
+// memo-hit label could be a fill artifact, so the whole tape is suspect).
+func (br *blockRecorder) finish(c *ir.Code, span int) {
+	if br.poisoned || br.in.memoEpoch != br.epoch0 {
+		br.in.blockCache.bad[spanKey{c, span}]++
+		return
+	}
+	br.in.blockCache.store(c, span, &blockRecording{
+		fp:         scalarFingerprint(len(br.envs), br.epoch0, br.in.curFile),
+		nEnvs:      len(br.envs),
+		memoEpoch:  br.epoch0,
+		curFile:    br.in.curFile,
+		startLabel: br.startLabel,
+		varReads:   br.varReads,
+		arrReads:   br.arrReads,
+		tape:       br.tape,
+	})
+}

@@ -1,0 +1,120 @@
+package interp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/phpast"
+	"repro/internal/phpparser"
+)
+
+// cacheParitySrc exercises all three VM statement paths in one program:
+// plain bytecode execution (the assignments), an escape to the tree
+// walker (the method call compiles to OpEvalExpr), and block-cache
+// replay (banner's body span: the first call arms it, the second
+// records, the third and fourth replay).
+const cacheParitySrc = `<?php
+function banner() {
+	$msg = "warn" . "ing";
+	return $msg;
+}
+$a = 1 + 2;
+$obj->notify($a);
+banner();
+banner();
+banner();
+banner();
+move_uploaded_file($_FILES['f']['tmp_name'], "/up/" . $_FILES['f']['name']);
+`
+
+// runVM executes cacheParitySrc-style sources under the VM engine only.
+func runVM(t *testing.T, src string, opts Options) Result {
+	t.Helper()
+	f, errs := phpparser.Parse("test.php", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	files := []*phpast.File{f}
+	return NewEngineFactory(EngineVM, files).New(opts).
+		Run(context.Background(), fileRoot("test.php")(files))
+}
+
+// TestBlockCacheCounterParity is the regression test for the
+// executed/escaped/replayed counter discipline: a replayed span must
+// charge ir_instructions_executed and vm_dispatch_loops exactly as the
+// execution it stands in for, and an escaped statement must charge them
+// identically whether or not the cache is enabled. Everything observable
+// except the hit/miss tallies themselves must be bit-identical between a
+// cached and an uncached VM run.
+func TestBlockCacheCounterParity(t *testing.T) {
+	cached := runVM(t, cacheParitySrc, Options{})
+	plain := runVM(t, cacheParitySrc, Options{NoBlockCache: true})
+
+	if cached.Stats.BlockCacheHits == 0 {
+		t.Fatalf("cached run recorded no block-cache hits; the program is meant to replay banner's body")
+	}
+	if plain.Stats.BlockCacheHits != 0 || plain.Stats.BlockCacheMisses != 0 {
+		t.Errorf("NoBlockCache run tallied cache traffic: hits=%d misses=%d",
+			plain.Stats.BlockCacheHits, plain.Stats.BlockCacheMisses)
+	}
+
+	// The execution-volume counters must agree exactly: replay charges
+	// the replayed span's instruction count and one dispatch loop, the
+	// same as executing it.
+	if cached.Stats.IRInstructionsExecuted != plain.Stats.IRInstructionsExecuted {
+		t.Errorf("ir_instructions_executed differs: cached=%d plain=%d",
+			cached.Stats.IRInstructionsExecuted, plain.Stats.IRInstructionsExecuted)
+	}
+	if cached.Stats.VMDispatchLoops != plain.Stats.VMDispatchLoops {
+		t.Errorf("vm_dispatch_loops differs: cached=%d plain=%d",
+			cached.Stats.VMDispatchLoops, plain.Stats.VMDispatchLoops)
+	}
+
+	// All remaining stats and the full observable result must be
+	// bit-identical (EngineInvariant zeroes the four VM counters, so the
+	// fingerprint compares everything else).
+	cs, ps := cached.Stats, plain.Stats
+	cs.BlockCacheHits, cs.BlockCacheMisses = 0, 0
+	ps.BlockCacheHits, ps.BlockCacheMisses = 0, 0
+	if cs != ps {
+		t.Errorf("stats differ beyond cache tallies:\ncached=%+v\nplain =%+v", cs, ps)
+	}
+	if cf, pf := engineFingerprint(cached), engineFingerprint(plain); cf != pf {
+		t.Errorf("results differ:\n--- cached ---\n%s--- plain ---\n%s", cf, pf)
+	}
+}
+
+// TestBlockCacheTreeEquivalence pins the cached VM run against the tree
+// walker over the same mixed executed/escaped/replayed program.
+func TestBlockCacheTreeEquivalence(t *testing.T) {
+	assertEnginesAgree(t, cacheParitySrc, Options{})
+}
+
+// TestBlockCacheRaisedUnrollLoopReplay covers the loop-shaped replay
+// path: with LoopUnroll high enough for a third iteration, a loop body's
+// span arms on the first iteration, records on the second, and replays
+// from the third on — with counters and results identical to the
+// uncached run.
+func TestBlockCacheRaisedUnrollLoopReplay(t *testing.T) {
+	src := `<?php
+for ($i = 0; $i < 4; $i++) {
+	$msg = "warn" . "ing";
+}
+`
+	opts := Options{LoopUnroll: 4}
+	cached := runVM(t, src, opts)
+	plain := runVM(t, src, Options{LoopUnroll: 4, NoBlockCache: true})
+	if cached.Stats.BlockCacheHits == 0 {
+		t.Fatalf("loop body never replayed at LoopUnroll=4")
+	}
+	if cached.Stats.IRInstructionsExecuted != plain.Stats.IRInstructionsExecuted ||
+		cached.Stats.VMDispatchLoops != plain.Stats.VMDispatchLoops {
+		t.Errorf("counter deltas differ: cached instrs=%d loops=%d, plain instrs=%d loops=%d",
+			cached.Stats.IRInstructionsExecuted, cached.Stats.VMDispatchLoops,
+			plain.Stats.IRInstructionsExecuted, plain.Stats.VMDispatchLoops)
+	}
+	if cf, pf := engineFingerprint(cached), engineFingerprint(plain); cf != pf {
+		t.Errorf("results differ:\n--- cached ---\n%s--- plain ---\n%s", cf, pf)
+	}
+	assertEnginesAgree(t, src, opts)
+}

@@ -78,6 +78,16 @@ func (f *EngineFactory) FunctionsCompiled() int {
 	return f.prog.FunctionsCompiled
 }
 
+// ConstsFolded reports the number of constant-foldable opcode runs the
+// compiler rewrote into OpFoldedConst superinstructions; zero for the
+// tree engine.
+func (f *EngineFactory) ConstsFolded() int {
+	if f.prog == nil {
+		return 0
+	}
+	return f.prog.ConstsFolded
+}
+
 // CacheHits reports how many engine instantiations reused the shared
 // compiled program instead of recompiling (every New call after the
 // first); zero for the tree engine.
@@ -118,6 +128,9 @@ type vmEngine struct {
 func (ve *vmEngine) Run(ctx context.Context, root *callgraph.Node) Result {
 	in := ve.in
 	in.ctx = ctx
+	if !in.opts.NoBlockCache {
+		in.blockCache = newBlockCache()
+	}
 	v := &vmRun{in: in, prog: ve.prog}
 	envs := heapgraph.EnvSet{heapgraph.NewEnv()}
 	in.curFile = root.File

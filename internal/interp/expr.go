@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/heapgraph"
+	"repro/internal/ir"
 	"repro/internal/phpast"
 	"repro/internal/sexpr"
 )
@@ -174,11 +175,15 @@ func popTmp(envs heapgraph.EnvSet) []heapgraph.Label {
 }
 
 // symbolShared memoizes symbols that are global in nature (superglobal
-// fields, platform constants) so all paths share one object.
+// fields, platform constants) so all paths share one object. Every fill
+// advances memoEpoch: block-cache recordings taped across a fill are
+// discarded, and replays require the exact recording epoch, so memo state
+// observed by a cached span is always bit-identical to record time.
 func (in *Interp) symbolShared(name string, t sexpr.Type, line int) heapgraph.Label {
 	if l, ok := in.superGlobs[name]; ok {
 		return l
 	}
+	in.memoEpoch++
 	l := in.g.NewSymbol(name, t, line)
 	in.superGlobs[name] = l
 	return l
@@ -200,8 +205,12 @@ func (in *Interp) evalVar(x *phpast.Var, envs heapgraph.EnvSet) []heapgraph.Labe
 // superglobal's shared pre-structured object) when unbound. Shared with
 // the VM's OpVar handler.
 func (in *Interp) varLabel(e *heapgraph.Env, name string, line int) heapgraph.Label {
-	if l := e.Get(name); l != heapgraph.Null {
-		return l
+	got := e.Get(name)
+	if in.rec != nil {
+		in.rec.readVar(e, name, got)
+	}
+	if got != heapgraph.Null {
+		return got
 	}
 	var l heapgraph.Label
 	switch name {
@@ -213,6 +222,9 @@ func (in *Interp) varLabel(e *heapgraph.Env, name string, line int) heapgraph.La
 		l = in.g.NewSymbol("s_$"+name, sexpr.Unknown, line)
 	}
 	e.Bind(name, l)
+	if in.rec != nil {
+		in.rec.bindVar(e, name, l)
+	}
 	return l
 }
 
@@ -332,27 +344,7 @@ func (in *Interp) concreteKey(l heapgraph.Label) (string, bool) {
 	return "", false
 }
 
-func itoa64(n int64) string {
-	if n == 0 {
-		return "0"
-	}
-	neg := n < 0
-	if neg {
-		n = -n
-	}
-	var b [20]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	if neg {
-		i--
-		b[i] = '-'
-	}
-	return string(b[i:])
-}
+func itoa64(n int64) string { return ir.Itoa64(n) }
 
 func (in *Interp) evalArrayLit(x *phpast.ArrayLit, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
 	// Evaluate all keys and values first (parking on the operand stack),
@@ -429,20 +421,13 @@ func (in *Interp) foldUnary(op string, l heapgraph.Label, line int) (heapgraph.L
 	if o == nil || o.Kind != heapgraph.KindConcrete {
 		return heapgraph.Null, false
 	}
-	switch op {
-	case "!":
-		if b, ok := in.concreteBool(l); ok {
-			return in.g.NewConcrete(sexpr.BoolVal(!b), line), true
-		}
-	case "-":
-		if v, ok := o.Val.(sexpr.IntVal); ok {
-			return in.g.NewConcrete(sexpr.IntVal(-v), line), true
-		}
-		if v, ok := o.Val.(sexpr.FloatVal); ok {
-			return in.g.NewConcrete(sexpr.FloatVal(-v), line), true
-		}
-	case "+":
+	if op == "+" {
 		return l, true
+	}
+	// Shared with the compiler's constant-fold pass (ir.FoldUnary), so a
+	// compile-time fold decision is identical to this run-time one.
+	if v, ok := ir.FoldUnary(op, o.Val); ok {
+		return in.g.NewConcrete(v, line), true
 	}
 	return heapgraph.Null, false
 }
@@ -507,123 +492,32 @@ func (in *Interp) foldBinary(op string, l, r heapgraph.Label, line int) (heapgra
 	if lo == nil || ro == nil || lo.Kind != heapgraph.KindConcrete || ro.Kind != heapgraph.KindConcrete {
 		return heapgraph.Null, false
 	}
-	mk := func(v sexpr.Expr) (heapgraph.Label, bool) { return in.g.NewConcrete(v, line), true }
-	switch op {
-	case ".":
-		ls, lok := concreteString(lo.Val)
-		rs, rok := concreteString(ro.Val)
-		if lok && rok {
-			return mk(sexpr.StrVal(ls + rs))
-		}
-	case "+", "-", "*", "%":
-		li, lok := concreteInt(lo.Val)
-		ri, rok := concreteInt(ro.Val)
-		if lok && rok {
-			switch op {
-			case "+":
-				return mk(sexpr.IntVal(li + ri))
-			case "-":
-				return mk(sexpr.IntVal(li - ri))
-			case "*":
-				return mk(sexpr.IntVal(li * ri))
-			case "%":
-				if ri != 0 {
-					return mk(sexpr.IntVal(li % ri))
-				}
-			}
-		}
-	case "==", "!=", "===", "!==":
-		if eq, ok := concreteEqual(lo.Val, ro.Val, op == "===" || op == "!=="); ok {
-			if op == "!=" || op == "!==" {
-				eq = !eq
-			}
-			return mk(sexpr.BoolVal(eq))
-		}
-	case "<", ">", "<=", ">=":
-		li, lok := concreteInt(lo.Val)
-		ri, rok := concreteInt(ro.Val)
-		if lok && rok {
-			var b bool
-			switch op {
-			case "<":
-				b = li < ri
-			case ">":
-				b = li > ri
-			case "<=":
-				b = li <= ri
-			case ">=":
-				b = li >= ri
-			}
-			return mk(sexpr.BoolVal(b))
-		}
-	case "&&", "||":
-		lb, lok := in.concreteBool(l)
-		rb, rok := in.concreteBool(r)
-		if lok && rok {
-			if op == "&&" {
-				return mk(sexpr.BoolVal(lb && rb))
-			}
-			return mk(sexpr.BoolVal(lb || rb))
-		}
-	case "??":
+	// "??" yields an existing operand label (no allocation), so it stays
+	// here; everything else shares ir.FoldBinary with the compiler's
+	// constant-fold pass, keeping compile-time and run-time decisions
+	// identical. The &&/|| truthiness in ir.FoldBinary matches
+	// concreteBool's KindConcrete arm, which is the only arm reachable
+	// under the concrete-operand guard above.
+	if op == "??" {
 		if _, isNull := lo.Val.(sexpr.NullVal); isNull {
 			return r, true
 		}
 		return l, true
 	}
+	if v, ok := ir.FoldBinary(op, lo.Val, ro.Val); ok {
+		return in.g.NewConcrete(v, line), true
+	}
 	return heapgraph.Null, false
 }
 
-func concreteString(v sexpr.Expr) (string, bool) {
-	switch x := v.(type) {
-	case sexpr.StrVal:
-		return string(x), true
-	case sexpr.IntVal:
-		return itoa64(int64(x)), true
-	case sexpr.BoolVal:
-		if x {
-			return "1", true
-		}
-		return "", true
-	case sexpr.NullVal:
-		return "", true
-	}
-	return "", false
-}
+func concreteString(v sexpr.Expr) (string, bool) { return ir.ConcreteString(v) }
 
-func concreteInt(v sexpr.Expr) (int64, bool) {
-	switch x := v.(type) {
-	case sexpr.IntVal:
-		return int64(x), true
-	case sexpr.BoolVal:
-		if x {
-			return 1, true
-		}
-		return 0, true
-	case sexpr.NullVal:
-		return 0, true
-	}
-	return 0, false
-}
+func concreteInt(v sexpr.Expr) (int64, bool) { return ir.ConcreteInt(v) }
 
 // concreteEqual compares concrete values; strict selects === semantics.
 // The bool result is only valid when ok is true.
 func concreteEqual(a, b sexpr.Expr, strict bool) (bool, bool) {
-	if strict {
-		return sexpr.Equal(a, b), true
-	}
-	// Loose comparison for same-kind values and common coercions.
-	as, aok := a.(sexpr.StrVal)
-	bs, bok := b.(sexpr.StrVal)
-	if aok && bok {
-		return as == bs, true
-	}
-	ai, aok2 := concreteInt(a)
-	bi, bok2 := concreteInt(b)
-	if aok2 && bok2 {
-		return ai == bi, true
-	}
-	return sexpr.Equal(a, b), true
+	return ir.ConcreteEqual(a, b, strict)
 }
 
 func (in *Interp) evalIncDec(x *phpast.IncDec, envs heapgraph.EnvSet) (heapgraph.EnvSet, []heapgraph.Label) {
@@ -703,22 +597,11 @@ func (in *Interp) evalCast(x *phpast.Cast, envs heapgraph.EnvSet) (heapgraph.Env
 	for i := range envs {
 		o := in.g.Find(ls[i])
 		if o != nil && o.Kind == heapgraph.KindConcrete {
-			switch x.Type {
-			case "int":
-				if v, ok := concreteInt(o.Val); ok {
-					labels[i] = in.g.NewConcrete(sexpr.IntVal(v), x.P.Line)
-					continue
-				}
-			case "string":
-				if v, ok := concreteString(o.Val); ok {
-					labels[i] = in.g.NewConcrete(sexpr.StrVal(v), x.P.Line)
-					continue
-				}
-			case "bool":
-				if v, ok := in.concreteBool(ls[i]); ok {
-					labels[i] = in.g.NewConcrete(sexpr.BoolVal(v), x.P.Line)
-					continue
-				}
+			// Shared with the compiler's fold pass; the "bool" case matches
+			// concreteBool's KindConcrete arm, the only one reachable here.
+			if v, ok := ir.FoldCast(x.Type, o.Val); ok {
+				labels[i] = in.g.NewConcrete(v, x.P.Line)
+				continue
 			}
 		}
 		t := map[string]sexpr.Type{
@@ -769,6 +652,7 @@ func (in *Interp) symbolSharedConcrete(name string, v sexpr.Expr, line int) heap
 	if l, ok := in.superGlobs["const:"+name]; ok {
 		return l
 	}
+	in.memoEpoch++
 	l := in.g.NewConcrete(v, line)
 	in.superGlobs["const:"+name] = l
 	return l

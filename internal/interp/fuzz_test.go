@@ -35,8 +35,34 @@ class C { function m($v) { return $v . "!"; } }
 $o = new C();
 echo $o->m((string)(int)$q), "done $q";
 `)
+	// Constant-foldable opcode runs: pure concrete subexpressions the
+	// compiler rewrites into OpFoldedConst superinstructions, mixed with
+	// symbolic tails and per-env unary/cast folds.
+	f.Add(`<?php
+$a = "up" . "loads" . "/" . "img";
+$b = 1 + 2 * 3 - (int)"7";
+$c = -(5) . (string)(2 + 2) . $sym;
+$d = !0;
+if ("a" . "b" == "ab") { $e = $a . $b; }
+`)
+	// Block-cache replay shapes: a function body inlined at three call
+	// sites (arm, record, replay) and a loop body revisited with
+	// identical live-in state — both must replay bit-identically to
+	// execution, which the fingerprint comparison enforces.
+	f.Add(`<?php
+function tag($x) {
+	$t = "pre" . "fix";
+	$u = $t . $x;
+	return $u;
+}
+$r = tag($p) . tag($q) . tag($p) . tag($q);
+for ($i = 0; $i < 5; $i++) {
+	$m = "warn" . "ing";
+	$n = strlen($m);
+}
+`)
 
-	opts := Options{MaxPaths: 200, MaxObjects: 20000, MaxCallDepth: 8}
+	opts := Options{MaxPaths: 200, MaxObjects: 20000, MaxCallDepth: 8, LoopUnroll: 4}
 	f.Fuzz(func(t *testing.T, src string) {
 		run := func(kind EngineKind) (Result, bool) {
 			file, errs := phpparser.Parse("fuzz.php", src)

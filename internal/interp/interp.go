@@ -66,11 +66,21 @@ type Stats struct {
 	// fork rather than with total bindings.
 	PathCondSharedNodes int64
 	// IRInstructionsExecuted counts bytecode instructions dispatched by
-	// the VM engine (zero under the tree engine).
+	// the VM engine (zero under the tree engine). Replayed block-cache
+	// spans contribute their static span size, exactly as an execution
+	// would.
 	IRInstructionsExecuted int64
 	// VMDispatchLoops counts VM dispatch-loop entries — one per
-	// statement span executed (zero under the tree engine).
+	// statement span executed (zero under the tree engine). Replayed
+	// spans count one loop each, exactly as an execution would.
 	VMDispatchLoops int64
+	// BlockCacheHits counts statement spans replayed from the VM's
+	// block-fact cache instead of dispatched (zero under the tree engine).
+	BlockCacheHits int64
+	// BlockCacheMisses counts cacheable spans that had to execute and
+	// record because no stored recording's live-in fingerprint matched
+	// (zero under the tree engine).
+	BlockCacheMisses int64
 }
 
 // EngineInvariant returns the stats with engine-mechanical counters
@@ -79,6 +89,8 @@ type Stats struct {
 func (s Stats) EngineInvariant() Stats {
 	s.IRInstructionsExecuted = 0
 	s.VMDispatchLoops = 0
+	s.BlockCacheHits = 0
+	s.BlockCacheMisses = 0
 	return s
 }
 
@@ -93,6 +105,11 @@ type Options struct {
 	LoopUnroll int
 	// MaxCallDepth bounds user-function inlining depth. Default 24.
 	MaxCallDepth int
+	// NoBlockCache disables the VM engine's block-fact cache (replay of
+	// recorded span effects). The cache is semantically invisible — it
+	// exists as an option only for ablation benchmarks and the
+	// counter-parity regression tests. Ignored by the tree engine.
+	NoBlockCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -164,6 +181,18 @@ type Interp struct {
 
 	budgetErr error
 	stats     Stats
+
+	// memoEpoch counts fills of the process-wide memo tables (superGlobs,
+	// filesArr, filesFields, filesMulti). A block-cache recording is only
+	// valid at the exact epoch it was taped at: equal epoch means the
+	// append-only memos are bit-identical to record time.
+	memoEpoch int64
+	// rec is the active block-cache recorder, non-nil only while the VM is
+	// taping a cacheable span; interp-side env read/bind sites feed it.
+	rec *blockRecorder
+	// blockCache memoizes cacheable statement spans' effects for this
+	// root's graph. Lazily created by the VM engine.
+	blockCache *blockCache
 
 	// ctx carries the cancellation signal for the current RunRootCtx call;
 	// steps counts overBudget checkpoints so the (mutex-guarded) ctx.Err is

@@ -16,6 +16,15 @@ import (
 // delegate to the shared fork/loop/try core in controlflow.go with
 // bytecode body runners, which makes the two engines byte-for-byte
 // equivalent on the heap graph they build.
+//
+// Register slices come from a small rotating buffer pool instead of the
+// heap: the compiler emits postorder code, so a register value is always
+// consumed by the next instruction that reads it before more than a
+// handful of further register writes happen, and ops that recurse into
+// nested code (calls, blocks, loops) either consume the register first
+// (branch/loop conditions, foreach subjects) or replace it with a fresh
+// heap slice on return. Nothing pool-backed survives into recorded sinks
+// or inlined frames — those keep private heap allocations.
 type vmRun struct {
 	in   *Interp
 	prog *ir.Program
@@ -24,22 +33,111 @@ type vmRun struct {
 	// Stats.VMDispatchLoops.
 	instrs int64
 	spans  int64
+
+	// bufs is the rotating register pool. Eight slots comfortably exceed
+	// the four register slices an instruction can hold live at once
+	// (ternary: cond, then, else, result).
+	bufs [8][]heapgraph.Label
+	bufi int
+
+	// Per-instruction scratch, reused across dispatches.
+	opsBuf   []heapgraph.Label
+	argsBuf  []heapgraph.Label
+	partsBuf []heapgraph.Label
+	itemsBuf []vmArrayItem
+
+	// sharedUn / sharedBin are the per-instruction operand→result sharing
+	// maps of OpUnary/OpBinary, reused (cleared) across dispatches and
+	// skipped entirely on single-path sets.
+	sharedUn  map[heapgraph.Label]heapgraph.Label
+	sharedBin map[vmOperands]heapgraph.Label
 }
+
+type vmArrayItem struct {
+	key    heapgraph.Label
+	hasKey bool
+	val    heapgraph.Label
+}
+
+type vmOperands struct{ l, r heapgraph.Label }
 
 var castTypes = map[string]sexpr.Type{
 	"int": sexpr.Int, "float": sexpr.Float, "string": sexpr.String,
 	"bool": sexpr.Bool, "array": sexpr.Array,
 }
 
+// buf returns the next pool slice, grown to n labels. Contents are
+// overwritten by the caller.
+func (v *vmRun) buf(n int) []heapgraph.Label {
+	i := v.bufi & 7
+	v.bufi++
+	b := v.bufs[i]
+	if cap(b) < n {
+		b = make([]heapgraph.Label, n)
+		v.bufs[i] = b
+	}
+	return b[:n]
+}
+
+// fill is sameLabel into a pool buffer.
+func (v *vmRun) fill(envs heapgraph.EnvSet, l heapgraph.Label) []heapgraph.Label {
+	out := v.buf(len(envs))
+	for i := range out {
+		out[i] = l
+	}
+	return out
+}
+
+// popT is popTmp into a pool buffer.
+func (v *vmRun) popT(envs heapgraph.EnvSet) []heapgraph.Label {
+	out := v.buf(len(envs))
+	for i, e := range envs {
+		out[i] = e.PopTmp()
+	}
+	return out
+}
+
+// popArgsInto pops n parked argument labels off one path's operand stack
+// into the shared argument scratch (callers must not retain the slice —
+// recordSink and inlineFrame use popArgs instead).
+func (v *vmRun) popArgsInto(e *heapgraph.Env, n int) []heapgraph.Label {
+	if cap(v.argsBuf) < n {
+		v.argsBuf = make([]heapgraph.Label, n)
+	}
+	args := v.argsBuf[:n]
+	for j := n - 1; j >= 0; j-- {
+		args[j] = e.PopTmp()
+	}
+	return args
+}
+
 // runCode executes one compiled statement list with the tree walker's
 // per-statement budget checkpoint and suspended-path partition.
 func (v *vmRun) runCode(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	in := v.in
-	for _, sp := range c.Spans {
+	for si := range c.Spans {
 		if in.overBudget(envs) {
 			return envs
 		}
-		var live, held heapgraph.EnvSet
+		suspended := 0
+		for _, e := range envs {
+			if e.Suspended() {
+				suspended++
+			}
+		}
+		in.stats.PathsHeld += int64(suspended)
+		if suspended == len(envs) {
+			// Also covers an empty env set: execStmts stops after its
+			// first checkpoint when no path is live, so the VM must not
+			// keep charging budget checks for the remaining spans.
+			return envs
+		}
+		if suspended == 0 {
+			envs = v.runSpan(c, si, envs)
+			continue
+		}
+		live := make(heapgraph.EnvSet, 0, len(envs)-suspended)
+		held := make(heapgraph.EnvSet, 0, suspended)
 		for _, e := range envs {
 			if e.Suspended() {
 				held = append(held, e)
@@ -47,11 +145,7 @@ func (v *vmRun) runCode(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
 				live = append(live, e)
 			}
 		}
-		in.stats.PathsHeld += int64(len(held))
-		if len(live) == 0 {
-			return envs
-		}
-		live, _ = v.exec(c, sp, live)
+		live = v.runSpan(c, si, live)
 		envs = append(live, held...)
 	}
 	return envs
@@ -61,7 +155,38 @@ func (v *vmRun) runCode(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
 // (execStmt semantics — used for else branches so elseif chains do not
 // double-count checkpoints).
 func (v *vmRun) runOne(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
-	envs, _ = v.exec(c, c.Spans[0], envs)
+	return v.runSpan(c, 0, envs)
+}
+
+// runSpan dispatches one statement span through the block-fact cache:
+// cacheable spans whose live-in facts validate against a stored recording
+// replay its taped effects (counting instructions and dispatch loops
+// exactly as an execution would); cacheable misses execute under a
+// recorder and store the tape. Everything else just executes.
+func (v *vmRun) runSpan(c *ir.Code, si int, envs heapgraph.EnvSet) heapgraph.EnvSet {
+	in := v.in
+	sp := c.Spans[si]
+	if in.blockCache != nil && c.Cacheable != nil && c.Cacheable[si] {
+		if r := in.blockCache.lookup(in, c, si, envs); r != nil {
+			r.replay(in, envs)
+			v.spans++
+			v.instrs += int64(sp.N)
+			in.stats.BlockCacheHits++
+			return envs
+		}
+		in.stats.BlockCacheMisses++
+		if in.blockCache.shouldRecord(c, si) {
+			br := newBlockRecorder(in, envs)
+			in.rec = br
+			in.g.SetRecorder(br)
+			envs, _ = v.exec(c, sp, envs)
+			in.g.SetRecorder(nil)
+			in.rec = nil
+			br.finish(c, si)
+			return envs
+		}
+	}
+	envs, _ = v.exec(c, sp, envs)
 	return envs
 }
 
@@ -96,7 +221,8 @@ func (v *vmRun) loopPost(post []*ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSe
 }
 
 // popArgs pops n parked argument labels off one path's operand stack,
-// restoring source order.
+// restoring source order. Heap-allocated: used where the callee may
+// retain the slice (recordSink, inlineFrame's argument matrix).
 func popArgs(e *heapgraph.Env, n int) []heapgraph.Label {
 	args := make([]heapgraph.Label, n)
 	for j := n - 1; j >= 0; j-- {
@@ -119,11 +245,41 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		line := int(ins.Line)
 		switch ins.Op {
 		case ir.OpConst:
-			vals = sameLabel(envs, g.NewConcrete(p.Consts[ins.A], line))
+			vals = v.fill(envs, g.NewConcrete(p.Consts[ins.A], line))
+
+		case ir.OpFoldedConst:
+			// Replay of a constant-folded opcode run: every allocation the
+			// unfolded code would have performed (operand constants and the
+			// folded results) happens here, same values, lines, and order,
+			// so the heap graph is byte-identical — only the dispatching,
+			// parking, and fold re-derivation are gone. A per-env-result
+			// fold (unary/cast, which the evaluator folds before any
+			// sharing map) allocates its final step once per path.
+			d := &p.Folds[ins.A]
+			steps := d.Steps
+			if d.PerEnvResult {
+				for si := 0; si < len(steps)-1; si++ {
+					st := steps[si]
+					g.NewConcrete(p.Consts[st.Const], int(st.Line))
+				}
+				last := steps[len(steps)-1]
+				cv := p.Consts[last.Const]
+				cline := int(last.Line)
+				vals = v.buf(len(envs))
+				for i := range envs {
+					vals[i] = g.NewConcrete(cv, cline)
+				}
+			} else {
+				var l heapgraph.Label
+				for _, st := range steps {
+					l = g.NewConcrete(p.Consts[st.Const], int(st.Line))
+				}
+				vals = v.fill(envs, l)
+			}
 
 		case ir.OpVar:
 			name := p.Strings[ins.A]
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i, e := range envs {
 				vals[i] = in.varLabel(e, name, line)
 			}
@@ -132,25 +288,31 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			pushTmp(envs, vals)
 
 		case ir.OpPeekTmp:
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i, e := range envs {
 				vals[i] = e.Tmp[len(e.Tmp)-1]
 			}
 
 		case ir.OpFreshSym:
-			vals = sameLabel(envs, g.NewSymbol(p.Strings[ins.A], sexpr.Type(ins.B), line))
+			vals = v.fill(envs, g.NewSymbol(p.Strings[ins.A], sexpr.Type(ins.B), line))
 
 		case ir.OpSharedSym:
-			vals = sameLabel(envs, in.symbolShared(p.Strings[ins.A], sexpr.Type(ins.B), line))
+			vals = v.fill(envs, in.symbolShared(p.Strings[ins.A], sexpr.Type(ins.B), line))
 
 		case ir.OpConstFetch:
-			vals = sameLabel(envs, in.constLabel(p.Strings[ins.A], line))
+			vals = v.fill(envs, in.constLabel(p.Strings[ins.A], line))
 
 		case ir.OpInterpString:
 			n := int(ins.A)
-			vals = make([]heapgraph.Label, len(envs))
+			if cap(v.partsBuf) < n {
+				v.partsBuf = make([]heapgraph.Label, n)
+			}
+			vals = v.buf(len(envs))
 			for i, e := range envs {
-				parts := popArgs(e, n)
+				parts := v.partsBuf[:n]
+				for j := n - 1; j >= 0; j-- {
+					parts[j] = e.PopTmp()
+				}
 				cur := parts[0]
 				for j := 1; j < n; j++ {
 					op := g.NewOp(".", sexpr.String, line)
@@ -162,35 +324,35 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			}
 
 		case ir.OpIndex:
-			arrs := popTmp(envs)
+			arrs := v.popT(envs)
 			idxs := vals
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i := range envs {
 				vals[i] = in.readElem(arrs[i], idxs[i], line)
 			}
 
 		case ir.OpArrayLit:
 			desc := p.ArrayDescs[ins.A]
-			vals = make([]heapgraph.Label, len(envs))
+			if cap(v.itemsBuf) < len(desc) {
+				v.itemsBuf = make([]vmArrayItem, len(desc))
+			}
+			vals = v.buf(len(envs))
 			for i, e := range envs {
-				type kv struct {
-					key    heapgraph.Label
-					hasKey bool
-					val    heapgraph.Label
-				}
-				items := make([]kv, len(desc))
+				items := v.itemsBuf[:len(desc)]
 				for j := len(desc) - 1; j >= 0; j-- {
 					items[j].val = e.PopTmp()
+					items[j].hasKey = false
 					if desc[j] {
 						items[j].key = e.PopTmp()
 						items[j].hasKey = true
 					}
 				}
 				arr := g.NewArray(line)
-				for _, it := range items {
+				for k := range items {
+					it := &items[k]
 					if it.hasKey {
-						if k, ok := in.concreteKey(it.key); ok {
-							g.SetElem(arr, k, it.val)
+						if key, ok := in.concreteKey(it.key); ok {
+							g.SetElem(arr, key, it.val)
 							continue
 						}
 					}
@@ -202,8 +364,27 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpUnary:
 			op := p.Strings[ins.A]
 			ls := vals
-			shared := map[heapgraph.Label]heapgraph.Label{}
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
+			t := sexpr.Bool
+			if op == "-" || op == "+" || op == "~" {
+				t = sexpr.Int
+			}
+			if len(envs) == 1 {
+				if folded, ok := in.foldUnary(op, ls[0], line); ok {
+					vals[0] = folded
+				} else {
+					o := g.NewOp(op, t, line)
+					g.AddEdge(o, ls[0])
+					vals[0] = o
+				}
+				break
+			}
+			if v.sharedUn == nil {
+				v.sharedUn = map[heapgraph.Label]heapgraph.Label{}
+			} else {
+				clear(v.sharedUn)
+			}
+			shared := v.sharedUn
 			for i := range envs {
 				if folded, ok := in.foldUnary(op, ls[i], line); ok {
 					vals[i] = folded
@@ -213,10 +394,6 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 					vals[i] = l
 					continue
 				}
-				t := sexpr.Bool
-				if op == "-" || op == "+" || op == "~" {
-					t = sexpr.Int
-				}
 				o := g.NewOp(op, t, line)
 				g.AddEdge(o, ls[i])
 				shared[ls[i]] = o
@@ -225,13 +402,28 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 
 		case ir.OpBinary:
 			op := p.Strings[ins.A]
-			lls := popTmp(envs)
+			lls := v.popT(envs)
 			rls := vals
-			type operands struct{ l, r heapgraph.Label }
-			shared := map[operands]heapgraph.Label{}
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
+			if len(envs) == 1 {
+				if folded, ok := in.foldBinary(op, lls[0], rls[0], line); ok {
+					vals[0] = folded
+				} else {
+					o := g.NewOp(op, binaryResultType(op), line)
+					g.AddEdge(o, lls[0])
+					g.AddEdge(o, rls[0])
+					vals[0] = o
+				}
+				break
+			}
+			if v.sharedBin == nil {
+				v.sharedBin = map[vmOperands]heapgraph.Label{}
+			} else {
+				clear(v.sharedBin)
+			}
+			shared := v.sharedBin
 			for i := range envs {
-				key := operands{lls[i], rls[i]}
+				key := vmOperands{lls[i], rls[i]}
 				if l, ok := shared[key]; ok {
 					vals[i] = l
 					continue
@@ -250,14 +442,17 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 
 		case ir.OpIsset:
 			n := int(ins.A)
-			vals = make([]heapgraph.Label, len(envs))
+			if cap(v.opsBuf) < n {
+				v.opsBuf = make([]heapgraph.Label, n)
+			}
+			vals = v.buf(len(envs))
 			for i, e := range envs {
 				op := g.NewOp("isset", sexpr.Bool, line)
-				var ops []heapgraph.Label
+				ops := v.opsBuf[:n]
 				for j := 0; j < n; j++ {
-					ops = append(ops, e.PopTmp())
+					ops[j] = e.PopTmp()
 				}
-				for j := len(ops) - 1; j >= 0; j-- {
+				for j := n - 1; j >= 0; j-- {
 					g.AddEdge(op, ops[j])
 				}
 				vals[i] = op
@@ -265,7 +460,7 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 
 		case ir.OpEmpty:
 			ls := vals
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i := range envs {
 				op := g.NewOp("empty", sexpr.Bool, line)
 				g.AddEdge(op, ls[i])
@@ -274,9 +469,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 
 		case ir.OpTernary:
 			els := vals
-			tls := popTmp(envs)
-			cls := popTmp(envs)
-			vals = make([]heapgraph.Label, len(envs))
+			tls := v.popT(envs)
+			cls := v.popT(envs)
+			vals = v.buf(len(envs))
 			for i := range envs {
 				if b, ok := in.concreteBool(cls[i]); ok {
 					if b {
@@ -301,26 +496,13 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpCast:
 			castType := p.Strings[ins.A]
 			ls := vals
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i := range envs {
 				o := g.Find(ls[i])
 				if o != nil && o.Kind == heapgraph.KindConcrete {
-					switch castType {
-					case "int":
-						if iv, ok := concreteInt(o.Val); ok {
-							vals[i] = g.NewConcrete(sexpr.IntVal(iv), line)
-							continue
-						}
-					case "string":
-						if sv, ok := concreteString(o.Val); ok {
-							vals[i] = g.NewConcrete(sexpr.StrVal(sv), line)
-							continue
-						}
-					case "bool":
-						if bv, ok := in.concreteBool(ls[i]); ok {
-							vals[i] = g.NewConcrete(sexpr.BoolVal(bv), line)
-							continue
-						}
+					if cv, ok := ir.FoldCast(castType, o.Val); ok {
+						vals[i] = g.NewConcrete(cv, line)
+						continue
 					}
 				}
 				op := g.NewOp("cast_"+castType, castTypes[castType], line)
@@ -332,6 +514,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			name := p.Strings[ins.A]
 			for i, e := range envs {
 				e.Bind(name, vals[i])
+				if in.rec != nil {
+					in.rec.bindVar(e, name, vals[i])
+				}
 			}
 
 		case ir.OpAssignTo:
@@ -344,7 +529,7 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			name := p.Strings[ins.A]
 			olds := vals
 			one := g.NewConcrete(sexpr.IntVal(1), line)
-			news := make([]heapgraph.Label, len(envs))
+			news := v.buf(len(envs))
 			opName := "+"
 			if ins.B&1 != 0 {
 				opName = "-"
@@ -361,6 +546,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			}
 			for i, e := range envs {
 				e.Bind(name, news[i])
+				if in.rec != nil {
+					in.rec.bindVar(e, name, news[i])
+				}
 			}
 			if ins.B&2 != 0 {
 				vals = news
@@ -371,7 +559,7 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpPropFetch:
 			prop := p.Strings[ins.A]
 			ols := vals
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i := range envs {
 				if info := g.Array(ols[i]); info != nil {
 					if l, ok := g.Elem(ols[i], prop); ok {
@@ -392,9 +580,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 
 		case ir.OpCallDynamic:
 			n := int(ins.B)
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i, e := range envs {
-				args := popArgs(e, n)
+				args := v.popArgsInto(e, n)
 				fn := g.NewFunc("call_dynamic", sexpr.Unknown, line)
 				for _, a := range args {
 					g.AddEdge(fn, a)
@@ -405,7 +593,7 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpCallSink:
 			name := p.Strings[ins.A]
 			n := int(ins.B)
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i, e := range envs {
 				vals[i] = in.recordSink(name, popArgs(e, n), e, line)
 			}
@@ -413,9 +601,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpCallBuiltin:
 			name := p.Strings[ins.A]
 			n := int(ins.B)
-			vals = make([]heapgraph.Label, len(envs))
+			vals = v.buf(len(envs))
 			for i, e := range envs {
-				vals[i] = in.builtinCall(name, popArgs(e, n), e, line)
+				vals[i] = in.builtinCall(name, v.popArgsInto(e, n), e, line)
 			}
 
 		case ir.OpCallUser:
@@ -449,16 +637,16 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 				in.curFile = prev
 				in.fileStack = in.fileStack[:len(in.fileStack)-1]
 			}
-			vals = sameLabel(envs, done)
+			vals = v.fill(envs, done)
 
 		case ir.OpExit:
 			for _, e := range envs {
 				e.Terminated = true
 			}
-			vals = sameLabel(envs, g.NewConcrete(sexpr.NullVal{}, line))
+			vals = v.fill(envs, g.NewConcrete(sexpr.NullVal{}, line))
 
 		case ir.OpPrint:
-			vals = sameLabel(envs, g.NewConcrete(sexpr.IntVal(1), line))
+			vals = v.fill(envs, g.NewConcrete(sexpr.IntVal(1), line))
 
 		case ir.OpEvalExpr:
 			envs, vals = in.eval(p.Exprs[ins.A], envs)
@@ -574,7 +762,11 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 		case ir.OpStaticSym:
 			name := p.Strings[ins.A]
 			for _, e := range envs {
-				e.Bind(name, g.NewSymbol("s_static_"+name, sexpr.Unknown, line))
+				l := g.NewSymbol("s_static_"+name, sexpr.Unknown, line)
+				e.Bind(name, l)
+				if in.rec != nil {
+					in.rec.bindVar(e, name, l)
+				}
 			}
 			vals = nil
 
@@ -582,6 +774,9 @@ func (v *vmRun) exec(c *ir.Code, sp ir.Span, envs heapgraph.EnvSet) (heapgraph.E
 			for _, name := range p.Names[ins.A] {
 				for _, e := range envs {
 					e.Unbind(name)
+					if in.rec != nil {
+						in.rec.unbindVar(e, name)
+					}
 				}
 			}
 			vals = nil

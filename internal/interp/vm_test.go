@@ -142,6 +142,40 @@ switch ($x) { default: $q = 9; }
 `, Options{})
 }
 
+// TestEngineEquivalenceBlockForms pins the OpBlock-wrapped statement
+// shapes: bare blocks (also nested, also suspending mid-block), a
+// default-only switch whose body is OpBlock + OpConsumeLoop, and a
+// default-only switch with a break — the span/checkpoint attribution
+// (PathsHeld, BudgetChecks) must match the tree walker's statement
+// partitioning exactly, which the fingerprint's stats comparison pins.
+func TestEngineEquivalenceBlockForms(t *testing.T) {
+	assertEnginesAgree(t, `<?php
+{
+	$a = 1;
+	{
+		$b = $a + 1;
+		{ $c = $b . "x"; }
+	}
+	$d = $c;
+}
+switch ($m) { default: $q = 9; }
+switch ($n) {
+default:
+	$r = 1;
+	break;
+	$r = 2;
+}
+while ($w < 2) {
+	{
+		$w = $w + 1;
+		break;
+		$dead = 1;
+	}
+	$after = 1;
+}
+`, Options{})
+}
+
 func TestEngineEquivalenceCallsAndSinks(t *testing.T) {
 	assertEnginesAgree(t, `<?php
 function ext($name, $sep = ".") {
@@ -277,6 +311,23 @@ for ($i = 0; $i < $n; $i++) {
 `
 	assertEnginesAgree(t, src, Options{MaxPaths: 8})
 	assertEnginesAgree(t, src, Options{MaxObjects: 40})
+}
+
+// TestEngineEquivalenceEmptyEnvSpans pins checkpoint parity when a
+// statement list runs with no live path. A concretely-bounded loop at a
+// raised unroll limit drains every env out of the body before the final
+// unroll iteration; execStmts stops after one budget check (live == 0),
+// so runCode must too instead of charging one check per remaining span.
+// Found by FuzzEngineEquivalence (BudgetChecks off by one).
+func TestEngineEquivalenceEmptyEnvSpans(t *testing.T) {
+	opts := Options{MaxPaths: 200, MaxObjects: 20000, MaxCallDepth: 8, LoopUnroll: 4}
+	assertEnginesAgree(t, `<?php
+for ($j = 0; $j < 2; $j++) { if ($j) { $a = 1; } copy($src, $p); }
+`, opts)
+	assertEnginesAgree(t, `<?php
+$j = 0;
+while ($j < 2) { $j++; if ($j > 1) { continue; } copy($src, $p); }
+`, opts)
 }
 
 func TestParseEngineKind(t *testing.T) {

@@ -172,6 +172,7 @@ func (b *builder) emit(i Instr) { b.instrs = append(b.instrs, i) }
 
 func (c *compiler) finish(b *builder) *Code {
 	code := &Code{Instrs: b.instrs, Spans: b.spans}
+	c.markCacheable(code)
 	c.codes = append(c.codes, code)
 	return code
 }
@@ -430,11 +431,17 @@ func (c *compiler) compileExpr(b *builder, e phpast.Expr) {
 		b.emit(Instr{Op: OpArrayLit, A: idx, Line: int32(x.P.Line)})
 	case *phpast.Unary:
 		c.compileExpr(b, x.X)
+		if c.tryFoldUnary(b, x.Op, int32(x.P.Line)) {
+			return
+		}
 		b.emit(Instr{Op: OpUnary, A: c.str(x.Op), Line: int32(x.P.Line)})
 	case *phpast.Binary:
 		c.compileExpr(b, x.L)
 		b.emit(Instr{Op: OpPark})
 		c.compileExpr(b, x.R)
+		if c.tryFoldBinary(b, x.Op, int32(x.P.Line)) {
+			return
+		}
 		b.emit(Instr{Op: OpBinary, A: c.str(x.Op), Line: int32(x.P.Line)})
 	case *phpast.Assign:
 		if x.Op == "" {
@@ -478,6 +485,9 @@ func (c *compiler) compileExpr(b *builder, e phpast.Expr) {
 		b.emit(Instr{Op: OpTernary, Line: int32(x.P.Line)})
 	case *phpast.Cast:
 		c.compileExpr(b, x.X)
+		if c.tryFoldCast(b, x.Type, int32(x.P.Line)) {
+			return
+		}
 		b.emit(Instr{Op: OpCast, A: c.str(x.Type), Line: int32(x.P.Line)})
 	case *phpast.ErrorSuppress:
 		c.compileExpr(b, x.X)

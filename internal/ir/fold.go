@@ -1,0 +1,395 @@
+package ir
+
+import (
+	"repro/internal/sexpr"
+)
+
+// This file holds the constant-fold semantics shared between the compiler
+// and the tree-walking evaluator, the compile-time peephole that rewrites
+// foldable opcode runs into OpFoldedConst superinstructions, and the
+// static span-cacheability analysis the VM's block-fact cache keys on.
+//
+// The fold helpers are the single source of truth for "what does a
+// concrete-operand operator evaluate to": interp.foldBinary/foldUnary and
+// the cast evaluator delegate here, so a compile-time fold decision is by
+// construction identical to the run-time one — the only difference is
+// when the arithmetic happens, never what it produces.
+
+// ConcreteString converts a concrete value to its PHP string coercion.
+func ConcreteString(v sexpr.Expr) (string, bool) {
+	switch x := v.(type) {
+	case sexpr.StrVal:
+		return string(x), true
+	case sexpr.IntVal:
+		return Itoa64(int64(x)), true
+	case sexpr.BoolVal:
+		if x {
+			return "1", true
+		}
+		return "", true
+	case sexpr.NullVal:
+		return "", true
+	}
+	return "", false
+}
+
+// ConcreteInt converts a concrete value to its PHP integer coercion.
+func ConcreteInt(v sexpr.Expr) (int64, bool) {
+	switch x := v.(type) {
+	case sexpr.IntVal:
+		return int64(x), true
+	case sexpr.BoolVal:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case sexpr.NullVal:
+		return 0, true
+	}
+	return 0, false
+}
+
+// ConcreteTruthy is PHP boolean coercion for concrete scalar values (the
+// KindConcrete arm of the evaluator's concreteBool).
+func ConcreteTruthy(v sexpr.Expr) (bool, bool) {
+	switch x := v.(type) {
+	case sexpr.BoolVal:
+		return bool(x), true
+	case sexpr.IntVal:
+		return x != 0, true
+	case sexpr.StrVal:
+		return x != "" && x != "0", true
+	case sexpr.NullVal:
+		return false, true
+	case sexpr.FloatVal:
+		return x != 0, true
+	}
+	return false, false
+}
+
+// ConcreteEqual compares concrete values; strict selects === semantics.
+// The bool result is only valid when ok is true.
+func ConcreteEqual(a, b sexpr.Expr, strict bool) (bool, bool) {
+	if strict {
+		return sexpr.Equal(a, b), true
+	}
+	// Loose comparison for same-kind values and common coercions.
+	as, aok := a.(sexpr.StrVal)
+	bs, bok := b.(sexpr.StrVal)
+	if aok && bok {
+		return as == bs, true
+	}
+	ai, aok2 := ConcreteInt(a)
+	bi, bok2 := ConcreteInt(b)
+	if aok2 && bok2 {
+		return ai == bi, true
+	}
+	return sexpr.Equal(a, b), true
+}
+
+// Itoa64 formats an int64 in decimal without allocating through strconv's
+// generic path (hot in string coercions).
+func Itoa64(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// FoldBinary computes the concrete result of `a op b` for concrete
+// operands, following the same PHP semantics as the evaluator. "??" is
+// deliberately not handled: it yields an existing operand label rather
+// than allocating a result, so it cannot be expressed as a folded
+// allocation run.
+func FoldBinary(op string, a, b sexpr.Expr) (sexpr.Expr, bool) {
+	switch op {
+	case ".":
+		ls, lok := ConcreteString(a)
+		rs, rok := ConcreteString(b)
+		if lok && rok {
+			return sexpr.StrVal(ls + rs), true
+		}
+	case "+", "-", "*", "%":
+		li, lok := ConcreteInt(a)
+		ri, rok := ConcreteInt(b)
+		if lok && rok {
+			switch op {
+			case "+":
+				return sexpr.IntVal(li + ri), true
+			case "-":
+				return sexpr.IntVal(li - ri), true
+			case "*":
+				return sexpr.IntVal(li * ri), true
+			case "%":
+				if ri != 0 {
+					return sexpr.IntVal(li % ri), true
+				}
+			}
+		}
+	case "==", "!=", "===", "!==":
+		if eq, ok := ConcreteEqual(a, b, op == "===" || op == "!=="); ok {
+			if op == "!=" || op == "!==" {
+				eq = !eq
+			}
+			return sexpr.BoolVal(eq), true
+		}
+	case "<", ">", "<=", ">=":
+		li, lok := ConcreteInt(a)
+		ri, rok := ConcreteInt(b)
+		if lok && rok {
+			var r bool
+			switch op {
+			case "<":
+				r = li < ri
+			case ">":
+				r = li > ri
+			case "<=":
+				r = li <= ri
+			case ">=":
+				r = li >= ri
+			}
+			return sexpr.BoolVal(r), true
+		}
+	case "&&", "||":
+		lb, lok := ConcreteTruthy(a)
+		rb, rok := ConcreteTruthy(b)
+		if lok && rok {
+			if op == "&&" {
+				return sexpr.BoolVal(lb && rb), true
+			}
+			return sexpr.BoolVal(lb || rb), true
+		}
+	}
+	return nil, false
+}
+
+// FoldUnary computes the concrete result of a unary operator applied to a
+// concrete value. Unary "+" is not handled: it yields the operand label
+// itself, allocating nothing.
+func FoldUnary(op string, v sexpr.Expr) (sexpr.Expr, bool) {
+	switch op {
+	case "!":
+		if b, ok := ConcreteTruthy(v); ok {
+			return sexpr.BoolVal(!b), true
+		}
+	case "-":
+		if x, ok := v.(sexpr.IntVal); ok {
+			return sexpr.IntVal(-x), true
+		}
+		if x, ok := v.(sexpr.FloatVal); ok {
+			return sexpr.FloatVal(-x), true
+		}
+	}
+	return nil, false
+}
+
+// FoldCast computes the concrete result of a (type) cast applied to a
+// concrete value.
+func FoldCast(typ string, v sexpr.Expr) (sexpr.Expr, bool) {
+	switch typ {
+	case "int":
+		if x, ok := ConcreteInt(v); ok {
+			return sexpr.IntVal(x), true
+		}
+	case "string":
+		if x, ok := ConcreteString(v); ok {
+			return sexpr.StrVal(x), true
+		}
+	case "bool":
+		if x, ok := ConcreteTruthy(v); ok {
+			return sexpr.BoolVal(x), true
+		}
+	}
+	return nil, false
+}
+
+// ---- compile-time peephole ----
+
+// constTail reports whether the builder's last instruction is a complete
+// constant expression (OpConst or OpFoldedConst — both opcodes are only
+// ever emitted as the entire compilation of an expression), returning its
+// final concrete value and its allocation steps.
+func (c *compiler) constTail(ins Instr) (val sexpr.Expr, steps []FoldStep, ok bool) {
+	switch ins.Op {
+	case OpConst:
+		return c.p.Consts[ins.A], []FoldStep{{Const: ins.A, Line: ins.Line}}, true
+	case OpFoldedConst:
+		d := c.p.Folds[ins.A]
+		if d.PerEnvResult {
+			// A per-environment result cannot feed a further fold: the
+			// evaluator would see distinct operand labels per path and
+			// allocate per path again, which a shared fold step cannot
+			// replay.
+			return nil, nil, false
+		}
+		st := d.Steps
+		return c.p.Consts[st[len(st)-1].Const], st, true
+	}
+	return nil, nil, false
+}
+
+func (c *compiler) emitFold(b *builder, drop int, steps []FoldStep, v sexpr.Expr, line int32, perEnv bool) {
+	merged := make([]FoldStep, 0, len(steps)+1)
+	merged = append(merged, steps...)
+	merged = append(merged, FoldStep{Const: c.cst(v), Line: line})
+	idx := int32(len(c.p.Folds))
+	c.p.Folds = append(c.p.Folds, FoldDesc{Steps: merged, PerEnvResult: perEnv})
+	b.instrs = b.instrs[:len(b.instrs)-drop]
+	b.emit(Instr{Op: OpFoldedConst, A: idx, Line: line})
+	c.p.ConstsFolded++
+}
+
+// tryFoldBinary rewrites the tail pattern [const-L, OpPark, const-R] into
+// an OpFoldedConst replaying L's allocations, R's allocations, and the
+// folded result — exactly the nodes, values, order, and lines the VM (and
+// the tree walker) would allocate, with the dispatch and parking skipped.
+// Returns false (emitting nothing) when the tail does not match or the
+// operator/operand combination is not foldable; the caller then emits the
+// normal OpBinary.
+func (c *compiler) tryFoldBinary(b *builder, op string, line int32) bool {
+	n := len(b.instrs)
+	if n < 3 || b.instrs[n-2].Op != OpPark {
+		return false
+	}
+	rv, rSteps, ok := c.constTail(b.instrs[n-1])
+	if !ok {
+		return false
+	}
+	lv, lSteps, ok := c.constTail(b.instrs[n-3])
+	if !ok {
+		return false
+	}
+	v, ok := FoldBinary(op, lv, rv)
+	if !ok {
+		return false
+	}
+	steps := make([]FoldStep, 0, len(lSteps)+len(rSteps))
+	steps = append(steps, lSteps...)
+	steps = append(steps, rSteps...)
+	// Binary folds allocate once per distinct operand pair (the sharing
+	// map), and constant operands coincide across paths.
+	c.emitFold(b, 3, steps, v, line, false)
+	return true
+}
+
+// tryFoldUnary rewrites [const-X] + unary op into an OpFoldedConst.
+func (c *compiler) tryFoldUnary(b *builder, op string, line int32) bool {
+	n := len(b.instrs)
+	if n < 1 {
+		return false
+	}
+	xv, xSteps, ok := c.constTail(b.instrs[n-1])
+	if !ok {
+		return false
+	}
+	v, ok := FoldUnary(op, xv)
+	if !ok {
+		return false
+	}
+	// Unary folds allocate per path in the evaluator (no sharing map on
+	// the fold path).
+	c.emitFold(b, 1, xSteps, v, line, true)
+	return true
+}
+
+// tryFoldCast rewrites [const-X] + cast into an OpFoldedConst.
+func (c *compiler) tryFoldCast(b *builder, typ string, line int32) bool {
+	n := len(b.instrs)
+	if n < 1 {
+		return false
+	}
+	xv, xSteps, ok := c.constTail(b.instrs[n-1])
+	if !ok {
+		return false
+	}
+	v, ok := FoldCast(typ, xv)
+	if !ok {
+		return false
+	}
+	// Cast folds allocate per path, like unary folds.
+	c.emitFold(b, 1, xSteps, v, line, true)
+	return true
+}
+
+// ---- span cacheability ----
+
+// markCacheable flags each span of a statement code whose instructions
+// are all effect-tapeable: no control flow, no path forks or suspensions,
+// no escape to the tree evaluator, no sink recording, no include/exit,
+// and a statically balanced operand stack (net depth zero, never dipping
+// below the span's entry depth, peeks only at in-span parks). The VM's
+// block-fact cache only ever records and replays flagged spans.
+func (c *compiler) markCacheable(code *Code) {
+	if len(code.Spans) == 0 {
+		return
+	}
+	code.Cacheable = make([]bool, len(code.Spans))
+	any := false
+	for i, sp := range code.Spans {
+		if sp.N > 0 && c.spanCacheable(code.Instrs[sp.Off:sp.Off+sp.N]) {
+			code.Cacheable[i] = true
+			any = true
+		}
+	}
+	if !any {
+		code.Cacheable = nil
+	}
+}
+
+func (c *compiler) spanCacheable(instrs []Instr) bool {
+	depth := 0
+	for _, ins := range instrs {
+		switch ins.Op {
+		case OpConst, OpVar, OpFreshSym, OpSharedSym, OpConstFetch,
+			OpUnary, OpCast, OpEmpty, OpBindVar, OpIncDecVar, OpPropFetch,
+			OpPrint, OpUnset, OpStaticSym, OpFoldedConst:
+			// Stack-neutral, effect-tapeable.
+		case OpPark:
+			depth++
+		case OpPeekTmp:
+			if depth < 1 {
+				return false // would peek a value parked before the span
+			}
+		case OpInterpString, OpIsset:
+			depth -= int(ins.A)
+		case OpIndex, OpBinary:
+			depth--
+		case OpTernary:
+			depth -= 2
+		case OpCallDynamic, OpCallBuiltin:
+			depth -= int(ins.B)
+		case OpArrayLit:
+			desc := c.p.ArrayDescs[ins.A]
+			n := len(desc)
+			for _, hasKey := range desc {
+				if hasKey {
+					n++
+				}
+			}
+			depth -= n
+		default:
+			// Control flow, user calls, sinks, escapes, includes, returns:
+			// never taped.
+			return false
+		}
+		if depth < 0 {
+			return false // would pop a value parked before the span
+		}
+	}
+	return depth == 0
+}

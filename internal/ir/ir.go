@@ -147,6 +147,13 @@ const (
 	OpUnset
 	// OpConsumeLoop consumes one break/continue level (switch statements).
 	OpConsumeLoop
+	// OpFoldedConst replays the constant-folded allocation run Folds[A]:
+	// every heap node the original opcode run would have allocated is still
+	// allocated, with identical values, order, and lines (so objects_allocated
+	// and heap-graph labels stay byte-identical to the tree engine); only the
+	// dispatch, operand parking, and runtime fold probing are skipped. The
+	// value register receives the final step's label on every path.
+	OpFoldedConst
 
 	opCount
 )
@@ -166,7 +173,7 @@ var opNames = [...]string{
 	OpForeach: "foreach", OpTry: "try", OpReturn: "return",
 	OpBreak: "break", OpContinue: "continue", OpThrow: "throw",
 	OpGlobal: "global", OpStaticSym: "staticsym", OpUnset: "unset",
-	OpConsumeLoop: "consumeloop",
+	OpConsumeLoop: "consumeloop", OpFoldedConst: "foldedconst",
 }
 
 func (o Op) String() string {
@@ -198,6 +205,32 @@ type Span struct {
 type Code struct {
 	Instrs []Instr
 	Spans  []Span
+	// Cacheable flags each span (by index) as eligible for the VM's
+	// block-fact cache: every instruction in the span is effect-taped
+	// (no control flow, no path forks, no escape to the tree evaluator,
+	// no sink recording) and the span's operand-stack usage is statically
+	// balanced. Computed once at compile time; nil for expression codes
+	// (which have no spans and are never cached — their result register
+	// is consumed by the caller).
+	Cacheable []bool
+}
+
+// FoldStep is one replayed allocation of an OpFoldedConst: a concrete
+// object with value Consts[Const] at the given source line.
+type FoldStep struct {
+	Const int32
+	Line  int32
+}
+
+// FoldDesc describes an OpFoldedConst: the ordered allocation steps of the
+// folded opcode run. The last step's label is the result. PerEnvResult
+// marks folds whose original opcode allocated the folded result once per
+// live path (unary operators and casts fold per environment in the
+// evaluator; binary folds are shared across paths through the per-operand
+// sharing map) — the VM must replay that allocation count exactly.
+type FoldDesc struct {
+	Steps        []FoldStep
+	PerEnvResult bool
 }
 
 // IfDesc describes an OpIf. Else is nil when there is no else branch;
@@ -286,6 +319,8 @@ type Program struct {
 	Trys     []TryDesc
 	// Blocks are OpBlock targets.
 	Blocks []*Code
+	// Folds are OpFoldedConst targets.
+	Folds []FoldDesc
 
 	// Funcs lists every compiled function; FuncsByName resolves
 	// lower-cased call names with the same first-declaration-wins rule as
@@ -307,6 +342,10 @@ type Program struct {
 	// FunctionsCompiled counts compiled units (functions + file
 	// top-levels) for the ir_functions_compiled metric.
 	FunctionsCompiled int
+	// ConstsFolded counts constant-fold rewrites performed by Compile
+	// (each OpFoldedConst creation or extension), for the ir_consts_folded
+	// metric.
+	ConstsFolded int
 }
 
 // Stats summarizes a program for logs and tests.

@@ -1,0 +1,69 @@
+package smt
+
+// Fingerprinting support for consumers that need a cheap, deterministic
+// digest of symbolic state. The VM's block-fact cache hashes its scalar
+// live-in facts (env count, memo epoch, current file) through Hasher, and
+// path-condition prefixes can be folded in term by term via TermID: with
+// hash-consing, a constraint prefix is identified by the pointer identities
+// of its conjuncts, and TermID maps those pointers to stable small integers
+// that order by first appearance — byte-identical across runs for a fixed
+// construction order.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Hasher is a streaming 64-bit FNV-1a hasher. The zero value is ready to
+// use; it never allocates.
+type Hasher struct {
+	h uint64
+}
+
+func (s *Hasher) lazyInit() {
+	if s.h == 0 {
+		s.h = fnvOffset64
+	}
+}
+
+// WriteUint64 folds an integer into the digest, little-endian byte by byte.
+func (s *Hasher) WriteUint64(v uint64) {
+	s.lazyInit()
+	h := s.h
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	s.h = h
+}
+
+// WriteString folds a string into the digest, length-prefixed so that
+// consecutive writes cannot collide by re-bracketing.
+func (s *Hasher) WriteString(x string) {
+	s.WriteUint64(uint64(len(x)))
+	h := s.h
+	for i := 0; i < len(x); i++ {
+		h ^= uint64(x[i])
+		h *= fnvPrime64
+	}
+	s.h = h
+}
+
+// Sum returns the current digest.
+func (s *Hasher) Sum() uint64 {
+	s.lazyInit()
+	return s.h
+}
+
+// TermID returns the factory's stable small identifier for an interned
+// term, assigning one on first use (nil factory or nil term hash to 0).
+// Because terms are hash-consed, TermID(t) identifies t's full structure:
+// fingerprinting a path-condition prefix is just hashing the TermIDs of
+// its conjunct pointers in order.
+func (f *Factory) TermID(t *Term) uint64 {
+	if f == nil || t == nil {
+		return 0
+	}
+	return f.id(t)
+}

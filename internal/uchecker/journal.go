@@ -82,8 +82,16 @@ func (s *Scanner) optionsFingerprint() string {
 	// produce byte-identical reports; the token is still part of the
 	// identity so a cross-engine miscompare can never hide behind a
 	// cache hit.
+	// The interpreter slice is printed through a budget-field projection
+	// rather than interp.Options directly: Options also carries
+	// ablation-only knobs (NoBlockCache) that provably cannot change a
+	// report's content and must not invalidate existing journals.
+	iop := o.Budgets.interpOptions()
+	ifp := struct{ MaxPaths, MaxObjects, LoopUnroll, MaxCallDepth int }{
+		iop.MaxPaths, iop.MaxObjects, iop.LoopUnroll, iop.MaxCallDepth,
+	}
 	fp := fmt.Sprintf("v%d ext=%v interp=%+v solver=%+v noloc=%t admin=%t keepsmt=%t retries=%d root-timeout=%v max-root-failures=%d nodeg=%t nointern=%t",
-		scanjournal.FormatVersion, o.Extensions, o.Budgets.interpOptions(), o.Budgets.solverOptions(),
+		scanjournal.FormatVersion, o.Extensions, ifp, o.Budgets.solverOptions(),
 		o.DisableLocality, o.ModelAdminGating, o.KeepSMT, o.MaxRetries,
 		o.RootTimeout, o.MaxRootFailures, o.DisableDegraded, o.DisableIntern)
 	if o.Engine != "" && o.Engine != interp.EngineTree {

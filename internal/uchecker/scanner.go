@@ -381,6 +381,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	// tree reports are byte-identical to pre-IR ones.
 	rep.Metrics.Add("ir_functions_compiled", int64(engines.FunctionsCompiled()))
 	rep.Metrics.Add("ir_compile_cache_hits", engines.CacheHits())
+	rep.Metrics.Add("ir_consts_folded", int64(engines.ConstsFolded()))
 
 	if rep.Paths > 0 {
 		rep.ObjectsPerPath = float64(rep.Objects) / float64(rep.Paths)
@@ -597,6 +598,8 @@ func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFact
 	// deltas, absent) under the tree engine.
 	ar.metrics.Add("ir_instructions_executed", res.Stats.IRInstructionsExecuted)
 	ar.metrics.Add("vm_dispatch_loops", res.Stats.VMDispatchLoops)
+	ar.metrics.Add("vm_block_cache_hits", res.Stats.BlockCacheHits)
+	ar.metrics.Add("vm_block_cache_misses", res.Stats.BlockCacheMisses)
 	if res.Err != nil {
 		class := classifyRootErr(res.Err, ctx, rctx)
 		if class == FailPathBudget || class == FailObjectBudget {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"testing"
@@ -258,6 +260,66 @@ func TestWorkerZombieFencedEndToEnd(t *testing.T) {
 	}
 	if got := readMerged(t, dir); !bytes.Equal(got, want) {
 		t.Error("zombie scenario merge differs from baseline")
+	}
+}
+
+// TestWorkerHeartbeatJoinOnJournalCrash asserts the lease-heartbeat
+// goroutine does not outlive RunWorker when the shard scan aborts on a
+// journal-append failure: the crash-semantics return path must still
+// join the heartbeat (close hbStop, wait) before returning, or a renew
+// tick could race the caller's teardown of the coordination directory.
+// The goroutine count is sampled before and after with a settle loop, so
+// the assertion is a leak check, not a scheduling race.
+func TestWorkerHeartbeatJoinOnJournalCrash(t *testing.T) {
+	targets := simTargets(6)
+	opts := simOpts(1)
+	dir := filepath.Join(t.TempDir(), "coord")
+
+	before := runtime.NumGoroutine()
+
+	o := opts
+	// Fail the very first shard-journal append: the sub-scan aborts with
+	// crash semantics while the heartbeat ticker is live.
+	o.FaultHook = faultinject.FailAfter(faultinject.JournalWrite, "", 0)
+	s := NewScanner(o)
+	_, err := s.RunWorker(context.Background(), targets, simWorkerOpts(dir, "victim", 3))
+	if err == nil {
+		t.Fatal("want the injected journal-append failure to surface, got nil")
+	}
+
+	// The heartbeat must already be joined when RunWorker returns: no
+	// goroutine may still be executing RunWorker frames. The tiny settle
+	// window only absorbs a goroutine's post-Done wind-down, not a missed
+	// join (an unjoined heartbeat would sit in its ticker select).
+	workerFrames := func() string {
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		if strings.Contains(buf.String(), "RunWorker") {
+			return buf.String()
+		}
+		return ""
+	}
+	var stacks string
+	for i := 0; i < 10; i++ {
+		if stacks = workerFrames(); stacks == "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stacks != "" {
+		t.Errorf("heartbeat goroutine outlived RunWorker's crash return:\n%s", stacks)
+	}
+
+	// And the total goroutine count returns to its pre-call level.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutines leaked across RunWorker crash: before=%d after=%d\n%s",
+			before, after, buf.String())
 	}
 }
 
