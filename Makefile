@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim engine-diff bench bench-scan bench-smt bench-interp bench-interp-diff bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim daemon-chaos engine-diff bench bench-scan bench-smt bench-interp bench-interp-diff bench-smoke
 
 check: fmt vet build race fuzz-smoke bench-smoke
 
@@ -66,6 +66,20 @@ registry-sim:
 	REGISTRY_SIM_OUT=$(CURDIR)/REGISTRY_SIM_merged.json $(GO) test -race -run 'TestRegistrySimCrashMatrix|TestWorkerFleetMergesIdentical|TestWorkerZombieFencedEndToEnd|TestWorkerDrainReleasesLease|TestBatchDrainSemantics|TestBatchCancelSemantics|TestBatchTransientAppendRetry|TestSubprocessKillNine' ./internal/uchecker
 	$(GO) test -race ./internal/shardcoord
 	@echo "wrote REGISTRY_SIM_merged.json"
+
+# Scan-as-a-service crash-tolerance acceptance suite under the race
+# detector: the daemon is killed at EVERY job-lifecycle journal append
+# (submit/start/finish of every job plus the manifest, at 1 and 4 scan
+# workers) and at each daemon-specific fault seam
+# (dequeue/checkpoint/drain), plus a real kill -9 of a daemon
+# subprocess mid-scan; every restarted daemon must resume the accepted
+# jobs to results byte-identical to an uninterrupted baseline, with no
+# job lost, none double-submitted, and at most one terminal journal
+# record per job. The clean baseline's canonical reports and the matrix
+# shape are archived at DAEMON_CHAOS_matrix.json.
+daemon-chaos:
+	DAEMON_CHAOS_OUT=$(CURDIR)/DAEMON_CHAOS_matrix.json $(GO) test -race -run 'TestDaemonChaosMatrix|TestDaemonSeamCrashes|TestDaemonChaosKillNine$$' ./internal/scand
+	@echo "wrote DAEMON_CHAOS_matrix.json"
 
 # Engine-differential acceptance suite under the race detector: tree vs
 # VM byte-identical findings on every corpus app at Workers=1/4, the

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"repro/internal/obs"
+	"repro/internal/scand"
 	"repro/internal/scanjournal"
 	"repro/internal/uchecker"
 )
@@ -106,6 +107,36 @@ type WorkerStats = uchecker.WorkerStats
 // ReadMerged loads a fleet's merged report back into the in-order
 // per-target report slice (wall-clock fields read zero).
 func ReadMerged(path string) ([]*AppReport, error) { return uchecker.ReadMerged(path) }
+
+// Scan-as-a-service (see internal/scand and cmd/ucheckerd): a Daemon
+// wraps a Scanner behind a durable job queue — the scan journal holds
+// the job lifecycle, so a restart with the same state directory
+// re-enqueues pending jobs and serves finished results byte-identically
+// from the content-addressed cache — with per-tenant token-bucket
+// admission, weighted-fair scheduling, and an HTTP API (Daemon.Handler)
+// exposing submit/status/result/cancel, SSE progress and Prometheus
+// metrics.
+type (
+	// Daemon is the long-running scan service.
+	Daemon = scand.Daemon
+	// DaemonConfig configures OpenDaemon: state directory, scan options,
+	// concurrency, timeouts, per-tenant admission policies and journal
+	// auto-compaction thresholds.
+	DaemonConfig = scand.Config
+	// DaemonJob is one submitted scan's lifecycle snapshot.
+	DaemonJob = scand.Job
+	// TenantPolicy bounds one tenant's submit rate, burst, queue depth
+	// and fair-share weight.
+	TenantPolicy = scand.TenantPolicy
+	// IngestLimits bounds tarball submissions (per-file bytes, total
+	// extracted bytes, file count).
+	IngestLimits = scand.IngestLimits
+)
+
+// OpenDaemon opens (or crash-recovers) a scan daemon on its state
+// directory. Close it to release the journal; Drain for a graceful
+// stop that leaves queued jobs durable.
+func OpenDaemon(cfg DaemonConfig) (*Daemon, error) { return scand.Open(cfg) }
 
 // AtomicWrite streams an export through a temp file in the destination
 // directory and renames it into place, so a mid-write failure leaves any

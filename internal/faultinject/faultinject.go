@@ -88,6 +88,39 @@ const (
 	// returned error simulates a crash mid-fold: the previous merged
 	// report (if any) must stay intact and a later fold must succeed.
 	CoordFold Point = "coord-fold"
+
+	// Daemon job-lifecycle seams (internal/scand). Each fires at one
+	// boundary of the scan-as-a-service state machine; the daemon-chaos
+	// matrix kills the daemon at every one of them and proves the
+	// restarted daemon resumes to byte-identical results.
+
+	// JobAccept fires inside the submit handler after admission control
+	// passes, before anything about the job is persisted. Detail is
+	// "<tenant>:<name>". A returned error rejects the submit (the client
+	// sees a 5xx and nothing was recorded — safe to retry).
+	JobAccept Point = "job-accept"
+	// JobEnqueue fires after the job's sources are spooled, before the
+	// job-submit record is journaled. Detail is the job ID. A returned
+	// error simulates a crash between spool and journal: the spool file
+	// is an orphan and the job was never accepted.
+	JobEnqueue Point = "job-enqueue"
+	// JobDequeue fires when a worker picks the job up, before the
+	// job-start record is journaled. Detail is the job ID. A returned
+	// error simulates a crash at dispatch: the job stays submitted and a
+	// restarted daemon re-enqueues it.
+	JobDequeue Point = "job-dequeue"
+	// JobCheckpoint fires after a job's scan completes, before its
+	// result is cached and its terminal record journaled. Detail is the
+	// job ID. A returned error simulates a crash between computing a
+	// result and persisting it: the re-run must reproduce the same
+	// report (scans are deterministic) and exactly one terminal record
+	// may ever land.
+	JobCheckpoint Point = "job-checkpoint"
+	// JobDrain fires once per in-flight job during graceful drain,
+	// before the daemon waits for it. Detail is the job ID. A returned
+	// error simulates a crash mid-drain: drained state must be
+	// indistinguishable from a plain crash to the restarted daemon.
+	JobDrain Point = "job-drain"
 )
 
 // Hook receives fault-injection callbacks. Hooks may panic, sleep, or

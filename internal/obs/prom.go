@@ -1,7 +1,7 @@
 // Prometheus text-exposition export (version 0.0.4 of the format:
 // https://prometheus.io/docs/instrumenting/exposition_formats/).
-// Counters become "<ns>_<key>" counter series; "_peak" keys become
-// gauges. Series carrying the same metric under different label sets
+// Counters become "<ns>_<key>" counter series; "_peak" and "_now" keys
+// become gauges. Series carrying the same metric under different label sets
 // (one per scanned app) share one TYPE header, exactly as the format
 // requires. Output is fully sorted, so two runs with identical metrics
 // produce byte-identical expositions — the determinism contract the
@@ -46,7 +46,7 @@ func WritePrometheus(w io.Writer, namespace string, series []LabeledMetrics) err
 		}
 		full = sanitizeMetricName(full)
 		kind := "counter"
-		if strings.HasSuffix(name, PeakSuffix) {
+		if strings.HasSuffix(name, PeakSuffix) || strings.HasSuffix(name, NowSuffix) {
 			kind = "gauge"
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", full, kind); err != nil {

@@ -1,0 +1,132 @@
+// Registry: a thread-safe, labeled metric store for long-lived servers.
+//
+// The batch pipeline keeps one (non-thread-safe) Metrics per root and
+// merges in canonical order at the end of a scan — fine for a process
+// that exports once at exit. A daemon serves /metrics continuously
+// while worker goroutines are mid-scan, so it needs a store that can
+// absorb merges from many goroutines and hand the scrape handler an
+// atomic snapshot: every counter in one scrape reflects a single
+// consistent point in time, never a half-merged scan.
+package obs
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NowSuffix marks point-in-time gauges (e.g. "queue_depth_now",
+// "jobs_running_now"): set with Registry.Set, exported as Prometheus
+// gauges, and merged by replacement — the latest observation wins,
+// unlike "_peak" high-water marks (max) and plain counters (addition).
+const NowSuffix = "_now"
+
+// Registry holds labeled metric series and is safe for concurrent use.
+// A nil *Registry is a valid no-op (like a nil *Recorder), so callers
+// thread a possibly-nil registry without guards.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*registrySeries // keyed by rendered label set
+}
+
+type registrySeries struct {
+	labels  map[string]string
+	metrics Metrics
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]*registrySeries{}}
+}
+
+// get returns (creating if needed) the series for labels. Caller holds mu.
+func (g *Registry) get(labels map[string]string) *registrySeries {
+	key := renderLabels(labels)
+	s, ok := g.series[key]
+	if !ok {
+		lc := make(map[string]string, len(labels))
+		for k, v := range labels {
+			lc[k] = v
+		}
+		s = &registrySeries{labels: lc, metrics: NewMetrics()}
+		g.series[key] = s
+	}
+	return s
+}
+
+// Add increments a counter on the series identified by labels.
+func (g *Registry) Add(labels map[string]string, key string, delta int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.get(labels).metrics.Add(key, delta)
+	g.mu.Unlock()
+}
+
+// Set overwrites a value on the series identified by labels — the
+// operation for "_now" point-in-time gauges.
+func (g *Registry) Set(labels map[string]string, key string, v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.get(labels).metrics[key] = v
+	g.mu.Unlock()
+}
+
+// Merge folds a finished scan's metric set into the series identified
+// by labels: "_peak" keys by max, "_now" keys by replacement,
+// everything else by addition.
+func (g *Registry) Merge(labels map[string]string, m Metrics) {
+	if g == nil || len(m) == 0 {
+		return
+	}
+	g.mu.Lock()
+	tgt := g.get(labels).metrics
+	for k, v := range m {
+		switch {
+		case strings.HasSuffix(k, PeakSuffix):
+			tgt.SetMax(k, v)
+		case strings.HasSuffix(k, NowSuffix):
+			tgt[k] = v
+		default:
+			tgt.Add(k, v)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of every series, sorted by rendered
+// label set. The copy is atomic: it reflects one instant of the
+// registry, so a scrape concurrent with merges never observes a
+// half-applied scan.
+func (g *Registry) Snapshot() []LabeledMetrics {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	keys := make([]string, 0, len(g.series))
+	for k := range g.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]LabeledMetrics, 0, len(keys))
+	for _, k := range keys {
+		s := g.series[k]
+		lc := make(map[string]string, len(s.labels))
+		for lk, lv := range s.labels {
+			lc[lk] = lv
+		}
+		out = append(out, LabeledMetrics{Labels: lc, Metrics: s.metrics.Clone()})
+	}
+	g.mu.Unlock()
+	return out
+}
+
+// WritePrometheus writes an atomic snapshot of the registry in
+// Prometheus text exposition format.
+func (g *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	return WritePrometheus(w, namespace, g.Snapshot())
+}

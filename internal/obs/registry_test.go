@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistrySnapshotAtomic hammers a Registry with concurrent merges
+// while snapshotting: under -race this proves the scrape path is safe,
+// and the invariant check proves snapshots are atomic — a scan merges
+// two counters together, so any snapshot must observe them equal.
+func TestRegistrySnapshotAtomic(t *testing.T) {
+	g := NewRegistry()
+	labels := map[string]string{"scope": "scans"}
+	const writers = 8
+	const merges = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				// a and b always merged together with equal deltas.
+				g.Merge(labels, Metrics{"pair_a_total": 3, "pair_b_total": 3, "depth_now": int64(i)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			snap := g.Snapshot()
+			if len(snap) != 1 {
+				t.Fatalf("got %d series, want 1", len(snap))
+			}
+			m := snap[0].Metrics
+			want := int64(writers * merges * 3)
+			if m["pair_a_total"] != want || m["pair_b_total"] != want {
+				t.Fatalf("final counters a=%d b=%d, want both %d", m["pair_a_total"], m["pair_b_total"], want)
+			}
+			return
+		default:
+			for _, s := range g.Snapshot() {
+				a, b := s.Metrics["pair_a_total"], s.Metrics["pair_b_total"]
+				if a != b {
+					t.Fatalf("non-atomic snapshot: pair_a_total=%d pair_b_total=%d", a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryMergeSemantics checks the three merge modes: counters
+// add, "_peak" takes the max, "_now" replaces.
+func TestRegistryMergeSemantics(t *testing.T) {
+	g := NewRegistry()
+	l := map[string]string{"app": "x"}
+	g.Merge(l, Metrics{"ops_total": 5, "live_peak": 10, "queue_depth_now": 7})
+	g.Merge(l, Metrics{"ops_total": 2, "live_peak": 4, "queue_depth_now": 3})
+	snap := g.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d series, want 1", len(snap))
+	}
+	m := snap[0].Metrics
+	if m["ops_total"] != 7 {
+		t.Errorf("ops_total = %d, want 7 (addition)", m["ops_total"])
+	}
+	if m["live_peak"] != 10 {
+		t.Errorf("live_peak = %d, want 10 (max)", m["live_peak"])
+	}
+	if m["queue_depth_now"] != 3 {
+		t.Errorf("queue_depth_now = %d, want 3 (replacement)", m["queue_depth_now"])
+	}
+}
+
+// TestRegistryNowGaugeExport checks "_now" series export as gauges and
+// that a nil registry is a no-op.
+func TestRegistryNowGaugeExport(t *testing.T) {
+	g := NewRegistry()
+	g.Set(map[string]string{"tenant": "a"}, "queue_depth_now", 4)
+	g.Add(map[string]string{"tenant": "a"}, "jobs_total", 1)
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb, "ucheckerd"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE ucheckerd_queue_depth_now gauge") {
+		t.Errorf("_now series not typed as gauge:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE ucheckerd_jobs_total counter") {
+		t.Errorf("counter series not typed as counter:\n%s", out)
+	}
+	if !strings.Contains(out, `ucheckerd_queue_depth_now{tenant="a"} 4`) {
+		t.Errorf("gauge value missing:\n%s", out)
+	}
+
+	var nilReg *Registry
+	nilReg.Add(nil, "x", 1)
+	nilReg.Set(nil, "x", 1)
+	nilReg.Merge(nil, Metrics{"x": 1})
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+}

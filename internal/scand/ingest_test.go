@@ -1,0 +1,265 @@
+package scand
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tarMember describes one entry of a synthetic (possibly hostile) tar.
+type tarMember struct {
+	name string
+	body string
+	typ  byte // 0 means tar.TypeReg
+	link string
+}
+
+func buildTar(t *testing.T, members []tarMember) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, m := range members {
+		typ := m.typ
+		if typ == 0 {
+			typ = tar.TypeReg
+		}
+		hdr := &tar.Header{
+			Name:     m.name,
+			Typeflag: typ,
+			Mode:     0o644,
+			Linkname: m.link,
+		}
+		if typ == tar.TypeReg {
+			hdr.Size = int64(len(m.body))
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			t.Fatalf("write header %q: %v", m.name, err)
+		}
+		if typ == tar.TypeReg {
+			if _, err := tw.Write([]byte(m.body)); err != nil {
+				t.Fatalf("write body %q: %v", m.name, err)
+			}
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("close tar: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func gzipped(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(raw); err != nil {
+		t.Fatalf("gzip: %v", err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestTarHostileArchives(t *testing.T) {
+	benign := tarMember{name: "plugin.php", body: "<?php echo 1;"}
+	cases := []struct {
+		name    string
+		members []tarMember
+		limits  IngestLimits
+		wantErr error  // nil means accept
+		errHint string // substring of the rejection message
+	}{
+		{
+			name:    "benign",
+			members: []tarMember{benign, {name: "inc/util.php", body: "<?php"}},
+		},
+		{
+			name: "directories skipped",
+			members: []tarMember{
+				{name: "inc/", typ: tar.TypeDir},
+				benign,
+			},
+		},
+		{
+			name: "symlink stripped not followed",
+			members: []tarMember{
+				{name: "evil-link.php", typ: tar.TypeSymlink, link: "/etc/passwd"},
+				benign,
+			},
+		},
+		{
+			name: "hardlink stripped",
+			members: []tarMember{
+				{name: "evil-hard.php", typ: tar.TypeLink, link: "plugin.php"},
+				benign,
+			},
+		},
+		{
+			name: "symlink-only archive has no sources",
+			members: []tarMember{
+				{name: "only-link.php", typ: tar.TypeSymlink, link: "x"},
+			},
+			wantErr: ErrHostileArchive,
+			errHint: "no regular files",
+		},
+		{
+			name:    "fifo rejected",
+			members: []tarMember{benign, {name: "pipe", typ: tar.TypeFifo}},
+			wantErr: ErrHostileArchive,
+			errHint: "non-regular type",
+		},
+		{
+			name:    "character device rejected",
+			members: []tarMember{benign, {name: "dev", typ: tar.TypeChar}},
+			wantErr: ErrHostileArchive,
+			errHint: "non-regular type",
+		},
+		{
+			name:    "parent traversal rejected",
+			members: []tarMember{{name: "../evil.php", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "escapes the archive root",
+		},
+		{
+			name:    "nested traversal rejected",
+			members: []tarMember{{name: "a/../../evil.php", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "escapes the archive root",
+		},
+		{
+			name:    "absolute path rejected",
+			members: []tarMember{{name: "/etc/cron.d/evil", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "absolute member path",
+		},
+		{
+			name:    "backslash path rejected",
+			members: []tarMember{{name: `..\..\evil.php`, body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "backslash",
+		},
+		{
+			name:    "windows drive path rejected",
+			members: []tarMember{{name: "C:/Windows/evil.php", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "absolute member path",
+		},
+		{
+			name:    "one hostile member poisons the whole archive",
+			members: []tarMember{benign, {name: "../evil.php", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "escapes the archive root",
+		},
+		{
+			name:    "duplicate member rejected",
+			members: []tarMember{benign, {name: "./plugin.php", body: "other"}},
+			wantErr: ErrHostileArchive,
+			errHint: "duplicate member",
+		},
+		{
+			name:    "empty archive rejected",
+			members: nil,
+			wantErr: ErrHostileArchive,
+			errHint: "no regular files",
+		},
+		{
+			name:    "dot member path rejected",
+			members: []tarMember{{name: "./", body: "", typ: tar.TypeDir}, {name: ".", body: "x"}},
+			wantErr: ErrHostileArchive,
+			errHint: "empty member path",
+		},
+		{
+			name:    "per-file cap",
+			members: []tarMember{{name: "big.php", body: strings.Repeat("a", 32)}},
+			limits:  IngestLimits{MaxFileBytes: 16},
+			wantErr: ErrArchiveTooLarge,
+		},
+		{
+			name: "total cap",
+			members: []tarMember{
+				{name: "a.php", body: strings.Repeat("a", 16)},
+				{name: "b.php", body: strings.Repeat("b", 16)},
+			},
+			limits:  IngestLimits{MaxFileBytes: 20, MaxTotalBytes: 24},
+			wantErr: ErrArchiveTooLarge,
+		},
+		{
+			name: "file-count cap",
+			members: []tarMember{
+				{name: "a.php", body: "x"},
+				{name: "b.php", body: "y"},
+			},
+			limits:  IngestLimits{MaxFiles: 1},
+			wantErr: ErrArchiveTooLarge,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := buildTar(t, tc.members)
+			for _, compressed := range []bool{false, true} {
+				body := raw
+				if compressed {
+					body = gzipped(t, raw)
+				}
+				sources, err := IngestTar(bytes.NewReader(body), tc.limits)
+				if tc.wantErr == nil {
+					if err != nil {
+						t.Fatalf("compressed=%v: unexpected reject: %v", compressed, err)
+					}
+					if _, ok := sources["plugin.php"]; !ok {
+						t.Fatalf("compressed=%v: plugin.php missing from %v", compressed, sources)
+					}
+					for name := range sources {
+						if strings.Contains(name, "..") || strings.HasPrefix(name, "/") {
+							t.Fatalf("unsafe extracted name %q", name)
+						}
+					}
+					continue
+				}
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("compressed=%v: got err %v, want %v", compressed, err, tc.wantErr)
+				}
+				if tc.errHint != "" && !strings.Contains(err.Error(), tc.errHint) {
+					t.Fatalf("error %q does not mention %q", err, tc.errHint)
+				}
+				if sources != nil {
+					t.Fatalf("rejected archive still returned sources: %v", sources)
+				}
+			}
+		})
+	}
+}
+
+func TestIngestTarBadStreams(t *testing.T) {
+	// Gzip magic followed by garbage: rejected as hostile, not a panic.
+	if _, err := IngestTar(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0x00, 0x01}), IngestLimits{}); !errors.Is(err, ErrHostileArchive) {
+		t.Fatalf("bad gzip: got %v, want ErrHostileArchive", err)
+	}
+	// Plain garbage that is neither gzip nor tar.
+	if _, err := IngestTar(strings.NewReader(strings.Repeat("not a tar", 100)), IngestLimits{}); !errors.Is(err, ErrHostileArchive) {
+		t.Fatalf("garbage: got %v, want ErrHostileArchive", err)
+	}
+	// A truncated but well-started tar stream.
+	raw := buildTar(t, []tarMember{{name: "a.php", body: strings.Repeat("x", 4096)}})
+	if _, err := IngestTar(bytes.NewReader(raw[:700]), IngestLimits{}); !errors.Is(err, ErrHostileArchive) {
+		t.Fatalf("truncated tar: got %v, want ErrHostileArchive", err)
+	}
+}
+
+// A member whose header understates its size must still be bounded: the
+// per-file cap applies to actually-extracted bytes, so a crafted stream
+// cannot smuggle more than MaxFileBytes per member into memory.
+func TestIngestTarExtractedByteCapIsStreaming(t *testing.T) {
+	raw := buildTar(t, []tarMember{
+		{name: "a.php", body: strings.Repeat("a", 100)},
+		{name: "b.php", body: strings.Repeat("b", 100)},
+		{name: "c.php", body: strings.Repeat("c", 100)},
+	})
+	_, err := IngestTar(bytes.NewReader(raw), IngestLimits{MaxFileBytes: 200, MaxTotalBytes: 150})
+	if !errors.Is(err, ErrArchiveTooLarge) {
+		t.Fatalf("got %v, want ErrArchiveTooLarge", err)
+	}
+}

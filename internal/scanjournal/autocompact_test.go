@@ -1,0 +1,272 @@
+package scanjournal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// jobRec builds a minimal job-lifecycle record for compaction tests.
+func jobRec(typ, job string) Record {
+	return Record{Type: typ, Job: job, Tenant: "t", Name: job}
+}
+
+// dropTerminalLifecycle is a daemon-style fold: keep every record except
+// the submit/start records of jobs that already have a terminal record.
+// Terminal records are self-contained, so recovery state is preserved.
+func dropTerminalLifecycle(records []Record) []Record {
+	terminal := map[string]bool{}
+	for _, r := range records {
+		switch r.Type {
+		case TypeJobFinish, TypeJobFail, TypeJobCancel:
+			terminal[r.Job] = true
+		}
+	}
+	var out []Record
+	for _, r := range records {
+		if (r.Type == TypeJobSubmit || r.Type == TypeJobStart) && terminal[r.Job] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestAutoCompactRecordThreshold proves the record-count trigger fires,
+// the fold is applied, and the journal stays bounded while no
+// lifecycle state is lost: every job present before compaction is
+// recoverable afterwards with the same terminal status.
+func TestAutoCompactRecordThreshold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	w, err := OpenWriterAutoCompact(path, nil, &AutoCompact{
+		MaxRecords: 10,
+		Fold:       dropTerminalLifecycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// 20 jobs, each submit+start+finish: 60 appends against a 10-record
+	// threshold. Compaction must fire (more than once) and drop the
+	// submit/start of terminal jobs.
+	for i := 0; i < 20; i++ {
+		job := fmt.Sprintf("job-%02d", i)
+		for _, typ := range []string{TypeJobSubmit, TypeJobStart, TypeJobFinish} {
+			if err := w.Append(jobRec(typ, job)); err != nil {
+				t.Fatalf("append %s %s: %v", typ, job, err)
+			}
+		}
+	}
+	if w.Compactions() == 0 {
+		t.Fatal("no auto-compaction fired over 60 appends with MaxRecords=10")
+	}
+
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Corrupt != nil {
+		t.Fatalf("journal corrupt after auto-compaction: %v", rec.Corrupt)
+	}
+	// No job lost, no terminal record dropped, each at most once.
+	finishes := map[string]int{}
+	for _, r := range rec.Records {
+		if r.Type == TypeJobFinish {
+			finishes[r.Job]++
+		}
+	}
+	for i := 0; i < 20; i++ {
+		job := fmt.Sprintf("job-%02d", i)
+		if finishes[job] != 1 {
+			t.Fatalf("job %s: %d finish records after compaction, want 1", job, finishes[job])
+		}
+	}
+	// The journal actually shrank: 60 raw appends folded well below.
+	if len(rec.Records) >= 60 {
+		t.Fatalf("journal holds %d records, compaction did not bound growth", len(rec.Records))
+	}
+}
+
+// TestAutoCompactPreservesPendingJobs is the mid-stream loss regression:
+// compaction in the middle of active lifecycles must keep the
+// submit/start records of every job that has no terminal record yet —
+// dropping one would silently lose a queued or in-flight job across a
+// daemon restart.
+func TestAutoCompactPreservesPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	w, err := OpenWriterAutoCompact(path, nil, &AutoCompact{
+		MaxRecords: 8,
+		Fold:       dropTerminalLifecycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Interleave: pending jobs submitted early, terminal jobs churning
+	// past the threshold around them.
+	for i := 0; i < 4; i++ {
+		if err := w.Append(jobRec(TypeJobSubmit, fmt.Sprintf("pending-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Append(jobRec(TypeJobStart, "pending-0")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		job := fmt.Sprintf("done-%02d", i)
+		for _, typ := range []string{TypeJobSubmit, TypeJobStart, TypeJobFinish} {
+			if err := w.Append(jobRec(typ, job)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.Compactions() == 0 {
+		t.Fatal("no auto-compaction fired")
+	}
+
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submits := map[string]bool{}
+	starts := map[string]bool{}
+	for _, r := range rec.Records {
+		switch r.Type {
+		case TypeJobSubmit:
+			submits[r.Job] = true
+		case TypeJobStart:
+			starts[r.Job] = true
+		}
+	}
+	for i := 0; i < 4; i++ {
+		job := fmt.Sprintf("pending-%d", i)
+		if !submits[job] {
+			t.Fatalf("pending job %s lost its submit record across compaction", job)
+		}
+	}
+	if !starts["pending-0"] {
+		t.Fatal("in-flight job pending-0 lost its start record across compaction")
+	}
+	// Jobs terminal at compaction time had their submit folded away;
+	// jobs finishing after the last compaction legitimately keep theirs
+	// until the next one. The earliest done jobs must be folded.
+	if submits["done-00"] || submits["done-01"] {
+		t.Fatal("early terminal jobs kept their submit records — fold not applied")
+	}
+}
+
+// TestAutoCompactByteThreshold proves the size trigger works on its own.
+func TestAutoCompactByteThreshold(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	w, err := OpenWriterAutoCompact(path, nil, &AutoCompact{
+		MaxBytes: 2048,
+		Fold:     dropTerminalLifecycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 40; i++ {
+		job := fmt.Sprintf("job-%02d", i)
+		for _, typ := range []string{TypeJobSubmit, TypeJobFinish} {
+			if err := w.Append(jobRec(typ, job)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.Compactions() == 0 {
+		t.Fatal("no auto-compaction fired on byte threshold")
+	}
+}
+
+// TestAutoCompactReopenSeedsCounter proves a reopened writer picks up
+// the existing record count, so the threshold applies across restarts,
+// and that a writer with no policy never compacts.
+func TestAutoCompactReopenSeedsCounter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	w, err := OpenWriter(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		job := fmt.Sprintf("job-%02d", i)
+		for _, typ := range []string{TypeJobSubmit, TypeJobFinish} {
+			if err := w.Append(jobRec(typ, job)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.Compactions() != 0 {
+		t.Fatal("writer without a policy compacted")
+	}
+	w.Close()
+
+	// Reopen with a policy far below the existing 60 records: the very
+	// first append must trigger a compaction.
+	w2, err := OpenWriterAutoCompact(path, nil, &AutoCompact{
+		MaxRecords: 10,
+		Fold:       dropTerminalLifecycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Append(jobRec(TypeJobSubmit, "late")); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Compactions() != 1 {
+		t.Fatalf("compactions after reopen append = %d, want 1", w2.Compactions())
+	}
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submits := map[string]bool{}
+	for _, r := range rec.Records {
+		if r.Type == TypeJobSubmit {
+			submits[r.Job] = true
+		}
+	}
+	if !submits["late"] {
+		t.Fatal("append that triggered the compaction was itself lost")
+	}
+}
+
+// TestAutoCompactThrashGuard proves that when the fold cannot shrink the
+// journal below the threshold (all jobs pending), Append does not
+// degenerate into compacting on every call.
+func TestAutoCompactThrashGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.journal")
+	w, err := OpenWriterAutoCompact(path, nil, &AutoCompact{
+		MaxRecords: 5,
+		Fold:       dropTerminalLifecycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// 20 pending submits: nothing is foldable, so after the first
+	// compaction the floor must suppress per-append rewrites.
+	for i := 0; i < 20; i++ {
+		if err := w.Append(jobRec(TypeJobSubmit, fmt.Sprintf("pending-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := w.Compactions(); c > 6 {
+		t.Fatalf("%d compactions over 20 unfoldable appends — thrash guard broken", c)
+	}
+	rec, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 20 {
+		t.Fatalf("salvaged %d records, want all 20 pending submits", len(rec.Records))
+	}
+}

@@ -101,6 +101,37 @@ const (
 	// only appended after a fencing-token check, so a zombie's stale
 	// finish never lands.
 	TypeShardFinish = "shard-finish"
+
+	// Job-lifecycle record types (internal/scand). A daemon job journal
+	// shares the frame format and CRC discipline of a scan journal but
+	// records the scan-as-a-service job state machine
+	// (submitted → running → finished/failed/cancelled) instead of batch
+	// progress. Like the coordination types, these are *only* valid in a
+	// job journal: a scan-journal Fold that meets one classifies it as
+	// corruption and salvages the prefix.
+
+	// TypeJobSubmit admits one job: ID, tenant, target name and the
+	// content-addressed result key. The submit record is what makes an
+	// accepted job durable — a daemon restart re-enqueues every submitted
+	// job that has no terminal record.
+	TypeJobSubmit = "job-submit"
+	// TypeJobStart marks one job in flight. A start without a terminal
+	// record means the daemon died mid-scan: the job is re-enqueued on
+	// restart (the scan is deterministic, so the re-run reproduces the
+	// same report). A non-terminal job may carry several start records —
+	// one per crash-and-resume cycle.
+	TypeJobStart = "job-start"
+	// TypeJobFinish carries one job's complete canonical report plus its
+	// cache key. Terminal records are self-contained (ID, tenant, name,
+	// key, report), so journal compaction can drop the submit/start
+	// records of finished jobs.
+	TypeJobFinish = "job-finish"
+	// TypeJobFail terminates a job with a typed error (watchdog fired,
+	// job deadline exceeded, spool lost). Self-contained like a finish.
+	TypeJobFail = "job-fail"
+	// TypeJobCancel terminates a job on operator request. Self-contained
+	// like a finish.
+	TypeJobCancel = "job-cancel"
 )
 
 // Record is one journal entry.
@@ -141,6 +172,47 @@ type Record struct {
 	Gen int64 `json:"gen,omitempty"`
 	// ShardSize is the shard-plan chunk size (coordination manifests).
 	ShardSize int `json:"shardSize,omitempty"`
+
+	// Job-lifecycle fields (job-submit / job-start / job-finish /
+	// job-fail / job-cancel records; see internal/scand).
+
+	// Job is the daemon job ID the record applies to.
+	Job string `json:"job,omitempty"`
+	// Tenant is the submitting tenant (admission-control identity).
+	Tenant string `json:"tenant,omitempty"`
+	// Key is the job result's content address in the shared cache.
+	Key string `json:"key,omitempty"`
+	// Error is the terminal error text (job-fail records).
+	Error string `json:"error,omitempty"`
+}
+
+// AutoCompact bounds a long-lived journal's growth. A batch sweep's
+// journal is naturally bounded by its target list, but a daemon's job
+// journal appends forever — without compaction an always-on service
+// eventually fills the disk with lifecycle records of long-terminal
+// jobs. When a Writer is opened with an AutoCompact policy, every
+// Append that pushes the journal past MaxRecords or MaxBytes triggers
+// an in-place compaction: the journal is salvage-read, Fold reduces the
+// record set (dropping whatever the caller's semantics no longer need),
+// and the reduced set is rewritten atomically (temp file + rename,
+// crash-safe like every compaction) under a coord.lock-style flock so
+// no concurrent process reads or rewrites the file mid-swap.
+type AutoCompact struct {
+	// MaxRecords triggers compaction when the journal holds more than
+	// this many records. Zero disables the record-count trigger.
+	MaxRecords int
+	// MaxBytes triggers compaction when the journal file exceeds this
+	// many bytes. Zero disables the size trigger.
+	MaxBytes int64
+	// Fold reduces a salvaged record set to the records still needed for
+	// recovery. It MUST preserve replay semantics: folding and then
+	// recovering must yield the same state as recovering the unfolded
+	// journal. Nil keeps every record (compaction then only drops a
+	// corrupt tail).
+	Fold func(records []Record) []Record
+	// LockPath is the exclusivity lock file guarding the rewrite.
+	// Empty defaults to "<journal>.lock".
+	LockPath string
 }
 
 // Writer appends records to a journal file. It is safe for concurrent
@@ -150,8 +222,18 @@ type Record struct {
 type Writer struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	hook    faultinject.Hook
 	records int
+	bytes   int64
+	ac      *AutoCompact
+	// floor is the record count below which the next auto-compaction is
+	// skipped: if Fold cannot shrink the journal under the threshold,
+	// compacting again after every single append would turn Append into
+	// an O(n) rewrite. The floor demands real growth since the last
+	// compaction before paying for another one.
+	floor       int
+	compactions int
 }
 
 // OpenWriter opens (creating if needed) a journal for appending. hook,
@@ -159,6 +241,13 @@ type Writer struct {
 // faultinject.JournalSync seams of every Append — tests use it to kill
 // the pipeline at each write boundary.
 func OpenWriter(path string, hook faultinject.Hook) (*Writer, error) {
+	return OpenWriterAutoCompact(path, hook, nil)
+}
+
+// OpenWriterAutoCompact is OpenWriter with an auto-compaction policy
+// (see AutoCompact). With a non-nil policy the existing journal is
+// salvage-read once at open to seed the record counter.
+func OpenWriterAutoCompact(path string, hook faultinject.Hook, ac *AutoCompact) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("scanjournal: open %s: %w", path, err)
@@ -171,7 +260,16 @@ func OpenWriter(path string, hook faultinject.Hook) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("scanjournal: sync dir of %s: %w", path, err)
 	}
-	return &Writer{f: f, hook: hook}, nil
+	w := &Writer{f: f, path: path, hook: hook, ac: ac}
+	if ac != nil {
+		if st, err := f.Stat(); err == nil {
+			w.bytes = st.Size()
+		}
+		if rec, err := Read(path); err == nil {
+			w.records = len(rec.Records)
+		}
+	}
+	return w, nil
 }
 
 // Append frames, writes and fsyncs one record. On any error the journal
@@ -205,6 +303,75 @@ func (w *Writer) Append(rec Record) error {
 		return fmt.Errorf("scanjournal: sync %s record: %w", rec.Type, err)
 	}
 	w.records++
+	w.bytes += int64(len(frame))
+	if w.ac != nil && w.overThresholdLocked() && w.records >= w.floor {
+		if err := w.compactLocked(); err != nil {
+			// A failed compaction leaves the on-disk journal either intact
+			// or already swapped (the rename is atomic either way), but
+			// this Writer's fd may point at a replaced inode. Treat it
+			// like any other Append failure: the journal is crashed,
+			// recovery salvages what made it to disk.
+			return fmt.Errorf("scanjournal: auto-compact %s: %w", w.path, err)
+		}
+	}
+	return nil
+}
+
+// overThresholdLocked reports whether the journal exceeds the
+// auto-compaction policy's record-count or byte-size trigger.
+func (w *Writer) overThresholdLocked() bool {
+	if w.ac.MaxRecords > 0 && w.records > w.ac.MaxRecords {
+		return true
+	}
+	if w.ac.MaxBytes > 0 && w.bytes > w.ac.MaxBytes {
+		return true
+	}
+	return false
+}
+
+// compactLocked rewrites the journal in place under the policy's flock:
+// salvage-read, fold, atomic rewrite, reopen. Caller holds w.mu.
+func (w *Writer) compactLocked() error {
+	lockPath := w.ac.LockPath
+	if lockPath == "" {
+		lockPath = w.path + ".lock"
+	}
+	unlock, err := lockFile(lockPath)
+	if err != nil {
+		return fmt.Errorf("lock %s: %w", lockPath, err)
+	}
+	defer unlock()
+	rec, err := Read(w.path)
+	if err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	folded := rec.Records
+	if w.ac.Fold != nil {
+		folded = w.ac.Fold(folded)
+	}
+	if err := CompactHook(w.path, w.hook, folded); err != nil {
+		return err
+	}
+	// The rename replaced the inode our fd points at: appends through the
+	// old fd would land in an unlinked file and vanish. Reopen.
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	w.f.Close()
+	w.f = f
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("stat: %w", err)
+	}
+	w.bytes = st.Size()
+	w.records = len(folded)
+	// Demand geometric growth before the next compaction: a fold that
+	// cannot shrink below the threshold must not turn every Append into
+	// an O(n) rewrite. Requiring the journal to grow by half its folded
+	// size keeps total rewrite work linear in records ever appended.
+	w.floor = len(folded) + max(1, w.ac.MaxRecords/2, len(folded)/2)
+	w.compactions++
 	return nil
 }
 
@@ -213,6 +380,13 @@ func (w *Writer) Records() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.records
+}
+
+// Compactions reports how many auto-compactions this Writer has run.
+func (w *Writer) Compactions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.compactions
 }
 
 // Close closes the journal file.
@@ -456,11 +630,12 @@ func Fold(rec *Recovery) *Replay {
 			}
 			rp.Started[key] = true
 			rp.Finished[key] = r.Report
-		case TypeLeaseClaim, TypeLeaseRenew, TypeLeaseRelease, TypeShardFinish:
-			// Coordination records are only valid in a coordination
-			// journal; one here means a worker appended to the wrong file.
-			// Everything from it on is untrusted.
-			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("coordination record %q in a scan journal", r.Type)}
+		case TypeLeaseClaim, TypeLeaseRenew, TypeLeaseRelease, TypeShardFinish,
+			TypeJobSubmit, TypeJobStart, TypeJobFinish, TypeJobFail, TypeJobCancel:
+			// Coordination and job-lifecycle records are only valid in
+			// their own journals; one here means a process appended to the
+			// wrong file. Everything from it on is untrusted.
+			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("foreign record %q in a scan journal", r.Type)}
 			return rp
 		default:
 			rp.Corrupt = &Corruption{Record: i, Reason: fmt.Sprintf("unknown record type %q", r.Type)}

@@ -46,7 +46,7 @@ func (p RetryPolicy) Do(key string, op func() error) (retries int, err error) {
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			retries++
-			if d := p.backoff(key, i-1); d > 0 {
+			if d := p.Backoff(key, i-1); d > 0 {
 				time.Sleep(d)
 			}
 		}
@@ -57,10 +57,14 @@ func (p RetryPolicy) Do(key string, op func() error) (retries int, err error) {
 	return retries, err
 }
 
-// backoff computes the sleep before retry #attempt (0-based):
+// Backoff computes the sleep before retry #attempt (0-based):
 // Base<<attempt scaled by a deterministic jitter factor in [0.5, 1.5)
-// drawn from an FNV hash of the key and attempt number.
-func (p RetryPolicy) backoff(key string, attempt int) time.Duration {
+// drawn from an FNV hash of the key and attempt number. It is exported
+// because the scan daemon reuses the exact same schedule for the
+// Retry-After hints it advertises when shedding load: a client that
+// obeys the hint backs off precisely like an internal retry would, and
+// the deterministic jitter keeps shed/retry tests reproducible.
+func (p RetryPolicy) Backoff(key string, attempt int) time.Duration {
 	if p.Base <= 0 {
 		return 0
 	}

@@ -51,19 +51,19 @@ func TestRetryPolicyZeroValue(t *testing.T) {
 // workers contending on the same lock desynchronize reproducibly.
 func TestRetryBackoffDeterministic(t *testing.T) {
 	p := RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond}
-	a := p.backoff("worker-0", 0)
-	if b := p.backoff("worker-0", 0); a != b {
+	a := p.Backoff("worker-0", 0)
+	if b := p.Backoff("worker-0", 0); a != b {
 		t.Errorf("same key+attempt gave %v then %v", a, b)
 	}
 	if a < time.Millisecond || a >= 3*time.Millisecond {
 		t.Errorf("attempt-0 backoff %v outside [Base/2, 3*Base/2)", a)
 	}
 	// Exponential growth: attempt 1's window is [Base, 3*Base).
-	if c := p.backoff("worker-0", 1); c < 2*time.Millisecond || c >= 6*time.Millisecond {
+	if c := p.Backoff("worker-0", 1); c < 2*time.Millisecond || c >= 6*time.Millisecond {
 		t.Errorf("attempt-1 backoff %v outside [Base, 3*Base)", c)
 	}
-	if p.backoff("worker-0", 0) == p.backoff("worker-1", 0) &&
-		p.backoff("worker-0", 1) == p.backoff("worker-1", 1) {
+	if p.Backoff("worker-0", 0) == p.Backoff("worker-1", 0) &&
+		p.Backoff("worker-0", 1) == p.Backoff("worker-1", 1) {
 		t.Error("distinct keys produced identical jitter on both attempts")
 	}
 }

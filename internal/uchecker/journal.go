@@ -100,6 +100,14 @@ func (s *Scanner) optionsFingerprint() string {
 	return fp
 }
 
+// OptionsFingerprint exposes the configuration identity to other
+// persistence layers built on the same discipline — the scan daemon
+// keys its job-result cache and its job journal's manifest with exactly
+// this fingerprint, so a daemon restart under changed options re-scans
+// instead of serving a stale report, and a daemon and a batch sweep
+// sharing one cache directory share hits.
+func (s *Scanner) OptionsFingerprint() string { return s.optionsFingerprint() }
+
 // decodeReport unmarshals a journaled/cached report. The JSON round trip
 // is stable: re-marshaling the decoded report reproduces the recorded
 // bytes, which is what makes replayed reports byte-identical.
