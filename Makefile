@@ -7,7 +7,7 @@ GO ?= go
 # (e.g. make fuzz-smoke FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim daemon-chaos engine-diff bench bench-scan bench-smt bench-interp bench-interp-diff bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke crash-matrix registry-sim daemon-chaos engine-diff summary-diff bench bench-scan bench-smt bench-interp bench-interp-diff bench-smoke
 
 check: fmt vet build race fuzz-smoke bench-smoke
 
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZTIME) ./internal/phpparser
 	$(GO) test -run '^$$' -fuzz '^FuzzEngineEquivalence$$' -fuzztime $(FUZZTIME) ./internal/interp
+	$(GO) test -run '^$$' -fuzz '^FuzzSummaryEquivalence$$' -fuzztime $(FUZZTIME) ./internal/interp
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalFold$$' -fuzztime $(FUZZTIME) ./internal/scanjournal
 	$(GO) test -run '^$$' -fuzz '^FuzzCoordFold$$' -fuzztime $(FUZZTIME) ./internal/shardcoord
 
@@ -89,6 +90,20 @@ engine-diff:
 	$(GO) test -race -run 'TestEngineDifferentialCorpus|TestEngineVM' ./internal/uchecker
 	$(GO) test -race -run 'TestEngineEquivalence|TestEngineFactoryCounters' ./internal/interp
 	$(GO) test -race -run 'TestTableIIIVerdictsVMEngine|TestCounterTableVMDeterministic' ./internal/evalharness
+
+# Interprocedural-strategy differential acceptance suite under the race
+# detector: summary vs inline on every corpus app at Workers=1/4
+# (findings and Table III verdicts byte-identical modulo summary-only
+# work counters), the Cimy path-explosion case completing cleanly under
+# default budgets with zero retries, tree-vs-VM equivalence under the
+# summary strategy, the summary artifact cache's cold/warm/corrupt/
+# version-skew cycle, the daemon's cross-job summary reuse, and the
+# unit-level merge/summary suites.
+summary-diff:
+	$(GO) test -race -run 'TestSummaryDifferentialCorpus|TestCimySummaryCompletes|TestSummaryEngineDifferential|TestInterprocFingerprintToken|TestInlineReportHasNoSummaryCounters|TestSummaryArtifactCache' ./internal/uchecker
+	$(GO) test -race -run 'TestMerge|TestNoMerge|TestTrivial|TestEscapedCallee|TestMethodCallNeverSummarized|TestSummary' ./internal/interp
+	$(GO) test -race ./internal/summary
+	$(GO) test -race -run 'TestHTTPMetricsExposeSummaryCounters' ./internal/scand
 
 # Paper-evaluation benchmarks (bench_test.go).
 bench:

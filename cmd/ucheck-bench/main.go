@@ -10,6 +10,10 @@
 //	ucheck-bench -failures    # per-class failure tally of the Table III sweep
 //	ucheck-bench -counters    # deterministic work-counter table of the sweep
 //	ucheck-bench -engine vm   # run symbolic execution on the bytecode VM
+//	ucheck-bench -interproc summary
+//	                          # per-function symbolic summaries with
+//	                          # statement-boundary path merging; prints a
+//	                          # Cimy before/after block under -table
 //	ucheck-bench -workers 8   # scanner worker pool (default GOMAXPROCS)
 //	ucheck-bench -journal F   # journal the Table III sweep to F (crash-safe)
 //	ucheck-bench -resume F    # resume a killed sweep from journal F
@@ -65,6 +69,7 @@ func main() {
 		counters  = flag.Bool("counters", false, "print the deterministic work-counter table of the Table III sweep")
 		workers   = flag.Int("workers", 0, "scanner worker pool size (0 = GOMAXPROCS)")
 		engine    = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
+		interproc = flag.String("interproc", "", "interprocedural strategy: inline (default) or summary")
 		maxPaths  = flag.Int("max-paths", 0, "path budget (0 = paper-scale default)")
 		journal   = flag.String("journal", "", "journal the Table III sweep to this file (crash-safe)")
 		resume    = flag.String("resume", "", "resume the Table III sweep from this journal")
@@ -84,9 +89,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ucheck-bench: %v\n", err)
 		os.Exit(2)
 	}
+	interprocKind, err := interp.ParseInterprocKind(*interproc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucheck-bench: %v\n", err)
+		os.Exit(2)
+	}
 	opts := uchecker.Options{
 		Budgets:       uchecker.Budgets{MaxPaths: *maxPaths},
 		Engine:        engineKind,
+		Interproc:     interprocKind,
 		Workers:       *workers,
 		Journal:       *journal,
 		ResumeFrom:    *resume,
@@ -134,6 +145,13 @@ func main() {
 				printPaperComparison(rows)
 			}
 			fmt.Println()
+			if interprocKind == interp.InterprocSummary {
+				// The strategy's headline: the Cimy path explosion,
+				// before and after, under otherwise identical options.
+				before, after := evalharness.CimyBeforeAfter(opts)
+				fmt.Print(evalharness.RenderCimyBeforeAfter(before, after))
+				fmt.Println()
+			}
 		}
 		reps := make([]*uchecker.AppReport, len(rows))
 		for i, r := range rows {

@@ -23,6 +23,12 @@
 //	                     AST walker, default) or "vm" (compile each
 //	                     function once to bytecode, dispatch a VM);
 //	                     findings are byte-identical either way
+//	-interproc NAME      interprocedural strategy: "inline" (inline every
+//	                     user-function call, default — the paper's
+//	                     semantics, including its budget-exhaustion
+//	                     misses) or "summary" (per-function symbolic
+//	                     summaries with statement-boundary path merging;
+//	                     escaped callees still inline)
 //	-workers N           worker pool size for per-root and per-app parallelism
 //	                     (default: GOMAXPROCS)
 //	-timeout D           abort the scan after D (e.g. 30s, 5m); partial
@@ -115,6 +121,7 @@ func run() int {
 		adminGating = flag.Bool("admin-gating", false, "model admin_menu gating (Section VI extension)")
 		maxPaths    = flag.Int("max-paths", 0, "symbolic execution path budget (0 = default)")
 		engine      = flag.String("engine", "", "symbolic-execution engine: tree (default) or vm")
+		interproc   = flag.String("interproc", "", "interprocedural strategy: inline (default) or summary")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 0, "abort the scan after this duration (0 = none)")
 		rootTimeout = flag.Duration("root-timeout", 0, "per-root wall-clock budget (0 = none)")
@@ -167,6 +174,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
 		return 2
 	}
+	interprocKind, err := interp.ParseInterprocKind(*interproc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uchecker: %v\n", err)
+		return 2
+	}
 	var rec *core.TraceRecorder
 	if *traceOut != "" {
 		rec = core.NewTraceRecorder()
@@ -179,6 +191,7 @@ func run() int {
 		Workers:          *workers,
 		Budgets:          core.Budgets{MaxPaths: *maxPaths},
 		Engine:           engineKind,
+		Interproc:        interprocKind,
 		RootTimeout:      *rootTimeout,
 		MaxRetries:       *retries,
 		MaxRootFailures:  *maxFailures,

@@ -18,6 +18,10 @@
 //	-scan-workers N      concurrently running jobs (default 2)
 //	-workers N           per-scan worker pool (default: GOMAXPROCS)
 //	-engine NAME         symbolic-execution engine: "tree" or "vm"
+//	-interproc NAME      interprocedural strategy: "inline" (default) or
+//	                     "summary" (per-function symbolic summaries; the
+//	                     summary_*/interp_paths_avoided counters surface
+//	                     in /metrics)
 //	-max-paths N         symbolic execution path budget per job
 //	-job-timeout D       per-job scan deadline (0 disables); a job whose
 //	                     scan ignores cancellation past the deadline +
@@ -79,6 +83,7 @@ func run() int {
 		scanWorkers   = flag.Int("scan-workers", 2, "concurrently running jobs")
 		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "per-scan worker pool")
 		engine        = flag.String("engine", "", `symbolic-execution engine: "tree" or "vm"`)
+		interproc     = flag.String("interproc", "", `interprocedural strategy: "inline" or "summary"`)
 		maxPaths      = flag.Int("max-paths", 0, "symbolic execution path budget per job (0 = default)")
 		jobTimeout    = flag.Duration("job-timeout", 0, "per-job scan deadline (0 disables)")
 		watchdogGrace = flag.Duration("watchdog-grace", 0, "wedge window past -job-timeout (default 5s)")
@@ -104,13 +109,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "ucheckerd: unknown -engine %q (want tree or vm)\n", *engine)
 		return 2
 	}
+	interprocKind, err := interp.ParseInterprocKind(*interproc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucheckerd: %v\n", err)
+		return 2
+	}
 
 	cfg := scand.Config{
 		Dir: *dir,
 		Scan: uchecker.Options{
-			Workers: *workers,
-			Engine:  engineKind,
-			Budgets: uchecker.Budgets{MaxPaths: *maxPaths},
+			Workers:   *workers,
+			Engine:    engineKind,
+			Interproc: interprocKind,
+			Budgets:   uchecker.Budgets{MaxPaths: *maxPaths},
 		},
 		ScanWorkers:   *scanWorkers,
 		JobTimeout:    *jobTimeout,

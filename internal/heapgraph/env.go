@@ -243,6 +243,62 @@ func (e *Env) ER(g *Graph, l Label, line int) {
 	e.Cur = u
 }
 
+// EquivalentModulo reports whether two environments are observably
+// identical except for the top-frame variables named in ignore: same
+// scope depth, same control-flow state, same operand stack, the same
+// bindings in every frame (top-frame names in ignore excluded on both
+// sides), and the same global imports. The path-merging machinery uses
+// it with a function's dead-variable set to detect paths that differ
+// only in values no later statement can observe. The path condition
+// (Cur) is deliberately NOT compared — the caller reasons about it
+// separately.
+func (e *Env) EquivalentModulo(o *Env, ignore map[string]bool) bool {
+	if len(e.frames) != len(o.frames) ||
+		e.Returned != o.Returned || e.Terminated != o.Terminated ||
+		e.BreakN != o.BreakN || e.ContinueN != o.ContinueN ||
+		len(e.Tmp) != len(o.Tmp) {
+		return false
+	}
+	for i := range e.Tmp {
+		if e.Tmp[i] != o.Tmp[i] {
+			return false
+		}
+	}
+	top := len(e.frames) - 1
+	for i := range e.frames {
+		ef, of := &e.frames[i], &o.frames[i]
+		skip := func(name string) bool { return i == top && ignore[name] }
+		n := 0
+		for name, l := range ef.vars {
+			if skip(name) {
+				continue
+			}
+			n++
+			if ol, ok := of.vars[name]; !ok || ol != l {
+				return false
+			}
+		}
+		m := 0
+		for name := range of.vars {
+			if !skip(name) {
+				m++
+			}
+		}
+		if n != m {
+			return false
+		}
+		if len(ef.globalImports) != len(of.globalImports) {
+			return false
+		}
+		for name := range ef.globalImports {
+			if !of.globalImports[name] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // EnvSet is the paper's ℰ: the environments of all live execution paths.
 type EnvSet []*Env
 

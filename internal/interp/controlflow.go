@@ -292,6 +292,53 @@ func (in *Interp) inlineFrame(lname string, params []phpast.Param, declLine, end
 		l := in.g.NewSymbol("s_ret_"+lname, sexpr.Unknown, line)
 		return envs, sameLabel(envs, l)
 	}
+
+	// Summary strategy (after the cut check, so cut paths stay
+	// byte-identical to inline mode): trivial callees instantiate
+	// without a frame; escaped callees inline plainly; everything else
+	// inlines under merge metadata.
+	withMerge := false
+	if thisLabel == heapgraph.Null {
+		if sum := in.callSummary(lname); sum != nil {
+			switch {
+			case sum.Escapes:
+				in.stats.SummaryEscapedCallees++
+			case sum.Trivial():
+				if sum.ReturnFormal >= 0 {
+					// return formal i: hand back the actuals directly —
+					// zero allocations, exactly like the inlined body.
+					i := sum.ReturnFormal
+					ok := true
+					for _, args := range argMatrix {
+						if i >= len(args) || args[i] == heapgraph.Null {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						in.stats.SummaryInstantiated++
+						labels := make([]heapgraph.Label, len(envs))
+						for r := range envs {
+							labels[r] = argMatrix[r][i]
+						}
+						return envs, labels
+					}
+					// A missing actual would take the default/symbol
+					// path inside the frame; fall through to inlining.
+				} else if sum.ReturnConst != nil {
+					// return <literal>: one shared concrete, matching
+					// the single evaluation the inlined body performs.
+					in.stats.SummaryInstantiated++
+					l := in.g.NewConcrete(sum.ReturnConst, sum.ReturnLine)
+					return envs, sameLabel(envs, l)
+				}
+			default:
+				in.stats.SummaryInstantiated++
+				withMerge = true
+			}
+		}
+	}
+
 	in.callStack = append(in.callStack, lname)
 	defer func() { in.callStack = in.callStack[:len(in.callStack)-1] }()
 
@@ -316,7 +363,16 @@ func (in *Interp) inlineFrame(lname string, params []phpast.Param, declLine, end
 			e.Bind(p.Name, l)
 		}
 	}
+	var popMerge func()
+	if withMerge {
+		// Metadata is pushed after the scopes exist so the recorded
+		// depth is the depth the body's statements run at.
+		popMerge = in.pushMergeScope(lname, envs)
+	}
 	envs = runBody(envs)
+	if popMerge != nil {
+		popMerge()
+	}
 	labels := make([]heapgraph.Label, len(envs))
 	for i, e := range envs {
 		if e.Returned != heapgraph.Null {

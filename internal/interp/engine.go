@@ -3,6 +3,7 @@ package interp
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/callgraph"
@@ -32,6 +33,33 @@ func ParseEngineKind(s string) (EngineKind, error) {
 		return EngineVM, nil
 	default:
 		return "", fmt.Errorf("unknown engine %q (want tree or vm)", s)
+	}
+}
+
+// InterprocKind selects the interprocedural call strategy.
+type InterprocKind string
+
+const (
+	// InterprocInline inlines every user-function call (the default,
+	// and the paper's behavior).
+	InterprocInline InterprocKind = "inline"
+	// InterprocSummary instantiates per-function symbolic summaries
+	// where possible (trivial returns without a frame; path merging at
+	// statement boundaries inside summarized scopes) and falls back to
+	// inlining for escaped callees.
+	InterprocSummary InterprocKind = "summary"
+)
+
+// ParseInterprocKind parses a -interproc flag value. The empty string
+// selects inlining.
+func ParseInterprocKind(s string) (InterprocKind, error) {
+	switch s {
+	case "", string(InterprocInline):
+		return InterprocInline, nil
+	case string(InterprocSummary):
+		return InterprocSummary, nil
+	default:
+		return "", fmt.Errorf("unknown interproc mode %q (want inline or summary)", s)
 	}
 }
 
@@ -128,7 +156,10 @@ type vmEngine struct {
 func (ve *vmEngine) Run(ctx context.Context, root *callgraph.Node) Result {
 	in := ve.in
 	in.ctx = ctx
-	if !in.opts.NoBlockCache {
+	// The block-fact cache keys span effects on the live env-set
+	// fingerprint; path merging rewrites env sets between spans, so the
+	// two features are mutually exclusive (summary mode wins).
+	if !in.opts.NoBlockCache && in.opts.Summaries == nil {
 		in.blockCache = newBlockCache()
 	}
 	v := &vmRun{in: in, prog: ve.prog}
@@ -150,6 +181,7 @@ func (ve *vmEngine) Run(ctx context.Context, root *callgraph.Node) Result {
 				}
 				env.Bind(p.Name, in.g.NewSymbol("s_param_"+p.Name, t, root.Func.P.Line))
 			}
+			pop := in.pushMergeScope(strings.ToLower(root.Func.Name), envs)
 			if body := ve.bodyCode(root.Func.Body); body != nil {
 				envs = v.runCode(body, envs)
 			} else {
@@ -157,6 +189,7 @@ func (ve *vmEngine) Run(ctx context.Context, root *callgraph.Node) Result {
 				// fallback with identical semantics.
 				envs = in.execStmts(root.Func.Body, envs)
 			}
+			pop()
 		}
 	}
 	in.stats.IRInstructionsExecuted += v.instrs

@@ -2,11 +2,15 @@ package interp
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/callgraph"
 	"repro/internal/phpast"
 	"repro/internal/phpparser"
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+	"repro/internal/summary"
 )
 
 // FuzzEngineEquivalence feeds arbitrary PHP sources through both
@@ -79,6 +83,125 @@ for ($i = 0; $i < 5; $i++) {
 		vm, _ := run(EngineVM)
 		if tf, vf := engineFingerprint(tree), engineFingerprint(vm); tf != vf {
 			t.Errorf("engines disagree on %q:\n--- tree ---\n%s--- vm ---\n%s", src, tf, vf)
+		}
+	})
+}
+
+// FuzzSummaryEquivalence feeds arbitrary PHP sources through the inline
+// and summary interprocedural strategies and requires the invariants the
+// strategy is sold on: (a) summary building never panics, (b) tree and
+// VM engines agree byte-for-byte under the same summary set, (c) when
+// both strategies complete within budget, the summary run explores no
+// more paths than inline, every summary sink hit's observable content
+// (sink, site, src/dst s-expressions) appears among inline's hits, and
+// the first hit per sink site — the one the first-satisfiable-wins
+// verifier would report — is identical across strategies.
+func FuzzSummaryEquivalence(f *testing.F) {
+	f.Add(`<?php
+function handler() {
+	if ($a) { $fa = 1; } else { $fa = 0; }
+	if ($b) { $fb = 1; } else { $fb = 0; }
+	move_uploaded_file($_FILES["f"]["tmp_name"], "up/x.php");
+}
+handler();
+`)
+	f.Add(`<?php
+function pick($x, $y) { return $y; }
+function updir() { return "uploads/"; }
+$v = pick("a", $_FILES["f"]["name"]);
+move_uploaded_file($_FILES["f"]["tmp_name"], updir() . $v);
+`)
+	f.Add(`<?php
+function fill(&$out) { $out = $_FILES["f"]["name"]; }
+fill($v);
+switch ($s) { case 1: $m = 1; break; case 2: $m = 2; break; default: $m = 0; }
+file_put_contents("up/" . $v, $body);
+`)
+	f.Add(`<?php
+function rec($n) { if ($n > 0) { return rec($n - 1); } return $n; }
+function a($x) { return b($x); }
+function b($x) { return a($x); }
+$r = rec(3) . a("q");
+move_uploaded_file($_FILES["f"]["tmp_name"], "up/" . $r);
+`)
+	f.Add(`<?php
+function handler() {
+	if ($c) { $flag = 1; } else { $flag = 0; }
+	if ($c) { $flag2 = 1; } else { $flag2 = 0; }
+	$dst = "up/" . $flag . ".php";
+	move_uploaded_file($_FILES["f"]["tmp_name"], $dst);
+}
+handler();
+`)
+
+	opts := Options{MaxPaths: 200, MaxObjects: 20000, MaxCallDepth: 8, LoopUnroll: 4}
+	f.Fuzz(func(t *testing.T, src string) {
+		parse := func() []*phpast.File {
+			file, errs := phpparser.Parse("fuzz.php", src)
+			if len(errs) > 0 || file == nil {
+				return nil
+			}
+			return []*phpast.File{file}
+		}
+		files := parse()
+		if files == nil {
+			t.Skip("parse errors")
+		}
+		set := summary.Build(files, smt.NewFactory())
+		root := func(fs []*phpast.File) *callgraph.Node {
+			return &callgraph.Node{Kind: callgraph.FileNode, Name: "fuzz.php", File: "fuzz.php"}
+		}
+		runOne := func(kind EngineKind, sums *summary.Set) Result {
+			o := opts
+			o.Summaries = sums
+			fs := parse()
+			return NewEngineFactory(kind, fs).New(o).Run(context.Background(), root(fs))
+		}
+
+		sumTree := runOne(EngineTree, set)
+		sumVM := runOne(EngineVM, set)
+		if a, b := engineFingerprint(sumTree), engineFingerprint(sumVM); a != b {
+			t.Errorf("tree vs vm diverge under summaries:\ntree: %s\nvm:   %s", a, b)
+		}
+
+		inline := runOne(EngineTree, nil)
+		if inline.Err != nil || sumTree.Err != nil {
+			return // a budget abort on either side voids the subset contract
+		}
+		if sumTree.Paths > inline.Paths {
+			t.Errorf("summary explored more paths than inline: %d > %d", sumTree.Paths, inline.Paths)
+		}
+		hitKey := func(res Result, h SinkHit) string {
+			return fmt.Sprintf("%s@%s:%d src=%s dst=%s", h.Sink, h.File, h.Line,
+				sexpr.Format(res.Graph.ToSexpr(h.Src)), sexpr.Format(res.Graph.ToSexpr(h.Dst)))
+		}
+		inlineHits := map[string]int{}
+		inlineFirst := map[string]string{}
+		for _, h := range inline.Sinks {
+			k := hitKey(inline, h)
+			inlineHits[k]++
+			site := fmt.Sprintf("%s:%d", h.File, h.Line)
+			if _, ok := inlineFirst[site]; !ok {
+				inlineFirst[site] = k
+			}
+		}
+		sumFirst := map[string]string{}
+		for _, h := range sumTree.Sinks {
+			k := hitKey(sumTree, h)
+			if inlineHits[k] == 0 {
+				t.Errorf("summary sink hit absent from inline run: %s", k)
+				continue
+			}
+			inlineHits[k]--
+			site := fmt.Sprintf("%s:%d", h.File, h.Line)
+			if _, ok := sumFirst[site]; !ok {
+				sumFirst[site] = k
+			}
+		}
+		for site, k := range sumFirst {
+			if inlineFirst[site] != k {
+				t.Errorf("first hit at %s differs:\nsummary: %s\ninline:  %s", site, k, inlineFirst[site])
+			}
 		}
 	})
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/heapgraph"
 	"repro/internal/phpast"
 	"repro/internal/sexpr"
+	"repro/internal/summary"
 )
 
 // ErrBudgetExceeded reports that symbolic execution outgrew its path or
@@ -81,6 +82,18 @@ type Stats struct {
 	// record because no stored recording's live-in fingerprint matched
 	// (zero under the tree engine).
 	BlockCacheMisses int64
+	// SummaryInstantiated counts call sites answered by a function
+	// summary (trivial instantiation or merge-eligible inlining) under
+	// Options.Summaries. Zero in inline mode.
+	SummaryInstantiated int64
+	// SummaryEscapedCallees counts call sites whose callee's summary
+	// escaped, forcing a plain inline. Zero in inline mode.
+	SummaryEscapedCallees int64
+	// PathsAvoided counts environments dropped by statement-boundary
+	// path merging: paths whose observable state matched a surviving
+	// path's exactly and whose pending conditions were independent
+	// single-use literals. Zero in inline mode.
+	PathsAvoided int64
 }
 
 // EngineInvariant returns the stats with engine-mechanical counters
@@ -110,6 +123,13 @@ type Options struct {
 	// exists as an option only for ablation benchmarks and the
 	// counter-parity regression tests. Ignored by the tree engine.
 	NoBlockCache bool
+	// Summaries switches the call path to the summary interprocedural
+	// strategy: trivial callees instantiate without a frame, and
+	// summarized frames merge observably equivalent paths at statement
+	// boundaries. nil (the default) keeps the inline-everything
+	// behavior. The VM's block-fact cache is disabled while summaries
+	// are active (merging changes the env-set shapes the cache keys on).
+	Summaries *summary.Set
 }
 
 func (o Options) withDefaults() Options {
@@ -193,6 +213,12 @@ type Interp struct {
 	// blockCache memoizes cacheable statement spans' effects for this
 	// root's graph. Lazily created by the VM engine.
 	blockCache *blockCache
+
+	// mergeStack tracks the summarized scopes currently being inlined;
+	// the top frame supplies the dead-variable and merge-symbol sets
+	// the statement-boundary path merger consults. Empty in inline
+	// mode and inside escaped callees.
+	mergeStack []mergeFrame
 
 	// ctx carries the cancellation signal for the current RunRootCtx call;
 	// steps counts overBudget checkpoints so the (mutex-guarded) ctx.Err is
@@ -288,7 +314,9 @@ func (in *Interp) RunRootCtx(ctx context.Context, root *callgraph.Node) Result {
 				}
 				env.Bind(p.Name, in.g.NewSymbol("s_param_"+p.Name, t, root.Func.P.Line))
 			}
+			pop := in.pushMergeScope(strings.ToLower(root.Func.Name), envs)
 			envs = in.execStmts(root.Func.Body, envs)
+			pop()
 		}
 	}
 	res := Result{
@@ -348,6 +376,9 @@ func (in *Interp) overBudget(envs heapgraph.EnvSet) bool {
 // (returned / breaking) are carried through untouched.
 func (in *Interp) execStmts(stmts []phpast.Stmt, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	for _, s := range stmts {
+		if in.opts.Summaries != nil {
+			envs = in.mergeBoundary(envs)
+		}
 		if in.overBudget(envs) {
 			return envs
 		}

@@ -116,6 +116,9 @@ func (v *vmRun) popArgsInto(e *heapgraph.Env, n int) []heapgraph.Label {
 func (v *vmRun) runCode(c *ir.Code, envs heapgraph.EnvSet) heapgraph.EnvSet {
 	in := v.in
 	for si := range c.Spans {
+		if in.opts.Summaries != nil {
+			envs = in.mergeBoundary(envs)
+		}
 		if in.overBudget(envs) {
 			return envs
 		}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/interp"
 	"repro/internal/uchecker"
 )
 
@@ -386,5 +387,82 @@ func TestHTTPHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz after fatal = %d", resp.StatusCode)
+	}
+}
+
+// promValue extracts the value of one exact exposition line prefix
+// ("name{labels} ") from a Prometheus text dump, or -1 when absent.
+func promValue(exposition, prefix string) int64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, prefix+" ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimPrefix(line, prefix+" "), 10, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// Satellite: under -interproc summary the daemon's /metrics exposition
+// carries the summary-strategy counters, and per-file summary artifacts
+// are shared across jobs — a second job reusing a file another job
+// already summarized shows up as summary_cache_hits.
+func TestHTTPMetricsExposeSummaryCounters(t *testing.T) {
+	// Two distinct jobs (different sources → different report keys, so
+	// neither replays the other's report) sharing one identical helper
+	// file whose summary artifact the second job loads from the shared
+	// cache. Each plugin also calls a by-ref function, which the summary
+	// strategy classifies as escaped and falls back to inlining.
+	helper := `<?php
+function ext_label($n) { return "." . $n; }
+function up_prefix() { return "uploads/"; }
+`
+	plugin := func(dest string) string {
+		return `<?php
+function grab(&$n) { $n = $_FILES['doc']['name']; }
+$name = "";
+grab($name);
+move_uploaded_file($_FILES['doc']['tmp_name'], "` + dest + `" . $name);
+`
+	}
+	cfg := testConfig(t.TempDir(), 1)
+	cfg.Scan.Interproc = interp.InterprocSummary
+	d := mustOpen(t, cfg)
+	defer d.Close()
+
+	var ids []string
+	for i, sources := range []map[string]string{
+		{"helper.php": helper, "plugin.php": plugin("uploads/")},
+		{"helper.php": helper, "plugin.php": plugin("attachments/")},
+	} {
+		job, err := d.Submit("acme", fmt.Sprintf("summary-app-%d", i), sources)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, job.ID)
+	}
+	waitTerminal(t, d, ids, 30*time.Second, false)
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exposition := string(raw)
+
+	for _, m := range []string{
+		"ucheckerd_summary_computed",
+		"ucheckerd_summary_cache_hits",
+		"ucheckerd_summary_escaped_callees",
+	} {
+		if v := promValue(exposition, m+`{scope="scans"}`); v < 1 {
+			t.Errorf("%s = %d, want >= 1; exposition:\n%s", m, v, exposition)
+		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/scanjournal"
 	"repro/internal/uchecker"
@@ -49,7 +50,9 @@ type Config struct {
 	Dir string
 	// Scan is the scan configuration. Workers bounds per-scan
 	// parallelism; persistence fields (Journal, ResumeFrom, CacheDir)
-	// are ignored — the daemon owns persistence.
+	// are ignored — the daemon owns persistence. Under Interproc
+	// "summary" the daemon points the scanner's cache at Dir/summaries
+	// so per-file summary artifacts are shared across jobs.
 	Scan uchecker.Options
 	// ScanWorkers is the number of concurrently running jobs. Zero or
 	// negative selects 1.
@@ -803,6 +806,16 @@ func (d *Daemon) executeScan(ctx context.Context, job *Job) (rep *uchecker.AppRe
 func (d *Daemon) jobScanner(jobID string) *uchecker.Scanner {
 	opts := d.cfg.Scan
 	opts.Journal, opts.ResumeFrom, opts.CacheDir = "", "", ""
+	if opts.Interproc == interp.InterprocSummary {
+		// Cross-job summary reuse: per-file summary artifacts are
+		// content-addressed (file bytes + options fingerprint + artifact
+		// version), so every job under the same configuration shares
+		// them. Reuse shows up in /metrics as summary_cache_hits. The
+		// scanner's batch layer also stores report entries in this
+		// directory; identical resubmissions are still served by the
+		// daemon's own cache first, so that duplication is inert.
+		opts.CacheDir = filepath.Join(d.cfg.Dir, "summaries")
+	}
 	parent := opts.OnSpan
 	opts.OnSpan = func(sp obs.Span) {
 		d.hub.publishSpan(jobID, sp)

@@ -49,6 +49,7 @@ type Factory struct {
 	poolMemo  map[poolCacheKey]*candidatePool
 	nnfMemo   map[nnfKey]*Term
 	dnfMemo   map[dnfKey]dnfResult
+	substMemo map[substKey]*Term
 }
 
 // nnfKey memoizes NNF conversion per (node, polarity).
@@ -118,6 +119,7 @@ func NewFactory() *Factory {
 		poolMemo:   make(map[poolCacheKey]*candidatePool),
 		nnfMemo:    make(map[nnfKey]*Term),
 		dnfMemo:    make(map[dnfKey]dnfResult),
+		substMemo:  make(map[substKey]*Term),
 	}
 }
 

@@ -1,0 +1,104 @@
+package smt
+
+import "encoding/binary"
+
+// Substitution of formal-parameter placeholders: the instantiation half
+// of the function-summary machinery (internal/summary). A summary's
+// return value and sink effects are hash-consed terms over OpFormal
+// leaves; at a call site the engine substitutes the actual-argument
+// terms for the formals. Substitution is structural and total: formals
+// with no corresponding actual (index out of range or nil) are left in
+// place, which callers treat as "summary does not apply".
+
+// substKey identifies one (root, actuals) substitution for the
+// persistent cross-call memo. Actual pointers are encoded by their
+// stable factory ids, so the key is deterministic for a fixed
+// construction order.
+type substKey struct {
+	t       *Term
+	actuals string
+}
+
+// Formal returns an interned formal-parameter placeholder. Safe on nil
+// (falls back to the package-level constructor).
+func (f *Factory) Formal(i int, sort Sort) *Term {
+	return f.mk(OpFormal, sort, false, int64(i), "", nil)
+}
+
+// Substitute replaces every OpFormal leaf in t whose index is in range
+// with the corresponding term of actuals, rebuilding (and interning)
+// only the spines that actually change. Results are memoized twice:
+// per call via a DAG-walk map (so shared subterms are rewritten once)
+// and persistently per (root, actuals) pair, so repeated instantiation
+// of the same summary at the same argument shapes is O(1). Safe on nil
+// (plain recursion, no memoization).
+func (f *Factory) Substitute(t *Term, actuals []*Term) *Term {
+	if t == nil {
+		return nil
+	}
+	if f == nil {
+		return substRec(nil, t, actuals)
+	}
+	key := substKey{t: t, actuals: f.encodeActuals(actuals)}
+	if r, ok := f.substMemo[key]; ok {
+		f.stats.SimplifyMemoHits++
+		return r
+	}
+	r := substRec(f, t, actuals)
+	f.substMemo[key] = r
+	return r
+}
+
+// encodeActuals packs the actuals' factory ids into a string key.
+func (f *Factory) encodeActuals(actuals []*Term) string {
+	if len(actuals) == 0 {
+		return ""
+	}
+	buf := make([]byte, 8*len(actuals))
+	for i, a := range actuals {
+		binary.LittleEndian.PutUint64(buf[8*i:], f.id(a))
+	}
+	return string(buf)
+}
+
+func substRec(f *Factory, t *Term, actuals []*Term) *Term {
+	if t.Op == OpFormal {
+		if i := int(t.I); i >= 0 && i < len(actuals) && actuals[i] != nil {
+			return actuals[i]
+		}
+		return t
+	}
+	if len(t.Args) == 0 {
+		return t
+	}
+	args := make([]*Term, len(t.Args))
+	same := true
+	for i, a := range t.Args {
+		args[i] = substRec(f, a, actuals)
+		if args[i] != a {
+			same = false
+		}
+	}
+	if same {
+		return t
+	}
+	return f.mk(t.Op, t.sort, t.B, t.I, t.S, args)
+}
+
+// HasFormal reports whether t contains any formal-parameter leaf — a
+// summary term with a formal left over after substitution cannot be
+// handed to the solver.
+func HasFormal(t *Term) bool {
+	if t == nil {
+		return false
+	}
+	if t.Op == OpFormal {
+		return true
+	}
+	for _, a := range t.Args {
+		if HasFormal(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package smt
+
+import "testing"
+
+func TestFormalConstruction(t *testing.T) {
+	f := NewFactory()
+	a := f.Formal(0, SortString)
+	b := f.Formal(0, SortString)
+	if a != b {
+		t.Error("interned formals with equal index/sort are not pointer-equal")
+	}
+	if f.Formal(1, SortString) == a {
+		t.Error("distinct formal indices interned to the same node")
+	}
+	if f.Formal(0, SortInt) == a {
+		t.Error("distinct formal sorts interned to the same node")
+	}
+	if got := a.String(); got != "formal_0" {
+		t.Errorf("Formal(0).String() = %q, want formal_0", got)
+	}
+	// Package-level constructor agrees structurally.
+	if !Equal(a, Formal(0, SortString)) {
+		t.Error("factory and package Formal disagree structurally")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	f := NewFactory()
+	// concat(formal_0, ".php", formal_1)
+	sum := f.Concat(f.Formal(0, SortString), f.Str(".php"), f.Formal(1, SortString))
+	x := f.Var("x", SortString)
+	y := f.Var("y", SortString)
+	got := f.Substitute(sum, []*Term{x, y})
+	want := f.Concat(x, f.Str(".php"), y)
+	if got != want {
+		t.Errorf("Substitute = %s, want %s", got, want)
+	}
+	if HasFormal(got) {
+		t.Error("substituted term still contains formals")
+	}
+
+	// Unchanged spines are returned as-is.
+	noFormals := f.Concat(f.Str("a"), f.Str("b"))
+	if f.Substitute(noFormals, []*Term{x}) != noFormals {
+		t.Error("formal-free term was rebuilt")
+	}
+
+	// Out-of-range formals stay in place.
+	left := f.Substitute(sum, []*Term{x})
+	if !HasFormal(left) {
+		t.Error("out-of-range formal was dropped instead of left in place")
+	}
+
+	// The persistent memo answers repeated instantiations.
+	before := f.Stats().SimplifyMemoHits
+	if f.Substitute(sum, []*Term{x, y}) != want {
+		t.Error("memoized substitution changed its answer")
+	}
+	if f.Stats().SimplifyMemoHits <= before {
+		t.Error("repeated substitution did not hit the persistent memo")
+	}
+}
+
+func TestSubstituteNested(t *testing.T) {
+	f := NewFactory()
+	// Composition: substitute a summary term into another summary's
+	// formal slots, as the bottom-up SCC composition does.
+	inner := f.Concat(f.Formal(0, SortString), f.Str("/up"))
+	outer := f.Len(f.Formal(0, SortString))
+	composed := f.Substitute(outer, []*Term{inner})
+	want := f.Len(inner)
+	if composed != want {
+		t.Errorf("composed = %s, want %s", composed, want)
+	}
+	// Instantiating the composed term eliminates the remaining formal.
+	final := f.Substitute(composed, []*Term{f.Str("img")})
+	if HasFormal(final) {
+		t.Error("fully instantiated term still has formals")
+	}
+	if final != f.Len(f.Concat(f.Str("img"), f.Str("/up"))) {
+		t.Errorf("final = %s", final)
+	}
+}
+
+func TestSubstituteNilFactory(t *testing.T) {
+	var f *Factory
+	sum := Concat(Formal(0, SortString), Str(".php"))
+	got := f.Substitute(sum, []*Term{Str("a")})
+	want := Concat(Str("a"), Str(".php"))
+	if !Equal(got, want) {
+		t.Errorf("nil-factory Substitute = %s, want %s", got, want)
+	}
+	if f.Formal(2, SortInt) == nil || f.Formal(2, SortInt).I != 2 {
+		t.Error("nil-factory Formal broken")
+	}
+	if f.Substitute(nil, nil) != nil {
+		t.Error("Substitute(nil) != nil")
+	}
+}

@@ -1,0 +1,379 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sexpr"
+	"repro/internal/smt"
+)
+
+// The composition layer: resolve each function's call-site atoms to
+// concrete formal masks using its callees' summaries. Functions are
+// processed bottom-up over the strongly connected components of the
+// (AST-level) call graph — Tarjan emits SCCs callees-first — so a
+// callee's summary is final before any caller reads it. Inside a
+// cyclic SCC the members' summaries are iterated to a fixpoint; if the
+// fixpoint does not settle within widenBound rounds, taint is widened
+// to "all formals" and the member is marked Widened.
+//
+// Note: internal/callgraph's graph is acyclic by construction (it
+// models the locality analysis, which cuts recursion), so composition
+// builds its own name-level graph here.
+
+const (
+	// widenBound caps SCC fixpoint rounds before widening.
+	widenBound = 8
+	// maxSinkEffects caps a summary's propagated sink list.
+	maxSinkEffects = 64
+	// maxTermSize caps a composed return term's node count.
+	maxTermSize = 256
+)
+
+// Compose resolves a set of per-file local layers into engine-facing
+// summaries. File order decides duplicate-name resolution
+// (first declaration wins), matching the interpreter.
+func Compose(locals []*FileLocal, fac *smt.Factory) *Set {
+	set := &Set{Funcs: map[string]*Summary{}}
+	chosen := map[string]*FuncLocal{}
+	var order []string
+	for _, fl := range locals {
+		if fl == nil {
+			continue
+		}
+		for _, fn := range fl.Funcs {
+			if _, ok := chosen[fn.Name]; !ok {
+				chosen[fn.Name] = fn
+				order = append(order, fn.Name)
+			}
+		}
+	}
+
+	for _, scc := range sccs(order, chosen) {
+		composeSCC(scc, chosen, set.Funcs, fac)
+	}
+	return set
+}
+
+// sccs returns the strongly connected components of the name-level
+// call graph in reverse topological order (callees before callers).
+func sccs(order []string, chosen map[string]*FuncLocal) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, s := range chosen[v].Sites {
+			w := s.Callee
+			if chosen[w] == nil {
+				continue // builtin or undeclared: not a graph node
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// composeSCC resolves one component, iterating cyclic components to a
+// fixpoint with widening.
+func composeSCC(comp []string, chosen map[string]*FuncLocal, table map[string]*Summary, fac *smt.Factory) {
+	recursive := len(comp) > 1 || selfCalls(chosen[comp[0]])
+	sort.Strings(comp) // deterministic member iteration inside the fixpoint
+
+	// Seed the table so in-component lookups see a (partial) summary.
+	for _, name := range comp {
+		table[name] = resolveOne(chosen[name], table, fac, recursive)
+	}
+	if !recursive {
+		return
+	}
+	widened := false
+	for round := 0; ; round++ {
+		changed := false
+		for _, name := range comp {
+			next := resolveOne(chosen[name], table, fac, true)
+			if !summariesEqual(table[name], next) {
+				changed = true
+			}
+			table[name] = next
+		}
+		if !changed {
+			break
+		}
+		if round >= widenBound {
+			widened = true
+			break
+		}
+	}
+	if widened {
+		for _, name := range comp {
+			s := table[name]
+			s.Widened = true
+			s.ReturnTaint = allFormals(s.Params)
+			// Widened sink masks are over-approximated the same way.
+			for i := range s.Sinks {
+				s.Sinks[i].SrcFormals = allFormals(s.Params)
+				s.Sinks[i].DstFormals = allFormals(s.Params)
+			}
+		}
+	}
+}
+
+func selfCalls(fn *FuncLocal) bool {
+	for _, s := range fn.Sites {
+		if s.Callee == fn.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func allFormals(params int) uint64 {
+	if params <= 0 {
+		return 0
+	}
+	if params >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(params)) - 1
+}
+
+// resolveOne computes a summary for fn against the current table.
+func resolveOne(fn *FuncLocal, table map[string]*Summary, fac *smt.Factory, recursive bool) *Summary {
+	s := &Summary{
+		Name:           fn.Name,
+		File:           fn.File,
+		Line:           fn.Line,
+		Params:         fn.Params,
+		Escapes:        fn.Escapes,
+		EscapeReason:   fn.EscapeReason,
+		Recursive:      recursive,
+		Forks:          fn.Forks,
+		ReturnLine:     fn.RetLine,
+		ReturnFormal:   fn.RetFormal,
+		TouchesFiles:   fn.TouchesFiles,
+		TouchesGlobals: fn.TouchesGlobals,
+		DeadVars:       fn.DeadVars,
+		MergeVars:      fn.MergeVars,
+	}
+	s.ReturnConst = constOf(fn)
+
+	// Per-site return-taint masks, iterated because a site's arguments
+	// may reference other sites.
+	masks := make([]uint64, len(fn.Sites))
+	resolve := func(a AtomSet) uint64 {
+		m := a.Formals
+		for _, i := range a.Sites {
+			m |= masks[i]
+		}
+		return m
+	}
+	for sweep := 0; sweep < len(fn.Sites)+1 || sweep == 0; sweep++ {
+		changed := false
+		for j, site := range fn.Sites {
+			var m uint64
+			callee := table[site.Callee]
+			switch {
+			case callee == nil:
+				// Built-in or undeclared: conservatively, the result
+				// may depend on every argument.
+				for _, a := range site.Args {
+					m |= resolve(a)
+				}
+			case callee.Escapes:
+				s.CallsEscaped = true
+				for _, a := range site.Args {
+					m |= resolve(a)
+				}
+			default:
+				for i := 0; i < callee.Params && i < 64; i++ {
+					if callee.ReturnTaint&(1<<uint(i)) != 0 && i < len(site.Args) {
+						m |= resolve(site.Args[i])
+					}
+				}
+				s.Forks = s.Forks || callee.Forks
+				s.CallsEscaped = s.CallsEscaped || callee.CallsEscaped
+				s.TouchesFiles = s.TouchesFiles || callee.TouchesFiles
+				s.TouchesGlobals = s.TouchesGlobals || callee.TouchesGlobals
+			}
+			if m != masks[j] {
+				masks[j] = m
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	s.ReturnTaint = resolve(fn.Return)
+
+	// Sink effects: direct calls plus effects inherited from known
+	// callees, with formal masks translated through the call
+	// arguments. Effects merge by (sink, line).
+	addSink := func(e SinkEffect) {
+		for i := range s.Sinks {
+			if s.Sinks[i].Sink == e.Sink && s.Sinks[i].Line == e.Line {
+				s.Sinks[i].SrcFormals |= e.SrcFormals
+				s.Sinks[i].DstFormals |= e.DstFormals
+				return
+			}
+		}
+		if len(s.Sinks) >= maxSinkEffects {
+			s.Widened = true
+			return
+		}
+		s.Sinks = append(s.Sinks, e)
+	}
+	for _, sk := range fn.Sinks {
+		addSink(SinkEffect{Sink: sk.Sink, Line: sk.Line, SrcFormals: resolve(sk.Src), DstFormals: resolve(sk.Dst)})
+	}
+	for _, site := range fn.Sites {
+		callee := table[site.Callee]
+		if callee == nil || callee.Escapes {
+			continue
+		}
+		remap := func(mask uint64) uint64 {
+			var m uint64
+			for i := 0; i < 64 && i < len(site.Args); i++ {
+				if mask&(1<<uint(i)) != 0 {
+					m |= resolve(site.Args[i])
+				}
+			}
+			return m
+		}
+		for _, e := range callee.Sinks {
+			addSink(SinkEffect{Sink: e.Sink, Line: e.Line, SrcFormals: remap(e.SrcFormals), DstFormals: remap(e.DstFormals)})
+		}
+	}
+	sort.Slice(s.Sinks, func(i, j int) bool {
+		if s.Sinks[i].Line != s.Sinks[j].Line {
+			return s.Sinks[i].Line < s.Sinks[j].Line
+		}
+		return s.Sinks[i].Sink < s.Sinks[j].Sink
+	})
+
+	// Return term: either the local call-free term, or a single-call
+	// body composed by substituting the argument terms into the
+	// callee's term.
+	if fn.RetTerm != nil {
+		s.ReturnTerm = fn.RetTerm.toSMT(fac)
+	} else if fn.RetCall != nil {
+		callee := table[fn.RetCall.Callee]
+		if callee != nil && !callee.Escapes && !callee.Recursive && callee.ReturnTerm != nil {
+			args := make([]*smt.Term, len(fn.RetCall.Args))
+			ok := true
+			for i, a := range fn.RetCall.Args {
+				args[i] = a.toSMT(fac)
+				if args[i] == nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rt := fac.Substitute(callee.ReturnTerm, args)
+				if fac.Size(rt) > maxTermSize {
+					s.Widened = true
+				} else {
+					s.ReturnTerm = rt
+				}
+			}
+		}
+	}
+	if recursive {
+		// A recursive return term would need a fixpoint over terms;
+		// taint widening covers the information instead.
+		s.ReturnTerm = nil
+	}
+	return s
+}
+
+func constOf(fn *FuncLocal) sexpr.Expr {
+	switch fn.RetConstKind {
+	case "str":
+		return sexpr.StrVal(fn.RetConstStr)
+	case "int":
+		return sexpr.IntVal(fn.RetConstInt)
+	case "float":
+		return sexpr.FloatVal(fn.RetConstF)
+	case "bool":
+		return sexpr.BoolVal(fn.RetConstBool)
+	case "null":
+		return sexpr.NullVal{}
+	}
+	return nil
+}
+
+// summariesEqual compares the fixpoint-relevant fields.
+func summariesEqual(a, b *Summary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.ReturnTaint != b.ReturnTaint || a.CallsEscaped != b.CallsEscaped ||
+		a.Forks != b.Forks || a.TouchesFiles != b.TouchesFiles ||
+		a.TouchesGlobals != b.TouchesGlobals || len(a.Sinks) != len(b.Sinks) {
+		return false
+	}
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable summary (for -trace output
+// and test failure messages).
+func (s *Summary) String() string {
+	if s.Escapes {
+		return fmt.Sprintf("%s: escapes (%s)", s.Name, s.EscapeReason)
+	}
+	out := fmt.Sprintf("%s: taint=%#x", s.Name, s.ReturnTaint)
+	if s.ReturnTerm != nil {
+		out += " ret=" + s.ReturnTerm.String()
+	}
+	if len(s.Sinks) > 0 {
+		out += fmt.Sprintf(" sinks=%d", len(s.Sinks))
+	}
+	if s.Recursive {
+		out += " recursive"
+	}
+	if s.Widened {
+		out += " widened"
+	}
+	return out
+}

@@ -97,6 +97,13 @@ func (s *Scanner) optionsFingerprint() string {
 	if o.Engine != "" && o.Engine != interp.EngineTree {
 		fp += fmt.Sprintf(" engine=%s", o.Engine)
 	}
+	// Same appended-token discipline as engine=: inline mode (the
+	// default) omits the token so pre-summary journals stay replayable,
+	// while summary mode gets its own identity — its reports differ in
+	// path counters, so a cross-mode cache hit must be impossible.
+	if o.Interproc != "" && o.Interproc != interp.InterprocInline {
+		fp += fmt.Sprintf(" interproc=%s", o.Interproc)
+	}
 	return fp
 }
 

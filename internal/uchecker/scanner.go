@@ -43,8 +43,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phpast"
 	"repro/internal/phpparser"
+	"repro/internal/scanjournal"
 	"repro/internal/sexpr"
 	"repro/internal/smt"
+	"repro/internal/summary"
 	"repro/internal/translate"
 	"repro/internal/vulnmodel"
 )
@@ -244,6 +246,20 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 	// by all roots, workers and degradation-ladder rungs.
 	engines := interp.NewEngineFactory(s.opts.Engine, files)
 
+	// Function summaries (the -interproc summary strategy) are computed
+	// once per scan over the same parsed files every root shares; the
+	// per-file local layer is served from the content-addressed artifact
+	// cache when CacheDir is set. Nil under inline mode, which keeps the
+	// engines (and their reports) bit-for-bit on the pre-summary path.
+	var sums *summary.Set
+	if s.opts.Interproc == interp.InterprocSummary {
+		sumSpan := tr.start(scanSpan.ID(), "summaries")
+		sums = s.buildSummaries(t, files)
+		rep.Metrics.Add("summary_computed", int64(sums.Computed))
+		rep.Metrics.Add("summary_cache_hits", int64(sums.CacheHits))
+		tr.end(sumSpan, obs.A("functions", strconv.Itoa(len(sums.Funcs))))
+	}
+
 	// --- Phase 2: locality analysis ---
 	locSpan := tr.start(scanSpan.ID(), "locality")
 	g := callgraph.Build(files)
@@ -297,7 +313,7 @@ func (s *Scanner) scan(ctx context.Context, t Target, measureMem bool) (*AppRepo
 		// pprof labels attribute CPU-profile samples to the app and root
 		// being executed, so `go tool pprof` can slice a scan by root.
 		pprof.Do(ctx, pprof.Labels("uchecker_app", t.Name, "uchecker_root", rootName), func(ctx context.Context) {
-			results[i] = s.scanRoot(ctx, engines, files, roots[i].Node, adminCallbacks, g, tr, rootSpan.ID())
+			results[i] = s.scanRoot(ctx, engines, sums, files, roots[i].Node, adminCallbacks, g, tr, rootSpan.ID())
 		})
 		tr.end(rootSpan,
 			obs.A("findings", strconv.Itoa(len(results[i].findings))),
@@ -471,6 +487,57 @@ func scheduleFailure(root string, class FailureClass, msg string, skipped bool) 
 	}
 }
 
+// buildSummaries computes the scan's function-summary table for the
+// -interproc summary strategy. The per-file local layer is
+// content-addressed — keyed by the file's own source text, the options
+// fingerprint and the summary artifact version, so unchanged files on
+// unchanged configurations load their artifact instead of re-walking
+// the AST. Composition (cross-function taint routing, SCC fixpoint) is
+// always recomputed: it is whole-program and cheap. Every cache failure
+// mode — unopenable directory, corrupt entry, version skew, failed
+// write — degrades to a recompute, never an error.
+func (s *Scanner) buildSummaries(t Target, files []*phpast.File) *summary.Set {
+	var cache *scanjournal.Cache
+	if s.opts.CacheDir != "" {
+		if c, err := scanjournal.OpenCache(s.opts.CacheDir, s.opts.FaultHook); err == nil {
+			cache = c
+		}
+	}
+	// The artifact version rides in the key alongside the options
+	// fingerprint, so a format bump self-invalidates every cached
+	// per-file summary without touching report cache entries.
+	fp := fmt.Sprintf("%s summary=v%d", s.optionsFingerprint(), summary.ArtifactVersion)
+	locals := make([]*summary.FileLocal, 0, len(files))
+	computed, hits := 0, 0
+	for _, f := range files {
+		var fl *summary.FileLocal
+		if cache != nil {
+			key := scanjournal.CacheKey(map[string]string{f.Name: t.Sources[f.Name]}, fp)
+			if raw, ok := cache.Get(key); ok {
+				if dec, err := summary.DecodeFile(raw); err == nil {
+					fl = dec
+					hits++
+				}
+			}
+			if fl == nil {
+				fl = summary.LocalFile(f)
+				computed += len(fl.Funcs)
+				if raw, err := summary.EncodeFile(fl); err == nil {
+					cache.Put(key, raw) // best-effort: a failed Put costs one recompute
+				}
+			}
+		} else {
+			fl = summary.LocalFile(f)
+			computed += len(fl.Funcs)
+		}
+		locals = append(locals, fl)
+	}
+	set := summary.Compose(locals, smt.NewFactory())
+	set.Computed = computed
+	set.CacheHits = hits
+	return set
+}
+
 // scanRoot runs the degradation ladder for one root:
 //
 //	rung 0    full budgets; a budget abort yields no findings (the
@@ -484,7 +551,7 @@ func scheduleFailure(root string, class FailureClass, msg string, skipped bool) 
 //
 // Every rung is panic-isolated; the ladder is deterministic except under
 // Options.RootTimeout (wall clock) — see DESIGN.md "Failure model".
-func (s *Scanner) scanRoot(ctx context.Context, engines *interp.EngineFactory, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, tr *scanTrace, rootSpan obs.SpanID) rootResult {
+func (s *Scanner) scanRoot(ctx context.Context, engines *interp.EngineFactory, sums *summary.Set, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, tr *scanTrace, rootSpan obs.SpanID) rootResult {
 	var rr rootResult
 	budgets := s.opts.Budgets
 	maxRetries := s.opts.MaxRetries
@@ -493,7 +560,7 @@ func (s *Scanner) scanRoot(ctx context.Context, engines *interp.EngineFactory, f
 	}
 	for attempt := 0; ; attempt++ {
 		attemptSpan := tr.start(rootSpan, "attempt", obs.A("rung", strconv.Itoa(attempt)))
-		ar := s.runRootAttempt(ctx, engines, files, root, adminCallbacks, g, budgets, attempt, tr, attemptSpan.ID())
+		ar := s.runRootAttempt(ctx, engines, sums, files, root, adminCallbacks, g, budgets, attempt, tr, attemptSpan.ID())
 		tr.end(attemptSpan, obs.A("findings", strconv.Itoa(len(ar.findings))))
 		rr.symExec += ar.symExec
 		rr.verify += ar.verify
@@ -545,7 +612,7 @@ func (s *Scanner) scanRoot(ctx context.Context, engines *interp.EngineFactory, f
 // engine's compiled program). The whole attempt runs under recover(): a
 // panic in interp, translate or smt becomes a FailPanic failure with the
 // captured stack.
-func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFactory, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, budgets Budgets, attempt int, tr *scanTrace, attemptSpan obs.SpanID) (ar rootResult) {
+func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFactory, sums *summary.Set, files []*phpast.File, root *callgraph.Node, adminCallbacks map[string]bool, g *callgraph.Graph, budgets Budgets, attempt int, tr *scanTrace, attemptSpan obs.SpanID) (ar rootResult) {
 	rootName := root.String()
 	stage := StageSymExec
 	defer func() {
@@ -580,7 +647,12 @@ func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFact
 	degraded := attempt > 0
 	symStart := time.Now()
 	interpSpan := tr.start(attemptSpan, "interp", obs.A("root", rootName))
-	res := engines.New(budgets.interpOptions()).Run(rctx, root)
+	iop := budgets.interpOptions()
+	// Summaries ride outside the budget projection: they are injected at
+	// engine construction so budgets.go (and the fingerprint's budget
+	// slice) stay strategy-agnostic. Nil under inline mode.
+	iop.Summaries = sums
+	res := engines.New(iop).Run(rctx, root)
 	tr.end(interpSpan, obs.A("paths", strconv.Itoa(res.Paths)))
 	ar.symExec = time.Since(symStart)
 	ar.paths = res.Paths
@@ -600,6 +672,12 @@ func (s *Scanner) runRootAttempt(ctx context.Context, engines *interp.EngineFact
 	ar.metrics.Add("vm_dispatch_loops", res.Stats.VMDispatchLoops)
 	ar.metrics.Add("vm_block_cache_hits", res.Stats.BlockCacheHits)
 	ar.metrics.Add("vm_block_cache_misses", res.Stats.BlockCacheMisses)
+	// Summary-strategy counters; zero (and therefore absent) under
+	// inline mode, so inline reports stay byte-identical to pre-summary
+	// ones.
+	ar.metrics.Add("summary_instantiated", res.Stats.SummaryInstantiated)
+	ar.metrics.Add("summary_escaped_callees", res.Stats.SummaryEscapedCallees)
+	ar.metrics.Add("interp_paths_avoided", res.Stats.PathsAvoided)
 	if res.Err != nil {
 		class := classifyRootErr(res.Err, ctx, rctx)
 		if class == FailPathBudget || class == FailObjectBudget {

@@ -1,0 +1,338 @@
+package uchecker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/scanjournal"
+	"repro/internal/summary"
+)
+
+// summaryComparableFingerprint is the cross-strategy projection of a
+// report: findings, verdicts, roots, locality measurements, parse
+// errors and failure taxonomy — everything Table III reports except the
+// exploration-size columns (paths, objects, objects/path, sink
+// candidates), which the summary strategy legitimately shrinks, and the
+// metrics map, which carries strategy-specific counters.
+func summaryComparableFingerprint(t *testing.T, rep *AppReport) string {
+	t.Helper()
+	clone := *rep
+	clone.Paths = 0
+	clone.Objects = 0
+	clone.ObjectsPerPath = 0
+	clone.SinkCount = 0
+	clone.Metrics = nil
+	return reportFingerprint(t, &clone)
+}
+
+// summaryModeFingerprint is the within-strategy projection: everything
+// except the summary-only counters, which count work (merges, cache
+// hits) that may be scheduled differently across worker counts while
+// the report stays byte-identical.
+func summaryModeFingerprint(t *testing.T, rep *AppReport) string {
+	t.Helper()
+	clone := *rep
+	if clone.Metrics != nil {
+		m := obs.NewMetrics()
+		for k, v := range clone.Metrics {
+			if strings.HasPrefix(k, "summary_") || k == "interp_paths_avoided" {
+				continue
+			}
+			m[k] = v
+		}
+		clone.Metrics = m
+	}
+	return reportFingerprint(t, &clone)
+}
+
+// TestSummaryDifferentialCorpus is the interproc-strategy acceptance
+// suite: every corpus application is scanned under inline and summary
+// strategies at Workers=1 and Workers=4, and
+//
+//   - within each strategy, the two worker counts must agree
+//     byte-for-byte;
+//   - across strategies, findings and every Table III verdict must be
+//     byte-identical — except where the inline strategy aborted on a
+//     path budget, which is precisely the failure mode summaries exist
+//     to remove. There the summary report must show a clean completion
+//     (no abort, no retries, no degraded findings) and, for known
+//     vulnerable apps, the vulnerable verdict the inline run missed.
+//
+// The 20000-path budget keeps the inline Cimy abort affordable while
+// still reproducing it (it needs 248832 paths).
+func TestSummaryDifferentialCorpus(t *testing.T) {
+	budgets := Budgets{MaxPaths: 20000}
+	for _, app := range corpus.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			target := Target{Name: app.Name, Sources: app.Sources}
+			scanOne := func(mode interp.InterprocKind, workers int) *AppReport {
+				rep, err := NewScanner(Options{
+					Budgets:   budgets,
+					Interproc: mode,
+					Workers:   workers,
+				}).Scan(context.Background(), target)
+				if err != nil {
+					t.Fatalf("interproc=%s workers=%d: %v", mode, workers, err)
+				}
+				return rep
+			}
+
+			inline1 := scanOne(interp.InterprocInline, 1)
+			inline4 := scanOne(interp.InterprocInline, 4)
+			sum1 := scanOne(interp.InterprocSummary, 1)
+			sum4 := scanOne(interp.InterprocSummary, 4)
+
+			if a, b := reportFingerprint(t, inline1), reportFingerprint(t, inline4); a != b {
+				t.Errorf("inline workers=1 vs 4 differ:\n got: %s\nwant: %s", b, a)
+			}
+			if a, b := summaryModeFingerprint(t, sum1), summaryModeFingerprint(t, sum4); a != b {
+				t.Errorf("summary workers=1 vs 4 differ:\n got: %s\nwant: %s", b, a)
+			}
+
+			if inline1.BudgetExceeded && !sum1.BudgetExceeded {
+				// The summary strategy completed an exploration the
+				// inline one could not — the Cimy case. The completion
+				// must be clean and first-attempt.
+				if sum1.Retries != 0 {
+					t.Errorf("summary completion used %d retries, want 0", sum1.Retries)
+				}
+				if sum1.Degraded {
+					t.Error("summary completion produced degraded findings")
+				}
+				if app.Vulnerable && !sum1.Vulnerable {
+					t.Error("summary completed but missed the known-vulnerable verdict")
+				}
+				return
+			}
+			if a, b := summaryComparableFingerprint(t, inline1), summaryComparableFingerprint(t, sum1); a != b {
+				t.Errorf("summary report differs from inline:\n got: %s\nwant: %s", b, a)
+			}
+		})
+	}
+}
+
+// TestCimySummaryCompletes asserts the headline win at the paper's
+// default budgets: the Cimy User Extra Fields root — the paper's (and
+// the inline strategy's) 248832-path budget-exhaustion false negative —
+// completes under -interproc summary on its first attempt, with no
+// degradation and the vulnerable verdict.
+func TestCimySummaryCompletes(t *testing.T) {
+	app, ok := corpus.ByName("Cimy User Extra Fields 2.3.8")
+	if !ok {
+		t.Fatal("corpus app missing")
+	}
+	target := Target{Name: app.Name, Sources: app.Sources}
+
+	inline, err := NewScanner(Options{}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inline.BudgetExceeded || inline.Vulnerable {
+		t.Fatalf("inline mode should reproduce the paper's miss: budget=%v vulnerable=%v",
+			inline.BudgetExceeded, inline.Vulnerable)
+	}
+
+	sum, err := NewScanner(Options{Interproc: interp.InterprocSummary}).Scan(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.BudgetExceeded {
+		t.Error("summary mode exceeded budgets")
+	}
+	if !sum.Vulnerable {
+		t.Error("summary mode missed the vulnerability")
+	}
+	if sum.Retries != 0 {
+		t.Errorf("summary mode used %d retries, want 0", sum.Retries)
+	}
+	if sum.Degraded {
+		t.Error("summary mode produced degraded findings")
+	}
+	for _, f := range sum.Findings {
+		if f.Degraded {
+			t.Errorf("finding %s:%d is degraded", f.File, f.Line)
+		}
+	}
+	if got := sum.Metrics["interp_paths_avoided"]; got == 0 {
+		t.Error("interp_paths_avoided = 0, want > 0 (merging did nothing)")
+	}
+	if got := sum.Metrics["summary_computed"]; got == 0 {
+		t.Error("summary_computed = 0, want > 0")
+	}
+}
+
+// TestSummaryEngineDifferential asserts the strategy composes with the
+// engine knob: tree and VM engines under -interproc summary produce
+// byte-identical reports (modulo the VM-only ir_*/vm_* counters) on a
+// path-explosion app and on an ordinary one.
+func TestSummaryEngineDifferential(t *testing.T) {
+	for _, name := range []string{
+		"Cimy User Extra Fields 2.3.8",
+		"Foxypress 0.4.1.1-0.4.2.1",
+	} {
+		app, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("corpus app %s missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			target := Target{Name: app.Name, Sources: app.Sources}
+			var want string
+			for _, engine := range []interp.EngineKind{interp.EngineTree, interp.EngineVM} {
+				rep, err := NewScanner(Options{
+					Engine:    engine,
+					Interproc: interp.InterprocSummary,
+				}).Scan(context.Background(), target)
+				if err != nil {
+					t.Fatalf("engine=%s: %v", engine, err)
+				}
+				got := engineComparableFingerprint(t, rep)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("engine=%s summary report differs from tree:\n got: %s\nwant: %s",
+						engine, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestInterprocFingerprintToken pins the appended-token discipline: the
+// default (inline) mode leaves the fingerprint byte-identical to the
+// pre-summary format, so existing journals and cache entries stay
+// replayable, while summary mode cannot share cache entries with it.
+func TestInterprocFingerprintToken(t *testing.T) {
+	base := NewScanner(Options{}).OptionsFingerprint()
+	inline := NewScanner(Options{Interproc: interp.InterprocInline}).OptionsFingerprint()
+	sum := NewScanner(Options{Interproc: interp.InterprocSummary}).OptionsFingerprint()
+	if base != inline {
+		t.Errorf("explicit inline changed the fingerprint:\n got: %s\nwant: %s", inline, base)
+	}
+	if strings.Contains(base, "interproc=") {
+		t.Errorf("default fingerprint mentions interproc: %s", base)
+	}
+	if !strings.Contains(sum, " interproc=summary") {
+		t.Errorf("summary fingerprint missing token: %s", sum)
+	}
+}
+
+// TestInlineReportHasNoSummaryCounters pins the metric-absence
+// contract: inline-mode reports must not grow summary_* /
+// interp_paths_avoided keys, keeping them byte-identical to pre-summary
+// reports.
+func TestInlineReportHasNoSummaryCounters(t *testing.T) {
+	app, _ := corpus.ByName("Foxypress 0.4.1.1-0.4.2.1")
+	rep, err := NewScanner(Options{}).Scan(context.Background(), Target{Name: app.Name, Sources: app.Sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rep.Metrics {
+		if strings.HasPrefix(k, "summary_") || k == "interp_paths_avoided" {
+			t.Errorf("inline report carries summary counter %s", k)
+		}
+	}
+}
+
+// TestSummaryArtifactCache exercises the per-file summary artifact
+// cache end to end: a second scan over unchanged sources is served from
+// the cache; corrupted entries and version-skewed payloads are silent
+// misses that recompute (self-invalidation) and self-heal; the report
+// is byte-identical throughout.
+func TestSummaryArtifactCache(t *testing.T) {
+	app, _ := corpus.ByName("Cimy User Extra Fields 2.3.8")
+	target := Target{Name: app.Name, Sources: app.Sources}
+	dir := t.TempDir()
+	opts := Options{Interproc: interp.InterprocSummary, CacheDir: dir}
+
+	scanOne := func() *AppReport {
+		rep, err := NewScanner(opts).Scan(context.Background(), target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	cold := scanOne()
+	if cold.Metrics["summary_cache_hits"] != 0 {
+		t.Errorf("cold scan had %d cache hits, want 0", cold.Metrics["summary_cache_hits"])
+	}
+	if cold.Metrics["summary_computed"] == 0 {
+		t.Error("cold scan computed no summaries")
+	}
+	want := summaryModeFingerprint(t, cold)
+
+	warm := scanOne()
+	if got := warm.Metrics["summary_cache_hits"]; got != int64(len(target.Sources)) {
+		t.Errorf("warm scan cache hits = %d, want %d (one per file)", got, len(target.Sources))
+	}
+	if warm.Metrics["summary_computed"] != 0 {
+		t.Errorf("warm scan recomputed %d summaries, want 0", warm.Metrics["summary_computed"])
+	}
+	if got := summaryModeFingerprint(t, warm); got != want {
+		t.Errorf("warm report differs from cold:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Corrupt every cached entry: the next scan must treat them as
+	// misses, recompute, rewrite (self-heal), and report identically.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.rep"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err=%v)", err)
+	}
+	for _, p := range entries {
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healed := scanOne()
+	if healed.Metrics["summary_cache_hits"] != 0 {
+		t.Errorf("scan over corrupt cache had %d hits, want 0", healed.Metrics["summary_cache_hits"])
+	}
+	if healed.Metrics["summary_computed"] == 0 {
+		t.Error("scan over corrupt cache recomputed nothing")
+	}
+	if got := summaryModeFingerprint(t, healed); got != want {
+		t.Errorf("post-corruption report differs:\n got: %s\nwant: %s", got, want)
+	}
+	rehit := scanOne()
+	if got := rehit.Metrics["summary_cache_hits"]; got != int64(len(target.Sources)) {
+		t.Errorf("self-heal failed: cache hits = %d, want %d", got, len(target.Sources))
+	}
+
+	// Version skew: overwrite each entry with a structurally valid frame
+	// holding a payload from a future artifact version. DecodeFile must
+	// reject it, so the scan recomputes — the self-invalidation that
+	// makes ArtifactVersion bumps safe without wiping the cache.
+	cache, err := scanjournal.OpenCache(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fmt.Sprintf("%s summary=v%d", NewScanner(opts).OptionsFingerprint(), summary.ArtifactVersion)
+	skewed, err := json.Marshal(&summary.FileLocal{Version: summary.ArtifactVersion + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range target.Sources {
+		key := scanjournal.CacheKey(map[string]string{name: src}, fp)
+		if err := cache.Put(key, skewed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	skewScan := scanOne()
+	if skewScan.Metrics["summary_cache_hits"] != 0 {
+		t.Errorf("version-skewed entries were served: hits = %d, want 0", skewScan.Metrics["summary_cache_hits"])
+	}
+	if got := summaryModeFingerprint(t, skewScan); got != want {
+		t.Errorf("post-skew report differs:\n got: %s\nwant: %s", got, want)
+	}
+}

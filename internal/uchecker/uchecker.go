@@ -44,6 +44,17 @@ type Options struct {
 	// Findings and metrics are byte-identical across engines; the VM
 	// additionally reports ir_*/vm_* counters.
 	Engine interp.EngineKind
+	// Interproc selects the interprocedural call strategy:
+	// interp.InterprocInline (inline every user-function call, the
+	// default — the empty string selects it too, reproducing the paper's
+	// behavior including the Cimy budget-exhaustion miss) or
+	// interp.InterprocSummary (compute per-function symbolic summaries
+	// once per scan, instantiate them at call sites, and merge observably
+	// equivalent paths at statement boundaries inside summarized scopes;
+	// escaped callees — by-ref params, dynamic calls, globals, methods,
+	// closures, … — fall back to inlining so findings never change).
+	// Summaries are cached per file in CacheDir when set.
+	Interproc interp.InterprocKind
 	// DisableLocality skips the vulnerability-oriented locality analysis
 	// and symbolically executes every file and every function as a root —
 	// the whole-program baseline the paper's locality analysis exists to
